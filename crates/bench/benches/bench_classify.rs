@@ -1,0 +1,23 @@
+//! Criterion benchmark: classification time per race (Table 4's
+//! microbenchmark form). One representative program per size class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use portend::PortendConfig;
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(10);
+    for name in ["RW", "bbuf", "ctrace", "pbzip2"] {
+        let w = portend_workloads::by_name(name).expect("workload exists");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let result = w.analyze(PortendConfig::default());
+                criterion::black_box(result.analyzed.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

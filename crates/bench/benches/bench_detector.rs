@@ -1,0 +1,43 @@
+//! Criterion benchmark: dynamic race detection overhead — the same run
+//! with a null monitor vs the happens-before detector attached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use portend_race::HbDetector;
+use portend_vm::{
+    drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, NullMonitor, Scheduler,
+    VmConfig,
+};
+use std::sync::Arc;
+
+fn bench_detector(c: &mut Criterion) {
+    let w = portend_workloads::by_name("pbzip2").expect("workload exists");
+    let program = Arc::clone(&w.program);
+    let inputs = w.inputs.clone();
+    let boot = |program: &Arc<portend_vm::Program>, inputs: &[i64]| {
+        Machine::new(
+            Arc::clone(program),
+            InputSource::new(InputSpec::concrete(inputs.to_vec()), InputMode::Concrete),
+            VmConfig::default(),
+        )
+    };
+    c.bench_function("pbzip2_plain_interpretation", |b| {
+        b.iter(|| {
+            let mut m = boot(&program, &inputs);
+            let mut s = Scheduler::RoundRobin;
+            let mut mon = NullMonitor;
+            criterion::black_box(drive(&mut m, &mut s, &mut mon, &DriveCfg::default()))
+        })
+    });
+    c.bench_function("pbzip2_with_hb_detector", |b| {
+        b.iter(|| {
+            let mut m = boot(&program, &inputs);
+            let mut s = Scheduler::RoundRobin;
+            let mut det = HbDetector::new();
+            let stop = drive(&mut m, &mut s, &mut det, &DriveCfg::default());
+            criterion::black_box((stop, det.races().len()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark: the bounded-domain constraint solver (the STP
+//! substitute) on the query shapes Portend issues.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use portend_symex::{CmpOp, Expr, Solver, VarTable};
+
+fn bench_solver(c: &mut Criterion) {
+    // Path-condition feasibility: linear constraints (pruning-friendly).
+    c.bench_function("solver_linear_feasibility", |b| {
+        let mut vars = VarTable::new();
+        let x = Expr::var(vars.fresh("x", 0, 1000));
+        let y = Expr::var(vars.fresh("y", 0, 1000));
+        let cs = [
+            x.clone().mul(Expr::konst(3)).add(y.clone()).cmp(CmpOp::Eq, Expr::konst(250)),
+            x.clone().cmp(CmpOp::Gt, Expr::konst(10)),
+            y.clone().cmp(CmpOp::Lt, Expr::konst(100)),
+        ];
+        let solver = Solver::new();
+        b.iter(|| criterion::black_box(solver.check(&cs, &vars)))
+    });
+    // Symbolic output comparison: equality against concrete outputs.
+    c.bench_function("solver_output_match", |b| {
+        let mut vars = VarTable::new();
+        let i = Expr::var(vars.fresh("i", -64, 63));
+        let cs = [
+            i.clone().cmp(CmpOp::Ge, Expr::konst(0)),
+            i.clone().eq(Expr::konst(42)),
+        ];
+        let solver = Solver::new();
+        b.iter(|| criterion::black_box(solver.check(&cs, &vars)))
+    });
+    // Non-linear search (the ocean gauntlet shape).
+    c.bench_function("solver_modular_search", |b| {
+        let mut vars = VarTable::new();
+        let x = Expr::var(vars.fresh("x", 0, 63));
+        let y = Expr::var(vars.fresh("y", 0, 63));
+        let cs = [
+            x.clone().cmp(CmpOp::Ge, Expr::konst(32)),
+            y.clone().cmp(CmpOp::Ge, Expr::konst(16)),
+            Expr::bin(portend_symex::BinOp::Rem, x.clone().add(y.clone()), Expr::konst(7))
+                .eq(Expr::konst(6)),
+        ];
+        let solver = Solver::new();
+        b.iter(|| criterion::black_box(solver.check(&cs, &vars)))
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

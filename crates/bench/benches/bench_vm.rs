@@ -1,0 +1,50 @@
+//! Criterion benchmark: raw interpretation speed of the VM substrate
+//! (the reproduction's "Cloud9 running time" baseline, Table 4 col. 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use portend_vm::{
+    drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, NullMonitor, Operand,
+    ProgramBuilder, Scheduler, VmConfig,
+};
+use std::sync::Arc;
+
+fn workload_program() -> Arc<portend_vm::Program> {
+    let mut pb = ProgramBuilder::new("spin", "spin.c");
+    let g = pb.global("counter", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.for_range(Operand::Imm(200), |f, _| {
+            f.racy_inc(g, Operand::Imm(0));
+            f.yield_();
+        });
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(worker, Operand::Imm(0));
+        let t2 = f.spawn(worker, Operand::Imm(1));
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    Arc::new(pb.build(main).unwrap())
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let program = workload_program();
+    c.bench_function("vm_interpret_2_threads_400_increments", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(
+                Arc::clone(&program),
+                InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+                VmConfig::default(),
+            );
+            let mut s = Scheduler::RoundRobin;
+            let mut mon = NullMonitor;
+            let stop = drive(&mut m, &mut s, &mut mon, &DriveCfg::default());
+            criterion::black_box(stop)
+        })
+    });
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Tests pinning the *shape* of the reproduced experiments: totals,
+//! monotone technique contributions (Fig. 7), and the k-sweep (Fig. 10).
+//! Absolute numbers vary with the host; these relationships must not.
+
+use portend::{AnalysisStages, PortendConfig};
+use portend_bench::{classify_counts, fig7_stages};
+use portend_workloads::{by_name, ClassCounts, ScoreCard};
+
+/// Table 3's bottom line: 93 distinct races with the paper's class mix.
+#[test]
+fn table3_totals_match_paper() {
+    let mut totals = ClassCounts::default();
+    for w in portend_workloads::all() {
+        let c = classify_counts(&w.analyze(PortendConfig::default()));
+        totals.spec_viol += c.spec_viol;
+        totals.out_diff += c.out_diff;
+        totals.kw_same += c.kw_same;
+        totals.kw_differ += c.kw_differ;
+        totals.single_ord += c.single_ord;
+    }
+    assert_eq!(totals.total(), 93);
+    assert_eq!(totals.spec_viol, 5, "basic spec violations (Table 3)");
+    assert_eq!(totals.out_diff, 21);
+    assert_eq!(totals.kw_same, 4);
+    assert_eq!(totals.kw_differ, 6);
+    assert_eq!(totals.single_ord, 57);
+}
+
+/// Fig. 7: each added technique never hurts, and the full pipeline
+/// reaches 100% on the four featured applications.
+#[test]
+fn fig7_accuracy_is_monotone_and_reaches_100() {
+    for name in ["ctrace", "pbzip2", "memcached", "bbuf"] {
+        let w = by_name(name).unwrap();
+        let mut last = -1.0f64;
+        for (label, stages) in fig7_stages() {
+            let cfg = PortendConfig { stages, ..Default::default() };
+            let result = w.analyze(cfg);
+            let acc = ScoreCard::new(&w, &result).accuracy();
+            assert!(
+                acc + 1e-9 >= last,
+                "{name}: accuracy dropped at stage `{label}`: {last} -> {acc}"
+            );
+            last = acc;
+        }
+        assert!(
+            (last - 100.0).abs() < 1e-9,
+            "{name}: full Portend should reach 100% (got {last}%)"
+        );
+    }
+}
+
+/// Fig. 7's first bar: without ad-hoc detection / multi-path /
+/// multi-schedule, accuracy is substantially worse on at least one app
+/// (the whole point of the paper).
+#[test]
+fn single_path_alone_is_much_less_accurate() {
+    let w = by_name("bbuf").unwrap();
+    let cfg = PortendConfig { stages: AnalysisStages::single_path(), ..Default::default() };
+    let result = w.analyze(cfg);
+    let acc = ScoreCard::new(&w, &result).accuracy();
+    assert!(acc < 50.0, "bbuf single-path accuracy should be low, got {acc}%");
+}
+
+/// Fig. 10: k = Mp × Ma; accuracy at the paper's k = 10 beats (or ties)
+/// accuracy at k = 1 and reaches 100% on the featured apps.
+#[test]
+fn fig10_k_sweep_shape() {
+    for name in ["ctrace", "bbuf"] {
+        let w = by_name(name).unwrap();
+        let at = |k: usize| {
+            let result = w.analyze(PortendConfig::with_k(k));
+            ScoreCard::new(&w, &result).accuracy()
+        };
+        let a1 = at(1);
+        let a10 = at(10);
+        assert!(a10 >= a1, "{name}: accuracy(k=10)={a10} < accuracy(k=1)={a1}");
+        assert!((a10 - 100.0).abs() < 1e-9, "{name}: k=10 should reach 100%, got {a10}");
+    }
+}
+
+/// Table 4 prerequisite: classification terminates within the budget for
+/// every race (no timeouts, no errors).
+#[test]
+fn classification_always_terminates_cleanly() {
+    for w in portend_workloads::all() {
+        let result = w.analyze(PortendConfig::default());
+        for a in &result.analyzed {
+            assert!(
+                a.verdict.is_ok(),
+                "{}: classification failed for {}: {:?}",
+                w.name,
+                a.cluster.representative,
+                a.verdict
+            );
+            assert!(
+                a.time.as_secs() < 60,
+                "{}: classification of {} took {:?}",
+                w.name,
+                a.cluster.representative,
+                a.time
+            );
+        }
+    }
+}

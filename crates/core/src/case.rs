@@ -1,0 +1,133 @@
+//! Analysis inputs: the program, the recorded trace, symbolic-input
+//! declarations, and semantic predicates.
+
+use std::fmt;
+use std::sync::Arc;
+
+use portend_replay::ExecutionTrace;
+use portend_vm::{InputSpec, Machine, Program, VmConfig, Watch};
+
+/// A user-supplied semantic property (paper §3.5: "'semantic' properties
+/// … provided to Portend by developers in the form of assert-like
+/// predicates").
+///
+/// The predicate declares which memory cells it depends on; Portend
+/// re-evaluates it right after every write to those cells and at program
+/// exit, so even *transiently* violated properties are caught (the fmm
+/// "timestamps are positive" experiment in §5.1 relies on this: the
+/// negative timestamp is eventually overwritten).
+#[derive(Clone)]
+pub struct Predicate {
+    /// Name shown in reports.
+    pub name: String,
+    /// The cells whose writes trigger re-evaluation.
+    pub watches: Vec<Watch>,
+    check: Arc<dyn Fn(&Machine) -> Option<String> + Send + Sync>,
+}
+
+impl Predicate {
+    /// Creates a predicate. `check` returns `Some(message)` when the
+    /// property is violated in the given state.
+    pub fn new(
+        name: impl Into<String>,
+        watches: Vec<Watch>,
+        check: impl Fn(&Machine) -> Option<String> + Send + Sync + 'static,
+    ) -> Self {
+        Predicate { name: name.into(), watches, check: Arc::new(check) }
+    }
+
+    /// Evaluates the predicate; `Some(message)` means violated.
+    pub fn check(&self, m: &Machine) -> Option<String> {
+        (self.check)(m)
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Predicate")
+            .field("name", &self.name)
+            .field("watches", &self.watches)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything Portend needs to classify the races of one recorded
+/// execution (paper §3.1: the program, the input trace, and optionally
+/// semantic predicates; symbolic-input declarations drive multi-path
+/// analysis).
+#[derive(Debug, Clone)]
+pub struct AnalysisCase {
+    /// The program under analysis.
+    pub program: Arc<Program>,
+    /// The recorded execution trace (schedule + inputs).
+    pub trace: ExecutionTrace,
+    /// Input positions treated as symbolic in multi-path analysis.
+    pub input_spec: InputSpec,
+    /// Semantic predicates to watch.
+    pub predicates: Vec<Predicate>,
+    /// VM configuration (e.g. overflow detection).
+    pub vm: VmConfig,
+}
+
+impl AnalysisCase {
+    /// A case with no symbolic inputs and no predicates.
+    pub fn concrete(program: Arc<Program>, trace: ExecutionTrace) -> Self {
+        let input_spec = InputSpec::concrete(trace.inputs.clone());
+        AnalysisCase {
+            program,
+            trace,
+            input_spec,
+            predicates: Vec::new(),
+            vm: VmConfig::default(),
+        }
+    }
+
+    /// Adds symbolic-input declarations.
+    pub fn with_input_spec(mut self, spec: InputSpec) -> Self {
+        self.input_spec = spec;
+        self
+    }
+
+    /// Adds a semantic predicate.
+    pub fn with_predicate(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Sets the VM configuration.
+    pub fn with_vm(mut self, vm: VmConfig) -> Self {
+        self.vm = vm;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portend_vm::{Operand, ProgramBuilder};
+
+    #[test]
+    fn predicate_check_and_debug() {
+        let p = Predicate::new("nonneg", vec![], |m: &Machine| {
+            let v = m.mem.load(portend_vm::AllocId(0), 0).ok()?;
+            let c = v.as_concrete()?;
+            (c < 0).then(|| format!("negative: {c}"))
+        });
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("g", -3);
+        let main = pb.func("main", |f| {
+            let _ = f.load(g, Operand::Imm(0));
+            f.ret(None);
+        });
+        let prog = Arc::new(pb.build(main).unwrap());
+        let m = Machine::new(
+            prog.clone(),
+            portend_vm::InputSource::new(InputSpec::concrete(vec![]), portend_vm::InputMode::Concrete),
+            VmConfig::default(),
+        );
+        assert_eq!(p.check(&m), Some("negative: -3".into()));
+        assert!(format!("{p:?}").contains("nonneg"));
+        let case = AnalysisCase::concrete(prog, ExecutionTrace::default()).with_predicate(p);
+        assert_eq!(case.predicates.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Portend configuration: the Mp/Ma "dial" and the analysis-stage toggles.
+
+use portend_symex::SolverConfig;
+
+/// Which analysis techniques are enabled — the axes of the paper's Fig. 7
+/// accuracy breakdown. All stages build on single-pre/single-post
+/// analysis (always on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisStages {
+    /// Distinguish ad-hoc synchronization from true hangs when the
+    /// alternate schedule cannot be enforced (paper §3.2). When disabled,
+    /// enforcement failures are conservatively classified "spec violated"
+    /// (the behavior of replay-based classifiers, §5.4).
+    pub adhoc_detection: bool,
+    /// Multi-path analysis with symbolic inputs (Algorithm 2, §3.3).
+    pub multi_path: bool,
+    /// Post-race schedule randomization for alternates (§3.4).
+    pub multi_schedule: bool,
+}
+
+impl AnalysisStages {
+    /// Everything on (Portend's default).
+    pub fn full() -> Self {
+        AnalysisStages { adhoc_detection: true, multi_path: true, multi_schedule: true }
+    }
+
+    /// Single-pre/single-post only (the Fig. 7 baseline bar).
+    pub fn single_path() -> Self {
+        AnalysisStages { adhoc_detection: false, multi_path: false, multi_schedule: false }
+    }
+}
+
+impl Default for AnalysisStages {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Portend's configuration (paper §3.3: "Portend offers two parameters to
+/// control this growth: an upper bound Mp on the number of primary paths
+/// explored, and the number and size of symbolic inputs"; §3.4 adds Ma).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortendConfig {
+    /// Upper bound on primary paths explored (paper's `Mp`; evaluation
+    /// uses 5).
+    pub mp: usize,
+    /// Alternate schedules per primary (paper's `Ma`; evaluation uses 2).
+    pub ma: usize,
+    /// Enabled analysis stages.
+    pub stages: AnalysisStages,
+    /// Instruction budget for replaying to the race and for each
+    /// post-race continuation.
+    pub step_budget: u64,
+    /// Instruction budget for the alternate-ordering enforcement attempt,
+    /// per the paper a multiple of the primary's cost ("5 times what it
+    /// took Portend to replay the primary execution", §4).
+    pub enforce_budget_factor: u64,
+    /// Bound on exploration states queued during multi-path analysis
+    /// (guards against pathological fork explosion).
+    pub max_exploration_states: usize,
+    /// Seed for alternate-schedule randomization.
+    pub schedule_seed: u64,
+    /// Solver configuration.
+    pub solver: SolverConfig,
+}
+
+impl Default for PortendConfig {
+    fn default() -> Self {
+        PortendConfig {
+            mp: 5,
+            ma: 2,
+            stages: AnalysisStages::full(),
+            step_budget: 400_000,
+            enforce_budget_factor: 5,
+            max_exploration_states: 256,
+            schedule_seed: 0x9e3779b9,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+impl PortendConfig {
+    /// The `k` this configuration can certify: `Mp × Ma` (paper §3.4).
+    pub fn k(&self) -> u64 {
+        (self.mp * self.ma.max(1)) as u64
+    }
+
+    /// A configuration targeting a specific `k` by adjusting `Mp` while
+    /// keeping `Ma = 2` where possible (used by the Fig. 10 sweep).
+    pub fn with_k(k: usize) -> Self {
+        let (mp, ma) = if k <= 1 {
+            (1, 1)
+        } else if k % 2 == 0 {
+            (k / 2, 2)
+        } else {
+            (k, 1)
+        };
+        PortendConfig { mp, ma, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_evaluation() {
+        let c = PortendConfig::default();
+        assert_eq!(c.mp, 5);
+        assert_eq!(c.ma, 2);
+        assert_eq!(c.k(), 10);
+        assert!(c.stages.adhoc_detection);
+    }
+
+    #[test]
+    fn with_k_hits_target() {
+        assert_eq!(PortendConfig::with_k(1).k(), 1);
+        assert_eq!(PortendConfig::with_k(6).k(), 6);
+        assert_eq!(PortendConfig::with_k(7).k(), 7);
+        assert_eq!(PortendConfig::with_k(10).k(), 10);
+    }
+
+    #[test]
+    fn stage_presets() {
+        assert!(!AnalysisStages::single_path().multi_path);
+        assert!(AnalysisStages::full().multi_schedule);
+    }
+}

@@ -1,0 +1,272 @@
+//! Algorithm 2: multi-path exploration of primaries (paper §3.3, Fig. 5).
+//!
+//! The program runs with symbolic inputs while following the recorded
+//! schedule trace. States whose schedule diverges before the race are
+//! pruned; branches on symbolic conditions fork (both feasible sides);
+//! after the second racing access the state is released from the trace.
+//! Completed states that experienced the race become *primary paths*: the
+//! solver produces concrete inputs driving the program down each one.
+
+use portend_race::RaceReport;
+use portend_symex::{Model, SatResult, Solver};
+use portend_vm::{Machine, Scheduler, VmError, Watch};
+
+use crate::case::AnalysisCase;
+use crate::config::PortendConfig;
+use crate::locate::Located;
+use crate::supervise::{SupStop, Supervisor};
+use crate::taxonomy::{ReplayEvidence, SpecViolationKind};
+
+/// One explored primary path (paper Fig. 5's leaf states `S1`, `S2`, …).
+#[derive(Debug, Clone)]
+pub(crate) struct PrimaryPath {
+    /// The completed machine (carries symbolic outputs and path
+    /// condition).
+    pub machine: Machine,
+    /// A satisfying assignment for the path condition (kept for report
+    /// generation and debugging).
+    #[allow(dead_code)]
+    pub model: Model,
+    /// Concrete inputs driving this path (solved from the model).
+    pub concrete_inputs: Vec<i64>,
+    /// Occurrence index of the first racing access at the moment the race
+    /// executed in this path (aligns alternates; see `Located`).
+    pub first_occ_at_race: u32,
+}
+
+/// Exploration outcome.
+#[derive(Debug, Clone)]
+pub(crate) enum ExploreResult {
+    /// A specification violation was discovered on some path that
+    /// experienced the race.
+    SpecViol {
+        /// What was violated.
+        kind: SpecViolationKind,
+        /// Replay evidence with the solved inputs.
+        replay: ReplayEvidence,
+    },
+    /// Up to `Mp` primary paths.
+    Primaries(Vec<PrimaryPath>),
+}
+
+/// Work counters from one exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ExploreStats {
+    /// States forked at symbolic branches.
+    pub forks: u64,
+    /// Maximum dependent-branch count along any explored path.
+    pub dependent_branches: u64,
+    /// Instructions executed across all states.
+    pub instructions: u64,
+    /// Preemption points encountered across all states.
+    pub preemptions: u64,
+}
+
+struct ExpState {
+    m: Machine,
+    sched: Scheduler,
+    budget: u64,
+    first_count: u32,
+    past_race: bool,
+    occ_at_race: u32,
+}
+
+/// Explores up to `cfg.mp` primary paths that follow the recorded
+/// schedule through the race.
+pub(crate) fn explore_primaries(
+    case: &AnalysisCase,
+    race: &RaceReport,
+    located: &Located,
+    cfg: &PortendConfig,
+    solver: &Solver,
+) -> (ExploreResult, ExploreStats) {
+    let mut stats = ExploreStats::default();
+    let mut primaries: Vec<PrimaryPath> = Vec::new();
+    let cell = Watch::cell(race.alloc, race.offset as i64);
+
+    let root = ExpState {
+        m: case.trace.machine_symbolic(&case.program, &case.input_spec, case.vm),
+        sched: case.trace.scheduler(),
+        budget: cfg.step_budget,
+        first_count: 0,
+        past_race: false,
+        occ_at_race: 0,
+    };
+    let mut worklist: Vec<ExpState> = vec![root];
+    let mut forked: usize = 0;
+
+    while let Some(mut st) = worklist.pop() {
+        if primaries.len() >= cfg.mp {
+            break;
+        }
+        loop {
+            let mut sup = Supervisor::new(st.budget);
+            if !st.past_race {
+                sup.race_watches.push(cell);
+            }
+            let stop = sup.run(&mut st.m, &mut st.sched, &case.predicates);
+            st.budget = sup.budget;
+            stats.instructions = stats.instructions.max(st.m.steps);
+            stats.preemptions = stats.preemptions.max(st.m.preemptions);
+
+            // Prune states that diverged from the trace before the race
+            // (paper Fig. 5's pruned paths).
+            if !st.past_race && st.sched.diverged() {
+                break;
+            }
+
+            match stop {
+                SupStop::RaceHit(h) => {
+                    if h.tid == race.first.tid && h.pc == race.first.pc {
+                        st.first_count += 1;
+                    }
+                    let is_second = h.tid == race.second.tid
+                        && st.first_count >= located.first_occurrence;
+                    if let Some(stop) = sup.step_over_checked(&mut st.m, &case.predicates) {
+                        if let Some(r) = fault_on_path(&st, stop, case, solver) {
+                            return (r, stats);
+                        }
+                        break;
+                    }
+                    st.budget = sup.budget;
+                    if is_second && !st.past_race {
+                        st.past_race = true;
+                        st.occ_at_race = st.first_count;
+                        stats.dependent_branches =
+                            stats.dependent_branches.max(st.m.sym_branches);
+                    }
+                }
+                SupStop::SymBranch { cond, then_b, else_b } => {
+                    stats.dependent_branches =
+                        stats.dependent_branches.max(st.m.sym_branches + 1);
+                    let mut with_then = st.m.path.clone();
+                    with_then.push(cond.clone().truthy());
+                    let mut with_else = st.m.path.clone();
+                    with_else.push(cond.clone().not());
+                    let then_ok =
+                        solver.check(&with_then, &st.m.vars).decided() != Some(false);
+                    let else_ok =
+                        solver.check(&with_else, &st.m.vars).decided() != Some(false);
+                    match (then_ok, else_ok) {
+                        (true, true) => {
+                            if forked < cfg.max_exploration_states {
+                                forked += 1;
+                                stats.forks += 1;
+                                let mut other = ExpState {
+                                    m: st.m.clone(),
+                                    sched: st.sched.clone(),
+                                    budget: st.budget,
+                                    first_count: st.first_count,
+                                    past_race: st.past_race,
+                                    occ_at_race: st.occ_at_race,
+                                };
+                                other.m.apply_branch(else_b, cond.clone().not());
+                                worklist.push(other);
+                            }
+                            st.m.apply_branch(then_b, cond.truthy());
+                        }
+                        (true, false) => st.m.apply_branch(then_b, cond.truthy()),
+                        (false, true) => st.m.apply_branch(else_b, cond.not()),
+                        (false, false) => break, // infeasible state
+                    }
+                }
+                SupStop::SymAssert { cond, msg } => {
+                    // Explore the failing side only for states that
+                    // experienced the race: the failure is then a
+                    // consequence reachable under this schedule.
+                    if st.past_race {
+                        let mut with_fail = st.m.path.clone();
+                        with_fail.push(cond.clone().not());
+                        if let SatResult::Sat(model) =
+                            solver.check(&with_fail, &st.m.vars)
+                        {
+                            let inputs = st.m.inputs.concretize(&model, &st.m.vars);
+                            let tid = st.m.cur;
+                            let pc = st.m.thread(tid).pc().expect("live");
+                            return (
+                                ExploreResult::SpecViol {
+                                    kind: SpecViolationKind::Crash(VmError::AssertFailed {
+                                        tid,
+                                        pc,
+                                        msg,
+                                    }),
+                                    replay: ReplayEvidence {
+                                        inputs,
+                                        schedule: st.m.sched_log.clone(),
+                                        description:
+                                            "assertion fails on an explored primary path".into(),
+                                    },
+                                },
+                                stats,
+                            );
+                        }
+                    }
+                    // Continue down the passing side if feasible.
+                    let mut with_pass = st.m.path.clone();
+                    with_pass.push(cond.clone().truthy());
+                    if solver.check(&with_pass, &st.m.vars).decided() == Some(false) {
+                        break;
+                    }
+                    let _ = st.m.apply_assert(true, cond, "explored assert");
+                }
+                SupStop::Completed => {
+                    if st.past_race {
+                        match solver.check(&st.m.path, &st.m.vars) {
+                            SatResult::Sat(model) => {
+                                let concrete_inputs =
+                                    st.m.inputs.concretize(&model, &st.m.vars);
+                                primaries.push(PrimaryPath {
+                                    first_occ_at_race: st.occ_at_race,
+                                    machine: st.m,
+                                    model,
+                                    concrete_inputs,
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                    break;
+                }
+                SupStop::Error(_) | SupStop::Semantic(_) => {
+                    if let Some(r) = fault_on_path(&st, stop, case, solver) {
+                        return (r, stats);
+                    }
+                    break;
+                }
+                SupStop::Timeout | SupStop::Stuck => break,
+            }
+        }
+    }
+    (ExploreResult::Primaries(primaries), stats)
+}
+
+/// Turns a fault on an explored path into spec-violation evidence, but
+/// only when the path experienced the race (pre-race faults are unrelated
+/// to the race's ordering and are pruned).
+fn fault_on_path(
+    st: &ExpState,
+    stop: SupStop,
+    _case: &AnalysisCase,
+    solver: &Solver,
+) -> Option<ExploreResult> {
+    if !st.past_race {
+        return None;
+    }
+    let model = match solver.check(&st.m.path, &st.m.vars) {
+        SatResult::Sat(m) => m,
+        _ => Model::new(),
+    };
+    let inputs = st.m.inputs.concretize(&model, &st.m.vars);
+    let replay = ReplayEvidence {
+        inputs,
+        schedule: st.m.sched_log.clone(),
+        description: "violation on an explored primary path".into(),
+    };
+    let kind = match stop {
+        SupStop::Error(e @ VmError::Deadlock(_)) => SpecViolationKind::Deadlock(e),
+        SupStop::Error(e) => SpecViolationKind::Crash(e),
+        SupStop::Semantic(message) => SpecViolationKind::Semantic { message },
+        _ => return None,
+    };
+    Some(ExploreResult::SpecViol { kind, replay })
+}

@@ -1,0 +1,210 @@
+//! Symbolic output comparison (paper §3.3.1).
+//!
+//! The primary's outputs are recorded as symbolic formulae over the
+//! program inputs; an alternate's concrete outputs *match* when the
+//! number of output operations is the same and the conjunction of the
+//! primary's path condition with `sym_i == conc_i` for every position is
+//! satisfiable — i.e. the concrete outputs lie in the set of values the
+//! primary could have produced.
+
+use portend_symex::{Expr, SatResult, Solver};
+use portend_vm::{Machine, OutputLog};
+
+use crate::taxonomy::OutputDiffEvidence;
+
+/// Result of a symbolic output comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum OutputMatch {
+    /// The alternate's outputs satisfy the primary's constraints.
+    Match,
+    /// Proven mismatch, with evidence.
+    Mismatch(OutputDiffEvidence),
+}
+
+/// Compares a primary's (possibly symbolic) outputs against an
+/// alternate's concrete outputs.
+///
+/// A solver `Unknown` is treated as a match: Portend only reports "output
+/// differs" on *proven* differences (paper §3.3.1 accepts potential false
+/// negatives here).
+pub(crate) fn symbolic_match(
+    primary: &Machine,
+    alternate_out: &OutputLog,
+    alternate_inputs: &[i64],
+    solver: &Solver,
+) -> OutputMatch {
+    let p = &primary.output;
+    let n = p.len().min(alternate_out.len());
+
+    // Count mismatch: one log has extra output operations.
+    if p.len() != alternate_out.len() {
+        return OutputMatch::Mismatch(evidence_at(primary, alternate_out, n, alternate_inputs));
+    }
+
+    let mut constraints: Vec<Expr> = primary.path.clone();
+    for (i, (pr, ar)) in p.iter().zip(alternate_out.iter()).enumerate() {
+        if pr.fd != ar.fd {
+            return OutputMatch::Mismatch(evidence_at(primary, alternate_out, i, alternate_inputs));
+        }
+        let conc = match ar.val.as_concrete() {
+            Some(v) => v,
+            // Alternates are concrete by construction; a symbolic value
+            // here would be a harness bug — compare structurally.
+            None => {
+                if pr.val == ar.val {
+                    continue;
+                }
+                return OutputMatch::Mismatch(evidence_at(primary, alternate_out, i, alternate_inputs));
+            }
+        };
+        match pr.val.as_concrete() {
+            Some(v) if v == conc => continue,
+            Some(_) => {
+                return OutputMatch::Mismatch(evidence_at(primary, alternate_out, i, alternate_inputs))
+            }
+            None => constraints.push(pr.val.to_expr().eq(Expr::konst(conc))),
+        }
+    }
+
+    match solver.check(&constraints, &primary.vars) {
+        SatResult::Sat(_) | SatResult::Unknown => OutputMatch::Match,
+        SatResult::Unsat => {
+            // Locate the first position whose equality makes the system
+            // unsatisfiable, for the report.
+            let mut acc: Vec<Expr> = primary.path.clone();
+            for (i, (pr, ar)) in p.iter().zip(alternate_out.iter()).enumerate() {
+                if let (None, Some(conc)) = (pr.val.as_concrete(), ar.val.as_concrete()) {
+                    acc.push(pr.val.to_expr().eq(Expr::konst(conc)));
+                    if solver.check(&acc, &primary.vars) == SatResult::Unsat {
+                        return OutputMatch::Mismatch(evidence_at(
+                            primary,
+                            alternate_out,
+                            i,
+                            alternate_inputs,
+                        ));
+                    }
+                }
+            }
+            OutputMatch::Mismatch(evidence_at(primary, alternate_out, 0, alternate_inputs))
+        }
+    }
+}
+
+fn evidence_at(
+    primary: &Machine,
+    alternate_out: &OutputLog,
+    pos: usize,
+    alternate_inputs: &[i64],
+) -> OutputDiffEvidence {
+    let p = primary.output.recs.get(pos);
+    let a = alternate_out.recs.get(pos);
+    let primary_str = p
+        .map(|r| match r.val.as_concrete() {
+            Some(v) => v.to_string(),
+            None => r.val.to_expr().display_named(&primary.vars),
+        })
+        .unwrap_or_else(|| "<missing>".into());
+    let alternate_str = a
+        .map(|r| r.val.to_string())
+        .unwrap_or_else(|| "<missing>".into());
+    let loc = p
+        .or(a)
+        .map(|r| primary.program.loc(r.pc))
+        .unwrap_or_default();
+    OutputDiffEvidence {
+        position: pos,
+        primary: primary_str,
+        alternate: alternate_str,
+        primary_loc: loc,
+        inputs: alternate_inputs.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portend_vm::{
+        InputMode, InputSource, InputSpec, Machine, Operand, OutputRec, Pc, ProgramBuilder,
+        ThreadId, Val, VmConfig,
+    };
+    use portend_symex::Expr;
+    use std::sync::Arc;
+
+    fn machine_with_sym_output() -> Machine {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let main = pb.func("main", |f| f.ret(None));
+        let prog = Arc::new(pb.build(main).unwrap());
+        let mut m = Machine::new(
+            prog,
+            InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+            VmConfig::default(),
+        );
+        // i ≥ 0 constraint with output = i (the paper's §3.3.1 example).
+        let v = m.vars.fresh("i", -100, 100);
+        m.path.push(Expr::var(v).cmp(portend_symex::CmpOp::Ge, Expr::konst(0)));
+        m.output.push(OutputRec {
+            fd: 1,
+            val: Val::S(Expr::var(v)),
+            tid: ThreadId(0),
+            pc: Pc {
+                func: portend_vm::FuncId(0),
+                block: portend_vm::BlockId(0),
+                idx: 0,
+            },
+        });
+        let _ = Operand::Imm(0);
+        m
+    }
+
+    fn concrete_log(vals: &[i64]) -> OutputLog {
+        let mut l = OutputLog::new();
+        for &v in vals {
+            l.push(OutputRec {
+                fd: 1,
+                val: Val::C(v),
+                tid: ThreadId(0),
+                pc: Pc {
+                    func: portend_vm::FuncId(0),
+                    block: portend_vm::BlockId(0),
+                    idx: 0,
+                },
+            });
+        }
+        l
+    }
+
+    #[test]
+    fn positive_value_satisfies_constraint() {
+        let m = machine_with_sym_output();
+        let solver = Solver::new();
+        assert_eq!(
+            symbolic_match(&m, &concrete_log(&[42]), &[], &solver),
+            OutputMatch::Match
+        );
+    }
+
+    #[test]
+    fn negative_value_is_a_proven_mismatch() {
+        let m = machine_with_sym_output();
+        let solver = Solver::new();
+        match symbolic_match(&m, &concrete_log(&[-3]), &[9], &solver) {
+            OutputMatch::Mismatch(ev) => {
+                assert_eq!(ev.position, 0);
+                assert_eq!(ev.alternate, "-3");
+                assert!(ev.primary.contains('i'));
+                assert_eq!(ev.inputs, vec![9]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let m = machine_with_sym_output();
+        let solver = Solver::new();
+        match symbolic_match(&m, &concrete_log(&[1, 2]), &[], &solver) {
+            OutputMatch::Mismatch(ev) => assert_eq!(ev.position, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

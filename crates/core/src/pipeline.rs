@@ -1,0 +1,108 @@
+//! The end-to-end pipeline: run the program under the race detector,
+//! cluster the reports, classify every cluster (paper Fig. 2).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use portend_race::{DetectorConfig, RaceCluster};
+use portend_replay::{record, RecordConfig, RecordedRun};
+use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
+
+use crate::case::{AnalysisCase, Predicate};
+use crate::classify::{ClassifyError, Portend};
+use crate::config::PortendConfig;
+use crate::taxonomy::Verdict;
+
+/// One classified race: the cluster, the verdict (or failure), and how
+/// long classification took (feeds Table 4 and Fig. 9).
+#[derive(Debug, Clone)]
+pub struct AnalyzedRace {
+    /// The race cluster (representative + instance count).
+    pub cluster: RaceCluster,
+    /// Portend's verdict.
+    pub verdict: Result<Verdict, ClassifyError>,
+    /// Wall-clock classification time for this race.
+    pub time: Duration,
+}
+
+/// The result of one full detect-and-classify pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The recording run (trace, all race instances, output).
+    pub record: RecordedRun,
+    /// One entry per distinct race, in detection order.
+    pub analyzed: Vec<AnalyzedRace>,
+    /// Wall-clock time of the recording phase.
+    pub record_time: Duration,
+    /// The analysis case shared by all classifications (program, trace,
+    /// symbolic inputs, predicates).
+    pub case: AnalysisCase,
+}
+
+/// The full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Recording configuration (scheduler, detector, budgets).
+    pub record: RecordConfig,
+    /// Classification configuration.
+    pub portend: PortendConfig,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline { record: RecordConfig::default(), portend: PortendConfig::default() }
+    }
+}
+
+impl Pipeline {
+    /// Runs detection + classification on a program.
+    ///
+    /// `inputs` is the concrete input log, `input_spec` declares the
+    /// symbolic positions for multi-path analysis, and `predicates` are
+    /// the semantic properties to watch.
+    pub fn run(
+        &self,
+        program: &Arc<Program>,
+        inputs: Vec<i64>,
+        input_spec: InputSpec,
+        predicates: Vec<Predicate>,
+        vm: VmConfig,
+    ) -> PipelineResult {
+        let t0 = Instant::now();
+        let rec_cfg = RecordConfig { vm, ..self.record.clone() };
+        let run = record(program, inputs, rec_cfg);
+        let record_time = t0.elapsed();
+
+        let case = AnalysisCase {
+            program: Arc::clone(program),
+            trace: run.trace.clone(),
+            input_spec,
+            predicates,
+            vm,
+        };
+        let portend = Portend::new(self.portend.clone());
+        let mut analyzed = Vec::with_capacity(run.clusters.len());
+        for cluster in &run.clusters {
+            let t = Instant::now();
+            let verdict = portend.classify(&case, &cluster.representative);
+            analyzed.push(AnalyzedRace {
+                cluster: cluster.clone(),
+                verdict,
+                time: t.elapsed(),
+            });
+        }
+        PipelineResult { record: run, analyzed, record_time, case }
+    }
+
+    /// Convenience: run with a specific recording scheduler.
+    pub fn with_record_scheduler(mut self, sched: Scheduler) -> Self {
+        self.record.scheduler = sched;
+        self
+    }
+
+    /// Convenience: run with a specific detector configuration.
+    pub fn with_detector(mut self, det: DetectorConfig) -> Self {
+        self.record.detector = det;
+        self
+    }
+}

@@ -1,0 +1,123 @@
+//! The debugging-aid report (paper §3.6, Fig. 6).
+
+use portend_race::RaceReport;
+
+use crate::case::AnalysisCase;
+use crate::taxonomy::{Verdict, VerdictDetail};
+
+/// Renders a human-readable report for a classified race, in the style of
+/// the paper's Fig. 6 plus the classification evidence of §3.6.
+pub fn render_report(case: &AnalysisCase, race: &RaceReport, verdict: &Verdict) -> String {
+    let mut out = String::new();
+    let p = &case.program;
+    out.push_str(&format!(
+        "Data Race during access to: {}[{}]\n",
+        race.alloc_name, race.offset
+    ));
+    out.push_str(&format!(
+        "current thread id: {}: {}\n",
+        race.second.tid.0,
+        rw(race.second.is_write)
+    ));
+    out.push_str(&format!(
+        "racing thread id: {}: {}\n",
+        race.first.tid.0,
+        rw(race.first.is_write)
+    ));
+    out.push_str(&format!("Current thread at:\n  {}\n", p.loc(race.second.pc)));
+    out.push_str(&format!("Previous at:\n  {}\n", p.loc(race.first.pc)));
+    out.push_str("size of the accessed field: 8 offset: ");
+    out.push_str(&format!("{}\n", race.offset * 8));
+    out.push_str(&format!("\nClassification: {}\n", verdict.class));
+    match &verdict.detail {
+        VerdictDetail::SpecViolation { kind, replay } => {
+            out.push_str(&format!("Violation: {kind}\n"));
+            out.push_str(&format!("Where: {}\n", replay.description));
+            out.push_str(&format!("Reproducing inputs: {:?}\n", replay.inputs));
+            out.push_str(&format!(
+                "Reproducing schedule: {} decisions (replayable)\n",
+                replay.schedule.len()
+            ));
+        }
+        VerdictDetail::OutputDiff(d) => {
+            out.push_str(&format!(
+                "Output differs at position {}:\n  primary:   {}\n  alternate: {}\n",
+                d.position, d.primary, d.alternate
+            ));
+            out.push_str(&format!("Output produced at: {}\n", d.primary_loc));
+            out.push_str(&format!("Inputs exposing the difference: {:?}\n", d.inputs));
+        }
+        VerdictDetail::KWitness => {
+            out.push_str(&format!(
+                "Harmless for k = {} path x schedule combinations",
+                verdict.k
+            ));
+            if let Some(sd) = verdict.states_differ {
+                out.push_str(&format!(
+                    " (post-race concrete states {})",
+                    if sd { "differ" } else { "same" }
+                ));
+            }
+            out.push('\n');
+        }
+        VerdictDetail::AdHocSync => {
+            out.push_str(
+                "Only one ordering of the accesses is possible \
+                 (ad-hoc synchronization).\n",
+            );
+        }
+    }
+    out
+}
+
+fn rw(is_write: bool) -> &'static str {
+    if is_write {
+        "WRITE"
+    } else {
+        "READ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::RaceClass;
+    use portend_race::RaceAccess;
+    use portend_replay::ExecutionTrace;
+    use portend_vm::{AllocId, BlockId, FuncId, Pc, ProgramBuilder, ThreadId};
+    use std::sync::Arc;
+
+    #[test]
+    fn report_contains_fig6_fields() {
+        let mut pb = ProgramBuilder::new("pbzip2", "pbzip2.cpp");
+        let g = pb.global("OutputBuffer", 0);
+        let main = pb.func("main", |f| {
+            f.line(702);
+            let _ = f.load(g, portend_vm::Operand::Imm(0));
+            f.ret(None);
+        });
+        let program = Arc::new(pb.build(main).unwrap());
+        let case = AnalysisCase::concrete(program, ExecutionTrace::default());
+        let pc = Pc { func: FuncId(0), block: BlockId(0), idx: 0 };
+        let race = RaceReport {
+            alloc: AllocId(0),
+            alloc_name: "OutputBuffer".into(),
+            offset: 0,
+            first: RaceAccess { tid: ThreadId(0), pc, line: 389, is_write: true, step: 1 },
+            second: RaceAccess { tid: ThreadId(3), pc, line: 702, is_write: false, step: 2 },
+        };
+        let verdict = Verdict {
+            class: RaceClass::KWitnessHarmless,
+            detail: VerdictDetail::KWitness,
+            k: 10,
+            states_differ: Some(false),
+            stats: Default::default(),
+        };
+        let rep = render_report(&case, &race, &verdict);
+        assert!(rep.contains("OutputBuffer"));
+        assert!(rep.contains("current thread id: 3: READ"));
+        assert!(rep.contains("racing thread id: 0: WRITE"));
+        assert!(rep.contains("pbzip2.cpp:702"));
+        assert!(rep.contains("k = 10"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The four-category race taxonomy (paper §2.3, Fig. 1) and verdicts.
+
+use std::fmt;
+
+use portend_vm::{ThreadId, VmError};
+
+/// Portend's four race categories.
+///
+/// The paper's Fig. 1 taxonomy: true races split into harmful
+/// ("spec violated") and three progressively-weaker harmless-or-unknown
+/// classes ("output differs", "k-witness harmless", "single ordering").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RaceClass {
+    /// At least one ordering of the racing accesses violates the program's
+    /// specification (crash, deadlock, infinite loop, memory error, or a
+    /// user-supplied semantic predicate). Definitely harmful.
+    SpecViolated,
+    /// The two orderings can produce different program output; whether
+    /// that matters is the developer's call, so Portend attaches evidence.
+    OutputDiffers,
+    /// Harmless in at least `k` explored path × schedule combinations.
+    KWitnessHarmless,
+    /// Only one ordering of the accesses is possible (typically ad-hoc
+    /// synchronization); harmless.
+    SingleOrdering,
+}
+
+impl RaceClass {
+    /// The paper's short label for the category.
+    pub fn label(self) -> &'static str {
+        match self {
+            RaceClass::SpecViolated => "specViol",
+            RaceClass::OutputDiffers => "outDiff",
+            RaceClass::KWitnessHarmless => "k-witness",
+            RaceClass::SingleOrdering => "singleOrd",
+        }
+    }
+
+    /// Whether the category is definitely harmful.
+    pub fn is_harmful(self) -> bool {
+        matches!(self, RaceClass::SpecViolated)
+    }
+}
+
+impl fmt::Display for RaceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The kind of specification violation behind a `specViol` verdict
+/// (Table 2 splits these into deadlock / crash / semantic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecViolationKind {
+    /// A crash: memory error, division by zero, overflow, failed assert.
+    Crash(VmError),
+    /// A deadlock.
+    Deadlock(VmError),
+    /// An infinite loop (a loop whose exit condition can no longer
+    /// change).
+    InfiniteLoop {
+        /// The thread diagnosed as spinning forever.
+        spinning: ThreadId,
+    },
+    /// A user-supplied semantic predicate was violated.
+    Semantic {
+        /// The predicate's violation message.
+        message: String,
+    },
+}
+
+impl SpecViolationKind {
+    /// Table 2 column for this violation.
+    pub fn table2_column(&self) -> &'static str {
+        match self {
+            SpecViolationKind::Crash(_) => "crash",
+            SpecViolationKind::Deadlock(_) => "deadlock",
+            SpecViolationKind::InfiniteLoop { .. } => "hang",
+            SpecViolationKind::Semantic { .. } => "semantic",
+        }
+    }
+}
+
+impl fmt::Display for SpecViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolationKind::Crash(e) => write!(f, "crash: {e}"),
+            SpecViolationKind::Deadlock(e) => write!(f, "{e}"),
+            SpecViolationKind::InfiniteLoop { spinning } => {
+                write!(f, "infinite loop in {spinning}")
+            }
+            SpecViolationKind::Semantic { message } => write!(f, "semantic violation: {message}"),
+        }
+    }
+}
+
+/// Replayable evidence of a harmful consequence: the concrete inputs and
+/// the thread schedule that reproduce it deterministically (paper §3:
+/// "it provides the corresponding evidence in the form of program inputs
+/// … and thread schedule").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayEvidence {
+    /// Concrete program inputs.
+    pub inputs: Vec<i64>,
+    /// Scheduler decisions reproducing the consequence.
+    pub schedule: Vec<ThreadId>,
+    /// Human-readable description of what happens on replay.
+    pub description: String,
+}
+
+/// Evidence for an "output differs" verdict.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutputDiffEvidence {
+    /// First differing output position.
+    pub position: usize,
+    /// The primary's output at that position (symbolic constraint or
+    /// concrete value, printed).
+    pub primary: String,
+    /// The alternate's output at that position (or `<missing>`).
+    pub alternate: String,
+    /// Location (`file:line (function)`) where the primary emitted it.
+    pub primary_loc: String,
+    /// The inputs under which the difference manifests.
+    pub inputs: Vec<i64>,
+}
+
+/// Detailed findings attached to a verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerdictDetail {
+    /// A specification violation, with replay evidence.
+    SpecViolation {
+        /// What was violated.
+        kind: SpecViolationKind,
+        /// How to reproduce it.
+        replay: ReplayEvidence,
+    },
+    /// An output difference, with the differing positions.
+    OutputDiff(OutputDiffEvidence),
+    /// Harmless for all explored combinations.
+    KWitness,
+    /// Alternate ordering impossible; ad-hoc synchronization suspected.
+    AdHocSync,
+}
+
+/// Work counters for one classification (feeds Table 4 and Fig. 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifyStats {
+    /// Primary paths explored (≤ Mp).
+    pub primaries: u64,
+    /// Alternate executions run.
+    pub alternates: u64,
+    /// Preemption points encountered across all explored executions.
+    pub preemptions: u64,
+    /// Branches that depended on symbolic input (Fig. 9's x-axis).
+    pub dependent_branches: u64,
+    /// Total VM instructions executed during classification.
+    pub instructions: u64,
+}
+
+/// The result of classifying one race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The assigned category.
+    pub class: RaceClass,
+    /// Detailed evidence.
+    pub detail: VerdictDetail,
+    /// For `KWitnessHarmless`: the number of witnessing path × schedule
+    /// combinations (`k = Mp × Ma`, paper §3.4).
+    pub k: u64,
+    /// Whether the post-race concrete states of primary and alternate
+    /// differed (Table 3's "states same / differ" columns, computed the
+    /// way the Record/Replay-Analyzer baseline would).
+    pub states_differ: Option<bool>,
+    /// Work counters.
+    pub stats: ClassifyStats,
+}
+
+impl Verdict {
+    /// Shorthand constructor for a spec-violation verdict.
+    pub fn spec_violation(kind: SpecViolationKind, replay: ReplayEvidence) -> Self {
+        Verdict {
+            class: RaceClass::SpecViolated,
+            detail: VerdictDetail::SpecViolation { kind, replay },
+            k: 0,
+            states_differ: None,
+            stats: ClassifyStats::default(),
+        }
+    }
+
+    /// Shorthand constructor for a single-ordering verdict.
+    pub fn single_ordering() -> Self {
+        Verdict {
+            class: RaceClass::SingleOrdering,
+            detail: VerdictDetail::AdHocSync,
+            k: 0,
+            states_differ: None,
+            stats: ClassifyStats::default(),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.detail {
+            VerdictDetail::SpecViolation { kind, .. } => {
+                write!(f, "{} ({kind})", self.class)
+            }
+            VerdictDetail::OutputDiff(d) => {
+                write!(f, "{} (position {}: {} vs {})", self.class, d.position, d.primary, d.alternate)
+            }
+            VerdictDetail::KWitness => write!(f, "{} (k = {})", self.class, self.k),
+            VerdictDetail::AdHocSync => write!(f, "{}", self.class),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(RaceClass::SpecViolated.label(), "specViol");
+        assert_eq!(RaceClass::OutputDiffers.label(), "outDiff");
+        assert_eq!(RaceClass::KWitnessHarmless.label(), "k-witness");
+        assert_eq!(RaceClass::SingleOrdering.label(), "singleOrd");
+        assert!(RaceClass::SpecViolated.is_harmful());
+        assert!(!RaceClass::SingleOrdering.is_harmful());
+    }
+
+    #[test]
+    fn table2_columns() {
+        let il = SpecViolationKind::InfiniteLoop { spinning: ThreadId(1) };
+        assert_eq!(il.table2_column(), "hang");
+        assert_eq!(
+            SpecViolationKind::Semantic { message: "x".into() }.table2_column(),
+            "semantic"
+        );
+    }
+
+    #[test]
+    fn verdict_display() {
+        let v = Verdict::single_ordering();
+        assert_eq!(v.to_string(), "singleOrd");
+        let v = Verdict::spec_violation(
+            SpecViolationKind::Semantic { message: "ts < 0".into() },
+            ReplayEvidence::default(),
+        );
+        assert!(v.to_string().contains("specViol"));
+        assert!(v.to_string().contains("ts < 0"));
+    }
+}

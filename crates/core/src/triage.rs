@@ -1,0 +1,172 @@
+//! Triage of third-party race reports (paper §5.1: "If one wanted to
+//! eliminate all harmful races from their code, they could use a static
+//! race detector — one that is complete, and, by necessity, prone to
+//! false positives — and then use Portend to classify these reports",
+//! and §6: reports from static detectors can be confirmed and classified).
+//!
+//! [`triage_reports`] accepts race reports from *any* detector — the
+//! Eraser-style [`portend_race::LocksetDetector`], a static tool, a
+//! ThreadSanitizer-style plugin (§3.1) — locates each report in a
+//! recorded execution, and classifies it. Reports that cannot be located
+//! (purported races whose accesses never conflict in the recorded run)
+//! are flagged [`TriageOutcome::NotLocated`] rather than misclassified.
+
+use portend_race::RaceReport;
+
+use crate::case::AnalysisCase;
+use crate::classify::Portend;
+use crate::taxonomy::Verdict;
+
+/// Outcome of triaging one third-party race report.
+#[derive(Debug, Clone)]
+pub enum TriageOutcome {
+    /// The report was located in the trace and classified.
+    Classified(Verdict),
+    /// The report could not be re-located in a deterministic replay of
+    /// the recorded trace — e.g. a static detector's false positive whose
+    /// accesses never actually executed, or a report against another
+    /// build of the program.
+    NotLocated {
+        /// Why locating failed.
+        reason: String,
+    },
+}
+
+impl TriageOutcome {
+    /// The verdict, when the report was classifiable.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        match self {
+            TriageOutcome::Classified(v) => Some(v),
+            TriageOutcome::NotLocated { .. } => None,
+        }
+    }
+
+    /// Whether the report is actionable for a developer (a located,
+    /// definitely-harmful race).
+    pub fn is_harmful(&self) -> bool {
+        self.verdict().map(|v| v.class.is_harmful()).unwrap_or(false)
+    }
+}
+
+/// Triages a batch of third-party race reports against a recorded case.
+///
+/// Reports are processed in the given order; the result vector is
+/// parallel to the input.
+pub fn triage_reports(
+    portend: &Portend,
+    case: &AnalysisCase,
+    reports: &[RaceReport],
+) -> Vec<TriageOutcome> {
+    reports
+        .iter()
+        .map(|r| match portend.classify(case, r) {
+            Ok(v) => TriageOutcome::Classified(v),
+            Err(e) => TriageOutcome::NotLocated { reason: e.0 },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PortendConfig;
+    use portend_race::{cluster_races, LocksetDetector};
+    use portend_replay::{record, RecordConfig};
+    use portend_vm::{
+        drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, Operand, ProgramBuilder,
+        Scheduler, VmConfig,
+    };
+    use std::sync::Arc;
+
+    /// A program with one real race and one lockset false positive
+    /// (fork/join discipline).
+    fn program() -> Arc<portend_vm::Program> {
+        let mut pb = ProgramBuilder::new("triage", "triage.c");
+        let real = pb.global("really_racy", 0);
+        let fj = pb.global("fork_join_safe", 0);
+        let worker = pb.func("worker", |f| {
+            let _ = f.param();
+            f.store(real, Operand::Imm(0), Operand::Imm(1)); // races with main's read
+            f.store(fj, Operand::Imm(0), Operand::Imm(7)); // HB-safe via join
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let t = f.spawn(worker, Operand::Imm(0));
+            let v = f.load(real, Operand::Imm(0)); // racy read, printed
+            f.output(1, v);
+            f.join(t);
+            f.store(fj, Operand::Imm(0), Operand::Imm(9)); // ordered by the join
+            f.ret(None);
+        });
+        Arc::new(pb.build(main).unwrap())
+    }
+
+    #[test]
+    fn lockset_reports_triage_to_ground_truth() {
+        let program = program();
+        // Record the trace (with the sound detector, for the schedule).
+        let run = record(
+            &program,
+            vec![],
+            RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+        );
+        // Collect lockset reports from an identical run.
+        let mut m = run.trace.machine(&program, VmConfig::default());
+        let mut det = LocksetDetector::new();
+        det.set_alloc_names(program.allocs.iter().map(|a| a.name.clone()));
+        let mut sched = run.trace.scheduler();
+        let _ = drive(&mut m, &mut sched, &mut det, &DriveCfg::default());
+        let reports: Vec<_> = cluster_races(det.reports())
+            .into_iter()
+            .map(|c| c.representative)
+            .collect();
+        // The lockset detector reports both cells (one is a false
+        // positive).
+        assert_eq!(reports.len(), 2, "{reports:?}");
+
+        let case = AnalysisCase::concrete(Arc::clone(&program), run.trace.clone());
+        let portend = Portend::new(PortendConfig::default());
+        let outcomes = triage_reports(&portend, &case, &reports);
+        for (r, o) in reports.iter().zip(&outcomes) {
+            let v = o.verdict().unwrap_or_else(|| panic!("{r}: {o:?}"));
+            match r.alloc_name.as_str() {
+                // The real race is output-visible.
+                "really_racy" => {
+                    assert_eq!(v.class, crate::taxonomy::RaceClass::OutputDiffers)
+                }
+                // The fork/join false positive is harmless (only one
+                // ordering is observable).
+                "fork_join_safe" => assert!(!v.class.is_harmful(), "{v}"),
+                other => panic!("unexpected report on {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fabricated_report_is_not_located() {
+        let program = program();
+        let run = record(
+            &program,
+            vec![],
+            RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+        );
+        let case = AnalysisCase::concrete(Arc::clone(&program), run.trace.clone());
+        // A report whose accesses never happen (wrong steps/pcs).
+        let mut fake = run.clusters[0].representative.clone();
+        fake.first.step = 999_999;
+        fake.second.step = 999_999;
+        let portend = Portend::new(PortendConfig::default());
+        let outcomes = triage_reports(&portend, &case, &[fake]);
+        assert!(matches!(&outcomes[0], TriageOutcome::NotLocated { .. }));
+        assert!(!outcomes[0].is_harmful());
+        // Quiet the unused-machine warning path.
+        let mut m = Machine::new(
+            program,
+            InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+            VmConfig::default(),
+        );
+        let mut sched = Scheduler::Cooperative;
+        let mut mon = portend_vm::NullMonitor;
+        let _ = drive(&mut m, &mut sched, &mut mon, &DriveCfg::with_budget(10));
+    }
+}

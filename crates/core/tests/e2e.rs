@@ -1,0 +1,431 @@
+//! End-to-end classification tests on canonical race scenarios: one per
+//! taxonomy category, plus multi-path- and multi-schedule-dependent cases.
+
+use std::sync::Arc;
+
+use portend::{AnalysisStages, Pipeline, Portend, PortendConfig, RaceClass, VerdictDetail};
+use portend_replay::RecordConfig;
+use portend_symex::CmpOp;
+use portend_vm::{
+    InputSpec, Operand, Program, ProgramBuilder, Scheduler, SymDomain, VmConfig,
+};
+
+fn pipeline_with(sched: Scheduler) -> Pipeline {
+    Pipeline {
+        record: RecordConfig { scheduler: sched, ..Default::default() },
+        portend: PortendConfig::default(),
+    }
+}
+
+fn classify_single(
+    program: Program,
+    inputs: Vec<i64>,
+    spec: InputSpec,
+    sched: Scheduler,
+) -> (RaceClass, portend::Verdict) {
+    let program = Arc::new(program);
+    let result = pipeline_with(sched).run(&program, inputs, spec, vec![], VmConfig::default());
+    assert_eq!(
+        result.analyzed.len(),
+        1,
+        "expected exactly one distinct race, got {:?}",
+        result.analyzed.iter().map(|a| a.cluster.representative.to_string()).collect::<Vec<_>>()
+    );
+    let v = result.analyzed[0].verdict.clone().expect("classifiable");
+    (v.class, v)
+}
+
+/// Redundant writes: both threads store the same constant; harmless.
+#[test]
+fn redundant_write_is_k_witness_harmless() {
+    let mut pb = ProgramBuilder::new("rw", "rw.c");
+    let g = pb.global("flag", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.store(g, Operand::Imm(0), Operand::Imm(1));
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.store(g, Operand::Imm(0), Operand::Imm(1));
+        f.join(t);
+        let v = f.load(g, Operand::Imm(0));
+        f.output(1, v);
+        f.ret(None);
+    });
+    let (class, v) = classify_single(
+        pb.build(main).unwrap(),
+        vec![],
+        InputSpec::concrete(vec![]),
+        Scheduler::RoundRobin,
+    );
+    assert_eq!(class, RaceClass::KWitnessHarmless);
+    assert_eq!(v.states_differ, Some(false));
+    assert!(v.k >= 1);
+}
+
+/// The classic lost-update counter: the final count is printed, so the
+/// ordering is visible in the output.
+#[test]
+fn lost_update_with_printed_counter_is_output_differs() {
+    let mut pb = ProgramBuilder::new("counter", "counter.c");
+    let g = pb.global("counter", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        // load; yield (lets the other increment interleave); store+1.
+        let v = f.load(g, Operand::Imm(0));
+        f.yield_();
+        let v1 = f.add(v, Operand::Imm(1));
+        f.store(g, Operand::Imm(0), v1);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        let v = f.load(g, Operand::Imm(0));
+        let v1 = f.add(v, Operand::Imm(1));
+        f.store(g, Operand::Imm(0), v1);
+        f.join(t);
+        let r = f.load(g, Operand::Imm(0));
+        f.output(1, r);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let result = pipeline_with(Scheduler::RoundRobin).run(
+        &program,
+        vec![],
+        InputSpec::concrete(vec![]),
+        vec![],
+        VmConfig::default(),
+    );
+    // At least one of the distinct races on `counter` must be flagged
+    // "output differs" (the lost update changes the printed total).
+    let classes: Vec<RaceClass> = result
+        .analyzed
+        .iter()
+        .map(|a| a.verdict.as_ref().expect("classifiable").class)
+        .collect();
+    assert!(
+        classes.contains(&RaceClass::OutputDiffers),
+        "classes: {classes:?}"
+    );
+}
+
+/// Ad-hoc synchronization: a consumer spins on a flag that gates its read
+/// of the data cell; races on both the flag and the data are single
+/// ordering.
+#[test]
+fn spin_flag_protected_data_is_single_ordering() {
+    let mut pb = ProgramBuilder::new("adhoc", "adhoc.c");
+    let data = pb.global("data", 0);
+    let flag = pb.global("done", 0);
+    let consumer = pb.func("consumer", |f| {
+        let _ = f.param();
+        f.spin_while_eq(flag, Operand::Imm(0), 0);
+        let v = f.load(data, Operand::Imm(0));
+        f.output(1, v);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(consumer, Operand::Imm(0));
+        f.store(data, Operand::Imm(0), Operand::Imm(42));
+        f.store(flag, Operand::Imm(0), Operand::Imm(1));
+        f.join(t);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let result = pipeline_with(Scheduler::RoundRobin).run(
+        &program,
+        vec![],
+        InputSpec::concrete(vec![]),
+        vec![],
+        VmConfig::default(),
+    );
+    assert!(!result.analyzed.is_empty());
+    for a in &result.analyzed {
+        let v = a.verdict.as_ref().expect("classifiable");
+        assert_eq!(
+            v.class,
+            RaceClass::SingleOrdering,
+            "race {} classified {}",
+            a.cluster.representative,
+            v.class
+        );
+    }
+}
+
+/// Without ad-hoc-synchronization detection (Fig. 7's single-path bar)
+/// the same races are conservatively called harmful.
+#[test]
+fn adhoc_detection_off_misclassifies_spin_races() {
+    let mut pb = ProgramBuilder::new("adhoc", "adhoc.c");
+    let data = pb.global("data", 0);
+    let flag = pb.global("done", 0);
+    let consumer = pb.func("consumer", |f| {
+        let _ = f.param();
+        f.spin_while_eq(flag, Operand::Imm(0), 0);
+        let v = f.load(data, Operand::Imm(0));
+        f.output(1, v);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(consumer, Operand::Imm(0));
+        f.store(data, Operand::Imm(0), Operand::Imm(42));
+        f.store(flag, Operand::Imm(0), Operand::Imm(1));
+        f.join(t);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let mut pipeline = pipeline_with(Scheduler::RoundRobin);
+    pipeline.portend.stages = AnalysisStages {
+        adhoc_detection: false,
+        multi_path: false,
+        multi_schedule: false,
+    };
+    let result = pipeline.run(
+        &program,
+        vec![],
+        InputSpec::concrete(vec![]),
+        vec![],
+        VmConfig::default(),
+    );
+    let data_race = result
+        .analyzed
+        .iter()
+        .find(|a| a.cluster.representative.alloc_name == "data")
+        .expect("data race reported");
+    assert_eq!(
+        data_race.verdict.as_ref().unwrap().class,
+        RaceClass::SpecViolated,
+        "conservative replay-style classification expected"
+    );
+}
+
+/// A crash (out-of-bounds) that only occurs in the alternate ordering.
+#[test]
+fn out_of_bounds_in_alternate_is_spec_violated() {
+    let mut pb = ProgramBuilder::new("oob", "oob.c");
+    let idx = pb.global("idx", 0);
+    let arr = pb.array("arr", 4);
+    // Worker bumps idx to 4 (an out-of-range index).
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.store(idx, Operand::Imm(0), Operand::Imm(4));
+        f.ret(None);
+    });
+    // Main reads idx then stores through it; safe only if the read
+    // happens before the worker's bump.
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        let v = f.load(idx, Operand::Imm(0));
+        f.store(arr, v, Operand::Imm(1));
+        f.join(t);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    // Cooperative recording: main reads idx=0 first (safe), worker bumps
+    // later. The alternate ordering makes main read 4 and crash.
+    let result = pipeline_with(Scheduler::Cooperative).run(
+        &program,
+        vec![],
+        InputSpec::concrete(vec![]),
+        vec![],
+        VmConfig::default(),
+    );
+    let race = result
+        .analyzed
+        .iter()
+        .find(|a| a.cluster.representative.alloc_name == "idx")
+        .expect("idx race reported");
+    let v = race.verdict.as_ref().expect("classifiable");
+    assert_eq!(v.class, RaceClass::SpecViolated);
+    match &v.detail {
+        VerdictDetail::SpecViolation { kind, replay } => {
+            assert!(kind.to_string().contains("out-of-bounds"), "{kind}");
+            assert!(!replay.schedule.is_empty());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Deadlock that only materializes in the alternate ordering (the SQLite
+/// scenario of Table 2).
+#[test]
+fn deadlock_in_alternate_is_spec_violated() {
+    let mut pb = ProgramBuilder::new("dl", "dl.c");
+    let initialized = pb.global("initialized", 0);
+    let a = pb.mutex("A");
+    let b = pb.mutex("B");
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        let v = f.load(initialized, Operand::Imm(0)); // racy read
+        let not_init = f_not(f, v);
+        f.if_then(not_init, |f| {
+            f.lock(b);
+            f.yield_();
+            f.lock(a);
+            f.unlock(a);
+            f.unlock(b);
+        });
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.lock(a);
+        f.store(initialized, Operand::Imm(0), Operand::Imm(1)); // racy write
+        f.lock(b);
+        f.unlock(b);
+        f.unlock(a);
+        f.join(t);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let result = pipeline_with(Scheduler::Cooperative).run(
+        &program,
+        vec![],
+        InputSpec::concrete(vec![]),
+        vec![],
+        VmConfig::default(),
+    );
+    assert_eq!(result.analyzed.len(), 1);
+    let v = result.analyzed[0].verdict.as_ref().expect("classifiable");
+    assert_eq!(v.class, RaceClass::SpecViolated);
+    match &v.detail {
+        VerdictDetail::SpecViolation { kind, .. } => {
+            assert_eq!(kind.table2_column(), "deadlock", "{kind}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+fn f_not(f: &mut portend_vm::FuncBuilder, v: Operand) -> Operand {
+    f.cmp(CmpOp::Eq, v, Operand::Imm(0))
+}
+
+/// An output difference that manifests only for *other* inputs than the
+/// recorded one: requires multi-path analysis (paper Fig. 4's pattern).
+#[test]
+fn input_dependent_output_difference_needs_multi_path() {
+    let build = || {
+        let mut pb = ProgramBuilder::new("mp", "mp.c");
+        let g = pb.global("g", 0);
+        let worker = pb.func("worker", |f| {
+            let _ = f.param();
+            f.store(g, Operand::Imm(0), Operand::Imm(1)); // racy write
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let opt = f.input();
+            let t = f.spawn(worker, Operand::Imm(0));
+            let v = f.load(g, Operand::Imm(0)); // racy read
+            f.join(t);
+            // With opt == 0 (the recorded input) the output hides the racy
+            // value; with opt == 1 it exposes it.
+            f.if_else(
+                opt,
+                |f| f.output(1, v),
+                |f| f.output(1, Operand::Imm(99)),
+            );
+            f.ret(None);
+        });
+        Arc::new(pb.build(main).unwrap())
+    };
+
+    // Recorded input: opt = 0 → output is always 99; single-path analysis
+    // sees equal outputs.
+    let mut single_only = pipeline_with(Scheduler::Cooperative);
+    single_only.portend.stages.multi_path = false;
+    single_only.portend.stages.multi_schedule = false;
+    let res = single_only.run(
+        &build(),
+        vec![0],
+        InputSpec::concrete(vec![0]),
+        vec![],
+        VmConfig::default(),
+    );
+    assert_eq!(res.analyzed.len(), 1);
+    assert_eq!(
+        res.analyzed[0].verdict.as_ref().unwrap().class,
+        RaceClass::KWitnessHarmless,
+        "single-path analysis cannot see the difference"
+    );
+
+    // Full Portend with the input symbolic finds the opt == 1 path where
+    // the racy value reaches the output.
+    let full = pipeline_with(Scheduler::Cooperative);
+    let res = full.run(
+        &build(),
+        vec![0],
+        InputSpec::concrete(vec![0]).with_symbolic(SymDomain::new("opt", 0, 1)),
+        vec![],
+        VmConfig::default(),
+    );
+    assert_eq!(res.analyzed.len(), 1);
+    let v = res.analyzed[0].verdict.as_ref().unwrap();
+    assert_eq!(v.class, RaceClass::OutputDiffers, "multi-path exposes the difference");
+}
+
+/// k grows with Mp × Ma and the verdict stays harmless for a genuinely
+/// harmless race (Fig. 10's flat-at-100% behavior).
+#[test]
+fn k_witness_counts_explored_combinations() {
+    let mut pb = ProgramBuilder::new("kw", "kw.c");
+    let g = pb.global("scratch", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.store(g, Operand::Imm(0), Operand::Imm(5));
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let opt = f.input();
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.store(g, Operand::Imm(0), Operand::Imm(5));
+        f.join(t);
+        // Output depends on the input but not on the race.
+        f.output(1, opt);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let pipeline = pipeline_with(Scheduler::RoundRobin);
+    let res = pipeline.run(
+        &program,
+        vec![3],
+        InputSpec::concrete(vec![3]).with_symbolic(SymDomain::new("opt", 0, 7)),
+        vec![],
+        VmConfig::default(),
+    );
+    assert_eq!(res.analyzed.len(), 1);
+    let v = res.analyzed[0].verdict.as_ref().unwrap();
+    assert_eq!(v.class, RaceClass::KWitnessHarmless);
+    assert!(v.k >= 2, "k = {} should count multiple witnesses", v.k);
+}
+
+/// The Portend struct classifies directly from a case + race, too.
+#[test]
+fn direct_classify_matches_pipeline() {
+    let mut pb = ProgramBuilder::new("rw2", "rw2.c");
+    let g = pb.global("flag", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.store(g, Operand::Imm(0), Operand::Imm(1));
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.store(g, Operand::Imm(0), Operand::Imm(1));
+        f.join(t);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let run = portend_replay::record(
+        &program,
+        vec![],
+        RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+    );
+    assert_eq!(run.clusters.len(), 1);
+    let case = portend::AnalysisCase::concrete(program, run.trace.clone());
+    let portend = Portend::new(PortendConfig::default());
+    let v = portend
+        .classify(&case, &run.clusters[0].representative)
+        .expect("classifiable");
+    assert_eq!(v.class, RaceClass::KWitnessHarmless);
+}

@@ -1,0 +1,27 @@
+//! # portend-race — dynamic data race detectors
+//!
+//! Detectors for the Portend reproduction (Kasikci, Zamfir, Candea —
+//! ASPLOS 2012):
+//!
+//! * [`HbDetector`] — the happens-before detector Portend uses natively
+//!   (paper §3.1), built on [`VectorClock`]s with FastTrack-style epochs.
+//!   Sound for the observed execution: no false positives unless
+//!   configured to ignore synchronization (the §5.2 robustness experiment).
+//! * [`LocksetDetector`] — an Eraser-style detector that *does* produce
+//!   false positives; its reports model the output of static/lockset
+//!   tools that Portend is designed to triage.
+//! * [`RaceReport`] / [`cluster_races`] — dynamic occurrences and the
+//!   paper's §4 clustering into distinct races.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hb;
+mod lockset;
+mod report;
+mod vector_clock;
+
+pub use hb::{DetectorConfig, HbDetector};
+pub use lockset::LocksetDetector;
+pub use report::{cluster_races, RaceAccess, RaceCluster, RaceKey, RaceReport};
+pub use vector_clock::VectorClock;

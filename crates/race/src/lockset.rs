@@ -1,0 +1,225 @@
+//! An Eraser-style lockset race detector (paper §7 \[49\]).
+//!
+//! Lockset detection is *complete but unsound*: it reports any shared
+//! location not consistently protected by some common lock, producing
+//! false positives for locations protected by other happens-before
+//! relationships (fork/join, barriers, condition variables, ad-hoc
+//! synchronization). In the paper's workflow such reports are exactly what
+//! Portend triages: "If one wanted to eliminate all harmful races from
+//! their code, they could use a static race detector [complete, prone to
+//! false positives] and then use Portend to classify these reports" (§5.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use portend_vm::{
+    AccessEvent, AllocId, Monitor, SyncEvent, SyncEventKind, SyncId, ThreadId,
+};
+
+use crate::report::{RaceAccess, RaceReport};
+
+/// The Eraser state of one memory cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CellState {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by exactly one thread so far.
+    Exclusive(ThreadId),
+    /// Read-shared by several threads (no write since sharing).
+    Shared,
+    /// Written while shared: lockset violations are reported.
+    SharedModified,
+}
+
+#[derive(Debug, Clone)]
+struct CellInfo {
+    state: CellState,
+    /// Candidate lockset: `None` means "all locks" (not yet constrained).
+    lockset: Option<BTreeSet<SyncId>>,
+    last: Option<RaceAccess>,
+}
+
+impl Default for CellInfo {
+    fn default() -> Self {
+        CellInfo { state: CellState::Virgin, lockset: None, last: None }
+    }
+}
+
+/// The lockset detector; plug into the VM as a [`Monitor`].
+#[derive(Debug, Clone, Default)]
+pub struct LocksetDetector {
+    held: BTreeMap<ThreadId, BTreeSet<SyncId>>,
+    cells: BTreeMap<(AllocId, usize), CellInfo>,
+    alloc_names: Vec<String>,
+    reports: Vec<RaceReport>,
+}
+
+impl LocksetDetector {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provides allocation names for readable reports.
+    pub fn set_alloc_names(&mut self, names: impl IntoIterator<Item = String>) {
+        self.alloc_names = names.into_iter().collect();
+    }
+
+    /// All potential races reported so far. Unlike the happens-before
+    /// detector these may be false positives.
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    fn alloc_name(&self, alloc: AllocId) -> String {
+        self.alloc_names
+            .get(alloc.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| alloc.to_string())
+    }
+}
+
+impl Monitor for LocksetDetector {
+    fn on_access(&mut self, ev: &AccessEvent) {
+        let held = self.held.get(&ev.tid).cloned().unwrap_or_default();
+        let access = RaceAccess::from_event(ev);
+        let name = self.alloc_name(ev.alloc);
+        let info = self.cells.entry((ev.alloc, ev.offset)).or_default();
+
+        // State transitions per Eraser.
+        let new_state = match (&info.state, ev.is_write) {
+            (CellState::Virgin, _) => CellState::Exclusive(ev.tid),
+            (CellState::Exclusive(t), _) if *t == ev.tid => CellState::Exclusive(ev.tid),
+            (CellState::Exclusive(_), false) => CellState::Shared,
+            (CellState::Exclusive(_), true) => CellState::SharedModified,
+            (CellState::Shared, false) => CellState::Shared,
+            (CellState::Shared, true) => CellState::SharedModified,
+            (CellState::SharedModified, _) => CellState::SharedModified,
+        };
+        let entering_tracking = !matches!(info.state, CellState::Virgin)
+            && !matches!((&info.state, &new_state), (CellState::Exclusive(a), CellState::Exclusive(b)) if a == b);
+        if entering_tracking {
+            // Refine the candidate lockset.
+            let ls = match &info.lockset {
+                None => held.clone(),
+                Some(prev) => prev.intersection(&held).copied().collect(),
+            };
+            let empty = ls.is_empty();
+            info.lockset = Some(ls);
+            if empty && matches!(new_state, CellState::SharedModified) {
+                if let Some(prev) = info.last {
+                    if prev.tid != ev.tid {
+                        self.reports.push(RaceReport {
+                            alloc: ev.alloc,
+                            alloc_name: name,
+                            offset: ev.offset,
+                            first: prev,
+                            second: access,
+                        });
+                    }
+                }
+            }
+        }
+        info.state = new_state;
+        info.last = Some(access);
+    }
+
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        match &ev.kind {
+            SyncEventKind::MutexAcquired(m) => {
+                self.held.entry(ev.tid).or_default().insert(*m);
+            }
+            SyncEventKind::MutexReleased(m) => {
+                self.held.entry(ev.tid).or_default().remove(m);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::cluster_races;
+    use portend_vm::{
+        drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, Operand, ProgramBuilder,
+        Scheduler, VmConfig,
+    };
+    use std::sync::Arc;
+
+    fn run(p: portend_vm::Program) -> LocksetDetector {
+        let mut det = LocksetDetector::new();
+        det.set_alloc_names(p.allocs.iter().map(|a| a.name.clone()));
+        let mut m = Machine::new(
+            Arc::new(p),
+            InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+            VmConfig::default(),
+        );
+        let mut s = Scheduler::RoundRobin;
+        drive(&mut m, &mut s, &mut det, &DriveCfg::default());
+        det
+    }
+
+    #[test]
+    fn unprotected_write_write_reported() {
+        let mut pb = ProgramBuilder::new("ww", "ww.c");
+        let g = pb.global("g", 0);
+        let worker = pb.func("worker", |f| {
+            let _ = f.param();
+            f.store(g, Operand::Imm(0), Operand::Imm(2));
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let t = f.spawn(worker, Operand::Imm(0));
+            f.store(g, Operand::Imm(0), Operand::Imm(3));
+            f.join(t);
+            f.ret(None);
+        });
+        let det = run(pb.build(main).unwrap());
+        assert_eq!(cluster_races(det.reports()).len(), 1);
+    }
+
+    #[test]
+    fn consistent_locking_not_reported() {
+        let mut pb = ProgramBuilder::new("ok", "ok.c");
+        let g = pb.global("g", 0);
+        let mu = pb.mutex("m");
+        let worker = pb.func("worker", |f| {
+            let _ = f.param();
+            f.lock(mu);
+            f.racy_inc(g, Operand::Imm(0));
+            f.unlock(mu);
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let t = f.spawn(worker, Operand::Imm(0));
+            f.lock(mu);
+            f.racy_inc(g, Operand::Imm(0));
+            f.unlock(mu);
+            f.join(t);
+            f.ret(None);
+        });
+        let det = run(pb.build(main).unwrap());
+        assert!(det.reports().is_empty(), "{:?}", det.reports());
+    }
+
+    #[test]
+    fn fork_join_discipline_is_a_lockset_false_positive() {
+        // Write in child, read in parent after join: HB-safe, but lockset
+        // flags it — exactly the kind of report Portend must triage.
+        let mut pb = ProgramBuilder::new("fj", "fj.c");
+        let g = pb.global("g", 0);
+        let worker = pb.func("worker", |f| {
+            let _ = f.param();
+            f.store(g, Operand::Imm(0), Operand::Imm(1));
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let t = f.spawn(worker, Operand::Imm(0));
+            f.join(t);
+            f.store(g, Operand::Imm(0), Operand::Imm(2));
+            f.ret(None);
+        });
+        let det = run(pb.build(main).unwrap());
+        assert_eq!(det.reports().len(), 1);
+    }
+}

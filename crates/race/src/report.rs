@@ -1,0 +1,194 @@
+//! Race reports and clustering.
+//!
+//! The paper clusters dynamic race occurrences "by whether the racing
+//! accesses are made to the same shared memory location by the same
+//! threads, and the stack traces of the accesses are the same" (§4), and
+//! presents one representative per cluster. We key clusters on
+//! `(allocation, offset, unordered pc pair)`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use portend_vm::{AccessEvent, AllocId, Pc, ThreadId};
+
+/// One side of a racing access pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceAccess {
+    /// The accessing thread.
+    pub tid: ThreadId,
+    /// Where the access executed.
+    pub pc: Pc,
+    /// Source line.
+    pub line: u32,
+    /// Whether the access is a write.
+    pub is_write: bool,
+    /// Global instruction index of the access within its execution.
+    pub step: u64,
+}
+
+impl RaceAccess {
+    /// Builds a race access from a monitor event.
+    pub fn from_event(ev: &AccessEvent) -> Self {
+        RaceAccess {
+            tid: ev.tid,
+            pc: ev.pc,
+            line: ev.line,
+            is_write: ev.is_write,
+            step: ev.step,
+        }
+    }
+}
+
+impl fmt::Display for RaceAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {} (line {})",
+            self.tid,
+            if self.is_write { "WRITE" } else { "READ" },
+            self.pc,
+            self.line
+        )
+    }
+}
+
+/// One dynamic data race occurrence: two unordered conflicting accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The accessed allocation.
+    pub alloc: AllocId,
+    /// The allocation's name.
+    pub alloc_name: String,
+    /// Offset of the accessed cell.
+    pub offset: usize,
+    /// The access that executed first in this run.
+    pub first: RaceAccess,
+    /// The access that executed second in this run.
+    pub second: RaceAccess,
+}
+
+impl RaceReport {
+    /// The cluster key: same location plus the same (unordered) pc pair.
+    pub fn cluster_key(&self) -> RaceKey {
+        let (a, b) = if self.first.pc <= self.second.pc {
+            (self.first.pc, self.second.pc)
+        } else {
+            (self.second.pc, self.first.pc)
+        };
+        RaceKey { alloc: self.alloc, offset: self.offset, pc_lo: a, pc_hi: b }
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race on {}[{}]: {} vs {}",
+            self.alloc_name, self.offset, self.first, self.second
+        )
+    }
+}
+
+/// The clustering key of a race (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RaceKey {
+    /// The accessed allocation.
+    pub alloc: AllocId,
+    /// Offset of the accessed cell.
+    pub offset: usize,
+    /// The smaller pc of the racing pair.
+    pub pc_lo: Pc,
+    /// The larger pc of the racing pair.
+    pub pc_hi: Pc,
+}
+
+/// A cluster of identical races: one representative plus an instance count
+/// (Table 3's "distinct races" vs "race instances").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceCluster {
+    /// A representative occurrence (the first observed).
+    pub representative: RaceReport,
+    /// How many dynamic occurrences were observed.
+    pub instances: u64,
+}
+
+/// Clusters dynamic race occurrences, preserving first-seen order.
+///
+/// The representative of a cluster is its first occurrence whose *first*
+/// access is a write, falling back to the very first occurrence. A
+/// write-first representative makes the alternate ordering "the other
+/// thread observes the cell before the write", which is the ordering
+/// whose enforcement exposes ad-hoc synchronization (the reader spins
+/// forever while the writer is held back) — matching how the paper's
+/// single-ordering analysis behaves (§3.2).
+pub fn cluster_races(races: &[RaceReport]) -> Vec<RaceCluster> {
+    let mut order: Vec<RaceKey> = Vec::new();
+    let mut map: BTreeMap<RaceKey, RaceCluster> = BTreeMap::new();
+    for r in races {
+        let key = r.cluster_key();
+        match map.get_mut(&key) {
+            Some(c) => {
+                c.instances += 1;
+                if !c.representative.first.is_write && r.first.is_write {
+                    c.representative = r.clone();
+                }
+            }
+            None => {
+                order.push(key);
+                map.insert(
+                    key,
+                    RaceCluster { representative: r.clone(), instances: 1 },
+                );
+            }
+        }
+    }
+    order.into_iter().map(|k| map.remove(&k).expect("inserted")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portend_vm::{BlockId, FuncId};
+
+    fn pc(i: u32) -> Pc {
+        Pc { func: FuncId(0), block: BlockId(0), idx: i }
+    }
+
+    fn acc(tid: u32, p: Pc, w: bool) -> RaceAccess {
+        RaceAccess { tid: ThreadId(tid), pc: p, line: 0, is_write: w, step: 0 }
+    }
+
+    fn report(p1: Pc, p2: Pc) -> RaceReport {
+        RaceReport {
+            alloc: AllocId(0),
+            alloc_name: "g".into(),
+            offset: 0,
+            first: acc(0, p1, true),
+            second: acc(1, p2, false),
+        }
+    }
+
+    #[test]
+    fn cluster_key_is_order_insensitive() {
+        let a = report(pc(1), pc(2));
+        let b = report(pc(2), pc(1));
+        assert_eq!(a.cluster_key(), b.cluster_key());
+    }
+
+    #[test]
+    fn clustering_counts_instances() {
+        let races = vec![report(pc(1), pc(2)), report(pc(2), pc(1)), report(pc(1), pc(3))];
+        let clusters = cluster_races(&races);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].instances, 2);
+        assert_eq!(clusters[1].instances, 1);
+    }
+
+    #[test]
+    fn display_mentions_location() {
+        let r = report(pc(1), pc(2));
+        let s = r.to_string();
+        assert!(s.contains("g[0]"));
+        assert!(s.contains("WRITE"));
+    }
+}

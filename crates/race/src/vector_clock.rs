@@ -1,0 +1,124 @@
+//! Vector clocks for happens-before tracking (Lamport \[31\] in the paper).
+
+use std::fmt;
+
+use portend_vm::ThreadId;
+
+/// A vector clock: one logical clock per thread.
+///
+/// Clocks grow on demand as threads are spawned; missing entries are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clock component for `tid`.
+    pub fn get(&self, tid: ThreadId) -> u64 {
+        self.slots.get(tid.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Increments `tid`'s component.
+    pub fn tick(&mut self, tid: ThreadId) {
+        let i = tid.0 as usize;
+        if self.slots.len() <= i {
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] += 1;
+    }
+
+    /// Component-wise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (i, v) in other.slots.iter().enumerate() {
+            if self.slots[i] < *v {
+                self.slots[i] = *v;
+            }
+        }
+    }
+
+    /// Whether `self ≤ other` component-wise (i.e. everything `self` has
+    /// seen, `other` has seen).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, v)| *v <= other.slots.get(i).copied().unwrap_or(0))
+    }
+
+    /// Whether the epoch `(tid, clock)` happened before the point in time
+    /// described by this clock — the FastTrack-style epoch test.
+    pub fn saw_epoch(&self, tid: ThreadId, clock: u64) -> bool {
+        clock <= self.get(tid)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.slots.iter().map(|v| v.to_string()).collect();
+        write!(f, "<{}>", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.get(t(3)), 0);
+        c.tick(t(3));
+        c.tick(t(3));
+        assert_eq!(c.get(t(3)), 2);
+        assert_eq!(c.get(t(0)), 0);
+    }
+
+    #[test]
+    fn join_is_component_max() {
+        let mut a = VectorClock::new();
+        a.tick(t(0));
+        let mut b = VectorClock::new();
+        b.tick(t(1));
+        b.tick(t(1));
+        a.join(&b);
+        assert_eq!(a.get(t(0)), 1);
+        assert_eq!(a.get(t(1)), 2);
+    }
+
+    #[test]
+    fn leq_ordering() {
+        let mut a = VectorClock::new();
+        a.tick(t(0));
+        let mut b = a.clone();
+        b.tick(t(1));
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        // Concurrent clocks: neither ≤.
+        let mut c = VectorClock::new();
+        c.tick(t(2));
+        assert!(!b.leq(&c));
+        assert!(!c.leq(&b));
+    }
+
+    #[test]
+    fn epoch_test() {
+        let mut a = VectorClock::new();
+        a.tick(t(1));
+        a.tick(t(1));
+        assert!(a.saw_epoch(t(1), 2));
+        assert!(!a.saw_epoch(t(1), 3));
+        assert!(a.saw_epoch(t(0), 0));
+    }
+}

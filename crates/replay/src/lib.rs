@@ -1,0 +1,23 @@
+//! # portend-replay — execution traces, recording, deterministic replay
+//!
+//! The paper's trace format (§3.1): "a schedule trace and a log of system
+//! call inputs. The schedule trace contains the thread id and the program
+//! counter at each preemption point … \[and\] the absolute count of
+//! instructions executed up to each preemption point". Here the schedule
+//! trace is the ordered list of scheduler decisions (one per preemption
+//! point — pcs and instruction counts are recoverable deterministically),
+//! and the input log is the concrete values consumed by `Input`.
+//!
+//! [`record`] runs a program once under a chosen scheduler with the
+//! happens-before detector attached and returns the replayable
+//! [`ExecutionTrace`] together with the detected races — this is what a
+//! ThreadSanitizer-plugin trace (§3.1) provides to the original Portend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod recorder;
+mod trace;
+
+pub use recorder::{record, RecordConfig, RecordedRun};
+pub use trace::ExecutionTrace;

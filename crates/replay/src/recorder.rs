@@ -1,0 +1,139 @@
+//! Recording runs: execute once, capture the trace and the race reports.
+
+use std::sync::Arc;
+
+use portend_race::{cluster_races, DetectorConfig, HbDetector, RaceCluster, RaceReport};
+use portend_vm::{
+    drive, DriveCfg, DriveStop, InputMode, InputSource, InputSpec, Machine, OutputLog, Program,
+    Scheduler, VmConfig,
+};
+
+use crate::trace::ExecutionTrace;
+
+/// Configuration for one recording run.
+#[derive(Debug, Clone)]
+pub struct RecordConfig {
+    /// The scheduler driving the recorded execution.
+    pub scheduler: Scheduler,
+    /// VM configuration.
+    pub vm: VmConfig,
+    /// Race detector configuration.
+    pub detector: DetectorConfig,
+    /// Step budget.
+    pub max_steps: u64,
+}
+
+impl Default for RecordConfig {
+    fn default() -> Self {
+        RecordConfig {
+            scheduler: Scheduler::RoundRobin,
+            vm: VmConfig::default(),
+            detector: DetectorConfig::default(),
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// The result of a recording run.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    /// The replayable trace.
+    pub trace: ExecutionTrace,
+    /// Every dynamic race occurrence, in detection order.
+    pub races: Vec<RaceReport>,
+    /// Distinct races (paper §4 clustering).
+    pub clusters: Vec<RaceCluster>,
+    /// How the run ended.
+    pub stop: DriveStop,
+    /// The run's output log.
+    pub output: OutputLog,
+    /// The final machine state (useful for assertions in tests).
+    pub machine: Machine,
+}
+
+/// Runs `program` once on `inputs` with the happens-before detector
+/// attached, recording the schedule. This provides the "race report +
+/// trace" that seeds Portend's classification (paper §3.1: developers run
+/// their existing test suites under Portend).
+pub fn record(program: &Arc<Program>, inputs: Vec<i64>, cfg: RecordConfig) -> RecordedRun {
+    let mut machine = Machine::new(
+        Arc::clone(program),
+        InputSource::new(InputSpec::concrete(inputs.clone()), InputMode::Concrete),
+        cfg.vm,
+    );
+    let mut det = HbDetector::with_config(cfg.detector);
+    det.set_alloc_names(program.allocs.iter().map(|a| a.name.clone()));
+    let mut sched = cfg.scheduler;
+    let drive_cfg = DriveCfg {
+        max_steps: cfg.max_steps,
+        record_schedule: true,
+        ..Default::default()
+    };
+    let stop = drive(&mut machine, &mut sched, &mut det, &drive_cfg);
+    let races = det.take_races();
+    let clusters = cluster_races(&races);
+    RecordedRun {
+        trace: ExecutionTrace::new(machine.sched_log.clone(), inputs),
+        races,
+        clusters,
+        stop,
+        output: machine.output.clone(),
+        machine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portend_vm::{drive, DriveCfg, NullMonitor, Operand, ProgramBuilder};
+
+    fn racy_program() -> Arc<Program> {
+        let mut pb = ProgramBuilder::new("racy", "racy.c");
+        let g = pb.global("g", 0);
+        let worker = pb.func("worker", |f| {
+            let _ = f.param();
+            f.racy_inc(g, Operand::Imm(0));
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let t = f.spawn(worker, Operand::Imm(0));
+            f.racy_inc(g, Operand::Imm(0));
+            f.join(t);
+            let v = f.load(g, Operand::Imm(0));
+            f.output(1, v);
+            f.ret(None);
+        });
+        Arc::new(pb.build(main).unwrap())
+    }
+
+    #[test]
+    fn record_finds_races_and_replay_reproduces_output() {
+        let p = racy_program();
+        let run = record(
+            &p,
+            vec![],
+            RecordConfig { scheduler: Scheduler::random(3), ..Default::default() },
+        );
+        assert_eq!(run.stop, DriveStop::Completed);
+        assert!(!run.clusters.is_empty());
+
+        // Deterministic replay gives identical output.
+        let mut m = run.trace.machine(&p, VmConfig::default());
+        let mut s = run.trace.scheduler();
+        let mut mon = NullMonitor;
+        let stop = drive(&mut m, &mut s, &mut mon, &DriveCfg::default());
+        assert_eq!(stop, DriveStop::Completed);
+        assert_eq!(m.output, run.output);
+        assert!(!s.diverged());
+    }
+
+    #[test]
+    fn recorded_race_instances_cluster() {
+        let p = racy_program();
+        let run = record(&p, vec![], RecordConfig::default());
+        for c in &run.clusters {
+            assert!(c.instances >= 1);
+            assert_eq!(c.representative.alloc_name, "g");
+        }
+    }
+}

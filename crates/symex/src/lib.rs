@@ -1,0 +1,50 @@
+//! # portend-symex — symbolic expressions and a bounded-domain solver
+//!
+//! This crate is the reproduction's substitute for the KLEE expression
+//! language and the STP decision procedure used by the original Portend
+//! (Kasikci, Zamfir, Candea — ASPLOS 2012). It provides:
+//!
+//! * [`Expr`] — immutable, constant-folding symbolic expression DAGs over
+//!   64-bit signed integers (booleans are 0/1);
+//! * [`VarTable`] / [`VarInfo`] — symbolic variables with *bounded* integer
+//!   domains, which is what keeps the solver decidable;
+//! * [`Solver`] — interval-pruned depth-first search answering the three
+//!   query shapes Portend needs: branch feasibility, model extraction, and
+//!   symbolic output comparison;
+//! * [`Model`] — concrete variable assignments (solver witnesses).
+//!
+//! ## Example
+//!
+//! ```
+//! use portend_symex::{Expr, Solver, VarTable, CmpOp, SatResult};
+//!
+//! let mut vars = VarTable::new();
+//! let n = vars.fresh("n", 0, 63);
+//! // path condition: n*2 > 10  ∧  n < 8
+//! let pc = [
+//!     Expr::var(n).mul(Expr::konst(2)).cmp(CmpOp::Gt, Expr::konst(10)),
+//!     Expr::var(n).cmp(CmpOp::Lt, Expr::konst(8)),
+//! ];
+//! match Solver::new().check(&pc, &vars) {
+//!     SatResult::Sat(model) => {
+//!         let v = model.get(n).expect("n is constrained");
+//!         assert!(v * 2 > 10 && v < 8);
+//!     }
+//!     other => panic!("expected sat, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod expr;
+mod model;
+mod op;
+mod solver;
+
+pub use domain::{Interval, VarId, VarInfo, VarTable};
+pub use expr::{EvalError, Expr, Node};
+pub use model::Model;
+pub use op::{BinOp, CmpOp};
+pub use solver::{SatResult, Solver, SolverConfig, SolverStats};

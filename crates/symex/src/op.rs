@@ -1,0 +1,292 @@
+//! Arithmetic and comparison operators shared by the symbolic expression
+//! language and the virtual machine IR.
+//!
+//! All arithmetic is two's-complement wrapping on 64-bit signed integers,
+//! mirroring the semantics an LLVM-level tool such as the original Portend
+//! observes. Comparisons produce `0` (false) or `1` (true).
+
+use std::fmt;
+
+/// Binary arithmetic/bitwise operators.
+///
+/// Division and remainder by zero are *not* defined here; callers (the VM and
+/// the solver) must treat them as an error, respectively an unsatisfied
+/// assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division. Division by zero is an evaluation error.
+    Div,
+    /// Signed remainder. Remainder by zero is an evaluation error.
+    Rem,
+    /// Bitwise and (also used as logical and on 0/1 values).
+    And,
+    /// Bitwise or (also used as logical or on 0/1 values).
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Left shift; the shift amount is masked to `0..=63`.
+    Shl,
+    /// Arithmetic right shift; the shift amount is masked to `0..=63`.
+    Shr,
+}
+
+impl BinOp {
+    /// Applies the operator to two concrete values.
+    ///
+    /// Returns `None` for division or remainder by zero (the VM turns this
+    /// into a crash, the solver into an unsatisfied assignment), and for
+    /// `i64::MIN / -1` which would overflow the two's-complement range.
+    #[inline]
+    pub fn apply(self, lhs: i64, rhs: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => {
+                if rhs == 0 || (lhs == i64::MIN && rhs == -1) {
+                    return None;
+                }
+                lhs / rhs
+            }
+            BinOp::Rem => {
+                if rhs == 0 || (lhs == i64::MIN && rhs == -1) {
+                    return None;
+                }
+                lhs % rhs
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            BinOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        })
+    }
+
+    /// Applies the operator, additionally reporting whether the operation
+    /// overflowed the signed 64-bit range.
+    ///
+    /// Overflow reporting is used by the VM's KLEE-style overflow detector;
+    /// the wrapped value is still returned so that callers may choose
+    /// wrapping semantics.
+    #[inline]
+    pub fn apply_checked(self, lhs: i64, rhs: i64) -> Option<(i64, bool)> {
+        match self {
+            BinOp::Add => {
+                let (v, o) = lhs.overflowing_add(rhs);
+                Some((v, o))
+            }
+            BinOp::Sub => {
+                let (v, o) = lhs.overflowing_sub(rhs);
+                Some((v, o))
+            }
+            BinOp::Mul => {
+                let (v, o) = lhs.overflowing_mul(rhs);
+                Some((v, o))
+            }
+            _ => self.apply(lhs, rhs).map(|v| (v, false)),
+        }
+    }
+
+    /// Whether the operator is commutative; used by the expression
+    /// simplifier to canonicalize operand order.
+    #[inline]
+    pub fn commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+
+    /// The short mnemonic used by [`fmt::Display`] and the IR printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+
+    /// The infix symbol used when pretty-printing expressions.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison operators; all signed, all producing `0` or `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to concrete values, returning `0` or `1`.
+    #[inline]
+    pub fn apply(self, lhs: i64, rhs: i64) -> i64 {
+        let b = match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        };
+        b as i64
+    }
+
+    /// The comparison that holds exactly when `self` does not.
+    #[inline]
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    #[inline]
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The short mnemonic used by [`fmt::Display`] and the IR printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// The infix symbol used when pretty-printing expressions.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(BinOp::Add.apply(i64::MAX, 1), Some(i64::MIN));
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(BinOp::Sub.apply(i64::MIN, 1), Some(i64::MAX));
+    }
+
+    #[test]
+    fn div_by_zero_is_none() {
+        assert_eq!(BinOp::Div.apply(4, 0), None);
+        assert_eq!(BinOp::Rem.apply(4, 0), None);
+    }
+
+    #[test]
+    fn div_min_by_minus_one_is_none() {
+        assert_eq!(BinOp::Div.apply(i64::MIN, -1), None);
+        assert_eq!(BinOp::Rem.apply(i64::MIN, -1), None);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(BinOp::Shl.apply(1, 64), Some(1));
+        assert_eq!(BinOp::Shl.apply(1, 3), Some(8));
+        assert_eq!(BinOp::Shr.apply(-8, 1), Some(-4));
+    }
+
+    #[test]
+    fn checked_reports_overflow() {
+        assert_eq!(BinOp::Add.apply_checked(i64::MAX, 1), Some((i64::MIN, true)));
+        assert_eq!(BinOp::Add.apply_checked(1, 1), Some((2, false)));
+        assert_eq!(BinOp::Mul.apply_checked(i64::MAX, 2), Some((-2, true)));
+    }
+
+    #[test]
+    fn cmp_apply_and_negate() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in [(1, 2), (2, 1), (3, 3), (-1, 1)] {
+                let v = op.apply(a, b);
+                assert!(v == 0 || v == 1);
+                assert_eq!(op.negate().apply(a, b), 1 - v, "{op:?} {a} {b}");
+                assert_eq!(op.swap().apply(b, a), v, "{op:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinOp::Add.commutative());
+        assert!(!BinOp::Sub.commutative());
+        assert!(!BinOp::Shl.commutative());
+    }
+}

@@ -1,0 +1,574 @@
+//! Fluent builders for [`Program`]s.
+//!
+//! The builder is the public authoring API the workload models use; it
+//! plays the role a C compiler plays for the original Portend. Besides raw
+//! instruction emission it offers structured control flow (`if_else`,
+//! `while_loop`, `for_range`) and concurrency idioms (racy increments,
+//! busy-wait loops) so workloads read close to the C snippets in the paper.
+
+use crate::inst::{Inst, Operand, Reg};
+use crate::program::{
+    AllocSpec, BarrierSpec, BasicBlock, BlockId, FuncId, Function, Program, SyncId,
+};
+use crate::program::AllocId;
+use portend_symex::{BinOp, CmpOp};
+
+/// Builds a [`Program`]: declares globals, sync objects, and functions.
+///
+/// ```
+/// use portend_vm::{ProgramBuilder, Operand};
+/// let mut pb = ProgramBuilder::new("demo", "demo.c");
+/// let g = pb.global("counter", 0);
+/// let main = pb.func("main", |f| {
+///     f.store(g, Operand::Imm(0), Operand::Imm(41));
+///     let v = f.load(g, Operand::Imm(0));
+///     let v1 = f.add(v, Operand::Imm(1));
+///     f.output(1, v1);
+///     f.ret(None);
+/// });
+/// let program = pb.build(main).expect("valid program");
+/// assert_eq!(program.entry, main);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    source_name: String,
+    funcs: Vec<Option<Function>>,
+    func_names: Vec<String>,
+    allocs: Vec<AllocSpec>,
+    mutexes: Vec<String>,
+    conds: Vec<String>,
+    barriers: Vec<BarrierSpec>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program with the given display and source names.
+    pub fn new(name: impl Into<String>, source_name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            source_name: source_name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares a global scalar with an initial value.
+    pub fn global(&mut self, name: impl Into<String>, init: i64) -> AllocId {
+        let id = AllocId(self.allocs.len() as u32);
+        self.allocs.push(AllocSpec { name: name.into(), len: 1, init: vec![init] });
+        id
+    }
+
+    /// Declares a global array of `len` zero-initialized cells.
+    pub fn array(&mut self, name: impl Into<String>, len: usize) -> AllocId {
+        let id = AllocId(self.allocs.len() as u32);
+        self.allocs.push(AllocSpec { name: name.into(), len, init: vec![] });
+        id
+    }
+
+    /// Declares a global array with explicit initial values.
+    pub fn array_init(&mut self, name: impl Into<String>, init: Vec<i64>) -> AllocId {
+        let id = AllocId(self.allocs.len() as u32);
+        self.allocs.push(AllocSpec { name: name.into(), len: init.len(), init });
+        id
+    }
+
+    /// Declares a mutex.
+    pub fn mutex(&mut self, name: impl Into<String>) -> SyncId {
+        let id = SyncId(self.mutexes.len() as u32);
+        self.mutexes.push(name.into());
+        id
+    }
+
+    /// Declares a condition variable.
+    pub fn condvar(&mut self, name: impl Into<String>) -> SyncId {
+        let id = SyncId(self.conds.len() as u32);
+        self.conds.push(name.into());
+        id
+    }
+
+    /// Declares a barrier released when `party` threads arrive.
+    pub fn barrier(&mut self, name: impl Into<String>, party: u32) -> SyncId {
+        let id = SyncId(self.barriers.len() as u32);
+        self.barriers.push(BarrierSpec { name: name.into(), party });
+        id
+    }
+
+    /// Forward-declares a function so mutually recursive code can
+    /// reference it; define it later with [`ProgramBuilder::define_func`].
+    pub fn declare_func(&mut self, name: impl Into<String>) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(None);
+        self.func_names.push(name.into());
+        id
+    }
+
+    /// Defines a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was already defined.
+    pub fn define_func(&mut self, id: FuncId, body: impl FnOnce(&mut FuncBuilder)) {
+        let mut fb = FuncBuilder::new(self.func_names[id.0 as usize].clone());
+        body(&mut fb);
+        let slot = &mut self.funcs[id.0 as usize];
+        assert!(slot.is_none(), "function {id} defined twice");
+        *slot = Some(fb.finish());
+    }
+
+    /// Declares and defines a function in one step.
+    pub fn func(&mut self, name: impl Into<String>, body: impl FnOnce(&mut FuncBuilder)) -> FuncId {
+        let id = self.declare_func(name);
+        self.define_func(id, body);
+        id
+    }
+
+    /// Finalizes and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first undefined function or validation
+    /// failure.
+    pub fn build(self, entry: FuncId) -> Result<Program, String> {
+        let mut funcs = Vec::with_capacity(self.funcs.len());
+        for (i, f) in self.funcs.into_iter().enumerate() {
+            match f {
+                Some(f) => funcs.push(f),
+                None => return Err(format!("function `{}` declared but not defined", self.func_names[i])),
+            }
+        }
+        let program = Program {
+            name: self.name,
+            source_name: self.source_name,
+            funcs,
+            allocs: self.allocs,
+            mutexes: self.mutexes,
+            conds: self.conds,
+            barriers: self.barriers,
+            entry,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+/// Builds one function's body. Obtained through [`ProgramBuilder::func`].
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    cur: BlockId,
+    next_reg: Reg,
+    cur_line: u32,
+}
+
+impl FuncBuilder {
+    fn new(name: String) -> Self {
+        FuncBuilder {
+            name,
+            blocks: vec![BasicBlock::default()],
+            cur: BlockId(0),
+            next_reg: 0,
+            cur_line: 0,
+        }
+    }
+
+    fn finish(mut self) -> Function {
+        // Implicit `ret` at the end of a fall-through function body.
+        if !self.terminated() {
+            self.emit(Inst::Ret { value: None });
+        }
+        Function { name: self.name, blocks: self.blocks, num_regs: self.next_reg }
+    }
+
+    /// Sets the source line stamped onto subsequently emitted instructions.
+    pub fn line(&mut self, line: u32) -> &mut Self {
+        self.cur_line = line;
+        self
+    }
+
+    /// Allocates a fresh register. `r0`, `r1`, ... hold call arguments on
+    /// function entry, so call [`FuncBuilder::param`] first.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    /// Declares the next function parameter and returns it as an operand.
+    /// Parameters occupy registers `r0..` in declaration order.
+    pub fn param(&mut self) -> Operand {
+        Operand::Reg(self.fresh_reg())
+    }
+
+    /// Creates a new (empty) basic block without switching to it.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::default());
+        id
+    }
+
+    /// Redirects emission to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// The block currently being emitted into.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn terminated(&self) -> bool {
+        matches!(
+            self.blocks[self.cur.0 as usize].insts.last(),
+            Some(Inst::Jump { .. }) | Some(Inst::Branch { .. }) | Some(Inst::Ret { .. })
+        )
+    }
+
+    /// Emits a raw instruction into the current block.
+    pub fn emit(&mut self, inst: Inst) {
+        let b = &mut self.blocks[self.cur.0 as usize];
+        b.insts.push(inst);
+        b.lines.push(self.cur_line);
+    }
+
+    // ---- value-producing emitters ------------------------------------
+
+    /// Loads `base[index]`, returning the destination as an operand.
+    pub fn load(&mut self, base: AllocId, index: Operand) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Load { dst, base, index });
+        Operand::Reg(dst)
+    }
+
+    /// Stores `src` into `base[index]`.
+    pub fn store(&mut self, base: AllocId, index: Operand, src: Operand) {
+        self.emit(Inst::Store { base, index, src });
+    }
+
+    /// Emits `lhs op rhs` into a fresh register.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Bin { op, dst, lhs, rhs });
+        Operand::Reg(dst)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Emits a comparison into a fresh register.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Operand, rhs: Operand) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Cmp { op, dst, lhs, rhs });
+        Operand::Reg(dst)
+    }
+
+    /// Emits logical negation into a fresh register.
+    pub fn not(&mut self, src: Operand) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Not { dst, src });
+        Operand::Reg(dst)
+    }
+
+    /// Copies an operand into a fresh register (useful to fix a value
+    /// before a racing re-read).
+    pub fn copy(&mut self, src: Operand) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Copy { dst, src });
+        Operand::Reg(dst)
+    }
+
+    /// Calls `func(args...)` and returns the result operand.
+    pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Call { dst: Some(dst), func, args: args.to_vec() });
+        Operand::Reg(dst)
+    }
+
+    /// Calls `func(args...)` discarding any result.
+    pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
+        self.emit(Inst::Call { dst: None, func, args: args.to_vec() });
+    }
+
+    /// Spawns a thread running `func(arg)` and returns its thread id.
+    pub fn spawn(&mut self, func: FuncId, arg: Operand) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Spawn { dst, func, arg });
+        Operand::Reg(dst)
+    }
+
+    /// Reads the next program input.
+    pub fn input(&mut self) -> Operand {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Input { dst });
+        Operand::Reg(dst)
+    }
+
+    // ---- statement emitters -------------------------------------------
+
+    /// Joins a thread.
+    pub fn join(&mut self, tid: Operand) {
+        self.emit(Inst::Join { tid });
+    }
+
+    /// Acquires a mutex.
+    pub fn lock(&mut self, mutex: SyncId) {
+        self.emit(Inst::MutexLock { mutex });
+    }
+
+    /// Releases a mutex.
+    pub fn unlock(&mut self, mutex: SyncId) {
+        self.emit(Inst::MutexUnlock { mutex });
+    }
+
+    /// Waits on a condition variable (releasing and re-acquiring `mutex`).
+    pub fn cond_wait(&mut self, cond: SyncId, mutex: SyncId) {
+        self.emit(Inst::CondWait { cond, mutex });
+    }
+
+    /// Signals one waiter.
+    pub fn cond_signal(&mut self, cond: SyncId) {
+        self.emit(Inst::CondSignal { cond });
+    }
+
+    /// Wakes all waiters.
+    pub fn cond_broadcast(&mut self, cond: SyncId) {
+        self.emit(Inst::CondBroadcast { cond });
+    }
+
+    /// Waits at a barrier.
+    pub fn barrier_wait(&mut self, barrier: SyncId) {
+        self.emit(Inst::BarrierWait { barrier });
+    }
+
+    /// Emits `value` on output channel `fd`.
+    pub fn output(&mut self, fd: i64, value: Operand) {
+        self.emit(Inst::Output { fd, value });
+    }
+
+    /// Asserts that `cond` is non-zero.
+    pub fn assert_true(&mut self, cond: Operand, msg: impl Into<String>) {
+        self.emit(Inst::Assert { cond, msg: msg.into() });
+    }
+
+    /// Emits a scheduling point (`sched_yield`/`usleep`).
+    pub fn yield_(&mut self) {
+        self.emit(Inst::Yield);
+    }
+
+    /// Frees an allocation (later accesses crash).
+    pub fn free(&mut self, base: AllocId) {
+        self.emit(Inst::Free { base });
+    }
+
+    /// Returns from the function.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.emit(Inst::Ret { value });
+    }
+
+    /// Jumps to `target`.
+    pub fn jump(&mut self, target: BlockId) {
+        self.emit(Inst::Jump { target });
+    }
+
+    /// Branches on `cond`.
+    pub fn branch(&mut self, cond: Operand, then_b: BlockId, else_b: BlockId) {
+        self.emit(Inst::Branch { cond, then_b, else_b });
+    }
+
+    // ---- structured control flow ---------------------------------------
+
+    /// `if (cond) { then_f() } else { else_f() }`; emission continues in
+    /// the merge block.
+    pub fn if_else(
+        &mut self,
+        cond: Operand,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        let tb = self.new_block();
+        let eb = self.new_block();
+        let mb = self.new_block();
+        self.branch(cond, tb, eb);
+        self.switch_to(tb);
+        then_f(self);
+        if !self.terminated() {
+            self.jump(mb);
+        }
+        self.switch_to(eb);
+        else_f(self);
+        if !self.terminated() {
+            self.jump(mb);
+        }
+        self.switch_to(mb);
+    }
+
+    /// `if (cond) { then_f() }`; emission continues in the merge block.
+    pub fn if_then(&mut self, cond: Operand, then_f: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then_f, |_| {});
+    }
+
+    /// `while (cond_f()) { body() }`; `cond_f` is re-evaluated each
+    /// iteration. Emission continues in the exit block.
+    pub fn while_loop(
+        &mut self,
+        cond_f: impl FnOnce(&mut Self) -> Operand,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.jump(head);
+        self.switch_to(head);
+        let c = cond_f(self);
+        self.branch(c, body_b, exit);
+        self.switch_to(body_b);
+        body(self);
+        if !self.terminated() {
+            self.jump(head);
+        }
+        self.switch_to(exit);
+    }
+
+    /// `for (i = 0; i < n; i++) { body(i) }` over a fresh counter register.
+    pub fn for_range(&mut self, n: Operand, body: impl FnOnce(&mut Self, Operand)) {
+        let i = self.fresh_reg();
+        self.emit(Inst::Const { dst: i, value: 0 });
+        let iv = Operand::Reg(i);
+        let mut body = Some(body);
+        self.while_loop(
+            |f| f.cmp(CmpOp::Lt, iv, n),
+            |f| {
+                (body.take().expect("loop body built once"))(f, iv);
+                let next = f.add(iv, Operand::Imm(1));
+                f.emit(Inst::Copy { dst: i, src: next });
+            },
+        );
+    }
+
+    // ---- concurrency idioms ---------------------------------------------
+
+    /// The racy `x++` pattern: load, add one, store, with no locking.
+    pub fn racy_inc(&mut self, alloc: AllocId, index: Operand) {
+        let v = self.load(alloc, index);
+        let v1 = self.add(v, Operand::Imm(1));
+        self.store(alloc, index, v1);
+    }
+
+    /// Busy-wait (ad-hoc synchronization, paper §2.3 "single ordering"):
+    /// `while (alloc[index] == val) usleep();`
+    pub fn spin_while_eq(&mut self, alloc: AllocId, index: Operand, val: i64) {
+        self.while_loop(
+            |f| {
+                let v = f.load(alloc, index);
+                f.cmp(CmpOp::Eq, v, Operand::Imm(val))
+            },
+            |f| f.yield_(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_minimal_program() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("g", 7);
+        let main = pb.func("main", |f| {
+            let v = f.load(g, Operand::Imm(0));
+            f.output(1, v);
+            f.ret(None);
+        });
+        let p = pb.build(main).expect("valid");
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.allocs[0].init, vec![7]);
+        assert_eq!(p.inst_count(), 3);
+    }
+
+    #[test]
+    fn undefined_function_is_an_error() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let id = pb.declare_func("ghost");
+        assert!(pb.build(id).unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn implicit_ret_added() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let main = pb.func("main", |f| {
+            f.yield_();
+        });
+        let p = pb.build(main).expect("valid");
+        assert!(matches!(
+            p.funcs[0].blocks[0].insts.last(),
+            Some(Inst::Ret { value: None })
+        ));
+    }
+
+    #[test]
+    fn if_else_produces_valid_blocks() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("g", 0);
+        let main = pb.func("main", |f| {
+            let c = f.load(g, Operand::Imm(0));
+            f.if_else(
+                c,
+                |f| f.output(1, Operand::Imm(1)),
+                |f| f.output(1, Operand::Imm(2)),
+            );
+            f.ret(None);
+        });
+        let p = pb.build(main).expect("valid");
+        assert_eq!(p.funcs[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn while_loop_and_for_range_validate() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("g", 0);
+        let main = pb.func("main", |f| {
+            f.for_range(Operand::Imm(4), |f, i| {
+                f.store(g, Operand::Imm(0), i);
+            });
+            f.spin_while_eq(g, Operand::Imm(0), 99);
+            f.ret(None);
+        });
+        pb.build(main).expect("valid");
+    }
+
+    #[test]
+    fn double_definition_panics() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let id = pb.declare_func("f");
+        pb.define_func(id, |f| f.ret(None));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pb.define_func(id, |f| f.ret(None));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn line_numbers_are_stamped() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let main = pb.func("main", |f| {
+            f.line(42).yield_();
+            f.ret(None);
+        });
+        let p = pb.build(main).expect("valid");
+        assert_eq!(p.funcs[0].blocks[0].lines[0], 42);
+    }
+}

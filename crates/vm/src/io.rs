@@ -1,0 +1,174 @@
+//! Program inputs: the recorded log of nondeterministic values, and the
+//! symbolic-input configuration used during multi-path analysis.
+
+use portend_symex::{Model, VarId, VarTable};
+
+use crate::value::Val;
+
+/// Domain declaration for one symbolic input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymDomain {
+    /// Variable name shown in reports (e.g. `"use_hash_table"`).
+    pub name: String,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl SymDomain {
+    /// Creates a domain declaration.
+    pub fn new(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        SymDomain { name: name.into(), lo, hi }
+    }
+}
+
+/// The program's input specification: concrete recorded values plus the
+/// positions treated as symbolic during multi-path analysis (paper §3.3:
+/// "the number and size of symbolic inputs" is the second path-explosion
+/// control).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputSpec {
+    /// The concrete input log (covers every `Input` the program executes).
+    pub values: Vec<i64>,
+    /// Positions `0..symbolic.len()` become symbolic variables in
+    /// [`InputMode::Symbolic`].
+    pub symbolic: Vec<SymDomain>,
+}
+
+impl InputSpec {
+    /// A fully concrete input spec.
+    pub fn concrete(values: Vec<i64>) -> Self {
+        InputSpec { values, symbolic: Vec::new() }
+    }
+
+    /// Adds a symbolic domain for the next undeclared leading position.
+    pub fn with_symbolic(mut self, dom: SymDomain) -> Self {
+        self.symbolic.push(dom);
+        self
+    }
+}
+
+/// Whether `Input` instructions produce concrete or symbolic values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputMode {
+    /// Replay the concrete log.
+    Concrete,
+    /// Make leading inputs symbolic per the spec.
+    Symbolic,
+}
+
+/// The input source of one execution state. Cloned with the machine so
+/// forked states keep independent cursors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSource {
+    spec: InputSpec,
+    mode: InputMode,
+    cursor: usize,
+    /// `(input position, symbolic variable)` pairs created so far.
+    sym_vars: Vec<(usize, VarId)>,
+}
+
+impl InputSource {
+    /// Creates an input source.
+    pub fn new(spec: InputSpec, mode: InputMode) -> Self {
+        InputSource { spec, mode, cursor: 0, sym_vars: Vec::new() }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> InputMode {
+        self.mode
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &InputSpec {
+        &self.spec
+    }
+
+    /// Number of inputs consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+
+    /// The symbolic variables introduced so far, as
+    /// `(input position, var)`.
+    pub fn sym_vars(&self) -> &[(usize, VarId)] {
+        &self.sym_vars
+    }
+
+    /// Produces the next input value, registering a fresh symbolic
+    /// variable when appropriate. Returns `None` when the concrete log is
+    /// exhausted.
+    pub fn next(&mut self, vars: &mut VarTable) -> Option<Val> {
+        let pos = self.cursor;
+        self.cursor += 1;
+        if self.mode == InputMode::Symbolic {
+            if let Some(dom) = self.spec.symbolic.get(pos) {
+                let var = vars.fresh(dom.name.clone(), dom.lo, dom.hi);
+                self.sym_vars.push((pos, var));
+                return Some(Val::S(portend_symex::Expr::var(var)));
+            }
+        }
+        self.spec.values.get(pos).copied().map(Val::C)
+    }
+
+    /// Concretizes the spec under a solver model: symbolic positions take
+    /// their model value (or the domain low bound if unconstrained), other
+    /// positions keep the recorded concrete value. The result is the input
+    /// log for an *alternate* execution (paper §3.3).
+    pub fn concretize(&self, model: &Model, vars: &VarTable) -> Vec<i64> {
+        let mut values = self.spec.values.clone();
+        // Ensure the vector covers every symbolic position.
+        if values.len() < self.spec.symbolic.len() {
+            values.resize(self.spec.symbolic.len(), 0);
+        }
+        for &(pos, var) in &self.sym_vars {
+            let v = model.get(var).unwrap_or_else(|| vars.info(var).lo);
+            if pos < values.len() {
+                values[pos] = v;
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_mode_replays_log() {
+        let mut vars = VarTable::new();
+        let mut src = InputSource::new(InputSpec::concrete(vec![7, 8]), InputMode::Concrete);
+        assert_eq!(src.next(&mut vars), Some(Val::C(7)));
+        assert_eq!(src.next(&mut vars), Some(Val::C(8)));
+        assert_eq!(src.next(&mut vars), None);
+        assert_eq!(src.consumed(), 3);
+    }
+
+    #[test]
+    fn symbolic_mode_symbolizes_leading_inputs() {
+        let mut vars = VarTable::new();
+        let spec = InputSpec::concrete(vec![7, 8]).with_symbolic(SymDomain::new("opt", 0, 1));
+        let mut src = InputSource::new(spec, InputMode::Symbolic);
+        let first = src.next(&mut vars).expect("has input");
+        assert!(first.is_symbolic());
+        assert_eq!(vars.info(src.sym_vars()[0].1).name, "opt");
+        let second = src.next(&mut vars);
+        assert_eq!(second, Some(Val::C(8)));
+    }
+
+    #[test]
+    fn concretize_applies_model() {
+        let mut vars = VarTable::new();
+        let spec = InputSpec::concrete(vec![7, 8]).with_symbolic(SymDomain::new("opt", 0, 1));
+        let mut src = InputSource::new(spec, InputMode::Symbolic);
+        let _ = src.next(&mut vars);
+        let mut m = Model::new();
+        m.set(src.sym_vars()[0].1, 1);
+        assert_eq!(src.concretize(&m, &vars), vec![1, 8]);
+        // Unconstrained variable falls back to the domain low bound.
+        let empty = Model::new();
+        assert_eq!(src.concretize(&empty, &vars), vec![0, 8]);
+    }
+}

@@ -1,0 +1,276 @@
+//! The VM's memory: named, bounds-checked allocations of 64-bit cells.
+//!
+//! Addresses are `(AllocId, offset)` pairs, which gives race reports stable
+//! identities across runs (the paper clusters races by accessed location)
+//! and makes every out-of-bounds or use-after-free access a detectable
+//! crash, mirroring KLEE's memory-error detector inside Cloud9.
+
+use std::fmt;
+
+use crate::program::{AllocId, AllocSpec};
+use crate::value::Val;
+
+/// A memory access fault; the machine wraps it into a `VmError` with
+/// thread and pc context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemFault {
+    /// Index outside `0..len`.
+    OutOfBounds {
+        /// The out-of-range index.
+        index: i64,
+        /// The allocation's length.
+        len: usize,
+    },
+    /// Access to a freed allocation.
+    UseAfterFree,
+    /// `Free` of an already-freed allocation.
+    DoubleFree,
+}
+
+/// One allocation: a named run of cells plus liveness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// The allocation's name, used in reports.
+    pub name: String,
+    /// The cell values.
+    pub cells: Vec<Val>,
+    /// Whether the allocation is still live (`Free` clears this).
+    pub live: bool,
+}
+
+/// The whole memory of one execution state. Cloning a [`Memory`] is how
+/// checkpoints capture the heap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    allocs: Vec<Allocation>,
+}
+
+impl Memory {
+    /// Instantiates memory from the program's allocation specs.
+    pub fn from_specs(specs: &[AllocSpec]) -> Self {
+        let allocs = specs
+            .iter()
+            .map(|s| {
+                let mut cells = vec![Val::C(0); s.len];
+                for (i, &v) in s.init.iter().enumerate().take(s.len) {
+                    cells[i] = Val::C(v);
+                }
+                Allocation { name: s.name.clone(), cells, live: true }
+            })
+            .collect();
+        Memory { allocs }
+    }
+
+    /// Number of allocations.
+    pub fn alloc_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Read-only view of an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn alloc(&self, id: AllocId) -> &Allocation {
+        &self.allocs[id.0 as usize]
+    }
+
+    /// Loads `alloc[index]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds or use-after-free accesses.
+    pub fn load(&self, id: AllocId, index: i64) -> Result<Val, MemFault> {
+        let a = &self.allocs[id.0 as usize];
+        if !a.live {
+            return Err(MemFault::UseAfterFree);
+        }
+        if index < 0 || index as usize >= a.cells.len() {
+            return Err(MemFault::OutOfBounds { index, len: a.cells.len() });
+        }
+        Ok(a.cells[index as usize].clone())
+    }
+
+    /// Stores `value` into `alloc[index]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds or use-after-free accesses.
+    pub fn store(&mut self, id: AllocId, index: i64, value: Val) -> Result<(), MemFault> {
+        let a = &mut self.allocs[id.0 as usize];
+        if !a.live {
+            return Err(MemFault::UseAfterFree);
+        }
+        if index < 0 || index as usize >= a.cells.len() {
+            return Err(MemFault::OutOfBounds { index, len: a.cells.len() });
+        }
+        a.cells[index as usize] = value;
+        Ok(())
+    }
+
+    /// Frees an allocation; later accesses fault.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the allocation is already freed.
+    pub fn free(&mut self, id: AllocId) -> Result<(), MemFault> {
+        let a = &mut self.allocs[id.0 as usize];
+        if !a.live {
+            return Err(MemFault::DoubleFree);
+        }
+        a.live = false;
+        Ok(())
+    }
+
+    /// A 64-bit fingerprint of all cell values, used by the
+    /// Record/Replay-Analyzer baseline's post-race *state* comparison
+    /// (paper §2.1/§5.2). Symbolic cells hash their printed form.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for a in &self.allocs {
+            h.write_u64(a.live as u64);
+            for c in &a.cells {
+                match c.as_concrete() {
+                    Some(v) => h.write_u64(v as u64),
+                    None => h.write_str(&c.to_string()),
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Cell-by-cell differences against another memory (same program),
+    /// as `(allocation name, index, self value, other value)`.
+    pub fn diff(&self, other: &Memory) -> Vec<(String, usize, Val, Val)> {
+        let mut out = Vec::new();
+        for (a, b) in self.allocs.iter().zip(&other.allocs) {
+            for (i, (x, y)) in a.cells.iter().zip(&b.cells).enumerate() {
+                if x != y {
+                    out.push((a.name.clone(), i, x.clone(), y.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.allocs {
+            let vals: Vec<String> = a.cells.iter().map(|c| c.to_string()).collect();
+            writeln!(
+                f,
+                "{}{}: [{}]",
+                a.name,
+                if a.live { "" } else { " (freed)" },
+                vals.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal FNV-1a hasher (no external dependency needed).
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A fresh hasher with the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// Mixes eight bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Mixes a string.
+    pub fn write_str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.write_u8(*b);
+        }
+        self.write_u8(0xff);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::from_specs(&[
+            AllocSpec { name: "g".into(), len: 1, init: vec![7] },
+            AllocSpec { name: "arr".into(), len: 4, init: vec![1, 2] },
+        ])
+    }
+
+    #[test]
+    fn init_values_zero_extended() {
+        let m = mem();
+        assert_eq!(m.load(AllocId(1), 0), Ok(Val::C(1)));
+        assert_eq!(m.load(AllocId(1), 1), Ok(Val::C(2)));
+        assert_eq!(m.load(AllocId(1), 2), Ok(Val::C(0)));
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut m = mem();
+        m.store(AllocId(0), 0, Val::C(42)).unwrap();
+        assert_eq!(m.load(AllocId(0), 0), Ok(Val::C(42)));
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut m = mem();
+        assert_eq!(
+            m.load(AllocId(1), 4),
+            Err(MemFault::OutOfBounds { index: 4, len: 4 })
+        );
+        assert_eq!(
+            m.store(AllocId(1), -1, Val::C(0)),
+            Err(MemFault::OutOfBounds { index: -1, len: 4 })
+        );
+    }
+
+    #[test]
+    fn use_after_free_faults() {
+        let mut m = mem();
+        m.free(AllocId(0)).unwrap();
+        assert_eq!(m.load(AllocId(0), 0), Err(MemFault::UseAfterFree));
+        assert_eq!(m.store(AllocId(0), 0, Val::C(1)), Err(MemFault::UseAfterFree));
+        assert_eq!(m.free(AllocId(0)), Err(MemFault::DoubleFree));
+    }
+
+    #[test]
+    fn fingerprint_tracks_state() {
+        let mut a = mem();
+        let b = mem();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.store(AllocId(0), 0, Val::C(8)).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, "g");
+        assert_eq!(d[0].2, Val::C(8));
+    }
+}

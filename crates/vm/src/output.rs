@@ -1,0 +1,159 @@
+//! Program output logs.
+//!
+//! Portend intercepts output system calls and records their arguments
+//! (paper §4): concrete values during plain runs, symbolic constraints
+//! during multi-path primaries. The classifier compares logs either
+//! concretely (single-pre/single-post) or symbolically (§3.3.1).
+
+use std::fmt;
+
+use crate::mem::Fnv;
+use crate::program::Pc;
+use crate::thread::ThreadId;
+use crate::value::Val;
+
+/// One output operation (one `write`-like system call argument).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputRec {
+    /// Output channel (1 = stdout, 2 = stderr, higher = app-specific).
+    pub fd: i64,
+    /// The emitted value (symbolic during multi-path primaries).
+    pub val: Val,
+    /// Emitting thread.
+    pub tid: ThreadId,
+    /// Where the output was produced (reports print this location).
+    pub pc: Pc,
+}
+
+/// The ordered log of all outputs of one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OutputLog {
+    /// The records, in emission order.
+    pub recs: Vec<OutputRec>,
+}
+
+impl OutputLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, rec: OutputRec) {
+        self.recs.push(rec);
+    }
+
+    /// Number of output operations.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Whether nothing was output.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Iterates over records.
+    pub fn iter(&self) -> impl Iterator<Item = &OutputRec> {
+        self.recs.iter()
+    }
+
+    /// All values if fully concrete, else `None`.
+    pub fn concrete_values(&self) -> Option<Vec<i64>> {
+        self.recs.iter().map(|r| r.val.as_concrete()).collect()
+    }
+
+    /// Whether any record is symbolic.
+    pub fn has_symbolic(&self) -> bool {
+        self.recs.iter().any(|r| r.val.is_symbolic())
+    }
+
+    /// A hash chain over `(fd, value)` pairs, allowing cheap comparison of
+    /// large outputs (paper §4 "Portend hashes program outputs").
+    /// Symbolic values hash their printed form.
+    pub fn hash_chain(&self) -> u64 {
+        let mut h = Fnv::new();
+        for r in &self.recs {
+            h.write_u64(r.fd as u64);
+            match r.val.as_concrete() {
+                Some(v) => h.write_u64(v as u64),
+                None => h.write_str(&r.val.to_string()),
+            }
+        }
+        h.finish()
+    }
+
+    /// Positions and values where two concrete logs differ, as
+    /// `(index, self value, other value)`; a `None` side means the log
+    /// ended early. Used for "output differs" evidence.
+    pub fn diff_concrete(&self, other: &OutputLog) -> Vec<(usize, Option<Val>, Option<Val>)> {
+        let mut out = Vec::new();
+        let n = self.recs.len().max(other.recs.len());
+        for i in 0..n {
+            let a = self.recs.get(i).map(|r| r.val.clone());
+            let b = other.recs.get(i).map(|r| r.val.clone());
+            if a != b {
+                out.push((i, a, b));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for OutputLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.recs.iter().enumerate() {
+            writeln!(f, "[{i}] fd={} {} (by {} at {})", r.fd, r.val, r.tid, r.pc)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{BlockId, FuncId};
+
+    fn rec(v: i64) -> OutputRec {
+        OutputRec {
+            fd: 1,
+            val: Val::C(v),
+            tid: ThreadId(0),
+            pc: Pc { func: FuncId(0), block: BlockId(0), idx: 0 },
+        }
+    }
+
+    #[test]
+    fn hash_chain_distinguishes_logs() {
+        let mut a = OutputLog::new();
+        let mut b = OutputLog::new();
+        a.push(rec(1));
+        a.push(rec(2));
+        b.push(rec(1));
+        b.push(rec(3));
+        assert_ne!(a.hash_chain(), b.hash_chain());
+        assert_eq!(a.hash_chain(), a.clone().hash_chain());
+    }
+
+    #[test]
+    fn diff_reports_positions() {
+        let mut a = OutputLog::new();
+        let mut b = OutputLog::new();
+        a.push(rec(1));
+        a.push(rec(2));
+        b.push(rec(1));
+        let d = a.diff_concrete(&b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, 1);
+        assert_eq!(d[0].1, Some(Val::C(2)));
+        assert_eq!(d[0].2, None);
+    }
+
+    #[test]
+    fn concrete_values_extraction() {
+        let mut a = OutputLog::new();
+        a.push(rec(5));
+        assert_eq!(a.concrete_values(), Some(vec![5]));
+        assert!(!a.has_symbolic());
+    }
+}

@@ -1,0 +1,201 @@
+//! Threads and stack frames.
+
+use std::fmt;
+
+use crate::inst::Reg;
+use crate::program::{BlockId, FuncId, Pc, Program, SyncId};
+use crate::value::Val;
+
+/// A thread identifier (index into the machine's thread table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Ready to execute.
+    Runnable,
+    /// Waiting to acquire a mutex.
+    BlockedMutex(SyncId),
+    /// Waiting on a condition variable.
+    BlockedCond(SyncId),
+    /// Waiting for another thread to exit.
+    BlockedJoin(ThreadId),
+    /// Waiting at a barrier.
+    BlockedBarrier(SyncId),
+    /// The thread has exited.
+    Finished,
+}
+
+impl ThreadState {
+    /// Human-readable description of the blocking resource, for deadlock
+    /// reports.
+    pub fn resource(&self) -> Option<String> {
+        match self {
+            ThreadState::BlockedMutex(m) => Some(format!("mutex {m}")),
+            ThreadState::BlockedCond(c) => Some(format!("condvar {c}")),
+            ThreadState::BlockedJoin(t) => Some(format!("join {t}")),
+            ThreadState::BlockedBarrier(b) => Some(format!("barrier {b}")),
+            ThreadState::Runnable | ThreadState::Finished => None,
+        }
+    }
+}
+
+/// A resume obligation carried across a blocking instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumePhase {
+    /// No obligation.
+    None,
+    /// Woken from a condition wait; must re-acquire the mutex before the
+    /// `CondWait` instruction completes.
+    CondReacquire(SyncId),
+    /// Released from a barrier; the pending `BarrierWait` completes
+    /// without re-arriving.
+    BarrierDone,
+}
+
+/// One stack frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Current basic block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub idx: u32,
+    /// The register file.
+    pub regs: Vec<Val>,
+    /// Caller register receiving this frame's return value.
+    pub ret_to: Option<Reg>,
+}
+
+impl Frame {
+    /// Creates a frame at the entry of `func` with the given arguments in
+    /// `r0..`.
+    pub fn new(program: &Program, func: FuncId, args: &[Val], ret_to: Option<Reg>) -> Self {
+        let num_regs = program.func(func).num_regs as usize;
+        let mut regs = vec![Val::C(0); num_regs];
+        for (i, a) in args.iter().enumerate().take(num_regs) {
+            regs[i] = a.clone();
+        }
+        Frame { func, block: BlockId(0), idx: 0, regs, ret_to }
+    }
+
+    /// The frame's current program counter.
+    pub fn pc(&self) -> Pc {
+        Pc { func: self.func, block: self.block, idx: self.idx }
+    }
+}
+
+/// One thread of execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thread {
+    /// The thread's id.
+    pub id: ThreadId,
+    /// The call stack; empty only when finished.
+    pub frames: Vec<Frame>,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Pending resume obligation.
+    pub phase: ResumePhase,
+    /// Instructions executed by this thread.
+    pub steps: u64,
+}
+
+impl Thread {
+    /// Creates a runnable thread with a single frame.
+    pub fn new(id: ThreadId, frame: Frame) -> Self {
+        Thread {
+            id,
+            frames: vec![frame],
+            state: ThreadState::Runnable,
+            phase: ResumePhase::None,
+            steps: 0,
+        }
+    }
+
+    /// Whether the thread can be scheduled.
+    pub fn is_runnable(&self) -> bool {
+        self.state == ThreadState::Runnable
+    }
+
+    /// Whether the thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.state == ThreadState::Finished
+    }
+
+    /// The innermost frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a finished thread (no frames).
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("live thread has a frame")
+    }
+
+    /// Mutable access to the innermost frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a finished thread (no frames).
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("live thread has a frame")
+    }
+
+    /// The thread's current pc, or `None` when finished.
+    pub fn pc(&self) -> Option<Pc> {
+        self.frames.last().map(Frame::pc)
+    }
+
+    /// A stack trace as `(function id, pc)` pairs, innermost last.
+    pub fn stack(&self) -> Vec<Pc> {
+        self.frames.iter().map(Frame::pc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn frame_initializes_args() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let f = pb.func("f", |fb| {
+            let a = fb.param();
+            let b = fb.param();
+            let s = fb.add(a, b);
+            fb.ret(Some(s));
+        });
+        let p = pb.build(f).expect("valid");
+        let fr = Frame::new(&p, f, &[Val::C(3), Val::C(4)], None);
+        assert_eq!(fr.regs[0], Val::C(3));
+        assert_eq!(fr.regs[1], Val::C(4));
+        assert_eq!(fr.pc().to_string(), "f0:b0:0");
+    }
+
+    #[test]
+    fn thread_state_resources() {
+        assert_eq!(
+            ThreadState::BlockedMutex(SyncId(1)).resource(),
+            Some("mutex s1".to_string())
+        );
+        assert_eq!(ThreadState::Runnable.resource(), None);
+    }
+
+    #[test]
+    fn thread_stack_trace() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let f = pb.func("f", |fb| fb.ret(None));
+        let p = pb.build(f).expect("valid");
+        let t = Thread::new(ThreadId(0), Frame::new(&p, f, &[], None));
+        assert!(t.is_runnable());
+        assert_eq!(t.stack().len(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Runtime values: concrete 64-bit integers or symbolic expressions.
+
+use std::fmt;
+
+use portend_symex::{Expr, Model};
+
+/// A runtime value.
+///
+/// During plain execution every value is [`Val::C`]. During multi-path
+/// analysis (paper §3.3) values derived from symbolic inputs are [`Val::S`]
+/// and carry the expression describing them in terms of the inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Val {
+    /// A concrete value.
+    C(i64),
+    /// A symbolic value.
+    S(Expr),
+}
+
+impl Val {
+    /// The concrete value, if this value is concrete (or a symbolic
+    /// expression that folded to a constant).
+    pub fn as_concrete(&self) -> Option<i64> {
+        match self {
+            Val::C(v) => Some(*v),
+            Val::S(e) => e.as_const(),
+        }
+    }
+
+    /// Whether the value is symbolic (and not a folded constant).
+    pub fn is_symbolic(&self) -> bool {
+        self.as_concrete().is_none()
+    }
+
+    /// The value as an expression (constants become literals).
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            Val::C(v) => Expr::konst(*v),
+            Val::S(e) => e.clone(),
+        }
+    }
+
+    /// Evaluates the value under `model`; concrete values ignore the model.
+    pub fn eval(&self, model: &Model) -> Option<i64> {
+        match self {
+            Val::C(v) => Some(*v),
+            Val::S(e) => e.eval(model).ok(),
+        }
+    }
+
+    /// Normalizes `Val::S(constant)` to `Val::C`.
+    pub fn normalized(self) -> Val {
+        match self.as_concrete() {
+            Some(v) => Val::C(v),
+            None => self,
+        }
+    }
+}
+
+impl Default for Val {
+    fn default() -> Self {
+        Val::C(0)
+    }
+}
+
+impl From<i64> for Val {
+    fn from(v: i64) -> Self {
+        Val::C(v)
+    }
+}
+
+impl From<Expr> for Val {
+    fn from(e: Expr) -> Self {
+        Val::S(e).normalized()
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::C(v) => write!(f, "{v}"),
+            Val::S(e) => write!(f, "sym({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portend_symex::{VarId, VarTable};
+
+    #[test]
+    fn concrete_roundtrip() {
+        let v = Val::from(42);
+        assert_eq!(v.as_concrete(), Some(42));
+        assert!(!v.is_symbolic());
+        assert_eq!(v.to_expr().as_const(), Some(42));
+    }
+
+    #[test]
+    fn symbolic_value() {
+        let mut t = VarTable::new();
+        let x = t.fresh("x", 0, 9);
+        let v = Val::S(Expr::var(x));
+        assert!(v.is_symbolic());
+        assert_eq!(v.as_concrete(), None);
+        let mut m = Model::new();
+        m.set(x, 5);
+        assert_eq!(v.eval(&m), Some(5));
+    }
+
+    #[test]
+    fn normalization_folds_constants() {
+        let v: Val = Expr::konst(3).add(Expr::konst(4)).into();
+        assert_eq!(v, Val::C(7));
+        let _ = VarId(0); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Val::default(), Val::C(0));
+    }
+}

@@ -1,0 +1,392 @@
+//! VM edge cases: synchronization corner behavior, watch filters, I/O
+//! exhaustion, call stacks, and executor alignment guarantees.
+
+use std::sync::Arc;
+
+use portend_symex::CmpOp;
+use portend_vm::{
+    drive, DriveCfg, DriveStop, InputMode, InputSource, InputSpec, Machine, NullMonitor,
+    Operand, Program, ProgramBuilder, RecordingMonitor, Scheduler, SyncEventKind, ThreadId,
+    VmConfig, VmError, Watch,
+};
+
+fn boot(p: Program, inputs: Vec<i64>) -> Machine {
+    Machine::new(
+        Arc::new(p),
+        InputSource::new(InputSpec::concrete(inputs), InputMode::Concrete),
+        VmConfig::default(),
+    )
+}
+
+fn run(m: &mut Machine, sched: &mut Scheduler) -> DriveStop {
+    let mut mon = NullMonitor;
+    drive(m, sched, &mut mon, &DriveCfg::default())
+}
+
+#[test]
+fn barrier_with_party_one_is_a_no_op() {
+    let mut pb = ProgramBuilder::new("b1", "b1.c");
+    let bar = pb.barrier("solo", 1);
+    let main = pb.func("main", |f| {
+        f.barrier_wait(bar);
+        f.output(1, Operand::Imm(1));
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    assert_eq!(run(&mut m, &mut Scheduler::Cooperative), DriveStop::Completed);
+    assert_eq!(m.output.concrete_values(), Some(vec![1]));
+}
+
+#[test]
+fn cond_broadcast_wakes_all_waiters() {
+    let mut pb = ProgramBuilder::new("bc", "bc.c");
+    let g = pb.global("go", 0);
+    let woken = pb.global("woken", 0);
+    let mu = pb.mutex("m");
+    let cv = pb.condvar("c");
+    let waiter = pb.func("waiter", |f| {
+        let _ = f.param();
+        f.lock(mu);
+        f.while_loop(
+            |f| {
+                let v = f.load(g, Operand::Imm(0));
+                f.cmp(CmpOp::Eq, v, Operand::Imm(0))
+            },
+            |f| f.cond_wait(cv, mu),
+        );
+        f.racy_inc(woken, Operand::Imm(0));
+        f.unlock(mu);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(waiter, Operand::Imm(0));
+        let t2 = f.spawn(waiter, Operand::Imm(1));
+        let t3 = f.spawn(waiter, Operand::Imm(2));
+        // Let all three block first.
+        for _ in 0..30 {
+            f.yield_();
+        }
+        f.lock(mu);
+        f.store(g, Operand::Imm(0), Operand::Imm(1));
+        f.cond_broadcast(cv);
+        f.unlock(mu);
+        f.join(t1);
+        f.join(t2);
+        f.join(t3);
+        let v = f.load(woken, Operand::Imm(0));
+        f.output(1, v);
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    for seed in 0..6 {
+        let mut m = boot(p.clone(), vec![]);
+        let stop = run(&mut m, &mut Scheduler::random(seed));
+        assert_eq!(stop, DriveStop::Completed, "seed {seed}");
+        assert_eq!(m.output.concrete_values(), Some(vec![3]), "seed {seed}");
+    }
+}
+
+#[test]
+fn lost_signal_then_flag_prevents_deadlock() {
+    // A signal with no waiter is lost (POSIX semantics); the predicate
+    // loop re-checks the flag so the waiter does not sleep forever.
+    let mut pb = ProgramBuilder::new("ls", "ls.c");
+    let g = pb.global("ready", 0);
+    let mu = pb.mutex("m");
+    let cv = pb.condvar("c");
+    let signaler = pb.func("signaler", |f| {
+        let _ = f.param();
+        f.lock(mu);
+        f.store(g, Operand::Imm(0), Operand::Imm(1));
+        f.cond_signal(cv); // may fire before anyone waits
+        f.unlock(mu);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(signaler, Operand::Imm(0));
+        for _ in 0..10 {
+            f.yield_(); // let the signal get lost
+        }
+        f.lock(mu);
+        f.while_loop(
+            |f| {
+                let v = f.load(g, Operand::Imm(0));
+                f.cmp(CmpOp::Eq, v, Operand::Imm(0))
+            },
+            |f| f.cond_wait(cv, mu),
+        );
+        f.unlock(mu);
+        f.join(t);
+        f.output(1, Operand::Imm(7));
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    assert_eq!(run(&mut m, &mut Scheduler::RoundRobin), DriveStop::Completed);
+}
+
+#[test]
+fn join_of_already_finished_thread_succeeds() {
+    let mut pb = ProgramBuilder::new("jf", "jf.c");
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        for _ in 0..10 {
+            f.yield_();
+        }
+        f.join(t); // worker exited long ago
+        f.output(1, Operand::Imm(1));
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    assert_eq!(run(&mut m, &mut Scheduler::RoundRobin), DriveStop::Completed);
+}
+
+#[test]
+fn input_exhaustion_is_a_crash() {
+    let mut pb = ProgramBuilder::new("ix", "ix.c");
+    let main = pb.func("main", |f| {
+        let a = f.input();
+        let b = f.input(); // only one input provided
+        let s = f.add(a, b);
+        f.output(1, s);
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![5]);
+    match run(&mut m, &mut Scheduler::Cooperative) {
+        DriveStop::Error(VmError::InputExhausted { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unlock_without_lock_is_sync_misuse() {
+    let mut pb = ProgramBuilder::new("um", "um.c");
+    let mu = pb.mutex("m");
+    let main = pb.func("main", |f| {
+        f.unlock(mu);
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    match run(&mut m, &mut Scheduler::Cooperative) {
+        DriveStop::Error(VmError::SyncMisuse { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn relocking_a_held_mutex_is_sync_misuse() {
+    let mut pb = ProgramBuilder::new("rl", "rl.c");
+    let mu = pb.mutex("m");
+    let main = pb.func("main", |f| {
+        f.lock(mu);
+        f.lock(mu);
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    match run(&mut m, &mut Scheduler::Cooperative) {
+        DriveStop::Error(VmError::SyncMisuse { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn watch_filters_by_thread_and_write() {
+    let mut pb = ProgramBuilder::new("wf", "wf.c");
+    let g = pb.global("g", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        let _v = f.load(g, Operand::Imm(0)); // read by T1
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.join(t);
+        f.store(g, Operand::Imm(0), Operand::Imm(1)); // write by T0
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    // Writes-only watch skips T1's read and stops at T0's write.
+    let mut m = Machine::new(
+        Arc::clone(&program),
+        InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+        VmConfig::default(),
+    );
+    let mut sched = Scheduler::Cooperative;
+    let mut mon = NullMonitor;
+    let cfg = DriveCfg {
+        watches: vec![Watch {
+            alloc: portend_vm::AllocId(0),
+            offset: Some(0),
+            tid: None,
+            writes_only: true,
+        }],
+        ..Default::default()
+    };
+    match drive(&mut m, &mut sched, &mut mon, &cfg) {
+        DriveStop::WatchHit(h) => {
+            assert!(h.is_write);
+            assert_eq!(h.tid, ThreadId(0));
+        }
+        other => panic!("{other:?}"),
+    }
+    // Thread-filtered watch stops only for T1.
+    let mut m = Machine::new(
+        program,
+        InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+        VmConfig::default(),
+    );
+    let mut sched = Scheduler::Cooperative;
+    let cfg = DriveCfg {
+        watches: vec![Watch::cell(portend_vm::AllocId(0), 0).by(ThreadId(1))],
+        ..Default::default()
+    };
+    match drive(&mut m, &mut sched, &mut mon, &cfg) {
+        DriveStop::WatchHit(h) => assert_eq!(h.tid, ThreadId(1)),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nested_calls_return_through_frames() {
+    let mut pb = ProgramBuilder::new("nc", "nc.c");
+    let add1 = pb.func("add1", |f| {
+        let x = f.param();
+        let v = f.add(x, Operand::Imm(1));
+        f.ret(Some(v));
+    });
+    let add2 = pb.func("add2", |f| {
+        let x = f.param();
+        let v = f.call(add1, &[x]);
+        let v = f.call(add1, &[v]);
+        f.ret(Some(v));
+    });
+    let main = pb.func("main", |f| {
+        let v = f.call(add2, &[Operand::Imm(40)]);
+        f.output(1, v);
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    assert_eq!(run(&mut m, &mut Scheduler::Cooperative), DriveStop::Completed);
+    assert_eq!(m.output.concrete_values(), Some(vec![42]));
+}
+
+#[test]
+fn runaway_recursion_hits_depth_limit() {
+    let mut pb = ProgramBuilder::new("rr", "rr.c");
+    let f_id = pb.declare_func("forever");
+    pb.define_func(f_id, |f| {
+        f.call_void(f_id, &[]);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        f.call_void(f_id, &[]);
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    match run(&mut m, &mut Scheduler::Cooperative) {
+        DriveStop::Error(VmError::AssertFailed { msg, .. }) => {
+            assert!(msg.contains("call depth"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn monitor_sees_barrier_and_cond_events() {
+    let mut pb = ProgramBuilder::new("ev", "ev.c");
+    let bar = pb.barrier("b", 2);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.barrier_wait(bar);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.barrier_wait(bar);
+        f.join(t);
+        f.ret(None);
+    });
+    let mut m = boot(pb.build(main).unwrap(), vec![]);
+    let mut mon = RecordingMonitor::default();
+    let mut sched = Scheduler::RoundRobin;
+    let stop = drive(&mut m, &mut sched, &mut mon, &DriveCfg::default());
+    assert_eq!(stop, DriveStop::Completed);
+    assert!(mon
+        .syncs
+        .iter()
+        .any(|s| matches!(&s.kind, SyncEventKind::BarrierReleased { participants, .. }
+            if participants.len() == 2)));
+}
+
+#[test]
+fn preempt_watches_do_not_change_results_only_interleavings() {
+    // With a deterministic scheduler, adding preemption opportunities at
+    // a cell changes which interleaving runs, but the program still
+    // completes with a legal result.
+    let mut pb = ProgramBuilder::new("pw", "pw.c");
+    let g = pb.global("g", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.racy_inc(g, Operand::Imm(0));
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.racy_inc(g, Operand::Imm(0));
+        f.join(t);
+        let v = f.load(g, Operand::Imm(0));
+        f.output(1, v);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let mut m = Machine::new(
+        Arc::clone(&program),
+        InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+        VmConfig::default(),
+    );
+    let mut sched = Scheduler::RoundRobin;
+    let mut mon = NullMonitor;
+    let cfg = DriveCfg {
+        preempt_watches: vec![Watch::cell(portend_vm::AllocId(0), 0)],
+        ..Default::default()
+    };
+    let stop = drive(&mut m, &mut sched, &mut mon, &cfg);
+    assert_eq!(stop, DriveStop::Completed);
+    let v = m.output.concrete_values().unwrap()[0];
+    assert!(v == 1 || v == 2, "lost-update envelope: {v}");
+}
+
+#[test]
+fn sym_branch_event_reaches_caller_in_symbolic_mode() {
+    let mut pb = ProgramBuilder::new("sb", "sb.c");
+    let main = pb.func("main", |f| {
+        let x = f.input();
+        f.if_else(x, |f| f.output(1, Operand::Imm(1)), |f| f.output(1, Operand::Imm(0)));
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).unwrap());
+    let spec = InputSpec::concrete(vec![0])
+        .with_symbolic(portend_vm::SymDomain::new("x", 0, 1));
+    let mut m = Machine::new(
+        program,
+        InputSource::new(spec, InputMode::Symbolic),
+        VmConfig::default(),
+    );
+    let mut sched = Scheduler::Cooperative;
+    let mut mon = NullMonitor;
+    match drive(&mut m, &mut sched, &mut mon, &DriveCfg::default()) {
+        DriveStop::SymBranch { cond, then_b, else_b } => {
+            assert_ne!(then_b, else_b);
+            // Resolve the false side and finish.
+            m.apply_branch(else_b, cond.not());
+            let stop = drive(&mut m, &mut sched, &mut mon, &DriveCfg::default());
+            assert_eq!(stop, DriveStop::Completed);
+            assert_eq!(m.output.concrete_values(), Some(vec![0]));
+            assert_eq!(m.path.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}

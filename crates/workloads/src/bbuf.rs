@@ -1,0 +1,128 @@
+//! Model of bbuf 1.0 (a shared buffer with configurable producers and
+//! consumers): 6 "output differs" races, none of which single-path
+//! analysis can see (paper Fig. 7: bbuf's accuracy is 0% until multi-path
+//! and multi-schedule analysis are enabled).
+
+use std::sync::Arc;
+
+use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, SymDomain, VmConfig};
+
+use crate::common::{emit_double_read_print, outdiff_truth};
+use crate::spec::{ClassCounts, Needs, Workload};
+
+/// Builds the workload.
+pub fn bbuf() -> Workload {
+    let mut pb = ProgramBuilder::new("bbuf", "bbuf.c");
+    let slot_x = pb.global("slot_x", 0);
+    let slot_y = pb.global("slot_y", 0);
+    let head_a = pb.global("head_a", 0);
+    let head_b = pb.global("head_b", 0);
+
+    // Producers fill slots / bump head indices without synchronization.
+    let p1 = pb.func("producer_x", move |f| {
+        let _ = f.param();
+        f.line(101);
+        f.store(slot_x, Operand::Imm(0), Operand::Imm(61));
+        f.ret(None);
+    });
+    let p2 = pb.func("producer_y", move |f| {
+        let _ = f.param();
+        f.line(102);
+        f.store(slot_y, Operand::Imm(0), Operand::Imm(62));
+        f.ret(None);
+    });
+    let p3 = pb.func("producer_ha", move |f| {
+        let _ = f.param();
+        f.line(103);
+        f.store(head_a, Operand::Imm(0), Operand::Imm(5));
+        f.ret(None);
+    });
+    let p4 = pb.func("producer_hb", move |f| {
+        let _ = f.param();
+        f.line(104);
+        f.store(head_b, Operand::Imm(0), Operand::Imm(6));
+        f.ret(None);
+    });
+    // Consumers double-read their slot and print the second value: the
+    // recorded run and the deterministic alternate both see the produced
+    // value; only a randomized post-race schedule exposes the stale one.
+    let c1 = pb.func("consumer_x", move |f| {
+        let _ = f.param();
+        for _ in 0..12 {
+            f.yield_();
+        }
+        f.line(201);
+        emit_double_read_print(f, slot_x, 1);
+        f.ret(None);
+    });
+    let c2 = pb.func("consumer_y", move |f| {
+        let _ = f.param();
+        for _ in 0..12 {
+            f.yield_();
+        }
+        f.line(202);
+        emit_double_read_print(f, slot_y, 1);
+        f.ret(None);
+    });
+    let idle = pb.func("consumer_idle", |f| {
+        let _ = f.param();
+        f.yield_();
+        f.ret(None);
+    });
+
+    let main = pb.func("main", move |f| {
+        let stats = f.input(); // --stats (recorded: 0)
+        let t1 = f.spawn(p1, Operand::Imm(0));
+        let t2 = f.spawn(p2, Operand::Imm(1));
+        let t3 = f.spawn(p3, Operand::Imm(2));
+        let t4 = f.spawn(p4, Operand::Imm(3));
+        let t5 = f.spawn(c1, Operand::Imm(4));
+        let t6 = f.spawn(c2, Operand::Imm(5));
+        let t7 = f.spawn(idle, Operand::Imm(6));
+        let t8 = f.spawn(idle, Operand::Imm(7));
+        // Delay so the producers' writes land before the head reads in
+        // the recorded schedule.
+        for _ in 0..24 {
+            f.yield_();
+        }
+        // The head indices are read unconditionally (so the races are
+        // recorded) and printed only for --stats.
+        f.line(301);
+        let ha = f.load(head_a, Operand::Imm(0)); // racy read
+        f.line(302);
+        let hb = f.load(head_b, Operand::Imm(0)); // racy read
+        f.if_then(stats, |f| {
+            f.output(1, ha);
+            f.output(1, hb);
+        });
+        for t in [t1, t2, t3, t4, t5, t6, t7, t8] {
+            f.join(t);
+        }
+        f.output(1, Operand::Imm(0)); // completion banner
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).expect("valid bbuf model"));
+
+    let ground_truth = vec![
+        outdiff_truth("slot_x", Needs::MultiSchedule, "double-read consumer print"),
+        outdiff_truth("slot_y", Needs::MultiSchedule, "double-read consumer print"),
+        outdiff_truth("head_a", Needs::MultiPath, "printed only under --stats"),
+        outdiff_truth("head_b", Needs::MultiPath, "printed only under --stats"),
+    ];
+
+    Workload {
+        name: "bbuf",
+        language: "C",
+        original_loc: 261,
+        forked_threads: 8,
+        program,
+        inputs: vec![0],
+        input_spec: InputSpec::concrete(vec![0]).with_symbolic(SymDomain::new("stats", 0, 1)),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth,
+        expected: ClassCounts { out_diff: 6, ..Default::default() },
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared racy-code idioms used by the workload models. Each helper
+//! reproduces a pattern from the paper's Fig. 8 or §5.2 micro-benchmark
+//! descriptions.
+
+use portend::RaceClass;
+use portend_vm::{AllocId, FuncBuilder, Operand, ProgramBuilder};
+
+use crate::spec::{GroundTruth, Needs};
+
+/// An ad-hoc-synchronization "stage" (paper Fig. 8(d)): a producer writes
+/// `n` data cells then raises a flag; a consumer busy-waits on the flag
+/// and only then reads the data. Every data cell and the flag itself race
+/// (no happens-before edge), but only one ordering is possible: all are
+/// ground-truth "single ordering".
+#[derive(Debug, Clone)]
+pub struct AdhocStage {
+    /// The data cells.
+    pub data: Vec<AllocId>,
+    /// The flag cell.
+    pub flag: AllocId,
+    /// Names of all racy cells (data then flag).
+    pub names: Vec<String>,
+}
+
+/// Declares the globals of an ad-hoc stage.
+pub fn declare_adhoc_stage(pb: &mut ProgramBuilder, prefix: &str, n: usize) -> AdhocStage {
+    let mut data = Vec::with_capacity(n);
+    let mut names = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        let name = format!("{prefix}_buf{i}");
+        data.push(pb.global(name.clone(), 0));
+        names.push(name);
+    }
+    let flag_name = format!("{prefix}_done");
+    let flag = pb.global(flag_name.clone(), 0);
+    names.push(flag_name);
+    AdhocStage { data, flag, names }
+}
+
+/// Emits the producer half: write every data cell, then raise the flag.
+pub fn emit_produce(f: &mut FuncBuilder, stage: &AdhocStage, base_val: i64) {
+    for (i, &cell) in stage.data.iter().enumerate() {
+        f.store(cell, Operand::Imm(0), Operand::Imm(base_val + i as i64));
+    }
+    f.store(stage.flag, Operand::Imm(0), Operand::Imm(1));
+}
+
+/// Emits the consumer half: spin on the flag, then read and emit every
+/// data cell on `fd`.
+pub fn emit_consume(f: &mut FuncBuilder, stage: &AdhocStage, fd: i64) {
+    f.spin_while_eq(stage.flag, Operand::Imm(0), 0);
+    for &cell in &stage.data {
+        let v = f.load(cell, Operand::Imm(0));
+        f.output(fd, v);
+    }
+}
+
+/// Ground-truth entries for an ad-hoc stage (all single ordering).
+pub fn stage_truths(stage: &AdhocStage, note: &'static str) -> Vec<GroundTruth> {
+    stage
+        .names
+        .iter()
+        .map(|n| GroundTruth {
+            alloc: n.clone(),
+            expected: RaceClass::SingleOrdering,
+            needs: Needs::AdHoc,
+            states_differ: false,
+            note,
+        })
+        .collect()
+}
+
+/// Declares a "last writer wins" cell: two threads write *different*
+/// values and nobody ever reads it — harmless, but the post-race memory
+/// states differ (Table 3's "states differ" k-witness column, the pattern
+/// the Record/Replay-Analyzer misclassifies).
+pub fn kw_differ_truth(name: &str, note: &'static str) -> GroundTruth {
+    GroundTruth {
+        alloc: name.to_string(),
+        expected: RaceClass::KWitnessHarmless,
+        needs: Needs::SinglePath,
+        states_differ: true,
+        note,
+    }
+}
+
+/// Ground truth for a directly-printed racy value (single-path-visible
+/// "output differs").
+pub fn outdiff_truth(name: &str, needs: Needs, note: &'static str) -> GroundTruth {
+    GroundTruth {
+        alloc: name.to_string(),
+        expected: RaceClass::OutputDiffers,
+        needs,
+        states_differ: true,
+        note,
+    }
+}
+
+/// Emits the "needs multi-schedule" consumer read pattern: read the cell
+/// (dead), yield, read again, print the second value. The recorded run
+/// and the deterministic alternate both print the post-write value; only
+/// a randomized post-race alternate schedule exposes the pre-write value.
+/// Produces **two** distinct races on the cell (one per read pc).
+pub fn emit_double_read_print(f: &mut FuncBuilder, cell: AllocId, fd: i64) {
+    let _first = f.load(cell, Operand::Imm(0));
+    f.yield_();
+    let second = f.load(cell, Operand::Imm(0));
+    f.output(fd, second);
+}

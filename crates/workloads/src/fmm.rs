@@ -1,0 +1,115 @@
+//! Model of `fmm` (SPLASH-2): 13 races — 12 single-ordering (two ad-hoc
+//! flag stages) and a racy simulation timestamp that is harmless on its
+//! own ("k-witness harmless", states differ) but violates the
+//! "timestamps are positive" semantic predicate the paper's §5.1 what-if
+//! experiment supplies (Table 2's "semantic" row).
+
+use std::sync::Arc;
+
+use portend::Predicate;
+use portend_vm::{
+    AllocId, InputSpec, Machine, Operand, ProgramBuilder, Scheduler, VmConfig,
+};
+
+use crate::common::{declare_adhoc_stage, emit_consume, emit_produce, kw_differ_truth, stage_truths};
+use crate::spec::{ClassCounts, Workload};
+
+/// Builds the workload.
+pub fn fmm() -> Workload {
+    let mut pb = ProgramBuilder::new("fmm", "fmm.c");
+    let stage_a = declare_adhoc_stage(&mut pb, "tree", 5);
+    let stage_b = declare_adhoc_stage(&mut pb, "force", 5);
+    let timestamp = pb.global("timestamp", 1);
+
+    // Worker 1: consumes the tree stage, then records a (transiently
+    // negative) timestamp — the result of an unprotected subtraction.
+    let w1 = {
+        let stage = stage_a.clone();
+        pb.func("tree_worker", move |f| {
+            let _ = f.param();
+            emit_consume(f, &stage, 2);
+            f.line(1183);
+            f.store(timestamp, Operand::Imm(0), Operand::Imm(-5)); // racy write
+            f.ret(None);
+        })
+    };
+    // Worker 2: consumes the force stage.
+    let w2 = {
+        let stage = stage_b.clone();
+        pb.func("force_worker", move |f| {
+            let _ = f.param();
+            emit_consume(f, &stage, 3);
+            f.ret(None);
+        })
+    };
+    let idle = pb.func("io_worker", |f| {
+        let _ = f.param();
+        f.yield_();
+        f.ret(None);
+    });
+    let main = {
+        let (sa, sb) = (stage_a.clone(), stage_b.clone());
+        pb.func("main", move |f| {
+            let t1 = f.spawn(w1, Operand::Imm(0));
+            let t2 = f.spawn(w2, Operand::Imm(1));
+            let t3 = f.spawn(idle, Operand::Imm(2));
+            emit_produce(f, &sa, 10);
+            emit_produce(f, &sb, 40);
+            // Busy work so the corrective timestamp write lands after the
+            // worker's negative one in the recorded schedule.
+            for _ in 0..24 {
+                f.yield_();
+            }
+            f.line(1190);
+            f.store(timestamp, Operand::Imm(0), Operand::Imm(20)); // racy write
+            f.join(t1);
+            f.join(t2);
+            f.join(t3);
+            f.output(1, Operand::Imm(0)); // simulation summary banner
+            f.ret(None);
+        })
+    };
+    let program = Arc::new(pb.build(main).expect("valid fmm model"));
+
+    let ts_alloc = timestamp;
+    let mut ground_truth = stage_truths(&stage_a, "tree build handoff");
+    ground_truth.extend(stage_truths(&stage_b, "force computation handoff"));
+    ground_truth.push(kw_differ_truth(
+        "timestamp",
+        "transiently negative timestamp, eventually overwritten",
+    ));
+
+    Workload {
+        name: "fmm",
+        language: "C",
+        original_loc: 11_545,
+        forked_threads: 3,
+        program,
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        predicates: vec![],
+        optional_predicates: vec![timestamps_positive(ts_alloc)],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth,
+        expected: ClassCounts { kw_differ: 1, single_ord: 12, ..Default::default() },
+    }
+}
+
+/// The §5.1 semantic predicate: "all timestamps used in fmm are
+/// positive". The timestamp is *used* at the end of the simulation, so
+/// the check runs at completion: the recorded ordering overwrites the
+/// transient negative value (harmless), while the alternate ordering
+/// leaves it negative — enabling the predicate turns the timestamp race
+/// into "spec violated" (Table 2's semantic row) without implicating the
+/// other twelve fmm races.
+pub fn timestamps_positive(ts: AllocId) -> Predicate {
+    Predicate::new(
+        "timestamps-positive",
+        vec![],
+        move |m: &Machine| {
+            let v = m.mem.load(ts, 0).ok()?.as_concrete()?;
+            (v < 0).then(|| format!("timestamp = {v}"))
+        },
+    )
+}

@@ -1,0 +1,67 @@
+//! # portend-workloads — modeled experimental targets
+//!
+//! IR models of the 7 real-world applications and 4 micro-benchmarks the
+//! Portend paper evaluates on (Table 1), reproducing each program's *race
+//! population*: the same number of distinct races, the same class mix
+//! (Table 3), the same harmful consequences (Table 2), and the same
+//! detection difficulty (which races need ad-hoc-synchronization
+//! detection, multi-path, or multi-schedule analysis — Fig. 7).
+//!
+//! Every workload carries its manually-derived ground truth
+//! ([`GroundTruth`]), standing in for the paper's one person-month of
+//! manual race classification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbuf;
+mod common;
+mod ctrace;
+mod fmm;
+mod memcached;
+mod micro;
+mod ocean;
+mod pbzip2;
+mod spec;
+mod sqlite;
+
+pub use bbuf::bbuf;
+pub use common::{declare_adhoc_stage, emit_consume, emit_produce, AdhocStage};
+pub use ctrace::ctrace;
+pub use fmm::{fmm, timestamps_positive};
+pub use memcached::{memcached, memcached_weakened};
+pub use micro::{avv, dbm, dcl, rw};
+pub use ocean::ocean;
+pub use pbzip2::pbzip2;
+pub use spec::{ClassCounts, GroundTruth, Needs, ScoreCard, Workload};
+pub use sqlite::sqlite;
+
+/// The 11 experimental targets of Table 1, in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        sqlite(),
+        ocean(),
+        fmm(),
+        memcached(),
+        pbzip2(),
+        ctrace(),
+        bbuf(),
+        avv(),
+        dcl(),
+        dbm(),
+        rw(),
+    ]
+}
+
+/// The 7 real-world application models (Table 2/3's upper block).
+pub fn applications() -> Vec<Workload> {
+    all().into_iter().take(7).collect()
+}
+
+/// Looks a workload up by name (including `"memcached-weakened"`).
+pub fn by_name(name: &str) -> Option<Workload> {
+    if name == "memcached-weakened" {
+        return Some(memcached_weakened());
+    }
+    all().into_iter().find(|w| w.name == name)
+}

@@ -1,0 +1,227 @@
+//! The four micro-benchmarks of §5.2: redundant writes (RW), all values
+//! valid (AVV), disjoint bit manipulation (DBM), and double-checked
+//! locking (DCL). All four are harmless ("k-witness harmless" with
+//! identical post-race states), which is exactly the regime where the
+//! Record/Replay-Analyzer's concrete state comparison works (Table 5).
+
+use std::sync::Arc;
+
+use portend::RaceClass;
+use portend_symex::{BinOp, CmpOp};
+use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, VmConfig};
+
+use crate::spec::{ClassCounts, GroundTruth, Needs, Workload};
+
+fn kw_same(alloc: &str, note: &'static str) -> GroundTruth {
+    GroundTruth {
+        alloc: alloc.to_string(),
+        expected: RaceClass::KWitnessHarmless,
+        needs: Needs::SinglePath,
+        states_differ: false,
+        note,
+    }
+}
+
+fn one_kw_same() -> ClassCounts {
+    ClassCounts { kw_same: 1, ..Default::default() }
+}
+
+/// RW — redundant writes: two threads store the same value.
+pub fn rw() -> Workload {
+    let mut pb = ProgramBuilder::new("RW", "rw.cpp");
+    let flag = pb.global("flag", 0);
+    let writer = pb.func("writer", |f| {
+        let _ = f.param();
+        f.line(12);
+        f.store(flag, Operand::Imm(0), Operand::Imm(1));
+        f.ret(None);
+    });
+    let idle = pb.func("idle", |f| {
+        let _ = f.param();
+        f.yield_();
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(writer, Operand::Imm(0));
+        let t2 = f.spawn(writer, Operand::Imm(1));
+        let t3 = f.spawn(idle, Operand::Imm(2));
+        f.join(t1);
+        f.join(t2);
+        f.join(t3);
+        let v = f.load(flag, Operand::Imm(0));
+        f.output(1, v);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).expect("valid RW model"));
+    Workload {
+        name: "RW",
+        language: "C++",
+        original_loc: 42,
+        forked_threads: 3,
+        program,
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth: vec![kw_same("flag", "both threads write the same value")],
+        expected: one_kw_same(),
+    }
+}
+
+/// AVV — all values valid: the racing read observes either the initial
+/// value or the written one; both satisfy the validity assertion.
+pub fn avv() -> Workload {
+    let mut pb = ProgramBuilder::new("AVV", "avv.cpp");
+    let state = pb.global("state", 0);
+    let writer = pb.func("writer", |f| {
+        let _ = f.param();
+        f.line(9);
+        f.store(state, Operand::Imm(0), Operand::Imm(2));
+        f.ret(None);
+    });
+    let idle = pb.func("idle", |f| {
+        let _ = f.param();
+        f.yield_();
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(writer, Operand::Imm(0));
+        let t2 = f.spawn(idle, Operand::Imm(1));
+        let t3 = f.spawn(idle, Operand::Imm(2));
+        f.line(17);
+        let v = f.load(state, Operand::Imm(0)); // racy read, value unused
+        let ok0 = f.cmp(CmpOp::Eq, v, Operand::Imm(0));
+        let ok2 = f.cmp(CmpOp::Eq, v, Operand::Imm(2));
+        let ok = f.bin(BinOp::Or, ok0, ok2);
+        f.assert_true(ok, "state must be 0 or 2");
+        f.join(t1);
+        f.join(t2);
+        f.join(t3);
+        f.output(1, Operand::Imm(0));
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).expect("valid AVV model"));
+    Workload {
+        name: "AVV",
+        language: "C++",
+        original_loc: 49,
+        forked_threads: 3,
+        program,
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth: vec![kw_same("state", "every observable value is valid")],
+        expected: one_kw_same(),
+    }
+}
+
+/// DBM — disjoint bit manipulation: the writer sets bit 0, the reader
+/// inspects bit 2; the bits do not interact.
+pub fn dbm() -> Workload {
+    let mut pb = ProgramBuilder::new("DBM", "dbm.cpp");
+    let bits = pb.global("bits", 4); // bit 2 set
+    let writer = pb.func("writer", |f| {
+        let _ = f.param();
+        f.line(11);
+        let v = f.load(bits, Operand::Imm(0));
+        let v1 = f.bin(BinOp::Or, v, Operand::Imm(1));
+        f.store(bits, Operand::Imm(0), v1);
+        f.ret(None);
+    });
+    let idle = pb.func("idle", |f| {
+        let _ = f.param();
+        f.yield_();
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(writer, Operand::Imm(0));
+        let t2 = f.spawn(idle, Operand::Imm(1));
+        f.line(19);
+        let v = f.load(bits, Operand::Imm(0)); // racy read of another bit
+        let bit2 = f.bin(BinOp::Shr, v, Operand::Imm(2));
+        let bit2 = f.bin(BinOp::And, bit2, Operand::Imm(1));
+        f.output(1, bit2);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).expect("valid DBM model"));
+    Workload {
+        name: "DBM",
+        language: "C++",
+        original_loc: 45,
+        forked_threads: 3,
+        program,
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth: vec![kw_same("bits", "racing accesses touch disjoint bits")],
+        expected: one_kw_same(),
+    }
+}
+
+/// DCL — double-checked locking: the unlocked fast-path read races with
+/// the locked initialization write; the slow path re-checks under the
+/// lock so initialization happens once regardless.
+pub fn dcl() -> Workload {
+    let mut pb = ProgramBuilder::new("DCL", "dcl.cpp");
+    let initialized = pb.global("initialized", 0);
+    let mu = pb.mutex("init_lock");
+    let user = pb.func("user", |f| {
+        let _ = f.param();
+        f.line(14);
+        let v = f.load(initialized, Operand::Imm(0)); // unlocked check
+        let need = f.cmp(CmpOp::Eq, v, Operand::Imm(0));
+        f.if_then(need, |f| {
+            f.lock(mu);
+            f.line(17);
+            let w = f.load(initialized, Operand::Imm(0)); // locked re-check
+            let still = f.cmp(CmpOp::Eq, w, Operand::Imm(0));
+            f.if_then(still, |f| {
+                f.line(19);
+                f.store(initialized, Operand::Imm(0), Operand::Imm(1));
+            });
+            f.unlock(mu);
+        });
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let mut tids = Vec::new();
+        for i in 0..5 {
+            tids.push(f.spawn(user, Operand::Imm(i)));
+        }
+        for t in tids {
+            f.join(t);
+        }
+        let v = f.load(initialized, Operand::Imm(0));
+        f.output(1, v);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).expect("valid DCL model"));
+    Workload {
+        name: "DCL",
+        language: "C++",
+        original_loc: 45,
+        forked_threads: 5,
+        program,
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth: vec![kw_same(
+            "initialized",
+            "double-checked locking: initialization happens exactly once",
+        )],
+        expected: one_kw_same(),
+    }
+}

@@ -1,0 +1,128 @@
+//! Model of `ocean` (SPLASH-2): 5 races — 4 single-ordering (an ad-hoc
+//! flag stage) and one race on a convergence `residual` that is *truly*
+//! "output differs", but whose output-reaching path hides behind a
+//! complex input combination: this is the paper's one misclassification
+//! (§5.4: "Portend did not figure out that the race belongs in the
+//! output-differs category … this path requires a very specific and
+//! complex combination of inputs").
+
+use std::sync::Arc;
+
+use portend_symex::CmpOp;
+use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, SymDomain, VmConfig};
+
+use crate::common::{
+    declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths,
+};
+use crate::spec::{ClassCounts, Needs, Workload};
+
+/// Builds the workload.
+pub fn ocean() -> Workload {
+    let mut pb = ProgramBuilder::new("ocean", "ocean.c");
+    let stage = declare_adhoc_stage(&mut pb, "grid", 3);
+    let residual = pb.global("residual", 0);
+
+    // Worker 1: relaxation sweep consumer (gated by the grid flag).
+    let w1 = {
+        let stage = stage.clone();
+        pb.func("relax_worker", move |f| {
+            let _ = f.param();
+            emit_consume(f, &stage, 2);
+            f.ret(None)
+        })
+    };
+    // Worker 2: writes its local residual estimate (racing with main's).
+    let w2 = pb.func("residual_worker", |f| {
+        let _ = f.param();
+        f.line(4477);
+        f.store(residual, Operand::Imm(0), Operand::Imm(2)); // racy write
+        f.ret(None);
+    });
+    let main = {
+        let stage = stage.clone();
+        pb.func("main", move |f| {
+            // Simulation parameters (symbolic in multi-path analysis).
+            let x = f.input();
+            let y = f.input();
+            let t1 = f.spawn(w1, Operand::Imm(0));
+            let t2 = f.spawn(w2, Operand::Imm(1));
+            emit_produce(f, &stage, 100);
+            f.line(4479);
+            f.store(residual, Operand::Imm(0), Operand::Imm(1)); // racy write
+            f.join(t1);
+            f.join(t2);
+            // The racy residual only reaches the output down a deep,
+            // input-specific path (x = 60, y = 51 is the only solution).
+            // Each guard is written "bail out early" and every prefix of
+            // the fall-through path keeps many candidate inputs feasible,
+            // so the explorer's DFS exhausts its Mp = 5 primaries on the
+            // shallow bail-outs and never composes all six fall-through
+            // sides — reproducing the paper's §5.4 miss.
+            use portend_symex::BinOp;
+            let c1 = f.cmp(CmpOp::Lt, x, Operand::Imm(32));
+            f.if_else(c1, |_f| {}, |f| {
+                let c2 = f.cmp(CmpOp::Lt, y, Operand::Imm(16));
+                f.if_else(c2, |_f| {}, |f| {
+                    let s = f.add(x, y);
+                    let r = f.bin(BinOp::Rem, s, Operand::Imm(7));
+                    let c3 = f.cmp(CmpOp::Ne, r, Operand::Imm(6));
+                    f.if_else(c3, |_f| {}, |f| {
+                        let d = f.mul(x, Operand::Imm(3));
+                        let d = f.add(d, y);
+                        let d = f.bin(BinOp::Rem, d, Operand::Imm(11));
+                        let c4 = f.cmp(CmpOp::Ne, d, Operand::Imm(0));
+                        f.if_else(c4, |_f| {}, |f| {
+                            let m = f.bin(BinOp::Xor, x, y);
+                            let m = f.bin(BinOp::Rem, m, Operand::Imm(13));
+                            let c5 = f.cmp(CmpOp::Ne, m, Operand::Imm(2));
+                            f.if_else(c5, |_f| {}, |f| {
+                                let q = f.mul(x, y);
+                                let q = f.bin(BinOp::Rem, q, Operand::Imm(17));
+                                let c6 = f.cmp(CmpOp::Ne, q, Operand::Imm(0));
+                                f.if_else(c6, |_f| {}, |f| {
+                                    let r = f.load(residual, Operand::Imm(0));
+                                    f.line(4890);
+                                    f.output(1, r); // order-dependent!
+                                });
+                            });
+                        });
+                    });
+                });
+            });
+            f.output(1, Operand::Imm(7)); // unconditional convergence banner
+            f.ret(None);
+        })
+    };
+    let program = Arc::new(pb.build(main).expect("valid ocean model"));
+
+    let mut ground_truth = stage_truths(&stage, "grid handoff via busy-wait flag");
+    // Truly output-differs; Portend is *expected* to misclassify this as
+    // k-witness harmless (states differ) — the paper's single error.
+    ground_truth.push(outdiff_truth(
+        "residual",
+        Needs::MultiPath,
+        "printed only for x=60,y=51 behind six nested guards; \
+         expected to be missed (the paper's one misclassification)",
+    ));
+
+    Workload {
+        name: "ocean",
+        language: "C",
+        original_loc: 11_665,
+        forked_threads: 2,
+        program,
+        inputs: vec![5, 9],
+        input_spec: InputSpec::concrete(vec![5, 9])
+            .with_symbolic(SymDomain::new("nx", 0, 63))
+            .with_symbolic(SymDomain::new("ny", 0, 63)),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth,
+        // NOTE: expected counts describe *Portend's* anticipated output
+        // (matching the paper's Table 3), not pure ground truth: the
+        // residual race is truly outDiff but lands in kw_differ.
+        expected: ClassCounts { kw_differ: 1, single_ord: 4, ..Default::default() },
+    }
+}

@@ -1,0 +1,167 @@
+//! Model of pbzip2 2.1.1: 31 races — 25 single-ordering (five
+//! block-handoff stages guarded by busy-wait flags, paper Fig. 8(d)),
+//! 3 crashes (the file-writer reads a block index that a decompressor
+//! thread overwrites with an out-of-range sentinel: the alternate
+//! ordering indexes out of bounds), and 3 "output differs" races on
+//! progress counters (one only visible for a verbose input, i.e. it needs
+//! multi-path analysis).
+
+use std::sync::Arc;
+
+use portend::RaceClass;
+use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, SymDomain, VmConfig};
+
+use crate::common::{
+    declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths,
+};
+use crate::spec::{ClassCounts, GroundTruth, Needs, Workload};
+
+/// Builds the workload.
+pub fn pbzip2() -> Workload {
+    let mut pb = ProgramBuilder::new("pbzip2", "pbzip2.cpp");
+    let stages: Vec<_> = (0..5)
+        .map(|i| declare_adhoc_stage(&mut pb, &format!("block{i}"), 4))
+        .collect();
+    // Crash races: per worker, a block-index cell plus the buffer it
+    // indexes (length 2; the worker's end-of-stream sentinel 5 is out of
+    // range for the buffer).
+    let next_block: Vec<_> = (0..3)
+        .map(|i| pb.global(format!("next_block{i}"), 1))
+        .collect();
+    let out_buf: Vec<_> = (0..3)
+        .map(|i| pb.array_init(format!("out_buf{i}"), vec![70 + i as i64, 80 + i as i64]))
+        .collect();
+    // Progress counters (printed by main).
+    let blocks_done = [pb.global("blocks_done_a", 0), pb.global("blocks_done_b", 0)];
+    let total_in = pb.global("total_in", 0);
+
+    // Three decompressor workers; worker i consumes its stages, updates
+    // progress, then publishes the end-of-stream sentinel.
+    let mut workers = Vec::new();
+    for i in 0..3 {
+        let my_stages: Vec<_> = match i {
+            0 => vec![stages[0].clone(), stages[1].clone()],
+            1 => vec![stages[2].clone(), stages[3].clone()],
+            _ => vec![stages[4].clone()],
+        };
+        let nb = next_block[i];
+        let done = blocks_done.get(i).copied();
+        let ti = total_in;
+        let func = pb.func(format!("decompress{i}"), move |f| {
+            let _ = f.param();
+            for stage in &my_stages {
+                emit_consume(f, stage, 5 + i as i64);
+            }
+            if let Some(done) = done {
+                f.line(1610 + i as u32);
+                f.store(done, Operand::Imm(0), Operand::Imm(11 * (i as i64 + 1))); // racy
+            }
+            if i == 2 {
+                f.line(1650);
+                f.store(ti, Operand::Imm(0), Operand::Imm(900_000)); // racy
+            }
+            f.line(389);
+            f.store(nb, Operand::Imm(0), Operand::Imm(5)); // end-of-stream sentinel
+            f.ret(None);
+        });
+        workers.push(func);
+    }
+    // The file-writer thread reads each block index and emits that block
+    // (paper Fig. 8(d)'s `write(..., OutputBuffer[currBlock], ...)`).
+    let nb0 = next_block.clone();
+    let ob0 = out_buf.clone();
+    let file_writer = pb.func("file_writer", move |f| {
+        let _ = f.param();
+        for i in 0..3 {
+            f.line(702 + i as u32);
+            let b = f.load(nb0[i], Operand::Imm(0)); // racy read
+            let idx = f.sub(b, Operand::Imm(1));
+            let v = f.load(ob0[i], idx);
+            f.output(1, v);
+        }
+        f.ret(None);
+    });
+
+    let main = {
+        let stages = stages.clone();
+        pb.func("main", move |f| {
+            let verbose = f.input();
+            let mut tids = Vec::new();
+            // The file writer starts first so its index reads precede the
+            // workers' sentinel stores in the recorded schedule.
+            tids.push(f.spawn(file_writer, Operand::Imm(0)));
+            for (i, w) in workers.iter().enumerate() {
+                tids.push(f.spawn(*w, Operand::Imm(i as i64 + 1)));
+            }
+            for stage in &stages {
+                emit_produce(f, stage, 100);
+            }
+            // Progress report, read opportunistically while workers may
+            // still be running (order-dependent values!). Note the racy
+            // loads execute unconditionally so the recorded run observes
+            // the races; only the verbose print is input-gated.
+            f.line(958);
+            let a = f.load(blocks_done[0], Operand::Imm(0));
+            f.output(1, a);
+            f.line(959);
+            let b = f.load(blocks_done[1], Operand::Imm(0));
+            f.output(1, b);
+            f.line(966);
+            let t = f.load(total_in, Operand::Imm(0));
+            f.if_then(verbose, |f| {
+                f.output(1, t);
+            });
+            for t in tids {
+                f.join(t);
+            }
+            f.ret(None);
+        })
+    };
+    let program = Arc::new(pb.build(main).expect("valid pbzip2 model"));
+
+    let mut ground_truth = Vec::new();
+    for stage in &stages {
+        ground_truth.extend(stage_truths(stage, "block handoff via busy-wait flag"));
+    }
+    for i in 0..3 {
+        ground_truth.push(GroundTruth {
+            alloc: format!("next_block{i}"),
+            expected: RaceClass::SpecViolated,
+            needs: Needs::SinglePath,
+            states_differ: true,
+            note: "alternate ordering reads the end-of-stream sentinel and indexes out of bounds",
+        });
+    }
+    ground_truth.push(outdiff_truth(
+        "blocks_done_a",
+        Needs::SinglePath,
+        "progress counter printed by main",
+    ));
+    ground_truth.push(outdiff_truth(
+        "blocks_done_b",
+        Needs::SinglePath,
+        "progress counter printed by main",
+    ));
+    ground_truth.push(outdiff_truth(
+        "total_in",
+        Needs::MultiPath,
+        "printed only under --verbose (recorded run is quiet)",
+    ));
+
+    Workload {
+        name: "pbzip2",
+        language: "C++",
+        original_loc: 6_686,
+        forked_threads: 4,
+        program,
+        inputs: vec![0],
+        input_spec: InputSpec::concrete(vec![0])
+            .with_symbolic(SymDomain::new("verbose", 0, 1)),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth,
+        expected: ClassCounts { spec_viol: 3, out_diff: 3, single_ord: 25, ..Default::default() },
+    }
+}

@@ -1,0 +1,84 @@
+//! Model of the SQLite 3.3.0 race (Table 2: one race whose alternate
+//! ordering deadlocks).
+//!
+//! The pattern: the main thread initializes shared state while holding
+//! lock `A` and publishes it through an unsynchronized `initialized`
+//! flag. A worker reads the flag without synchronization; if it observes
+//! "not initialized" it takes the slow path, which acquires locks in the
+//! opposite order — a lock-order inversion that deadlocks when the racy
+//! read happens before the racy write.
+
+use std::sync::Arc;
+
+use portend::RaceClass;
+use portend_symex::CmpOp;
+use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, VmConfig};
+
+use crate::spec::{ClassCounts, GroundTruth, Needs, Workload};
+
+/// Builds the workload.
+pub fn sqlite() -> Workload {
+    let mut pb = ProgramBuilder::new("SQLite", "sqlite3.c");
+    let initialized = pb.global("initialized", 0);
+    let a = pb.mutex("mem_mutex");
+    let b = pb.mutex("pager_mutex");
+    let worker = pb.func("db_worker", |f| {
+        let _ = f.param();
+        f.line(3091);
+        let v = f.load(initialized, Operand::Imm(0)); // racy read
+        let uninit = f.cmp(CmpOp::Eq, v, Operand::Imm(0));
+        f.if_then(uninit, |f| {
+            // Slow path: lazy init takes pager_mutex then mem_mutex.
+            f.line(3096);
+            f.lock(b);
+            f.yield_();
+            f.lock(a);
+            f.unlock(a);
+            f.unlock(b);
+        });
+        f.ret(None);
+    });
+    let idle = pb.func("idle", |f| {
+        let _ = f.param();
+        f.yield_();
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        let t2 = f.spawn(idle, Operand::Imm(1));
+        f.line(812);
+        f.lock(a);
+        f.store(initialized, Operand::Imm(0), Operand::Imm(1)); // racy write
+        f.lock(b);
+        f.unlock(b);
+        f.unlock(a);
+        f.join(t);
+        f.join(t2);
+        f.output(1, Operand::Imm(0)); // "query ok"
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main).expect("valid SQLite model"));
+    Workload {
+        name: "SQLite",
+        language: "C",
+        original_loc: 113_326,
+        forked_threads: 2,
+        program,
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        predicates: vec![],
+        optional_predicates: vec![],
+        // Cooperative recording: main completes its critical section
+        // before the worker observes the flag (the safe ordering).
+        record_scheduler: Scheduler::Cooperative,
+        vm: VmConfig::default(),
+        ground_truth: vec![GroundTruth {
+            alloc: "initialized".to_string(),
+            expected: RaceClass::SpecViolated,
+            needs: Needs::SinglePath,
+            states_differ: true,
+            note: "alternate ordering takes the lazy-init path and deadlocks",
+        }],
+        expected: ClassCounts { spec_viol: 1, ..Default::default() },
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-race ablation: each race's `Needs` annotation (which analysis
+//! technique its correct classification requires) is validated by
+//! actually disabling the technique and watching the classification
+//! degrade — the per-race form of the paper's Fig. 7.
+
+use portend::{AnalysisStages, PortendConfig, RaceClass};
+use portend_workloads::{by_name, Needs};
+
+fn config(stages: AnalysisStages) -> PortendConfig {
+    PortendConfig { stages, ..Default::default() }
+}
+
+/// Races annotated `MultiPath` are fixed by multi-path analysis alone
+/// (multi-schedule not required), and for the input-gated ones the
+/// technique is strictly necessary. (Some ctrace log counters are
+/// *also* caught single-path through output coupling with neighbor
+/// races; the annotation records the designed dependency.)
+#[test]
+fn multi_path_races_fixed_by_multi_path_alone() {
+    for name in ["ctrace", "pbzip2", "bbuf"] {
+        let w = by_name(name).unwrap();
+        let without = w.analyze(config(AnalysisStages {
+            adhoc_detection: true,
+            multi_path: false,
+            multi_schedule: false,
+        }));
+        let with = w.analyze(config(AnalysisStages {
+            adhoc_detection: true,
+            multi_path: true,
+            multi_schedule: false,
+        }));
+        let mut flipped = 0;
+        for (a_without, a_with) in without.analyzed.iter().zip(&with.analyzed) {
+            let race = &a_without.cluster.representative;
+            let truth = w.truth_for(race).expect("ground truth");
+            if truth.needs != Needs::MultiPath {
+                continue;
+            }
+            assert_eq!(
+                a_with.verdict.as_ref().unwrap().class,
+                truth.expected,
+                "{name}/{}: multi-path alone should fix it",
+                race.alloc_name
+            );
+            if a_without.verdict.as_ref().unwrap().class != truth.expected {
+                flipped += 1;
+            }
+        }
+        if name != "ctrace" {
+            assert!(flipped > 0, "{name}: multi-path must be load-bearing");
+        }
+    }
+}
+
+/// Races annotated `MultiSchedule` stay wrong until schedule
+/// randomization is enabled. (bbuf's double-read races are additionally
+/// caught by multi-path's output-order sensitivity, so ctrace is the
+/// witness here.)
+#[test]
+fn multi_schedule_races_need_randomized_alternates() {
+    let w = by_name("ctrace").unwrap();
+    let without = w.analyze(config(AnalysisStages {
+        adhoc_detection: true,
+        multi_path: true,
+        multi_schedule: false,
+    }));
+    let with = w.analyze(PortendConfig::default());
+    let mut checked = 0;
+    for (a_without, a_with) in without.analyzed.iter().zip(&with.analyzed) {
+        let race = &a_without.cluster.representative;
+        let truth = w.truth_for(race).expect("ground truth");
+        if truth.needs != Needs::MultiSchedule {
+            continue;
+        }
+        checked += 1;
+        assert_ne!(
+            a_without.verdict.as_ref().unwrap().class,
+            truth.expected,
+            "ctrace/{}: should be misclassified without multi-schedule",
+            race.alloc_name
+        );
+        assert_eq!(
+            a_with.verdict.as_ref().unwrap().class,
+            truth.expected,
+            "ctrace/{}: multi-schedule should fix it",
+            race.alloc_name
+        );
+    }
+    assert!(checked >= 4, "ctrace has four double-read races needing randomization");
+}
+
+/// Races annotated `AdHoc` flip from conservative-harmful to
+/// single-ordering when ad-hoc-synchronization detection is enabled.
+#[test]
+fn adhoc_races_need_adhoc_detection() {
+    for name in ["pbzip2", "memcached", "fmm", "ocean"] {
+        let w = by_name(name).unwrap();
+        let without = w.analyze(config(AnalysisStages::single_path()));
+        let with = w.analyze(config(AnalysisStages {
+            adhoc_detection: true,
+            multi_path: false,
+            multi_schedule: false,
+        }));
+        let mut flipped = 0;
+        for (a_without, a_with) in without.analyzed.iter().zip(&with.analyzed) {
+            let race = &a_without.cluster.representative;
+            let truth = w.truth_for(race).expect("ground truth");
+            if truth.needs != Needs::AdHoc {
+                continue;
+            }
+            let before = a_without.verdict.as_ref().unwrap().class;
+            let after = a_with.verdict.as_ref().unwrap().class;
+            assert_eq!(after, RaceClass::SingleOrdering, "{name}/{}", race.alloc_name);
+            if before != after {
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 0, "{name}: ad-hoc detection must matter");
+    }
+}
+
+/// SinglePath-annotated races classify correctly even with everything
+/// else disabled (but ad-hoc detection on, which Alg. 1 needs to avoid
+/// false harmful verdicts).
+#[test]
+fn single_path_races_are_robust_to_ablation() {
+    for name in ["SQLite", "memcached", "pbzip2", "RW", "AVV", "DCL", "DBM"] {
+        let w = by_name(name).unwrap();
+        let result = w.analyze(config(AnalysisStages {
+            adhoc_detection: true,
+            multi_path: false,
+            multi_schedule: false,
+        }));
+        for a in &result.analyzed {
+            let race = &a.cluster.representative;
+            let truth = w.truth_for(race).expect("ground truth");
+            if truth.needs != Needs::SinglePath {
+                continue;
+            }
+            assert_eq!(
+                a.verdict.as_ref().unwrap().class,
+                truth.expected,
+                "{name}/{}",
+                race.alloc_name
+            );
+        }
+    }
+}
+
+/// The paper's Fig. 7 population claims: across the workloads, at least
+/// 9 races need multi-path and at least 8 need multi-schedule (16
+/// output-differs + 1 spec-violated beyond single-path analysis).
+#[test]
+fn technique_need_population_matches_paper() {
+    let mut mp = 0;
+    let mut ms = 0;
+    let mut single_visible_outdiff = 0;
+    for w in portend_workloads::all() {
+        // Count per-race (double-read cells contribute two races each).
+        let result = w.analyze(PortendConfig::default());
+        for a in &result.analyzed {
+            let truth = w.truth_for(&a.cluster.representative).expect("ground truth");
+            // The ocean residual race is the known miss (§5.4): it would
+            // need multi-path analysis *beyond* the Mp budget, so the
+            // paper does not count it among the successfully classified
+            // multi-path races.
+            if w.name == "ocean" && a.cluster.representative.alloc_name == "residual" {
+                continue;
+            }
+            match truth.needs {
+                Needs::MultiPath => mp += 1,
+                Needs::MultiSchedule => ms += 1,
+                Needs::SinglePath if truth.expected == RaceClass::OutputDiffers => {
+                    single_visible_outdiff += 1
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(mp, 9, "9 races required multi-path (paper §5.2)");
+    assert_eq!(ms, 8, "8 races required also multi-schedule (paper §5.2)");
+    assert_eq!(
+        single_visible_outdiff, 5,
+        "21 output-differs races minus the 16 that need multi-path/multi-schedule"
+    );
+}
+
+/// The ocean misclassification is honestly budget-bound: raising Mp far
+/// beyond the paper's setting lets the explorer compose all six guards
+/// and reveals the race's true "output differs" nature — mirroring the
+/// paper's explanation that the path "requires a very specific and
+/// complex combination of inputs" rather than being unreachable.
+#[test]
+fn ocean_miss_is_a_budget_effect_not_a_bug() {
+    let w = by_name("ocean").unwrap();
+    // Paper budget (Mp = 5): misclassified as k-witness harmless.
+    let result = w.analyze(PortendConfig::default());
+    let residual = result
+        .analyzed
+        .iter()
+        .find(|a| a.cluster.representative.alloc_name == "residual")
+        .expect("residual race detected");
+    assert_eq!(
+        residual.verdict.as_ref().unwrap().class,
+        RaceClass::KWitnessHarmless
+    );
+    // Generous budget: the needle path is explored and the truth emerges.
+    let big = PortendConfig { mp: 16, max_exploration_states: 1024, ..Default::default() };
+    let result = w.analyze(big);
+    let residual = result
+        .analyzed
+        .iter()
+        .find(|a| a.cluster.representative.alloc_name == "residual")
+        .expect("residual race detected");
+    assert_eq!(
+        residual.verdict.as_ref().unwrap().class,
+        RaceClass::OutputDiffers,
+        "with Mp = 16 the output-reaching path is explored"
+    );
+}

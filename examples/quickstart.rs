@@ -1,0 +1,59 @@
+//! Quickstart: build a small racy program with the IR builder, run the
+//! Portend pipeline on it, and print the classification with its Fig. 6
+//! style debugging-aid report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use portend::{render_report, Pipeline, PortendConfig};
+use portend_replay::RecordConfig;
+use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, VmConfig};
+
+fn main() {
+    // A tiny "server": a worker publishes a result; the main thread reads
+    // it without synchronization and prints it.
+    let mut pb = ProgramBuilder::new("quickstart", "quickstart.c");
+    let result_cell = pb.global("result", 0);
+    let worker = pb.func("worker", |f| {
+        let _ = f.param();
+        f.line(7);
+        f.store(result_cell, Operand::Imm(0), Operand::Imm(42)); // racy write
+        f.ret(None);
+    });
+    let main_fn = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        f.line(14);
+        let v = f.load(result_cell, Operand::Imm(0)); // racy read
+        f.output(1, v); // printed: the race is output-visible!
+        f.join(t);
+        f.ret(None);
+    });
+    let program = Arc::new(pb.build(main_fn).expect("valid program"));
+
+    // Detect and classify.
+    let pipeline = Pipeline {
+        record: RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+        portend: PortendConfig::default(),
+    };
+    let result = pipeline.run(
+        &program,
+        vec![],
+        InputSpec::concrete(vec![]),
+        vec![],
+        VmConfig::default(),
+    );
+
+    println!("recorded run output:\n{}", result.record.output);
+    println!("{} distinct race(s) detected\n", result.analyzed.len());
+    for analyzed in &result.analyzed {
+        let race = &analyzed.cluster.representative;
+        match &analyzed.verdict {
+            Ok(verdict) => {
+                println!("=== {race} ===");
+                println!("{}", render_report(&result.case, race, verdict));
+            }
+            Err(e) => println!("=== {race} ===\n{e}"),
+        }
+    }
+}

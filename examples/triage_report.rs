@@ -1,0 +1,50 @@
+//! Full triage run: detect and classify the races of every modeled
+//! workload, print a prioritized bug-triage list (harmful races first —
+//! the paper's §1 motivation: "developers are better informed and can
+//! fix the critical bugs first"), and score accuracy against ground
+//! truth.
+//!
+//! Run with: `cargo run --example triage_report`
+
+use portend::{PortendConfig, RaceClass};
+use portend_workloads::{all, ScoreCard};
+
+fn main() {
+    let mut triage: Vec<(String, String, RaceClass, String)> = Vec::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+
+    for w in all() {
+        let result = w.analyze(PortendConfig::default());
+        let card = ScoreCard::new(&w, &result);
+        correct += card.correct();
+        total += card.total();
+        for a in &result.analyzed {
+            if let Ok(v) = &a.verdict {
+                triage.push((
+                    w.name.to_string(),
+                    a.cluster.representative.to_string(),
+                    v.class,
+                    v.to_string(),
+                ));
+            }
+        }
+    }
+
+    // Harmful first, then output-differs, then the harmless classes.
+    triage.sort_by_key(|(_, _, class, _)| *class);
+
+    println!("=== Portend triage: {} races, most critical first ===\n", triage.len());
+    let mut last_class = None;
+    for (app, race, class, verdict) in &triage {
+        if last_class != Some(*class) {
+            println!("--- {class} ---");
+            last_class = Some(*class);
+        }
+        println!("[{app}] {race}\n    -> {verdict}");
+    }
+    println!(
+        "\noverall classification accuracy vs ground truth: {correct}/{total} ({:.1}%)",
+        100.0 * correct as f64 / total as f64
+    );
+}

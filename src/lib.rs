@@ -1,0 +1,14 @@
+//! # portend-repro — umbrella crate for the Portend reproduction
+//!
+//! Re-exports the workspace crates so that integration tests and examples
+//! can use a single dependency. See `README.md` for the project overview and
+//! `DESIGN.md` for the system inventory and per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use portend;
+pub use portend_race;
+pub use portend_replay;
+pub use portend_symex;
+pub use portend_vm;
+pub use portend_workloads;

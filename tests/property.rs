@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) on the reproduction's core
+//! invariants: solver soundness, expression-simplification equivalence,
+//! vector-clock laws, and VM replay determinism.
+
+use proptest::prelude::*;
+
+use portend_repro::portend_race::VectorClock;
+use portend_repro::portend_symex::{
+    BinOp, CmpOp, Expr, Model, SatResult, Solver, VarId, VarTable,
+};
+use portend_repro::portend_vm::{
+    drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, Operand, ProgramBuilder,
+    Scheduler, ThreadId, VmConfig,
+};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Expression language: random expression trees over two bounded vars.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ETree {
+    Const(i64),
+    Var(u8),
+    Bin(BinOp, Box<ETree>, Box<ETree>),
+    Cmp(CmpOp, Box<ETree>, Box<ETree>),
+    Not(Box<ETree>),
+}
+
+fn etree() -> impl Strategy<Value = ETree> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(ETree::Const),
+        (0u8..2).prop_map(ETree::Var),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Xor),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| ETree::Bin(op, Box::new(a), Box::new(b))),
+            (
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Le),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Ge),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| ETree::Cmp(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| ETree::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn build(t: &ETree) -> Expr {
+    match t {
+        ETree::Const(v) => Expr::konst(*v),
+        ETree::Var(i) => Expr::var(VarId(*i as u32)),
+        ETree::Bin(op, a, b) => Expr::bin(*op, build(a), build(b)),
+        ETree::Cmp(op, a, b) => build(a).cmp(*op, build(b)),
+        ETree::Not(a) => build(a).not(),
+    }
+}
+
+/// Reference evaluation without any simplification.
+fn eval_ref(t: &ETree, a: i64, b: i64) -> Option<i64> {
+    match t {
+        ETree::Const(v) => Some(*v),
+        ETree::Var(0) => Some(a),
+        ETree::Var(_) => Some(b),
+        ETree::Bin(op, x, y) => op.apply(eval_ref(x, a, b)?, eval_ref(y, a, b)?),
+        ETree::Cmp(op, x, y) => Some(op.apply(eval_ref(x, a, b)?, eval_ref(y, a, b)?)),
+        ETree::Not(x) => Some((eval_ref(x, a, b)? == 0) as i64),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Constant folding and simplification preserve semantics.
+    #[test]
+    fn expr_simplification_preserves_semantics(t in etree(), a in -30i64..30, b in -30i64..30) {
+        let e = build(&t);
+        let mut m = Model::new();
+        m.set(VarId(0), a);
+        m.set(VarId(1), b);
+        let expected = eval_ref(&t, a, b);
+        let got = e.eval(&m).ok();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Any model the solver returns actually satisfies the constraints.
+    #[test]
+    fn solver_models_are_sound(ts in prop::collection::vec(etree(), 1..4)) {
+        let mut vars = VarTable::new();
+        vars.fresh("a", -10, 10);
+        vars.fresh("b", -10, 10);
+        let cs: Vec<Expr> = ts.iter().map(build).collect();
+        let solver = Solver::new();
+        if let SatResult::Sat(model) = solver.check(&cs, &vars) {
+            for c in &cs {
+                // A satisfying model makes every constraint non-zero.
+                let v = c.eval(&model);
+                prop_assert!(matches!(v, Ok(x) if x != 0), "constraint {} -> {:?} under {}", c, v, model);
+            }
+        }
+    }
+
+    /// Unsat answers are sound: no assignment in the domain satisfies.
+    #[test]
+    fn solver_unsat_is_sound(ts in prop::collection::vec(etree(), 1..3)) {
+        let mut vars = VarTable::new();
+        vars.fresh("a", -4, 4);
+        vars.fresh("b", -4, 4);
+        let cs: Vec<Expr> = ts.iter().map(build).collect();
+        let solver = Solver::new();
+        if solver.check(&cs, &vars) == SatResult::Unsat {
+            for a in -4i64..=4 {
+                for b in -4i64..=4 {
+                    let mut m = Model::new();
+                    m.set(VarId(0), a);
+                    m.set(VarId(1), b);
+                    let all_hold = cs.iter().all(|c| matches!(c.eval(&m), Ok(v) if v != 0));
+                    prop_assert!(!all_hold, "unsat but ({a},{b}) satisfies");
+                }
+            }
+        }
+    }
+
+    /// Vector-clock join is a least upper bound: both operands ≤ join.
+    #[test]
+    fn vector_clock_join_is_lub(ticks_a in prop::collection::vec(0u32..4, 0..12),
+                                ticks_b in prop::collection::vec(0u32..4, 0..12)) {
+        let mut a = VectorClock::new();
+        for t in &ticks_a { a.tick(ThreadId(*t)); }
+        let mut b = VectorClock::new();
+        for t in &ticks_b { b.tick(ThreadId(*t)); }
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        // Idempotent.
+        let mut j2 = j.clone();
+        j2.join(&b);
+        prop_assert_eq!(j.clone(), j2);
+        // Commutative.
+        let mut k = b.clone();
+        k.join(&a);
+        prop_assert_eq!(j, k);
+    }
+
+    /// The VM is deterministic: the same seeded random schedule produces
+    /// the same outputs, step counts, and final memory.
+    #[test]
+    fn vm_runs_are_deterministic(seed in 0u64..1000, increments in 1i64..24) {
+        let mut pb = ProgramBuilder::new("det", "det.c");
+        let g = pb.global("g", 0);
+        let worker = pb.func("worker", move |f| {
+            let _ = f.param();
+            f.for_range(Operand::Imm(increments), |f, _| {
+                f.racy_inc(g, Operand::Imm(0));
+                f.yield_();
+            });
+            f.ret(None);
+        });
+        let main = pb.func("main", move |f| {
+            let t1 = f.spawn(worker, Operand::Imm(0));
+            let t2 = f.spawn(worker, Operand::Imm(1));
+            f.join(t1);
+            f.join(t2);
+            let v = f.load(g, Operand::Imm(0));
+            f.output(1, v);
+            f.ret(None);
+        });
+        let program = Arc::new(pb.build(main).unwrap());
+        let run = |seed: u64| {
+            let mut m = Machine::new(
+                Arc::clone(&program),
+                InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+                VmConfig::default(),
+            );
+            let mut s = Scheduler::random(seed);
+            let mut mon = portend_repro::portend_vm::NullMonitor;
+            let stop = drive(&mut m, &mut s, &mut mon, &DriveCfg::default());
+            (stop, m.output.hash_chain(), m.steps, m.mem.fingerprint())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The final counter value under any schedule stays within the
+    /// lost-update envelope [increments, 2*increments].
+    #[test]
+    fn racy_counter_respects_lost_update_envelope(seed in 0u64..200, n in 1i64..16) {
+        let mut pb = ProgramBuilder::new("env", "env.c");
+        let g = pb.global("g", 0);
+        let worker = pb.func("worker", move |f| {
+            let _ = f.param();
+            f.for_range(Operand::Imm(n), |f, _| {
+                let v = f.load(g, Operand::Imm(0));
+                f.yield_();
+                let v1 = f.add(v, Operand::Imm(1));
+                f.store(g, Operand::Imm(0), v1);
+            });
+            f.ret(None);
+        });
+        let main = pb.func("main", move |f| {
+            let t1 = f.spawn(worker, Operand::Imm(0));
+            let t2 = f.spawn(worker, Operand::Imm(1));
+            f.join(t1);
+            f.join(t2);
+            let v = f.load(g, Operand::Imm(0));
+            f.output(1, v);
+            f.ret(None);
+        });
+        let program = Arc::new(pb.build(main).unwrap());
+        let mut m = Machine::new(
+            Arc::clone(&program),
+            InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
+            VmConfig::default(),
+        );
+        let mut s = Scheduler::random(seed);
+        let mut mon = portend_repro::portend_vm::NullMonitor;
+        let _ = drive(&mut m, &mut s, &mut mon, &DriveCfg::default());
+        let total = m.output.concrete_values().unwrap()[0];
+        prop_assert!(total >= n && total <= 2 * n, "total {total} for n {n}");
+    }
+}
