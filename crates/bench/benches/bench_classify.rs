@@ -1,8 +1,9 @@
 //! Criterion benchmark: classification time per race (Table 4's
 //! microbenchmark form). One representative program per size class.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use portend::PortendConfig;
+use portend_bench::crit::Criterion;
+use portend_bench::{criterion_group, criterion_main};
 
 fn bench_classify(c: &mut Criterion) {
     let mut group = c.benchmark_group("classify");
@@ -12,7 +13,7 @@ fn bench_classify(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let result = w.analyze(PortendConfig::default());
-                criterion::black_box(result.analyzed.len())
+                portend_bench::crit::black_box(result.analyzed.len())
             })
         });
     }

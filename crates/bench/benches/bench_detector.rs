@@ -1,11 +1,11 @@
 //! Criterion benchmark: dynamic race detection overhead — the same run
 //! with a null monitor vs the happens-before detector attached.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use portend_bench::crit::Criterion;
+use portend_bench::{criterion_group, criterion_main};
 use portend_race::HbDetector;
 use portend_vm::{
-    drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, NullMonitor, Scheduler,
-    VmConfig,
+    drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, NullMonitor, Scheduler, VmConfig,
 };
 use std::sync::Arc;
 
@@ -25,7 +25,7 @@ fn bench_detector(c: &mut Criterion) {
             let mut m = boot(&program, &inputs);
             let mut s = Scheduler::RoundRobin;
             let mut mon = NullMonitor;
-            criterion::black_box(drive(&mut m, &mut s, &mut mon, &DriveCfg::default()))
+            portend_bench::crit::black_box(drive(&mut m, &mut s, &mut mon, &DriveCfg::default()))
         })
     });
     c.bench_function("pbzip2_with_hb_detector", |b| {
@@ -34,7 +34,7 @@ fn bench_detector(c: &mut Criterion) {
             let mut s = Scheduler::RoundRobin;
             let mut det = HbDetector::new();
             let stop = drive(&mut m, &mut s, &mut det, &DriveCfg::default());
-            criterion::black_box((stop, det.races().len()))
+            portend_bench::crit::black_box((stop, det.races().len()))
         })
     });
 }

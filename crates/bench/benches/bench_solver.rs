@@ -1,7 +1,8 @@
 //! Criterion benchmark: the bounded-domain constraint solver (the STP
 //! substitute) on the query shapes Portend issues.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use portend_bench::crit::Criterion;
+use portend_bench::{criterion_group, criterion_main};
 use portend_symex::{CmpOp, Expr, Solver, VarTable};
 
 fn bench_solver(c: &mut Criterion) {
@@ -11,12 +12,15 @@ fn bench_solver(c: &mut Criterion) {
         let x = Expr::var(vars.fresh("x", 0, 1000));
         let y = Expr::var(vars.fresh("y", 0, 1000));
         let cs = [
-            x.clone().mul(Expr::konst(3)).add(y.clone()).cmp(CmpOp::Eq, Expr::konst(250)),
+            x.clone()
+                .mul(Expr::konst(3))
+                .add(y.clone())
+                .cmp(CmpOp::Eq, Expr::konst(250)),
             x.clone().cmp(CmpOp::Gt, Expr::konst(10)),
             y.clone().cmp(CmpOp::Lt, Expr::konst(100)),
         ];
         let solver = Solver::new();
-        b.iter(|| criterion::black_box(solver.check(&cs, &vars)))
+        b.iter(|| portend_bench::crit::black_box(solver.check(&cs, &vars)))
     });
     // Symbolic output comparison: equality against concrete outputs.
     c.bench_function("solver_output_match", |b| {
@@ -27,7 +31,7 @@ fn bench_solver(c: &mut Criterion) {
             i.clone().eq(Expr::konst(42)),
         ];
         let solver = Solver::new();
-        b.iter(|| criterion::black_box(solver.check(&cs, &vars)))
+        b.iter(|| portend_bench::crit::black_box(solver.check(&cs, &vars)))
     });
     // Non-linear search (the ocean gauntlet shape).
     c.bench_function("solver_modular_search", |b| {
@@ -37,11 +41,15 @@ fn bench_solver(c: &mut Criterion) {
         let cs = [
             x.clone().cmp(CmpOp::Ge, Expr::konst(32)),
             y.clone().cmp(CmpOp::Ge, Expr::konst(16)),
-            Expr::bin(portend_symex::BinOp::Rem, x.clone().add(y.clone()), Expr::konst(7))
-                .eq(Expr::konst(6)),
+            Expr::bin(
+                portend_symex::BinOp::Rem,
+                x.clone().add(y.clone()),
+                Expr::konst(7),
+            )
+            .eq(Expr::konst(6)),
         ];
         let solver = Solver::new();
-        b.iter(|| criterion::black_box(solver.check(&cs, &vars)))
+        b.iter(|| portend_bench::crit::black_box(solver.check(&cs, &vars)))
     });
 }
 

@@ -1,7 +1,8 @@
 //! Criterion benchmark: raw interpretation speed of the VM substrate
 //! (the reproduction's "Cloud9 running time" baseline, Table 4 col. 2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use portend_bench::crit::Criterion;
+use portend_bench::{criterion_group, criterion_main};
 use portend_vm::{
     drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, NullMonitor, Operand,
     ProgramBuilder, Scheduler, VmConfig,
@@ -41,7 +42,7 @@ fn bench_vm(c: &mut Criterion) {
             let mut s = Scheduler::RoundRobin;
             let mut mon = NullMonitor;
             let stop = drive(&mut m, &mut s, &mut mon, &DriveCfg::default());
-            criterion::black_box(stop)
+            portend_bench::crit::black_box(stop)
         })
     });
 }

@@ -19,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod crit;
+
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -78,7 +80,13 @@ pub fn table1() -> String {
         })
         .collect();
     render_table(
-        &["Program", "Original LOC", "Language", "# Forked threads", "Model IR insts"],
+        &[
+            "Program",
+            "Original LOC",
+            "Language",
+            "# Forked threads",
+            "Model IR insts",
+        ],
         &rows,
     )
 }
@@ -123,7 +131,13 @@ pub fn table2() -> String {
         }
     }
     render_table(
-        &["Program", "Total # of races", "Deadlock", "Crash", "Semantic"],
+        &[
+            "Program",
+            "Total # of races",
+            "Deadlock",
+            "Crash",
+            "Semantic",
+        ],
         &rows,
     )
 }
@@ -208,11 +222,16 @@ pub fn table4() -> String {
         // Baseline: plain interpretation (no detector, no classification),
         // like the paper's "Cloud9 running time" column.
         let t0 = Instant::now();
-        let mut m = portend_replay::ExecutionTrace::new(vec![], w.inputs.clone())
-            .machine(&w.program, w.vm);
+        let mut m =
+            portend_replay::ExecutionTrace::new(vec![], w.inputs.clone()).machine(&w.program, w.vm);
         let mut sched = w.record_scheduler.clone();
         let mut mon = NullMonitor;
-        let _ = drive(&mut m, &mut sched, &mut mon, &DriveCfg::with_budget(5_000_000));
+        let _ = drive(
+            &mut m,
+            &mut sched,
+            &mut mon,
+            &DriveCfg::with_budget(5_000_000),
+        );
         let base = t0.elapsed();
 
         let result = w.analyze(PortendConfig::default());
@@ -357,11 +376,19 @@ pub fn fig7_stages() -> Vec<(&'static str, AnalysisStages)> {
         ("Single-path", AnalysisStages::single_path()),
         (
             "Ad-hoc synch detection",
-            AnalysisStages { adhoc_detection: true, multi_path: false, multi_schedule: false },
+            AnalysisStages {
+                adhoc_detection: true,
+                multi_path: false,
+                multi_schedule: false,
+            },
         ),
         (
             "Multi-path",
-            AnalysisStages { adhoc_detection: true, multi_path: true, multi_schedule: false },
+            AnalysisStages {
+                adhoc_detection: true,
+                multi_path: true,
+                multi_schedule: false,
+            },
         ),
         ("Multi-path + Multi-schedule", AnalysisStages::full()),
     ]
@@ -376,15 +403,19 @@ pub fn fig7() -> String {
         let mut row = vec![label.to_string()];
         for name in names {
             let w = portend_workloads::by_name(name).expect("workload exists");
-            let cfg = PortendConfig { stages, ..Default::default() };
+            let cfg = PortendConfig {
+                stages,
+                ..Default::default()
+            };
             let result = w.analyze(cfg);
             let card = ScoreCard::new(&w, &result);
             row.push(format!("{:.0}%", card.accuracy()));
         }
         rows.push(row);
     }
-    let headers: Vec<&str> =
-        std::iter::once("Technique").chain(apps.iter().copied()).collect();
+    let headers: Vec<&str> = std::iter::once("Technique")
+        .chain(apps.iter().copied())
+        .collect();
     render_table(&headers, &rows)
 }
 
@@ -445,7 +476,12 @@ pub fn fig9_table() -> String {
         })
         .collect();
     render_table(
-        &["Race", "# preemption points", "# dependent branches", "Classification time (ms)"],
+        &[
+            "Race",
+            "# preemption points",
+            "# dependent branches",
+            "Classification time (ms)",
+        ],
         &rows,
     )
 }

@@ -34,7 +34,10 @@ fn fig7_accuracy_is_monotone_and_reaches_100() {
         let w = by_name(name).unwrap();
         let mut last = -1.0f64;
         for (label, stages) in fig7_stages() {
-            let cfg = PortendConfig { stages, ..Default::default() };
+            let cfg = PortendConfig {
+                stages,
+                ..Default::default()
+            };
             let result = w.analyze(cfg);
             let acc = ScoreCard::new(&w, &result).accuracy();
             assert!(
@@ -56,10 +59,16 @@ fn fig7_accuracy_is_monotone_and_reaches_100() {
 #[test]
 fn single_path_alone_is_much_less_accurate() {
     let w = by_name("bbuf").unwrap();
-    let cfg = PortendConfig { stages: AnalysisStages::single_path(), ..Default::default() };
+    let cfg = PortendConfig {
+        stages: AnalysisStages::single_path(),
+        ..Default::default()
+    };
     let result = w.analyze(cfg);
     let acc = ScoreCard::new(&w, &result).accuracy();
-    assert!(acc < 50.0, "bbuf single-path accuracy should be low, got {acc}%");
+    assert!(
+        acc < 50.0,
+        "bbuf single-path accuracy should be low, got {acc}%"
+    );
 }
 
 /// Fig. 10: k = Mp × Ma; accuracy at the paper's k = 10 beats (or ties)
@@ -74,8 +83,14 @@ fn fig10_k_sweep_shape() {
         };
         let a1 = at(1);
         let a10 = at(10);
-        assert!(a10 >= a1, "{name}: accuracy(k=10)={a10} < accuracy(k=1)={a1}");
-        assert!((a10 - 100.0).abs() < 1e-9, "{name}: k=10 should reach 100%, got {a10}");
+        assert!(
+            a10 >= a1,
+            "{name}: accuracy(k=10)={a10} < accuracy(k=1)={a1}"
+        );
+        assert!(
+            (a10 - 100.0).abs() < 1e-9,
+            "{name}: k=10 should reach 100%, got {a10}"
+        );
     }
 }
 

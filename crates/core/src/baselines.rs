@@ -46,7 +46,9 @@ pub struct RecordReplayAnalyzer {
 impl RecordReplayAnalyzer {
     /// An analyzer with the default budget.
     pub fn new() -> Self {
-        RecordReplayAnalyzer { step_budget: 400_000 }
+        RecordReplayAnalyzer {
+            step_budget: 400_000,
+        }
     }
 
     /// Classifies one race.
@@ -59,8 +61,8 @@ impl RecordReplayAnalyzer {
         case: &AnalysisCase,
         race: &RaceReport,
     ) -> Result<RraVerdict, ClassifyError> {
-        let located = locate_race(case, race, self.step_budget * 2)
-            .map_err(|e| ClassifyError(e.0))?;
+        let located =
+            locate_race(case, race, self.step_budget * 2).map_err(|e| ClassifyError(e.0))?;
         let cell = Watch::cell(race.alloc, race.offset as i64);
 
         // Enforce the alternate ordering once, with no diagnosis probes.
@@ -85,7 +87,11 @@ impl RecordReplayAnalyzer {
             _ => return Ok(RraVerdict::LikelyHarmful),
         }
         let same = am.mem.fingerprint() == located.post.0.mem.fingerprint();
-        Ok(if same { RraVerdict::LikelyHarmless } else { RraVerdict::LikelyHarmful })
+        Ok(if same {
+            RraVerdict::LikelyHarmless
+        } else {
+            RraVerdict::LikelyHarmful
+        })
     }
 }
 
@@ -120,7 +126,9 @@ pub struct AdHocDetector {
 impl AdHocDetector {
     /// A detector with the default budget.
     pub fn new() -> Self {
-        AdHocDetector { step_budget: 400_000 }
+        AdHocDetector {
+            step_budget: 400_000,
+        }
     }
 
     /// Classifies one race.
@@ -133,8 +141,8 @@ impl AdHocDetector {
         case: &AnalysisCase,
         race: &RaceReport,
     ) -> Result<AdHocVerdict, ClassifyError> {
-        let located = locate_race(case, race, self.step_budget * 2)
-            .map_err(|e| ClassifyError(e.0))?;
+        let located =
+            locate_race(case, race, self.step_budget * 2).map_err(|e| ClassifyError(e.0))?;
         let cell = Watch::cell(race.alloc, race.offset as i64);
         let (mut am, mut asched) = located.pre.clone();
         let mut sup = Supervisor::new(located.replay_steps * 5 + 10_000);
@@ -189,21 +197,35 @@ impl HeuristicClassifier {
         let i2 = case.program.inst_at(race.second.pc);
         // Redundant writes: both sides store the same immediate.
         if let (
-            Some(Inst::Store { src: Operand::Imm(a), .. }),
-            Some(Inst::Store { src: Operand::Imm(b), .. }),
+            Some(Inst::Store {
+                src: Operand::Imm(a),
+                ..
+            }),
+            Some(Inst::Store {
+                src: Operand::Imm(b),
+                ..
+            }),
         ) = (i1, i2)
         {
             if a == b {
-                return HeuristicVerdict::LikelyBenign { pattern: "redundant write" };
+                return HeuristicVerdict::LikelyBenign {
+                    pattern: "redundant write",
+                };
             }
         }
         // Statistics counter: a load-add-store increment racing with
         // another access to the same cell.
         for inst in [i1, i2].into_iter().flatten() {
-            if let Inst::Store { src: Operand::Reg(_), .. } = inst {
+            if let Inst::Store {
+                src: Operand::Reg(_),
+                ..
+            } = inst
+            {
                 let name = &race.alloc_name;
                 if name.contains("count") || name.contains("stat") || name.contains("hits") {
-                    return HeuristicVerdict::LikelyBenign { pattern: "statistics counter" };
+                    return HeuristicVerdict::LikelyBenign {
+                        pattern: "statistics counter",
+                    };
                 }
             }
         }

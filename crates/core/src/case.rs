@@ -22,8 +22,11 @@ pub struct Predicate {
     pub name: String,
     /// The cells whose writes trigger re-evaluation.
     pub watches: Vec<Watch>,
-    check: Arc<dyn Fn(&Machine) -> Option<String> + Send + Sync>,
+    check: PredicateFn,
 }
+
+/// The boxed check of a [`Predicate`]: `Some(message)` means violated.
+type PredicateFn = Arc<dyn Fn(&Machine) -> Option<String> + Send + Sync>;
 
 impl Predicate {
     /// Creates a predicate. `check` returns `Some(message)` when the
@@ -33,7 +36,11 @@ impl Predicate {
         watches: Vec<Watch>,
         check: impl Fn(&Machine) -> Option<String> + Send + Sync + 'static,
     ) -> Self {
-        Predicate { name: name.into(), watches, check: Arc::new(check) }
+        Predicate {
+            name: name.into(),
+            watches,
+            check: Arc::new(check),
+        }
     }
 
     /// Evaluates the predicate; `Some(message)` means violated.
@@ -122,7 +129,10 @@ mod tests {
         let prog = Arc::new(pb.build(main).unwrap());
         let m = Machine::new(
             prog.clone(),
-            portend_vm::InputSource::new(InputSpec::concrete(vec![]), portend_vm::InputMode::Concrete),
+            portend_vm::InputSource::new(
+                InputSpec::concrete(vec![]),
+                portend_vm::InputMode::Concrete,
+            ),
             VmConfig::default(),
         );
         assert_eq!(p.check(&m), Some("negative: -3".into()));

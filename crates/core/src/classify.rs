@@ -3,9 +3,10 @@
 //! into a final [`Verdict`] (paper §3.5).
 
 use std::fmt;
+use std::sync::Arc;
 
 use portend_race::RaceReport;
-use portend_symex::Solver;
+use portend_symex::{Solver, SolverCache};
 use portend_vm::{InputMode, InputSource, InputSpec, Machine, Scheduler, VmError, Watch};
 
 use crate::case::AnalysisCase;
@@ -58,6 +59,17 @@ impl Portend {
         Portend { config, solver }
     }
 
+    /// A classifier whose solver memoizes every query in `cache`.
+    ///
+    /// Classifiers on different threads sharing one cache solve each
+    /// distinct path-constraint query once across all of them; cached
+    /// answers are exact, so verdicts are unchanged (the farm's
+    /// cross-race sharing relies on this).
+    pub fn with_cache(config: PortendConfig, cache: Arc<SolverCache>) -> Self {
+        let solver = Solver::with_config(config.solver).cached(cache);
+        Portend { config, solver }
+    }
+
     /// Classifies one race (one cluster representative) from a recorded
     /// case into the four-category taxonomy.
     ///
@@ -65,11 +77,14 @@ impl Portend {
     ///
     /// Fails when the race cannot be re-located in a deterministic replay
     /// of the case's trace (e.g. the trace belongs to another program).
-    pub fn classify(&self, case: &AnalysisCase, race: &RaceReport) -> Result<Verdict, ClassifyError> {
+    pub fn classify(
+        &self,
+        case: &AnalysisCase,
+        race: &RaceReport,
+    ) -> Result<Verdict, ClassifyError> {
         let cfg = &self.config;
         let locate_budget = cfg.step_budget.saturating_mul(2);
-        let located = locate_race(case, race, locate_budget)
-            .map_err(|e| ClassifyError(e.0))?;
+        let located = locate_race(case, race, locate_budget).map_err(|e| ClassifyError(e.0))?;
 
         let mut stats = ClassifyStats {
             primaries: 1,
@@ -85,9 +100,7 @@ impl Portend {
             SingleResult::SpecViol { kind, replay } => {
                 return Ok(finish(Verdict::spec_violation(kind, replay), stats))
             }
-            SingleResult::SingleOrd => {
-                return Ok(finish(Verdict::single_ordering(), stats))
-            }
+            SingleResult::SingleOrd => return Ok(finish(Verdict::single_ordering(), stats)),
             SingleResult::OutDiff(ev) => {
                 return Ok(finish(
                     Verdict {
@@ -126,7 +139,11 @@ impl Portend {
         };
         stats.primaries = primaries.len().max(1) as u64;
 
-        let ma = if cfg.stages.multi_schedule { cfg.ma.max(1) } else { 1 };
+        let ma = if cfg.stages.multi_schedule {
+            cfg.ma.max(1)
+        } else {
+            1
+        };
         let mut k: u64 = 1; // Algorithm 1's matching pair counts as a witness.
         for (i, primary) in primaries.iter().enumerate() {
             for j in 0..ma {
@@ -261,8 +278,12 @@ impl Portend {
         sup.budget = sup.budget.max(cfg.step_budget / 2);
         match sup.run(&mut m, &mut sched, &case.predicates) {
             SupStop::Completed => {
-                match symbolic_match(&primary.machine, &m.output, &primary.concrete_inputs, &self.solver)
-                {
+                match symbolic_match(
+                    &primary.machine,
+                    &m.output,
+                    &primary.concrete_inputs,
+                    &self.solver,
+                ) {
                     OutputMatch::Match => AltOutcome::Match,
                     OutputMatch::Mismatch(ev) => AltOutcome::Mismatch(ev),
                 }
@@ -279,7 +300,9 @@ impl Portend {
                 kind: SpecViolationKind::InfiniteLoop { spinning: m.cur },
                 replay: replay_of(&m, primary, "alternate execution hung after the race"),
             },
-            SupStop::Stuck | SupStop::RaceHit(_) | SupStop::SymBranch { .. }
+            SupStop::Stuck
+            | SupStop::RaceHit(_)
+            | SupStop::SymBranch { .. }
             | SupStop::SymAssert { .. } => AltOutcome::Skipped,
         }
     }
@@ -289,7 +312,10 @@ impl Portend {
 enum AltOutcome {
     Match,
     Mismatch(crate::taxonomy::OutputDiffEvidence),
-    SpecViol { kind: SpecViolationKind, replay: ReplayEvidence },
+    SpecViol {
+        kind: SpecViolationKind,
+        replay: ReplayEvidence,
+    },
     Skipped,
 }
 

@@ -1,5 +1,9 @@
-//! Portend configuration: the Mp/Ma "dial" and the analysis-stage toggles.
+//! Portend configuration: the Mp/Ma "dial", the analysis-stage toggles,
+//! and the parallel-classification farm knobs.
 
+use std::time::Duration;
+
+use portend_farm::FarmConfig;
 use portend_symex::SolverConfig;
 
 /// Which analysis techniques are enabled — the axes of the paper's Fig. 7
@@ -21,12 +25,20 @@ pub struct AnalysisStages {
 impl AnalysisStages {
     /// Everything on (Portend's default).
     pub fn full() -> Self {
-        AnalysisStages { adhoc_detection: true, multi_path: true, multi_schedule: true }
+        AnalysisStages {
+            adhoc_detection: true,
+            multi_path: true,
+            multi_schedule: true,
+        }
     }
 
     /// Single-pre/single-post only (the Fig. 7 baseline bar).
     pub fn single_path() -> Self {
-        AnalysisStages { adhoc_detection: false, multi_path: false, multi_schedule: false }
+        AnalysisStages {
+            adhoc_detection: false,
+            multi_path: false,
+            multi_schedule: false,
+        }
     }
 }
 
@@ -62,6 +74,9 @@ pub struct PortendConfig {
     pub schedule_seed: u64,
     /// Solver configuration.
     pub solver: SolverConfig,
+    /// Parallel-classification farm knobs (used by
+    /// `Pipeline::run_parallel`; ignored by the serial path).
+    pub farm: FarmKnobs,
 }
 
 impl Default for PortendConfig {
@@ -75,6 +90,56 @@ impl Default for PortendConfig {
             max_exploration_states: 256,
             schedule_seed: 0x9e3779b9,
             solver: SolverConfig::default(),
+            farm: FarmKnobs::default(),
+        }
+    }
+}
+
+/// Knobs for the parallel classification farm (`crates/farm`).
+///
+/// None of these can change a verdict: the farm only reorders *when* each
+/// race is classified, and the shared solver cache is answer-preserving
+/// by construction (its key captures the entire solver call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmKnobs {
+    /// Default worker count when `run_parallel` is called with `0`.
+    /// `0` here too means "one worker per available CPU".
+    pub workers: usize,
+    /// Soft wall-clock budget per classification job, in milliseconds;
+    /// `0` disables it. Overruns are *counted* (`FarmStats`), never
+    /// killed — killing would make verdicts depend on host timing.
+    pub job_time_budget_ms: u64,
+    /// Share one sharded solver-query cache across all jobs of a run, so
+    /// equivalent path-constraint checks across races and schedules are
+    /// solved once.
+    pub solver_cache: bool,
+    /// Shard count of the shared solver cache.
+    pub cache_shards: usize,
+    /// Classify suspected-harmful races first (detector heuristics).
+    pub priority_order: bool,
+}
+
+impl Default for FarmKnobs {
+    fn default() -> Self {
+        FarmKnobs {
+            workers: 0,
+            job_time_budget_ms: 0,
+            solver_cache: true,
+            cache_shards: portend_symex::DEFAULT_SHARDS,
+            priority_order: true,
+        }
+    }
+}
+
+impl FarmKnobs {
+    /// The farm configuration for one run. `workers` overrides the knob
+    /// when non-zero.
+    pub fn farm_config(&self, workers: usize) -> FarmConfig {
+        FarmConfig {
+            workers: if workers == 0 { self.workers } else { workers },
+            job_time_budget: (self.job_time_budget_ms > 0)
+                .then(|| Duration::from_millis(self.job_time_budget_ms)),
+            priority_order: self.priority_order,
         }
     }
 }
@@ -90,12 +155,16 @@ impl PortendConfig {
     pub fn with_k(k: usize) -> Self {
         let (mp, ma) = if k <= 1 {
             (1, 1)
-        } else if k % 2 == 0 {
+        } else if k.is_multiple_of(2) {
             (k / 2, 2)
         } else {
             (k, 1)
         };
-        PortendConfig { mp, ma, ..Default::default() }
+        PortendConfig {
+            mp,
+            ma,
+            ..Default::default()
+        }
     }
 }
 
@@ -124,5 +193,21 @@ mod tests {
     fn stage_presets() {
         assert!(!AnalysisStages::single_path().multi_path);
         assert!(AnalysisStages::full().multi_schedule);
+    }
+
+    #[test]
+    fn farm_knobs_translate_to_farm_config() {
+        let knobs = FarmKnobs {
+            workers: 2,
+            job_time_budget_ms: 250,
+            ..Default::default()
+        };
+        let fc = knobs.farm_config(0);
+        assert_eq!(fc.workers, 2);
+        assert_eq!(fc.job_time_budget, Some(Duration::from_millis(250)));
+        // A non-zero call-site worker count overrides the knob.
+        assert_eq!(knobs.farm_config(8).workers, 8);
+        // Budget 0 means unlimited.
+        assert_eq!(FarmKnobs::default().farm_config(4).job_time_budget, None);
     }
 }

@@ -85,7 +85,9 @@ pub(crate) fn explore_primaries(
     let cell = Watch::cell(race.alloc, race.offset as i64);
 
     let root = ExpState {
-        m: case.trace.machine_symbolic(&case.program, &case.input_spec, case.vm),
+        m: case
+            .trace
+            .machine_symbolic(&case.program, &case.input_spec, case.vm),
         sched: case.trace.scheduler(),
         budget: cfg.step_budget,
         first_count: 0,
@@ -120,8 +122,8 @@ pub(crate) fn explore_primaries(
                     if h.tid == race.first.tid && h.pc == race.first.pc {
                         st.first_count += 1;
                     }
-                    let is_second = h.tid == race.second.tid
-                        && st.first_count >= located.first_occurrence;
+                    let is_second =
+                        h.tid == race.second.tid && st.first_count >= located.first_occurrence;
                     if let Some(stop) = sup.step_over_checked(&mut st.m, &case.predicates) {
                         if let Some(r) = fault_on_path(&st, stop, case, solver) {
                             return (r, stats);
@@ -132,21 +134,21 @@ pub(crate) fn explore_primaries(
                     if is_second && !st.past_race {
                         st.past_race = true;
                         st.occ_at_race = st.first_count;
-                        stats.dependent_branches =
-                            stats.dependent_branches.max(st.m.sym_branches);
+                        stats.dependent_branches = stats.dependent_branches.max(st.m.sym_branches);
                     }
                 }
-                SupStop::SymBranch { cond, then_b, else_b } => {
-                    stats.dependent_branches =
-                        stats.dependent_branches.max(st.m.sym_branches + 1);
+                SupStop::SymBranch {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    stats.dependent_branches = stats.dependent_branches.max(st.m.sym_branches + 1);
                     let mut with_then = st.m.path.clone();
                     with_then.push(cond.clone().truthy());
                     let mut with_else = st.m.path.clone();
                     with_else.push(cond.clone().not());
-                    let then_ok =
-                        solver.check(&with_then, &st.m.vars).decided() != Some(false);
-                    let else_ok =
-                        solver.check(&with_else, &st.m.vars).decided() != Some(false);
+                    let then_ok = solver.check(&with_then, &st.m.vars).decided() != Some(false);
+                    let else_ok = solver.check(&with_else, &st.m.vars).decided() != Some(false);
                     match (then_ok, else_ok) {
                         (true, true) => {
                             if forked < cfg.max_exploration_states {
@@ -177,9 +179,7 @@ pub(crate) fn explore_primaries(
                     if st.past_race {
                         let mut with_fail = st.m.path.clone();
                         with_fail.push(cond.clone().not());
-                        if let SatResult::Sat(model) =
-                            solver.check(&with_fail, &st.m.vars)
-                        {
+                        if let SatResult::Sat(model) = solver.check(&with_fail, &st.m.vars) {
                             let inputs = st.m.inputs.concretize(&model, &st.m.vars);
                             let tid = st.m.cur;
                             let pc = st.m.thread(tid).pc().expect("live");
@@ -193,8 +193,8 @@ pub(crate) fn explore_primaries(
                                     replay: ReplayEvidence {
                                         inputs,
                                         schedule: st.m.sched_log.clone(),
-                                        description:
-                                            "assertion fails on an explored primary path".into(),
+                                        description: "assertion fails on an explored primary path"
+                                            .into(),
                                     },
                                 },
                                 stats,
@@ -211,18 +211,14 @@ pub(crate) fn explore_primaries(
                 }
                 SupStop::Completed => {
                     if st.past_race {
-                        match solver.check(&st.m.path, &st.m.vars) {
-                            SatResult::Sat(model) => {
-                                let concrete_inputs =
-                                    st.m.inputs.concretize(&model, &st.m.vars);
-                                primaries.push(PrimaryPath {
-                                    first_occ_at_race: st.occ_at_race,
-                                    machine: st.m,
-                                    model,
-                                    concrete_inputs,
-                                });
-                            }
-                            _ => {}
+                        if let SatResult::Sat(model) = solver.check(&st.m.path, &st.m.vars) {
+                            let concrete_inputs = st.m.inputs.concretize(&model, &st.m.vars);
+                            primaries.push(PrimaryPath {
+                                first_occ_at_race: st.occ_at_race,
+                                machine: st.m,
+                                model,
+                                concrete_inputs,
+                            });
                         }
                     }
                     break;

@@ -18,7 +18,9 @@
 //!
 //! ## Entry points
 //!
-//! * [`Pipeline`] — detect + classify every race of a program run;
+//! * [`Pipeline`] — detect + classify every race of a program run,
+//!   serially ([`Pipeline::run`]) or on the work-stealing classification
+//!   farm ([`Pipeline::run_parallel`], crate `portend-farm`);
 //! * [`Portend`] — classify a single race from a recorded trace;
 //! * [`baselines`] — the Record/Replay-Analyzer, Ad-Hoc-Detector, and
 //!   DataCollider-style comparators of the paper's §5.4;
@@ -47,11 +49,12 @@ mod triage;
 
 pub use case::{AnalysisCase, Predicate};
 pub use classify::{ClassifyError, Portend};
-pub use config::{AnalysisStages, PortendConfig};
+pub use config::{AnalysisStages, FarmKnobs, PortendConfig};
 pub use pipeline::{AnalyzedRace, Pipeline, PipelineResult};
+pub use portend_farm::{FarmStats, WorkerStats};
 pub use report::render_report;
-pub use triage::{triage_reports, TriageOutcome};
 pub use taxonomy::{
     ClassifyStats, OutputDiffEvidence, RaceClass, ReplayEvidence, SpecViolationKind, Verdict,
     VerdictDetail,
 };
+pub use triage::{triage_reports, TriageOutcome};

@@ -1,8 +1,8 @@
 //! Replaying the primary trace to the race: pre-race and post-race
 //! checkpoints (paper §3.2, Algorithm 1 lines 1–4).
 
-use portend_vm::{Machine, Scheduler, Watch};
 use portend_race::RaceReport;
+use portend_vm::{Machine, Scheduler, Watch};
 
 use crate::case::AnalysisCase;
 use crate::supervise::{SupStop, Supervisor};
@@ -41,7 +41,8 @@ pub(crate) fn locate_race(
     let mut m = case.trace.machine(&case.program, case.vm);
     let mut sched = case.trace.scheduler();
     let mut sup = Supervisor::new(budget);
-    sup.race_watches.push(Watch::cell(race.alloc, race.offset as i64));
+    sup.race_watches
+        .push(Watch::cell(race.alloc, race.offset as i64));
 
     let mut first_count: u32 = 0;
     let mut pre: Option<(Machine, Scheduler)> = None;
@@ -113,7 +114,10 @@ mod tests {
         let run = record(
             &program,
             vec![],
-            RecordConfig { scheduler: VmScheduler::RoundRobin, ..Default::default() },
+            RecordConfig {
+                scheduler: VmScheduler::RoundRobin,
+                ..Default::default()
+            },
         );
         assert_eq!(run.clusters.len(), 1);
         let race = run.clusters[0].representative.clone();

@@ -54,13 +54,23 @@ pub(crate) fn symbolic_match(
                 if pr.val == ar.val {
                     continue;
                 }
-                return OutputMatch::Mismatch(evidence_at(primary, alternate_out, i, alternate_inputs));
+                return OutputMatch::Mismatch(evidence_at(
+                    primary,
+                    alternate_out,
+                    i,
+                    alternate_inputs,
+                ));
             }
         };
         match pr.val.as_concrete() {
             Some(v) if v == conc => continue,
             Some(_) => {
-                return OutputMatch::Mismatch(evidence_at(primary, alternate_out, i, alternate_inputs))
+                return OutputMatch::Mismatch(evidence_at(
+                    primary,
+                    alternate_out,
+                    i,
+                    alternate_inputs,
+                ))
             }
             None => constraints.push(pr.val.to_expr().eq(Expr::konst(conc))),
         }
@@ -123,11 +133,11 @@ fn evidence_at(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use portend_symex::Expr;
     use portend_vm::{
         InputMode, InputSource, InputSpec, Machine, Operand, OutputRec, Pc, ProgramBuilder,
         ThreadId, Val, VmConfig,
     };
-    use portend_symex::Expr;
     use std::sync::Arc;
 
     fn machine_with_sym_output() -> Machine {
@@ -141,7 +151,8 @@ mod tests {
         );
         // i ≥ 0 constraint with output = i (the paper's §3.3.1 example).
         let v = m.vars.fresh("i", -100, 100);
-        m.path.push(Expr::var(v).cmp(portend_symex::CmpOp::Ge, Expr::konst(0)));
+        m.path
+            .push(Expr::var(v).cmp(portend_symex::CmpOp::Ge, Expr::konst(0)));
         m.output.push(OutputRec {
             fd: 1,
             val: Val::S(Expr::var(v)),

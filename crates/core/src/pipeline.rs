@@ -1,11 +1,15 @@
 //! The end-to-end pipeline: run the program under the race detector,
-//! cluster the reports, classify every cluster (paper Fig. 2).
+//! cluster the reports, classify every cluster (paper Fig. 2) — serially
+//! ([`Pipeline::run`]) or on the work-stealing classification farm
+//! ([`Pipeline::run_parallel`]).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use portend_farm::{cluster_priority, Farm, FarmStats, JobSpec};
 use portend_race::{DetectorConfig, RaceCluster};
 use portend_replay::{record, RecordConfig, RecordedRun};
+use portend_symex::SolverCache;
 use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
 
 use crate::case::{AnalysisCase, Predicate};
@@ -40,18 +44,12 @@ pub struct PipelineResult {
 }
 
 /// The full pipeline configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Pipeline {
     /// Recording configuration (scheduler, detector, budgets).
     pub record: RecordConfig,
     /// Classification configuration.
     pub portend: PortendConfig,
-}
-
-impl Default for Pipeline {
-    fn default() -> Self {
-        Pipeline { record: RecordConfig::default(), portend: PortendConfig::default() }
-    }
 }
 
 impl Pipeline {
@@ -68,18 +66,8 @@ impl Pipeline {
         predicates: Vec<Predicate>,
         vm: VmConfig,
     ) -> PipelineResult {
-        let t0 = Instant::now();
-        let rec_cfg = RecordConfig { vm, ..self.record.clone() };
-        let run = record(program, inputs, rec_cfg);
-        let record_time = t0.elapsed();
-
-        let case = AnalysisCase {
-            program: Arc::clone(program),
-            trace: run.trace.clone(),
-            input_spec,
-            predicates,
-            vm,
-        };
+        let (run, record_time, case) =
+            self.record_phase(program, inputs, input_spec, predicates, vm);
         let portend = Portend::new(self.portend.clone());
         let mut analyzed = Vec::with_capacity(run.clusters.len());
         for cluster in &run.clusters {
@@ -91,7 +79,132 @@ impl Pipeline {
                 time: t.elapsed(),
             });
         }
-        PipelineResult { record: run, analyzed, record_time, case }
+        PipelineResult {
+            record: run,
+            analyzed,
+            record_time,
+            case,
+        }
+    }
+
+    /// Like [`Pipeline::run`], but classifies all detected race clusters
+    /// concurrently on the [`portend_farm`] work-stealing pool, sharing
+    /// one sharded solver-query cache across all jobs.
+    ///
+    /// `workers` is the pool width; `0` defers to the
+    /// [`crate::config::FarmKnobs`] in the configuration (whose own `0`
+    /// means one worker per CPU). Verdicts are identical to the serial
+    /// path: classification is a pure function of (case, cluster, config)
+    /// and the cache is answer-preserving. Only `time` fields and
+    /// wall-clock totals differ.
+    pub fn run_parallel(
+        &self,
+        program: &Arc<Program>,
+        inputs: Vec<i64>,
+        input_spec: InputSpec,
+        predicates: Vec<Predicate>,
+        vm: VmConfig,
+        workers: usize,
+    ) -> PipelineResult {
+        self.run_parallel_with_stats(program, inputs, input_spec, predicates, vm, workers)
+            .0
+    }
+
+    /// [`Pipeline::run_parallel`], additionally reporting the farm's
+    /// aggregate statistics (per-worker utilization, steal counts, solver
+    /// cache hit rate).
+    pub fn run_parallel_with_stats(
+        &self,
+        program: &Arc<Program>,
+        inputs: Vec<i64>,
+        input_spec: InputSpec,
+        predicates: Vec<Predicate>,
+        vm: VmConfig,
+        workers: usize,
+    ) -> (PipelineResult, FarmStats) {
+        let (run, record_time, case) =
+            self.record_phase(program, inputs, input_spec, predicates, vm);
+        let case = Arc::new(case);
+        let knobs = &self.portend.farm;
+        let cache = knobs
+            .solver_cache
+            .then(|| Arc::new(SolverCache::new(knobs.cache_shards)));
+        let farm = Farm::new(knobs.farm_config(workers));
+        let jobs: Vec<JobSpec<RaceCluster>> = run
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| JobSpec::new(i, c.clone()).with_priority(cluster_priority(c)))
+            .collect();
+
+        let cfg = self.portend.clone();
+        let job_case = Arc::clone(&case);
+        let job_cache = cache.clone();
+        let mut frun = farm.run(jobs, move |_worker, cluster: RaceCluster| {
+            let portend = match &job_cache {
+                Some(c) => Portend::with_cache(cfg.clone(), Arc::clone(c)),
+                None => Portend::new(cfg.clone()),
+            };
+            let verdict = portend.classify(&job_case, &cluster.representative);
+            (cluster, verdict)
+        });
+        if let Some(c) = &cache {
+            frun.attach_cache(Arc::clone(c));
+        }
+        let (outputs, stats) = frun.join();
+
+        // `join` sorts by job index, restoring detection order.
+        let analyzed = outputs
+            .into_iter()
+            .map(|o| {
+                let (cluster, verdict) = o.result;
+                AnalyzedRace {
+                    cluster,
+                    verdict,
+                    time: o.time,
+                }
+            })
+            .collect();
+        let case = Arc::try_unwrap(case).unwrap_or_else(|arc| arc.as_ref().clone());
+        (
+            PipelineResult {
+                record: run,
+                analyzed,
+                record_time,
+                case,
+            },
+            stats,
+        )
+    }
+
+    /// The shared prologue of [`Pipeline::run`] and
+    /// [`Pipeline::run_parallel`]: record once under the detector and
+    /// assemble the analysis case. Keeping this in one place is part of
+    /// the serial/parallel verdict-equivalence contract — both paths
+    /// classify against byte-identical inputs.
+    fn record_phase(
+        &self,
+        program: &Arc<Program>,
+        inputs: Vec<i64>,
+        input_spec: InputSpec,
+        predicates: Vec<Predicate>,
+        vm: VmConfig,
+    ) -> (RecordedRun, Duration, AnalysisCase) {
+        let t0 = Instant::now();
+        let rec_cfg = RecordConfig {
+            vm,
+            ..self.record.clone()
+        };
+        let run = record(program, inputs, rec_cfg);
+        let record_time = t0.elapsed();
+        let case = AnalysisCase {
+            program: Arc::clone(program),
+            trace: run.trace.clone(),
+            input_spec,
+            predicates,
+            vm,
+        };
+        (run, record_time, case)
     }
 
     /// Convenience: run with a specific recording scheduler.

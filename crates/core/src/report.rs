@@ -24,7 +24,10 @@ pub fn render_report(case: &AnalysisCase, race: &RaceReport, verdict: &Verdict) 
         race.first.tid.0,
         rw(race.first.is_write)
     ));
-    out.push_str(&format!("Current thread at:\n  {}\n", p.loc(race.second.pc)));
+    out.push_str(&format!(
+        "Current thread at:\n  {}\n",
+        p.loc(race.second.pc)
+    ));
     out.push_str(&format!("Previous at:\n  {}\n", p.loc(race.first.pc)));
     out.push_str("size of the accessed field: 8 offset: ");
     out.push_str(&format!("{}\n", race.offset * 8));
@@ -98,13 +101,29 @@ mod tests {
         });
         let program = Arc::new(pb.build(main).unwrap());
         let case = AnalysisCase::concrete(program, ExecutionTrace::default());
-        let pc = Pc { func: FuncId(0), block: BlockId(0), idx: 0 };
+        let pc = Pc {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        };
         let race = RaceReport {
             alloc: AllocId(0),
             alloc_name: "OutputBuffer".into(),
             offset: 0,
-            first: RaceAccess { tid: ThreadId(0), pc, line: 389, is_write: true, step: 1 },
-            second: RaceAccess { tid: ThreadId(3), pc, line: 702, is_write: false, step: 2 },
+            first: RaceAccess {
+                tid: ThreadId(0),
+                pc,
+                line: 389,
+                is_write: true,
+                step: 1,
+            },
+            second: RaceAccess {
+                tid: ThreadId(3),
+                pc,
+                line: 702,
+                is_write: false,
+                step: 2,
+            },
         };
         let verdict = Verdict {
             class: RaceClass::KWitnessHarmless,

@@ -66,7 +66,9 @@ pub(crate) fn single_classify(
                 replay: evidence(&pm, case, "primary execution hung after the race"),
             }
         }
-        SupStop::Stuck | SupStop::RaceHit(_) | SupStop::SymBranch { .. }
+        SupStop::Stuck
+        | SupStop::RaceHit(_)
+        | SupStop::SymBranch { .. }
         | SupStop::SymAssert { .. } => {
             unreachable!("concrete, unsuspended, unwatched primary cannot stop this way")
         }
@@ -122,7 +124,9 @@ pub(crate) fn single_classify(
 /// an unenforceable alternate is assumed harmful.
 fn conservative_harmful(am: &Machine, case: &AnalysisCase, race: &RaceReport) -> SingleResult {
     SingleResult::SpecViol {
-        kind: SpecViolationKind::InfiniteLoop { spinning: race.second.tid },
+        kind: SpecViolationKind::InfiniteLoop {
+            spinning: race.second.tid,
+        },
         replay: evidence(am, case, "alternate ordering could not be enforced"),
     }
 }
@@ -178,7 +182,9 @@ fn probe_after_stuck(
             // compare outputs.
             sup.race_watches.clear();
             match sup.run(&mut am, &mut asched, &case.predicates) {
-                SupStop::Completed => SingleResult::OutSame { states_differ: true },
+                SupStop::Completed => SingleResult::OutSame {
+                    states_differ: true,
+                },
                 SupStop::Error(e) => spec_viol(e, &am, case, "alternate after stuck probe"),
                 SupStop::Semantic(msg) => SingleResult::SpecViol {
                     kind: SpecViolationKind::Semantic { message: msg },
@@ -207,17 +213,18 @@ fn probe_after_stuck(
                     kind: SpecViolationKind::Semantic { message: msg },
                     replay: evidence(&am, case, "alternate enforcement probe"),
                 },
-                SupStop::Completed | SupStop::Timeout | SupStop::Stuck => {
-                    SingleResult::SingleOrd
-                }
+                SupStop::Completed | SupStop::Timeout | SupStop::Stuck => SingleResult::SingleOrd,
                 SupStop::RaceHit(_) | SupStop::SymBranch { .. } | SupStop::SymAssert { .. } => {
                     unreachable!("no race watches remain and execution is concrete")
                 }
             }
         }
-        SupStop::Error(e @ VmError::Deadlock(_)) => {
-            spec_viol(e, &am, case, "deadlock while enforcing the alternate ordering")
-        }
+        SupStop::Error(e @ VmError::Deadlock(_)) => spec_viol(
+            e,
+            &am,
+            case,
+            "deadlock while enforcing the alternate ordering",
+        ),
         SupStop::Error(e) => spec_viol(e, &am, case, "alternate enforcement probe"),
         SupStop::Semantic(msg) => SingleResult::SpecViol {
             kind: SpecViolationKind::Semantic { message: msg },
@@ -300,7 +307,9 @@ fn run_alternate_tail(
             kind: SpecViolationKind::InfiniteLoop { spinning: am.cur },
             replay: evidence(&am, case, "alternate execution hung after the race"),
         },
-        SupStop::Stuck | SupStop::RaceHit(_) | SupStop::SymBranch { .. }
+        SupStop::Stuck
+        | SupStop::RaceHit(_)
+        | SupStop::SymBranch { .. }
         | SupStop::SymAssert { .. } => {
             unreachable!("no suspensions or race watches remain and execution is concrete")
         }
@@ -325,8 +334,14 @@ fn compare_outputs(
                 .unwrap_or_default();
             SingleResult::OutDiff(OutputDiffEvidence {
                 position: *pos,
-                primary: p.as_ref().map(|v| v.to_string()).unwrap_or_else(|| "<missing>".into()),
-                alternate: a.as_ref().map(|v| v.to_string()).unwrap_or_else(|| "<missing>".into()),
+                primary: p
+                    .as_ref()
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "<missing>".into()),
+                alternate: a
+                    .as_ref()
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "<missing>".into()),
                 primary_loc: loc,
                 inputs: case.trace.inputs.clone(),
             })
@@ -339,7 +354,10 @@ fn spec_viol(e: VmError, m: &Machine, case: &AnalysisCase, what: &str) -> Single
         VmError::Deadlock(_) => SpecViolationKind::Deadlock(e.clone()),
         _ => SpecViolationKind::Crash(e.clone()),
     };
-    SingleResult::SpecViol { kind, replay: evidence(m, case, what) }
+    SingleResult::SpecViol {
+        kind,
+        replay: evidence(m, case, what),
+    }
 }
 
 fn stop_to_result(stop: SupStop, m: &Machine, case: &AnalysisCase, what: &str) -> SingleResult {

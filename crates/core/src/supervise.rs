@@ -116,8 +116,16 @@ impl Supervisor {
                 DriveStop::Error(e) => return SupStop::Error(e),
                 DriveStop::StepLimit => return SupStop::Timeout,
                 DriveStop::Stuck => return SupStop::Stuck,
-                DriveStop::SymBranch { cond, then_b, else_b } => {
-                    return SupStop::SymBranch { cond, then_b, else_b }
+                DriveStop::SymBranch {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    return SupStop::SymBranch {
+                        cond,
+                        then_b,
+                        else_b,
+                    }
                 }
                 DriveStop::SymAssert { cond, msg } => return SupStop::SymAssert { cond, msg },
             }
@@ -140,12 +148,18 @@ impl Supervisor {
         match m.step(&mut NullMonitor) {
             StepEvent::Ran | StepEvent::Blocked | StepEvent::Exited => {}
             StepEvent::Err(e) => return Some(SupStop::Error(e)),
-            StepEvent::SymBranch { cond, then_b, else_b } => {
-                return Some(SupStop::SymBranch { cond, then_b, else_b })
+            StepEvent::SymBranch {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                return Some(SupStop::SymBranch {
+                    cond,
+                    then_b,
+                    else_b,
+                })
             }
-            StepEvent::SymAssert { cond, msg } => {
-                return Some(SupStop::SymAssert { cond, msg })
-            }
+            StepEvent::SymAssert { cond, msg } => return Some(SupStop::SymAssert { cond, msg }),
         }
         self.budget = self.budget.saturating_sub(1);
         for p in predicates {
@@ -174,8 +188,8 @@ pub(crate) fn check_predicates(predicates: &[Predicate], m: &Machine) -> Option<
 pub(crate) fn hit_matches_any(h: &WatchHit, watches: &[Watch]) -> bool {
     watches.iter().any(|w| {
         w.alloc == h.alloc
-            && w.offset.map_or(true, |o| o == h.offset)
-            && w.tid.map_or(true, |t| t == h.tid)
+            && w.offset.is_none_or(|o| o == h.offset)
+            && w.tid.is_none_or(|t| t == h.tid)
             && (!w.writes_only || h.is_write)
     })
 }
@@ -205,14 +219,10 @@ mod tests {
             InputSource::new(InputSpec::concrete(vec![]), InputMode::Concrete),
             VmConfig::default(),
         );
-        let pred = Predicate::new(
-            "nonneg",
-            vec![Watch::cell(AllocId(0), 0)],
-            |m: &Machine| {
-                let v = m.mem.load(AllocId(0), 0).ok()?.as_concrete()?;
-                (v < 0).then(|| format!("g = {v}"))
-            },
-        );
+        let pred = Predicate::new("nonneg", vec![Watch::cell(AllocId(0), 0)], |m: &Machine| {
+            let v = m.mem.load(AllocId(0), 0).ok()?.as_concrete()?;
+            (v < 0).then(|| format!("g = {v}"))
+        });
         let mut sup = Supervisor::new(10_000);
         let mut sched = Scheduler::Cooperative;
         let stop = sup.run(&mut m, &mut sched, &[pred]);

@@ -206,7 +206,11 @@ impl fmt::Display for Verdict {
                 write!(f, "{} ({kind})", self.class)
             }
             VerdictDetail::OutputDiff(d) => {
-                write!(f, "{} (position {}: {} vs {})", self.class, d.position, d.primary, d.alternate)
+                write!(
+                    f,
+                    "{} (position {}: {} vs {})",
+                    self.class, d.position, d.primary, d.alternate
+                )
             }
             VerdictDetail::KWitness => write!(f, "{} (k = {})", self.class, self.k),
             VerdictDetail::AdHocSync => write!(f, "{}", self.class),
@@ -230,10 +234,15 @@ mod tests {
 
     #[test]
     fn table2_columns() {
-        let il = SpecViolationKind::InfiniteLoop { spinning: ThreadId(1) };
+        let il = SpecViolationKind::InfiniteLoop {
+            spinning: ThreadId(1),
+        };
         assert_eq!(il.table2_column(), "hang");
         assert_eq!(
-            SpecViolationKind::Semantic { message: "x".into() }.table2_column(),
+            SpecViolationKind::Semantic {
+                message: "x".into()
+            }
+            .table2_column(),
             "semantic"
         );
     }
@@ -243,7 +252,9 @@ mod tests {
         let v = Verdict::single_ordering();
         assert_eq!(v.to_string(), "singleOrd");
         let v = Verdict::spec_violation(
-            SpecViolationKind::Semantic { message: "ts < 0".into() },
+            SpecViolationKind::Semantic {
+                message: "ts < 0".into(),
+            },
             ReplayEvidence::default(),
         );
         assert!(v.to_string().contains("specViol"));

@@ -44,7 +44,9 @@ impl TriageOutcome {
     /// Whether the report is actionable for a developer (a located,
     /// definitely-harmful race).
     pub fn is_harmful(&self) -> bool {
-        self.verdict().map(|v| v.class.is_harmful()).unwrap_or(false)
+        self.verdict()
+            .map(|v| v.class.is_harmful())
+            .unwrap_or(false)
     }
 }
 
@@ -108,7 +110,10 @@ mod tests {
         let run = record(
             &program,
             vec![],
-            RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+            RecordConfig {
+                scheduler: Scheduler::RoundRobin,
+                ..Default::default()
+            },
         );
         // Collect lockset reports from an identical run.
         let mut m = run.trace.machine(&program, VmConfig::default());
@@ -148,7 +153,10 @@ mod tests {
         let run = record(
             &program,
             vec![],
-            RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+            RecordConfig {
+                scheduler: Scheduler::RoundRobin,
+                ..Default::default()
+            },
         );
         let case = AnalysisCase::concrete(Arc::clone(&program), run.trace.clone());
         // A report whose accesses never happen (wrong steps/pcs).

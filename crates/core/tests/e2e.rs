@@ -6,13 +6,14 @@ use std::sync::Arc;
 use portend::{AnalysisStages, Pipeline, Portend, PortendConfig, RaceClass, VerdictDetail};
 use portend_replay::RecordConfig;
 use portend_symex::CmpOp;
-use portend_vm::{
-    InputSpec, Operand, Program, ProgramBuilder, Scheduler, SymDomain, VmConfig,
-};
+use portend_vm::{InputSpec, Operand, Program, ProgramBuilder, Scheduler, SymDomain, VmConfig};
 
 fn pipeline_with(sched: Scheduler) -> Pipeline {
     Pipeline {
-        record: RecordConfig { scheduler: sched, ..Default::default() },
+        record: RecordConfig {
+            scheduler: sched,
+            ..Default::default()
+        },
         portend: PortendConfig::default(),
     }
 }
@@ -29,7 +30,11 @@ fn classify_single(
         result.analyzed.len(),
         1,
         "expected exactly one distinct race, got {:?}",
-        result.analyzed.iter().map(|a| a.cluster.representative.to_string()).collect::<Vec<_>>()
+        result
+            .analyzed
+            .iter()
+            .map(|a| a.cluster.representative.to_string())
+            .collect::<Vec<_>>()
     );
     let v = result.analyzed[0].verdict.clone().expect("classifiable");
     (v.class, v)
@@ -320,11 +325,7 @@ fn input_dependent_output_difference_needs_multi_path() {
             f.join(t);
             // With opt == 0 (the recorded input) the output hides the racy
             // value; with opt == 1 it exposes it.
-            f.if_else(
-                opt,
-                |f| f.output(1, v),
-                |f| f.output(1, Operand::Imm(99)),
-            );
+            f.if_else(opt, |f| f.output(1, v), |f| f.output(1, Operand::Imm(99)));
             f.ret(None);
         });
         Arc::new(pb.build(main).unwrap())
@@ -361,7 +362,11 @@ fn input_dependent_output_difference_needs_multi_path() {
     );
     assert_eq!(res.analyzed.len(), 1);
     let v = res.analyzed[0].verdict.as_ref().unwrap();
-    assert_eq!(v.class, RaceClass::OutputDiffers, "multi-path exposes the difference");
+    assert_eq!(
+        v.class,
+        RaceClass::OutputDiffers,
+        "multi-path exposes the difference"
+    );
 }
 
 /// k grows with Mp × Ma and the verdict stays harmless for a genuinely
@@ -419,7 +424,10 @@ fn direct_classify_matches_pipeline() {
     let run = portend_replay::record(
         &program,
         vec![],
-        RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+        RecordConfig {
+            scheduler: Scheduler::RoundRobin,
+            ..Default::default()
+        },
     );
     assert_eq!(run.clusters.len(), 1);
     let case = portend::AnalysisCase::concrete(program, run.trace.clone());

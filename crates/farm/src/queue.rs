@@ -1,0 +1,119 @@
+//! The work-stealing job queue backing the farm's worker pool.
+//!
+//! One double-ended shard per worker. A worker pops from the *front* of
+//! its own shard (highest-priority work it was dealt) and, when that runs
+//! dry, steals from the *back* of its peers' shards — the classic
+//! stealing discipline: thieves take the work the owner would reach last,
+//! minimizing contention on the hot front end.
+//!
+//! Built on `std::sync::Mutex` + `VecDeque` only. Jobs are all enqueued
+//! before the pool starts and never re-enqueued, so "every shard empty"
+//! is a complete termination condition for the consuming side.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A sharded deque set: shard `i` is worker `i`'s local queue.
+#[derive(Debug)]
+pub(crate) struct StealSet<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+}
+
+/// How a job was obtained from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Taken {
+    /// Popped from the worker's own shard.
+    Local,
+    /// Stolen from another worker's shard.
+    Stolen,
+}
+
+impl<T> StealSet<T> {
+    /// An empty queue set with `workers` shards (minimum 1).
+    pub(crate) fn new(workers: usize) -> Self {
+        StealSet {
+            shards: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Deals `jobs` round-robin across shards, preserving order within
+    /// each shard — so a priority-sorted input stays priority-sorted
+    /// locally and globally-approximately.
+    pub(crate) fn deal(&self, jobs: Vec<T>) {
+        let n = self.shards.len();
+        let mut locked: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("queue shard poisoned"))
+            .collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            locked[i % n].push_back(job);
+        }
+    }
+
+    /// Takes the next job for `worker`: its own front first, then a scan
+    /// of the other shards' backs.
+    pub(crate) fn take(&self, worker: usize) -> Option<(T, Taken)> {
+        let n = self.shards.len();
+        if let Some(job) = self.shards[worker % n]
+            .lock()
+            .expect("queue shard poisoned")
+            .pop_front()
+        {
+            return Some((job, Taken::Local));
+        }
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(job) = self.shards[victim]
+                .lock()
+                .expect("queue shard poisoned")
+                .pop_back()
+            {
+                return Some((job, Taken::Stolen));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deal_round_robins_and_take_prefers_local_front() {
+        let q = StealSet::new(2);
+        q.deal(vec![0, 1, 2, 3]);
+        // Shard 0: [0, 2]; shard 1: [1, 3].
+        assert_eq!(q.take(0), Some((0, Taken::Local)));
+        assert_eq!(q.take(1), Some((1, Taken::Local)));
+        assert_eq!(q.take(0), Some((2, Taken::Local)));
+        // Worker 0's shard is dry: steal from shard 1's back.
+        assert_eq!(q.take(0), Some((3, Taken::Stolen)));
+        assert_eq!(q.take(0), None);
+        assert_eq!(q.take(1), None);
+    }
+
+    #[test]
+    fn steal_takes_from_the_back() {
+        let q = StealSet::new(2);
+        q.deal(vec![10, 11, 12, 13]);
+        // Shard 1 holds [11, 13]; a thief gets 13 first.
+        assert_eq!(q.take(0), Some((10, Taken::Local)));
+        assert_eq!(q.take(0), Some((12, Taken::Local)));
+        assert_eq!(q.take(0), Some((13, Taken::Stolen)));
+        assert_eq!(q.take(1), Some((11, Taken::Local)));
+    }
+
+    #[test]
+    fn single_shard_serves_everything_locally() {
+        let q = StealSet::new(1);
+        q.deal(vec![1, 2, 3]);
+        assert_eq!(q.take(0), Some((1, Taken::Local)));
+        assert_eq!(q.take(0), Some((2, Taken::Local)));
+        assert_eq!(q.take(0), Some((3, Taken::Local)));
+        assert_eq!(q.take(0), None);
+    }
+}

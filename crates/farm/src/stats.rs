@@ -1,0 +1,93 @@
+//! Aggregate statistics of one farm run.
+
+use std::time::Duration;
+
+use portend_symex::CacheSnapshot;
+
+/// What one worker thread did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker completed.
+    pub jobs: u64,
+    /// Of those, jobs stolen from another worker's queue.
+    pub steals: u64,
+    /// Time spent executing jobs (excludes queue waits).
+    pub busy: Duration,
+}
+
+/// Aggregate statistics of one [`crate::Farm`] run, produced by
+/// [`crate::FarmRun::join`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FarmStats {
+    /// Jobs executed (every job runs exactly once).
+    pub jobs: u64,
+    /// Wall-clock time from pool start to last worker exit.
+    pub wall: Duration,
+    /// Sum of per-job execution times across all workers.
+    pub busy_total: Duration,
+    /// Per-worker breakdown, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+    /// Jobs obtained by stealing (a measure of imbalance absorbed).
+    pub steals: u64,
+    /// Jobs whose execution exceeded the configured soft time budget.
+    pub budget_overruns: u64,
+    /// Solver-cache counters, when a cache was attached to the run.
+    pub cache: Option<CacheSnapshot>,
+}
+
+impl FarmStats {
+    /// Mean worker utilization in `[0, 1]`: busy time over wall time,
+    /// averaged across the pool. 1.0 means no worker ever waited.
+    pub fn utilization(&self) -> f64 {
+        let workers = self.per_worker.len();
+        if workers == 0 || self.wall.is_zero() {
+            return 0.0;
+        }
+        (self.busy_total.as_secs_f64() / self.wall.as_secs_f64() / workers as f64).min(1.0)
+    }
+
+    /// Solver-cache hit fraction, when a cache was attached.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cache.map(|c| c.hit_rate())
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let cache = match self.cache {
+            Some(c) => format!(
+                ", cache {:.0}% hit ({} entries)",
+                100.0 * c.hit_rate(),
+                c.entries
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache})",
+            self.jobs,
+            self.per_worker.len(),
+            self.wall.as_secs_f64(),
+            100.0 * self.utilization(),
+            self.steals,
+            self.budget_overruns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_busy_over_wall_per_worker() {
+        let stats = FarmStats {
+            jobs: 4,
+            wall: Duration::from_secs(2),
+            busy_total: Duration::from_secs(3),
+            per_worker: vec![WorkerStats::default(); 2],
+            ..Default::default()
+        };
+        assert!((stats.utilization() - 0.75).abs() < 1e-9);
+        assert_eq!(stats.cache_hit_rate(), None);
+        assert!(stats.summary().contains("4 jobs on 2 workers"));
+    }
+}

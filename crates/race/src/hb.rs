@@ -9,8 +9,7 @@
 use std::collections::BTreeMap;
 
 use portend_vm::{
-    AccessEvent, AllocId, Monitor, SyncEvent, SyncEventKind, ThreadEvent, ThreadEventKind,
-    ThreadId,
+    AccessEvent, AllocId, Monitor, SyncEvent, SyncEventKind, ThreadEvent, ThreadEventKind, ThreadId,
 };
 
 use crate::report::{RaceAccess, RaceReport};
@@ -32,7 +31,11 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { ignore_mutexes: false, ignore_condvars: false, max_reports: 100_000 }
+        DetectorConfig {
+            ignore_mutexes: false,
+            ignore_condvars: false,
+            max_reports: 100_000,
+        }
     }
 }
 
@@ -335,7 +338,11 @@ mod tests {
 
     #[test]
     fn detects_write_read_race() {
-        let det = run(racy_program(), &mut Scheduler::RoundRobin, DetectorConfig::default());
+        let det = run(
+            racy_program(),
+            &mut Scheduler::RoundRobin,
+            DetectorConfig::default(),
+        );
         let clusters = cluster_races(det.races());
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].representative.alloc_name, "g");
@@ -344,8 +351,11 @@ mod tests {
     #[test]
     fn mutex_protection_suppresses_race() {
         for seed in 0..8 {
-            let det =
-                run(locked_program(), &mut Scheduler::random(seed), DetectorConfig::default());
+            let det = run(
+                locked_program(),
+                &mut Scheduler::random(seed),
+                DetectorConfig::default(),
+            );
             assert!(det.races().is_empty(), "seed {seed}: {:?}", det.races());
         }
     }
@@ -355,7 +365,10 @@ mod tests {
         let det = run(
             locked_program(),
             &mut Scheduler::RoundRobin,
-            DetectorConfig { ignore_mutexes: true, ..Default::default() },
+            DetectorConfig {
+                ignore_mutexes: true,
+                ..Default::default()
+            },
         );
         assert!(!det.races().is_empty());
     }
@@ -379,7 +392,11 @@ mod tests {
         });
         let p = pb.build(main).unwrap();
         for seed in 0..8 {
-            let det = run(p.clone(), &mut Scheduler::random(seed), DetectorConfig::default());
+            let det = run(
+                p.clone(),
+                &mut Scheduler::random(seed),
+                DetectorConfig::default(),
+            );
             assert!(det.races().is_empty(), "seed {seed}");
         }
     }
@@ -403,7 +420,11 @@ mod tests {
         });
         let p = pb.build(main).unwrap();
         for seed in 0..8 {
-            let det = run(p.clone(), &mut Scheduler::random(seed), DetectorConfig::default());
+            let det = run(
+                p.clone(),
+                &mut Scheduler::random(seed),
+                DetectorConfig::default(),
+            );
             assert!(det.races().is_empty(), "seed {seed}");
         }
     }
@@ -423,7 +444,11 @@ mod tests {
             f.join(t);
             f.ret(None);
         });
-        let det = run(pb.build(main).unwrap(), &mut Scheduler::RoundRobin, DetectorConfig::default());
+        let det = run(
+            pb.build(main).unwrap(),
+            &mut Scheduler::RoundRobin,
+            DetectorConfig::default(),
+        );
         let clusters = cluster_races(det.races());
         assert_eq!(clusters.len(), 1);
         assert!(clusters[0].representative.first.is_write);

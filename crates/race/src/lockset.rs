@@ -11,9 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use portend_vm::{
-    AccessEvent, AllocId, Monitor, SyncEvent, SyncEventKind, SyncId, ThreadId,
-};
+use portend_vm::{AccessEvent, AllocId, Monitor, SyncEvent, SyncEventKind, SyncId, ThreadId};
 
 use crate::report::{RaceAccess, RaceReport};
 
@@ -40,7 +38,11 @@ struct CellInfo {
 
 impl Default for CellInfo {
     fn default() -> Self {
-        CellInfo { state: CellState::Virgin, lockset: None, last: None }
+        CellInfo {
+            state: CellState::Virgin,
+            lockset: None,
+            last: None,
+        }
     }
 }
 

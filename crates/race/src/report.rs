@@ -75,7 +75,12 @@ impl RaceReport {
         } else {
             (self.second.pc, self.first.pc)
         };
-        RaceKey { alloc: self.alloc, offset: self.offset, pc_lo: a, pc_hi: b }
+        RaceKey {
+            alloc: self.alloc,
+            offset: self.offset,
+            pc_lo: a,
+            pc_hi: b,
+        }
     }
 }
 
@@ -137,12 +142,18 @@ pub fn cluster_races(races: &[RaceReport]) -> Vec<RaceCluster> {
                 order.push(key);
                 map.insert(
                     key,
-                    RaceCluster { representative: r.clone(), instances: 1 },
+                    RaceCluster {
+                        representative: r.clone(),
+                        instances: 1,
+                    },
                 );
             }
         }
     }
-    order.into_iter().map(|k| map.remove(&k).expect("inserted")).collect()
+    order
+        .into_iter()
+        .map(|k| map.remove(&k).expect("inserted"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -151,11 +162,21 @@ mod tests {
     use portend_vm::{BlockId, FuncId};
 
     fn pc(i: u32) -> Pc {
-        Pc { func: FuncId(0), block: BlockId(0), idx: i }
+        Pc {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: i,
+        }
     }
 
     fn acc(tid: u32, p: Pc, w: bool) -> RaceAccess {
-        RaceAccess { tid: ThreadId(tid), pc: p, line: 0, is_write: w, step: 0 }
+        RaceAccess {
+            tid: ThreadId(tid),
+            pc: p,
+            line: 0,
+            is_write: w,
+            step: 0,
+        }
     }
 
     fn report(p1: Pc, p2: Pc) -> RaceReport {
@@ -177,7 +198,11 @@ mod tests {
 
     #[test]
     fn clustering_counts_instances() {
-        let races = vec![report(pc(1), pc(2)), report(pc(2), pc(1)), report(pc(1), pc(3))];
+        let races = vec![
+            report(pc(1), pc(2)),
+            report(pc(2), pc(1)),
+            report(pc(1), pc(3)),
+        ];
         let clusters = cluster_races(&races);
         assert_eq!(clusters.len(), 2);
         assert_eq!(clusters[0].instances, 2);

@@ -1,18 +1,22 @@
-//! Property tests on the happens-before detector: soundness (no reports
-//! for synchronization-disciplined programs under any schedule) and
-//! completeness (one distinct race per unprotected cell).
+//! Randomized property tests on the happens-before detector: soundness
+//! (no reports for synchronization-disciplined programs under any
+//! schedule) and completeness (one distinct race per unprotected cell).
+//!
+//! Driven by the workspace's own deterministic PRNG
+//! ([`portend_vm::SmallRng`]); every case derives from a fixed seed, so
+//! failures reproduce exactly without an external property-testing crate.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use portend_race::{cluster_races, DetectorConfig, HbDetector};
 use portend_vm::{
     drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, Operand, ProgramBuilder,
-    Scheduler, VmConfig,
+    Scheduler, SmallRng, VmConfig,
 };
 
-/// Builds a program with `n_cells` shared cells; cell `i` is protected
-/// by a mutex iff `protected[i]`. Two workers increment every cell.
+/// Builds a program with `protected.len()` shared cells; cell `i` is
+/// protected by a mutex iff `protected[i]`. Two workers increment every
+/// cell.
 fn build_program(protected: &[bool]) -> Arc<portend_vm::Program> {
     let mut pb = ProgramBuilder::new("gen", "gen.c");
     let cells: Vec<_> = protected
@@ -48,6 +52,12 @@ fn build_program(protected: &[bool]) -> Arc<portend_vm::Program> {
     Arc::new(pb.build(main).unwrap())
 }
 
+/// A random protection mask of 1..=4 cells.
+fn gen_mask(r: &mut SmallRng) -> Vec<bool> {
+    let len = 1 + r.gen_index(4);
+    (0..len).map(|_| r.gen_index(2) == 1).collect()
+}
+
 fn detect(program: &Arc<portend_vm::Program>, seed: u64) -> Vec<portend_race::RaceCluster> {
     let mut m = Machine::new(
         Arc::clone(program),
@@ -65,29 +75,36 @@ fn detect(program: &Arc<portend_vm::Program>, seed: u64) -> Vec<portend_race::Ra
     cluster_races(det.races())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Mutex-protected cells never race; unprotected cells race on the
-    /// allocations we expect (a racy access pair may or may not manifest
-    /// under a given schedule, but reported races are never on protected
-    /// cells).
-    #[test]
-    fn detector_soundness(protected in prop::collection::vec(any::<bool>(), 1..5),
-                          seed in 0u64..64) {
+/// Mutex-protected cells never race; unprotected cells race on the
+/// allocations we expect (a racy access pair may or may not manifest
+/// under a given schedule, but reported races are never on protected
+/// cells).
+#[test]
+fn detector_soundness() {
+    let mut r = SmallRng::seed_from_u64(0x5B1);
+    for _case in 0..48 {
+        let protected = gen_mask(&mut r);
+        let seed = r.next_u64() % 64;
         let program = build_program(&protected);
         let clusters = detect(&program, seed);
         for c in &clusters {
             let name = &c.representative.alloc_name;
             let idx: usize = name.trim_start_matches("cell").parse().unwrap();
-            prop_assert!(!protected[idx], "protected cell {name} reported as racing");
+            assert!(
+                !protected[idx],
+                "protected cell {name} reported as racing (mask {protected:?}, seed {seed})"
+            );
         }
     }
+}
 
-    /// Under round-robin (which tightly interleaves the two workers),
-    /// every unprotected cell is detected as racy.
-    #[test]
-    fn detector_completeness_under_interleaving(protected in prop::collection::vec(any::<bool>(), 1..5)) {
+/// Under round-robin (which tightly interleaves the two workers),
+/// every unprotected cell is detected as racy.
+#[test]
+fn detector_completeness_under_interleaving() {
+    let mut r = SmallRng::seed_from_u64(0xC0);
+    for _case in 0..48 {
+        let protected = gen_mask(&mut r);
         let program = build_program(&protected);
         let mut m = Machine::new(
             Arc::clone(&program),
@@ -99,13 +116,15 @@ proptest! {
         let mut sched = Scheduler::RoundRobin;
         let _ = drive(&mut m, &mut sched, &mut det, &DriveCfg::default());
         let clusters = cluster_races(det.races());
-        let racy_allocs: std::collections::BTreeSet<String> =
-            clusters.iter().map(|c| c.representative.alloc_name.clone()).collect();
+        let racy_allocs: std::collections::BTreeSet<String> = clusters
+            .iter()
+            .map(|c| c.representative.alloc_name.clone())
+            .collect();
         for (i, &p) in protected.iter().enumerate() {
             if !p {
-                prop_assert!(
+                assert!(
                     racy_allocs.contains(&format!("cell{i}")),
-                    "unprotected cell{i} not reported; reported: {racy_allocs:?}"
+                    "unprotected cell{i} not reported; mask {protected:?}, reported: {racy_allocs:?}"
                 );
             }
         }

@@ -112,7 +112,10 @@ mod tests {
         let run = record(
             &p,
             vec![],
-            RecordConfig { scheduler: Scheduler::random(3), ..Default::default() },
+            RecordConfig {
+                scheduler: Scheduler::random(3),
+                ..Default::default()
+            },
         );
         assert_eq!(run.stop, DriveStop::Completed);
         assert!(!run.clusters.is_empty());

@@ -44,7 +44,10 @@ impl ExecutionTrace {
     pub fn machine(&self, program: &Arc<Program>, cfg: VmConfig) -> Machine {
         Machine::new(
             Arc::clone(program),
-            InputSource::new(InputSpec::concrete(self.inputs.clone()), InputMode::Concrete),
+            InputSource::new(
+                InputSpec::concrete(self.inputs.clone()),
+                InputMode::Concrete,
+            ),
             cfg,
         )
     }

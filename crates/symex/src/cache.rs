@@ -1,0 +1,252 @@
+//! A shared, sharded memoization cache for solver queries.
+//!
+//! Portend's classification cost is dominated by repeated satisfiability
+//! queries: the same path-constraint prefixes recur across the Mp × Ma
+//! path/schedule combinations of one race, and across the races of one
+//! program (they share the pre-race trace). The cache memoizes whole
+//! queries keyed by an exact canonical rendering of the *ordered*
+//! constraint list, the domains of every mentioned variable, and the
+//! solver configuration.
+//!
+//! Because the key captures everything [`crate::Solver::check_with_stats`]
+//! depends on, and the solver is deterministic, a cache hit returns
+//! byte-for-byte the result the solver would have recomputed — the cache
+//! can never change a satisfiability answer (see the workspace property
+//! test `solver_cache_is_transparent`).
+//!
+//! Shards are independent mutex-protected maps selected by key hash, so
+//! concurrent classification workers rarely contend on the same lock.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::domain::{VarId, VarTable};
+use crate::expr::Expr;
+use crate::solver::{SatResult, SolverConfig};
+
+/// Default shard count: enough to make lock contention negligible for
+/// typical worker-pool sizes without wasting memory.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Default bound on memoized entries across all shards. Keys are full
+/// constraint renderings (~100s of bytes), so this caps the cache at
+/// tens of megabytes even when one cache is shared across many
+/// analyses in a long-lived process.
+pub const DEFAULT_MAX_ENTRIES: usize = 1 << 16;
+
+/// A sharded, thread-safe memoization cache for [`crate::Solver`] queries.
+///
+/// Cheap to share: wrap it in an `Arc` and hand clones to
+/// [`crate::Solver::cached`]. All counters are monotone and lock-free.
+///
+/// Memory is bounded: when a shard reaches its share of the entry cap,
+/// it is flushed wholesale before the next insert (epoch eviction —
+/// no per-entry bookkeeping, and hot queries repopulate immediately).
+/// Eviction only forgets memoized answers; it can never change one.
+pub struct SolverCache {
+    shards: Vec<Mutex<HashMap<String, SatResult>>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl fmt::Debug for SolverCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("SolverCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl Default for SolverCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl SolverCache {
+    /// A cache with `shards` independent lock domains (minimum 1) and
+    /// the default entry bound.
+    pub fn new(shards: usize) -> Self {
+        Self::with_max_entries(shards, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// A cache bounded to roughly `max_entries` memoized queries across
+    /// all shards (minimum one entry per shard).
+    pub fn with_max_entries(shards: usize, max_entries: usize) -> Self {
+        let n = shards.max(1);
+        SolverCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap: (max_entries / n).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks a canonical key up, counting a hit or a miss.
+    pub(crate) fn lookup(&self, key: &str) -> Option<SatResult> {
+        let shard = &self.shards[self.shard_of(key)];
+        let got = shard
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Stores the result for a canonical key, flushing the target shard
+    /// first if it is at capacity.
+    pub(crate) fn insert(&self, key: String, result: SatResult) {
+        let shard = &self.shards[self.shard_of(&key)];
+        let mut map = shard.lock().expect("cache shard poisoned");
+        if map.len() >= self.per_shard_cap && !map.contains_key(&key) {
+            map.clear();
+            map.shrink_to_fit();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        map.insert(key, result);
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        (fnv1a(key.as_bytes()) as usize) % self.shards.len()
+    }
+
+    /// A point-in-time view of the cache counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len() as u64)
+            .sum();
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of a [`SolverCache`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to be solved.
+    pub misses: u64,
+    /// Distinct memoized queries currently stored.
+    pub entries: u64,
+    /// Shard flushes performed to stay within the entry bound.
+    pub evictions: u64,
+}
+
+impl CacheSnapshot {
+    /// Hit fraction in `[0, 1]`; `0` when no query was made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Renders the exact canonical key of a query: solver configuration, the
+/// constraint list *in order*, and the domain of every mentioned variable.
+///
+/// Keeping the original constraint order (rather than sorting) makes the
+/// key a complete description of the solver call, so a hit is provably
+/// equivalent to recomputation; structurally identical queries — the
+/// dominant form of reuse across schedules and races — still collide.
+pub(crate) fn canonical_key(constraints: &[Expr], vars: &VarTable, cfg: SolverConfig) -> String {
+    let mut key = String::with_capacity(64 + constraints.len() * 24);
+    let _ = write!(key, "b{};p{};", cfg.node_budget, cfg.max_prune_passes);
+    let mut mentioned: Vec<VarId> = Vec::new();
+    for c in constraints {
+        c.collect_vars(&mut mentioned);
+        let _ = write!(key, "{c};");
+    }
+    mentioned.sort_unstable();
+    mentioned.dedup();
+    for v in mentioned {
+        let i = vars.info(v).interval();
+        let _ = write!(key, "{v}:[{},{}];", i.lo, i.hi);
+    }
+    key
+}
+
+/// FNV-1a over bytes; used only for shard selection.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::CmpOp;
+
+    #[test]
+    fn keys_distinguish_domains_and_order() {
+        let mut vars_a = VarTable::new();
+        let x = vars_a.fresh("x", 0, 10);
+        let mut vars_b = VarTable::new();
+        let _ = vars_b.fresh("x", 0, 99);
+        let c1 = Expr::var(x).cmp(CmpOp::Gt, Expr::konst(3));
+        let c2 = Expr::var(x).cmp(CmpOp::Lt, Expr::konst(8));
+        let cfg = SolverConfig::default();
+        let k_ab = canonical_key(&[c1.clone(), c2.clone()], &vars_a, cfg);
+        let k_ba = canonical_key(&[c2.clone(), c1.clone()], &vars_a, cfg);
+        let k_wide = canonical_key(&[c1.clone(), c2.clone()], &vars_b, cfg);
+        assert_ne!(k_ab, k_ba, "order is part of the key");
+        assert_ne!(k_ab, k_wide, "domains are part of the key");
+        assert_eq!(k_ab, canonical_key(&[c1, c2], &vars_a, cfg));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = SolverCache::new(4);
+        assert!(cache.lookup("k1").is_none());
+        cache.insert("k1".into(), SatResult::Unsat);
+        assert_eq!(cache.lookup("k1"), Some(SatResult::Unsat));
+        let s = cache.snapshot();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entry_bound_evicts_instead_of_growing() {
+        let cache = SolverCache::with_max_entries(1, 4);
+        for i in 0..32 {
+            cache.insert(format!("k{i}"), SatResult::Unsat);
+        }
+        let s = cache.snapshot();
+        assert!(s.entries <= 4, "bounded: {s:?}");
+        assert!(s.evictions > 0, "flushes counted: {s:?}");
+        // Re-inserting an existing key at capacity does not flush.
+        let cache = SolverCache::with_max_entries(1, 2);
+        cache.insert("a".into(), SatResult::Unsat);
+        cache.insert("b".into(), SatResult::Unsat);
+        cache.insert("a".into(), SatResult::Unsat);
+        assert_eq!(cache.snapshot().evictions, 0);
+        assert_eq!(cache.snapshot().entries, 2);
+    }
+}

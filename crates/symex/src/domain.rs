@@ -39,7 +39,11 @@ impl VarInfo {
     /// Panics if `lo > hi`.
     pub fn new(name: impl Into<String>, lo: i64, hi: i64) -> Self {
         assert!(lo <= hi, "empty variable domain");
-        VarInfo { name: name.into(), lo, hi }
+        VarInfo {
+            name: name.into(),
+            lo,
+            hi,
+        }
     }
 
     /// The domain as an [`Interval`].
@@ -115,9 +119,16 @@ pub struct Interval {
     pub hi: i64,
 }
 
+// The fluent names (`add`, `not`, ...) mirror the IR's operator
+// vocabulary; operator-trait impls would hide the constant folding
+// entry points behind sugar.
+#[allow(clippy::should_implement_trait)]
 impl Interval {
     /// The full 64-bit signed range (no information).
-    pub const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
     /// The boolean range `[0, 1]`.
     pub const BOOL: Interval = Interval { lo: 0, hi: 1 };
 
@@ -172,18 +183,27 @@ impl Interval {
         if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
             Interval::TOP
         } else {
-            Interval { lo: lo as i64, hi: hi as i64 }
+            Interval {
+                lo: lo as i64,
+                hi: hi as i64,
+            }
         }
     }
 
     /// Interval addition (top on possible overflow).
     pub fn add(self, o: Interval) -> Interval {
-        Interval::from_i128(self.lo as i128 + o.lo as i128, self.hi as i128 + o.hi as i128)
+        Interval::from_i128(
+            self.lo as i128 + o.lo as i128,
+            self.hi as i128 + o.hi as i128,
+        )
     }
 
     /// Interval subtraction (top on possible overflow).
     pub fn sub(self, o: Interval) -> Interval {
-        Interval::from_i128(self.lo as i128 - o.hi as i128, self.hi as i128 - o.lo as i128)
+        Interval::from_i128(
+            self.lo as i128 - o.hi as i128,
+            self.hi as i128 - o.lo as i128,
+        )
     }
 
     /// Interval multiplication (top on possible overflow).
@@ -204,7 +224,10 @@ impl Interval {
         if self.contains(i64::MIN) {
             Interval::TOP
         } else {
-            Interval { lo: -self.hi, hi: -self.lo }
+            Interval {
+                lo: -self.hi,
+                hi: -self.lo,
+            }
         }
     }
 }
@@ -273,7 +296,10 @@ mod tests {
         assert_eq!(a.add(b), Interval::new(11, 22));
         assert_eq!(b.sub(a), Interval::new(8, 19));
         assert_eq!(a.mul(b), Interval::new(10, 40));
-        assert_eq!(Interval::new(-3, 2).mul(Interval::new(-1, 4)), Interval::new(-12, 8));
+        assert_eq!(
+            Interval::new(-3, 2).mul(Interval::new(-1, 4)),
+            Interval::new(-12, 8)
+        );
         assert_eq!(a.neg(), Interval::new(-2, -1));
     }
 

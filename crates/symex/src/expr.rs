@@ -64,6 +64,10 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+// The fluent names (`add`, `not`, ...) mirror the IR's operator
+// vocabulary; operator-trait impls would hide the constant folding
+// entry points behind sugar.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A literal constant expression.
     pub fn konst(v: i64) -> Expr {
@@ -160,9 +164,7 @@ impl Expr {
     pub fn not(self) -> Expr {
         match self.node() {
             Node::Const(v) => Expr::konst((*v == 0) as i64),
-            Node::Cmp(op, a, b) => {
-                Expr(Arc::new(Node::Cmp(op.negate(), a.clone(), b.clone())))
-            }
+            Node::Cmp(op, a, b) => Expr(Arc::new(Node::Cmp(op.negate(), a.clone(), b.clone()))),
             Node::Not(inner) => inner.clone().truthy(),
             _ => Expr(Arc::new(Node::Not(self))),
         }
@@ -460,7 +462,10 @@ mod tests {
     #[test]
     fn constant_folding() {
         assert_eq!(Expr::konst(2).add(Expr::konst(3)).as_const(), Some(5));
-        assert_eq!(Expr::konst(7).cmp(CmpOp::Lt, Expr::konst(9)).as_const(), Some(1));
+        assert_eq!(
+            Expr::konst(7).cmp(CmpOp::Lt, Expr::konst(9)).as_const(),
+            Some(1)
+        );
         let (_, x, _) = table();
         assert_eq!(x.clone().add(Expr::konst(0)), x.clone());
         assert_eq!(x.clone().mul(Expr::konst(0)).as_const(), Some(0));

@@ -75,15 +75,16 @@ impl Model {
 
 impl fmt::Display for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.iter().map(|(id, v)| format!("{id} = {v}")).collect();
+        let parts: Vec<String> = self.iter().map(|(id, v)| format!("{id} = {v}")).collect();
         write!(f, "{{{}}}", parts.join(", "))
     }
 }
 
 impl FromIterator<(VarId, i64)> for Model {
     fn from_iter<T: IntoIterator<Item = (VarId, i64)>>(iter: T) -> Self {
-        Model { assignments: iter.into_iter().collect() }
+        Model {
+            assignments: iter.into_iter().collect(),
+        }
     }
 }
 

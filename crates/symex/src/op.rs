@@ -266,14 +266,24 @@ mod tests {
 
     #[test]
     fn checked_reports_overflow() {
-        assert_eq!(BinOp::Add.apply_checked(i64::MAX, 1), Some((i64::MIN, true)));
+        assert_eq!(
+            BinOp::Add.apply_checked(i64::MAX, 1),
+            Some((i64::MIN, true))
+        );
         assert_eq!(BinOp::Add.apply_checked(1, 1), Some((2, false)));
         assert_eq!(BinOp::Mul.apply_checked(i64::MAX, 2), Some((-2, true)));
     }
 
     #[test]
     fn cmp_apply_and_negate() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(1, 2), (2, 1), (3, 3), (-1, 1)] {
                 let v = op.apply(a, b);
                 assert!(v == 0 || v == 1);

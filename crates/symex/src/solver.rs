@@ -17,7 +17,9 @@
 //! unsound answer.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use crate::cache::{canonical_key, SolverCache};
 use crate::domain::{Interval, VarId, VarTable};
 use crate::expr::{Expr, Node};
 use crate::model::Model;
@@ -62,6 +64,8 @@ pub struct SolverStats {
     pub prune_passes: u64,
     /// Whether the query terminated because of the budget.
     pub budget_exhausted: bool,
+    /// Whether the query was answered from a shared [`SolverCache`].
+    pub cache_hit: bool,
 }
 
 /// Solver configuration.
@@ -75,7 +79,10 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { node_budget: 2_000_000, max_prune_passes: 64 }
+        SolverConfig {
+            node_budget: 2_000_000,
+            max_prune_passes: 64,
+        }
     }
 }
 
@@ -96,6 +103,7 @@ impl Default for SolverConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Solver {
     cfg: SolverConfig,
+    cache: Option<Arc<SolverCache>>,
 }
 
 impl Solver {
@@ -106,7 +114,22 @@ impl Solver {
 
     /// A solver with an explicit configuration.
     pub fn with_config(cfg: SolverConfig) -> Self {
-        Solver { cfg }
+        Solver { cfg, cache: None }
+    }
+
+    /// The same solver, memoizing every query in a shared cache.
+    ///
+    /// Cached answers are exact: the key captures the ordered constraint
+    /// list, the mentioned variables' domains, and the configuration, and
+    /// the solver is deterministic, so a hit equals recomputation.
+    pub fn cached(mut self, cache: Arc<SolverCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The shared query cache, when one is attached.
+    pub fn query_cache(&self) -> Option<&Arc<SolverCache>> {
+        self.cache.as_ref()
     }
 
     /// The active configuration.
@@ -120,11 +143,35 @@ impl Solver {
     }
 
     /// Like [`Solver::check`], additionally reporting work counters.
+    ///
+    /// With a cache attached (see [`Solver::cached`]), the query is looked
+    /// up first; on a hit the memoized result is returned with
+    /// `stats.cache_hit` set and no solving work performed.
     pub fn check_with_stats(
         &self,
         constraints: &[Expr],
         vars: &VarTable,
     ) -> (SatResult, SolverStats) {
+        match &self.cache {
+            None => self.solve(constraints, vars),
+            Some(cache) => {
+                let key = canonical_key(constraints, vars, self.cfg);
+                if let Some(result) = cache.lookup(&key) {
+                    let stats = SolverStats {
+                        cache_hit: true,
+                        ..Default::default()
+                    };
+                    return (result, stats);
+                }
+                let (result, stats) = self.solve(constraints, vars);
+                cache.insert(key, result.clone());
+                (result, stats)
+            }
+        }
+    }
+
+    /// The uncached solving path.
+    fn solve(&self, constraints: &[Expr], vars: &VarTable) -> (SatResult, SolverStats) {
         let mut stats = SolverStats::default();
 
         // 1. Constant filtering.
@@ -376,8 +423,10 @@ fn prune_cmp(
     if new_lo > new_hi {
         return None;
     }
-    let new = Interval::new(new_lo.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
-                            new_hi.clamp(i64::MIN as i128, i64::MAX as i128) as i64);
+    let new = Interval::new(
+        new_lo.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+        new_hi.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+    );
     if new != dom {
         domains.insert(var, new);
         Some(true)
@@ -412,24 +461,28 @@ fn ceil_div(a: i128, b: i128) -> i128 {
 fn linear_form(e: &Expr) -> Option<(i64, VarId, i64)> {
     match e.node() {
         Node::Var(v) => Some((1, *v, 0)),
-        Node::Bin(BinOp::Add, a, b) => match (linear_form(a), b.as_const(), a.as_const(), linear_form(b)) {
-            (Some((c, v, o)), Some(k), _, _) => Some((c, v, o.checked_add(k)?)),
-            (_, _, Some(k), Some((c, v, o))) => Some((c, v, o.checked_add(k)?)),
-            _ => None,
-        },
-        Node::Bin(BinOp::Sub, a, b) => match (linear_form(a), b.as_const(), a.as_const(), linear_form(b)) {
-            (Some((c, v, o)), Some(k), _, _) => Some((c, v, o.checked_sub(k)?)),
-            (_, _, Some(k), Some((c, v, o))) => {
-                Some((c.checked_neg()?, v, k.checked_sub(o)?))
+        Node::Bin(BinOp::Add, a, b) => {
+            match (linear_form(a), b.as_const(), a.as_const(), linear_form(b)) {
+                (Some((c, v, o)), Some(k), _, _) => Some((c, v, o.checked_add(k)?)),
+                (_, _, Some(k), Some((c, v, o))) => Some((c, v, o.checked_add(k)?)),
+                _ => None,
             }
-            _ => None,
-        },
-        Node::Bin(BinOp::Mul, a, b) => match (linear_form(a), b.as_const(), a.as_const(), linear_form(b)) {
-            (Some((c, v, o)), Some(k), _, _) | (_, _, Some(k), Some((c, v, o))) => {
-                Some((c.checked_mul(k)?, v, o.checked_mul(k)?))
+        }
+        Node::Bin(BinOp::Sub, a, b) => {
+            match (linear_form(a), b.as_const(), a.as_const(), linear_form(b)) {
+                (Some((c, v, o)), Some(k), _, _) => Some((c, v, o.checked_sub(k)?)),
+                (_, _, Some(k), Some((c, v, o))) => Some((c.checked_neg()?, v, k.checked_sub(o)?)),
+                _ => None,
             }
-            _ => None,
-        },
+        }
+        Node::Bin(BinOp::Mul, a, b) => {
+            match (linear_form(a), b.as_const(), a.as_const(), linear_form(b)) {
+                (Some((c, v, o)), Some(k), _, _) | (_, _, Some(k), Some((c, v, o))) => {
+                    Some((c.checked_mul(k)?, v, o.checked_mul(k)?))
+                }
+                _ => None,
+            }
+        }
         _ => None,
     }
 }
@@ -488,7 +541,15 @@ fn search(
         *budget -= 1;
         stats.nodes += 1;
         assignment.set(var, v);
-        match search(constraints, order, depth + 1, domains, assignment, budget, stats) {
+        match search(
+            constraints,
+            order,
+            depth + 1,
+            domains,
+            assignment,
+            budget,
+            stats,
+        ) {
             SearchOutcome::Found => return SearchOutcome::Found,
             SearchOutcome::Budget => return SearchOutcome::Budget,
             SearchOutcome::Exhausted => {}
@@ -528,7 +589,10 @@ mod tests {
     #[test]
     fn constant_false_is_unsat() {
         let s = Solver::new();
-        assert_eq!(s.check(&[Expr::konst(0)], &VarTable::new()), SatResult::Unsat);
+        assert_eq!(
+            s.check(&[Expr::konst(0)], &VarTable::new()),
+            SatResult::Unsat
+        );
     }
 
     #[test]
@@ -590,9 +654,7 @@ mod tests {
     fn disequality_at_boundary() {
         let vars = vt(&[(5, 6)]);
         let s = Solver::new();
-        let cs = [
-            x(0).cmp(CmpOp::Ne, Expr::konst(5)),
-        ];
+        let cs = [x(0).cmp(CmpOp::Ne, Expr::konst(5))];
         let m = s.check(&cs, &vars).model().cloned().expect("sat");
         assert_eq!(m.get(VarId(0)), Some(6));
     }
@@ -620,7 +682,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_unknown() {
         let vars = vt(&[(0, 1000), (0, 1000), (0, 1000)]);
-        let s = Solver::with_config(SolverConfig { node_budget: 10, max_prune_passes: 1 });
+        let s = Solver::with_config(SolverConfig {
+            node_budget: 10,
+            max_prune_passes: 1,
+        });
         // x*y + z*z == 999983 (prime): requires real search.
         let cs = [x(0)
             .mul(x(1))
@@ -669,13 +734,15 @@ mod tests {
         let vars = vt(&[(-20, 20), (-20, 20)]);
         let s = Solver::new();
         let cs = [
-            x(0).mul(Expr::konst(3)).add(x(1)).cmp(CmpOp::Eq, Expr::konst(11)),
+            x(0).mul(Expr::konst(3))
+                .add(x(1))
+                .cmp(CmpOp::Eq, Expr::konst(11)),
             x(1).cmp(CmpOp::Ge, Expr::konst(2)),
             x(0).cmp(CmpOp::Gt, Expr::konst(0)),
         ];
         let m = s.check(&cs, &vars).model().cloned().expect("sat");
         for c in &cs {
-            assert_eq!(c.eval(&m).unwrap() != 0, true, "constraint {c} violated by {m}");
+            assert!(c.eval(&m).unwrap() != 0, "constraint {c} violated by {m}");
         }
     }
 }

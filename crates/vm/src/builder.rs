@@ -7,10 +7,10 @@
 //! busy-wait loops) so workloads read close to the C snippets in the paper.
 
 use crate::inst::{Inst, Operand, Reg};
+use crate::program::AllocId;
 use crate::program::{
     AllocSpec, BarrierSpec, BasicBlock, BlockId, FuncId, Function, Program, SyncId,
 };
-use crate::program::AllocId;
 use portend_symex::{BinOp, CmpOp};
 
 /// Builds a [`Program`]: declares globals, sync objects, and functions.
@@ -54,21 +54,33 @@ impl ProgramBuilder {
     /// Declares a global scalar with an initial value.
     pub fn global(&mut self, name: impl Into<String>, init: i64) -> AllocId {
         let id = AllocId(self.allocs.len() as u32);
-        self.allocs.push(AllocSpec { name: name.into(), len: 1, init: vec![init] });
+        self.allocs.push(AllocSpec {
+            name: name.into(),
+            len: 1,
+            init: vec![init],
+        });
         id
     }
 
     /// Declares a global array of `len` zero-initialized cells.
     pub fn array(&mut self, name: impl Into<String>, len: usize) -> AllocId {
         let id = AllocId(self.allocs.len() as u32);
-        self.allocs.push(AllocSpec { name: name.into(), len, init: vec![] });
+        self.allocs.push(AllocSpec {
+            name: name.into(),
+            len,
+            init: vec![],
+        });
         id
     }
 
     /// Declares a global array with explicit initial values.
     pub fn array_init(&mut self, name: impl Into<String>, init: Vec<i64>) -> AllocId {
         let id = AllocId(self.allocs.len() as u32);
-        self.allocs.push(AllocSpec { name: name.into(), len: init.len(), init });
+        self.allocs.push(AllocSpec {
+            name: name.into(),
+            len: init.len(),
+            init,
+        });
         id
     }
 
@@ -89,7 +101,10 @@ impl ProgramBuilder {
     /// Declares a barrier released when `party` threads arrive.
     pub fn barrier(&mut self, name: impl Into<String>, party: u32) -> SyncId {
         let id = SyncId(self.barriers.len() as u32);
-        self.barriers.push(BarrierSpec { name: name.into(), party });
+        self.barriers.push(BarrierSpec {
+            name: name.into(),
+            party,
+        });
         id
     }
 
@@ -133,7 +148,12 @@ impl ProgramBuilder {
         for (i, f) in self.funcs.into_iter().enumerate() {
             match f {
                 Some(f) => funcs.push(f),
-                None => return Err(format!("function `{}` declared but not defined", self.func_names[i])),
+                None => {
+                    return Err(format!(
+                        "function `{}` declared but not defined",
+                        self.func_names[i]
+                    ))
+                }
             }
         }
         let program = Program {
@@ -177,7 +197,11 @@ impl FuncBuilder {
         if !self.terminated() {
             self.emit(Inst::Ret { value: None });
         }
-        Function { name: self.name, blocks: self.blocks, num_regs: self.next_reg }
+        Function {
+            name: self.name,
+            blocks: self.blocks,
+            num_regs: self.next_reg,
+        }
     }
 
     /// Sets the source line stamped onto subsequently emitted instructions.
@@ -293,13 +317,21 @@ impl FuncBuilder {
     /// Calls `func(args...)` and returns the result operand.
     pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Operand {
         let dst = self.fresh_reg();
-        self.emit(Inst::Call { dst: Some(dst), func, args: args.to_vec() });
+        self.emit(Inst::Call {
+            dst: Some(dst),
+            func,
+            args: args.to_vec(),
+        });
         Operand::Reg(dst)
     }
 
     /// Calls `func(args...)` discarding any result.
     pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
-        self.emit(Inst::Call { dst: None, func, args: args.to_vec() });
+        self.emit(Inst::Call {
+            dst: None,
+            func,
+            args: args.to_vec(),
+        });
     }
 
     /// Spawns a thread running `func(arg)` and returns its thread id.
@@ -360,7 +392,10 @@ impl FuncBuilder {
 
     /// Asserts that `cond` is non-zero.
     pub fn assert_true(&mut self, cond: Operand, msg: impl Into<String>) {
-        self.emit(Inst::Assert { cond, msg: msg.into() });
+        self.emit(Inst::Assert {
+            cond,
+            msg: msg.into(),
+        });
     }
 
     /// Emits a scheduling point (`sched_yield`/`usleep`).
@@ -385,7 +420,11 @@ impl FuncBuilder {
 
     /// Branches on `cond`.
     pub fn branch(&mut self, cond: Operand, then_b: BlockId, else_b: BlockId) {
-        self.emit(Inst::Branch { cond, then_b, else_b });
+        self.emit(Inst::Branch {
+            cond,
+            then_b,
+            else_b,
+        });
     }
 
     // ---- structured control flow ---------------------------------------

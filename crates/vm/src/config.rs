@@ -14,14 +14,20 @@ pub struct VmConfig {
 
 impl Default for VmConfig {
     fn default() -> Self {
-        VmConfig { detect_overflow: false, max_call_depth: 128 }
+        VmConfig {
+            detect_overflow: false,
+            max_call_depth: 128,
+        }
     }
 }
 
 impl VmConfig {
     /// The default configuration with overflow detection enabled.
     pub fn with_overflow_detection() -> Self {
-        VmConfig { detect_overflow: true, ..Default::default() }
+        VmConfig {
+            detect_overflow: true,
+            ..Default::default()
+        }
     }
 }
 

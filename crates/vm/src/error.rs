@@ -206,12 +206,19 @@ mod tests {
     use crate::program::{BlockId, FuncId};
 
     fn pc() -> Pc {
-        Pc { func: FuncId(0), block: BlockId(0), idx: 3 }
+        Pc {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 3,
+        }
     }
 
     #[test]
     fn categories() {
-        let e = VmError::DivisionByZero { tid: ThreadId(1), pc: pc() };
+        let e = VmError::DivisionByZero {
+            tid: ThreadId(1),
+            pc: pc(),
+        };
         assert_eq!(e.category(), "div-by-zero");
         assert!(e.is_crash());
         let d = VmError::Deadlock(DeadlockInfo { edges: vec![] });

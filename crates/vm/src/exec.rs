@@ -36,12 +36,22 @@ pub struct Watch {
 impl Watch {
     /// Watch every access to an allocation.
     pub fn alloc(alloc: AllocId) -> Self {
-        Watch { alloc, offset: None, tid: None, writes_only: false }
+        Watch {
+            alloc,
+            offset: None,
+            tid: None,
+            writes_only: false,
+        }
     }
 
     /// Watch accesses to one cell.
     pub fn cell(alloc: AllocId, offset: i64) -> Self {
-        Watch { alloc, offset: Some(offset), tid: None, writes_only: false }
+        Watch {
+            alloc,
+            offset: Some(offset),
+            tid: None,
+            writes_only: false,
+        }
     }
 
     /// Restrict the watch to one thread.
@@ -100,7 +110,10 @@ impl Default for DriveCfg {
 impl DriveCfg {
     /// A config with only a step budget.
     pub fn with_budget(max_steps: u64) -> Self {
-        DriveCfg { max_steps, ..Default::default() }
+        DriveCfg {
+            max_steps,
+            ..Default::default()
+        }
     }
 }
 
@@ -170,7 +183,13 @@ fn watch_match(m: &Machine, watches: &[Watch]) -> Option<WatchHit> {
             continue;
         }
         let pc = m.thread(tid).pc().expect("runnable thread has a pc");
-        return Some(WatchHit { tid, pc, alloc, offset, is_write });
+        return Some(WatchHit {
+            tid,
+            pc,
+            alloc,
+            offset,
+            is_write,
+        });
     }
     None
 }
@@ -196,10 +215,7 @@ pub fn drive(
         }
         let runnable = m.runnable_threads(&cfg.suspended);
         if runnable.is_empty() {
-            let any_suspended_alive = cfg
-                .suspended
-                .iter()
-                .any(|t| !m.thread(*t).is_finished());
+            let any_suspended_alive = cfg.suspended.iter().any(|t| !m.thread(*t).is_finished());
             if any_suspended_alive {
                 return DriveStop::Stuck;
             }
@@ -208,10 +224,17 @@ pub fn drive(
 
         let cur_ok = runnable.contains(&m.cur);
         let at_preempt = cur_ok
-            && (m.peek_inst().map(|i| i.is_preemption_point()).unwrap_or(false)
+            && (m
+                .peek_inst()
+                .map(|i| i.is_preemption_point())
+                .unwrap_or(false)
                 || watch_match(m, &cfg.preempt_watches).is_some());
         if !cur_ok || (at_preempt && !just_picked) {
-            let reason = if cur_ok { PickReason::Preemption } else { PickReason::Blocked };
+            let reason = if cur_ok {
+                PickReason::Preemption
+            } else {
+                PickReason::Blocked
+            };
             let alive = m.runnable_threads(&BTreeSet::new());
             let t = sched.pick(&runnable, &alive, m.cur, reason);
             m.preemptions += 1;
@@ -235,8 +258,16 @@ pub fn drive(
 
         match m.step(mon) {
             StepEvent::Ran | StepEvent::Blocked | StepEvent::Exited => {}
-            StepEvent::SymBranch { cond, then_b, else_b } => {
-                return DriveStop::SymBranch { cond, then_b, else_b }
+            StepEvent::SymBranch {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                return DriveStop::SymBranch {
+                    cond,
+                    then_b,
+                    else_b,
+                }
             }
             StepEvent::SymAssert { cond, msg } => return DriveStop::SymAssert { cond, msg },
             StepEvent::Err(e) => return DriveStop::Error(e),
@@ -392,7 +423,10 @@ mod tests {
         let mut m1 = boot(racy_counter_program(), vec![]);
         let mut s1 = Scheduler::random(7);
         let mut mon1 = RecordingMonitor::default();
-        let cfg = DriveCfg { record_schedule: true, ..Default::default() };
+        let cfg = DriveCfg {
+            record_schedule: true,
+            ..Default::default()
+        };
         let stop = drive(&mut m1, &mut s1, &mut mon1, &cfg);
         assert_eq!(stop, DriveStop::Completed);
         let trace = m1.sched_log.clone();
@@ -406,8 +440,16 @@ mod tests {
         let stop = drive(&mut m2, &mut s2, &mut mon2, &DriveCfg::default());
         assert_eq!(stop, DriveStop::Completed);
         assert!(!s2.diverged());
-        let seq1: Vec<_> = mon1.accesses.iter().map(|a| (a.tid, a.pc, a.is_write)).collect();
-        let seq2: Vec<_> = mon2.accesses.iter().map(|a| (a.tid, a.pc, a.is_write)).collect();
+        let seq1: Vec<_> = mon1
+            .accesses
+            .iter()
+            .map(|a| (a.tid, a.pc, a.is_write))
+            .collect();
+        let seq2: Vec<_> = mon2
+            .accesses
+            .iter()
+            .map(|a| (a.tid, a.pc, a.is_write))
+            .collect();
         assert_eq!(seq1, seq2);
         assert_eq!(m1.output, m2.output);
     }

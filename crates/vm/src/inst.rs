@@ -289,7 +289,11 @@ impl fmt::Display for Inst {
             Inst::Load { dst, base, index } => write!(f, "r{dst} = load {base}[{index}]"),
             Inst::Store { base, index, src } => write!(f, "store {base}[{index}] = {src}"),
             Inst::Jump { target } => write!(f, "jump {target}"),
-            Inst::Branch { cond, then_b, else_b } => {
+            Inst::Branch {
+                cond,
+                then_b,
+                else_b,
+            } => {
                 write!(f, "branch {cond} ? {then_b} : {else_b}")
             }
             Inst::Call { dst, func, args } => {
@@ -328,16 +332,34 @@ mod tests {
         assert!(Inst::Yield.is_preemption_point());
         assert!(Inst::MutexLock { mutex: SyncId(0) }.is_preemption_point());
         assert!(!Inst::Nop.is_preemption_point());
-        assert!(!Inst::Load { dst: 0, base: AllocId(0), index: Operand::Imm(0) }
-            .is_preemption_point());
+        assert!(!Inst::Load {
+            dst: 0,
+            base: AllocId(0),
+            index: Operand::Imm(0)
+        }
+        .is_preemption_point());
     }
 
     #[test]
     fn memory_access_extraction() {
-        let ld = Inst::Load { dst: 1, base: AllocId(3), index: Operand::Imm(2) };
-        assert_eq!(ld.memory_access(), Some((AllocId(3), Operand::Imm(2), false)));
-        let st = Inst::Store { base: AllocId(3), index: Operand::Reg(1), src: Operand::Imm(9) };
-        assert_eq!(st.memory_access(), Some((AllocId(3), Operand::Reg(1), true)));
+        let ld = Inst::Load {
+            dst: 1,
+            base: AllocId(3),
+            index: Operand::Imm(2),
+        };
+        assert_eq!(
+            ld.memory_access(),
+            Some((AllocId(3), Operand::Imm(2), false))
+        );
+        let st = Inst::Store {
+            base: AllocId(3),
+            index: Operand::Reg(1),
+            src: Operand::Imm(9),
+        };
+        assert_eq!(
+            st.memory_access(),
+            Some((AllocId(3), Operand::Reg(1), true))
+        );
         assert_eq!(Inst::Yield.memory_access(), None);
     }
 

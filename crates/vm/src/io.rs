@@ -19,7 +19,11 @@ pub struct SymDomain {
 impl SymDomain {
     /// Creates a domain declaration.
     pub fn new(name: impl Into<String>, lo: i64, hi: i64) -> Self {
-        SymDomain { name: name.into(), lo, hi }
+        SymDomain {
+            name: name.into(),
+            lo,
+            hi,
+        }
     }
 }
 
@@ -39,7 +43,10 @@ pub struct InputSpec {
 impl InputSpec {
     /// A fully concrete input spec.
     pub fn concrete(values: Vec<i64>) -> Self {
-        InputSpec { values, symbolic: Vec::new() }
+        InputSpec {
+            values,
+            symbolic: Vec::new(),
+        }
     }
 
     /// Adds a symbolic domain for the next undeclared leading position.
@@ -72,7 +79,12 @@ pub struct InputSource {
 impl InputSource {
     /// Creates an input source.
     pub fn new(spec: InputSpec, mode: InputMode) -> Self {
-        InputSource { spec, mode, cursor: 0, sym_vars: Vec::new() }
+        InputSource {
+            spec,
+            mode,
+            cursor: 0,
+            sym_vars: Vec::new(),
+        }
     }
 
     /// The active mode.

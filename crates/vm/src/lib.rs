@@ -66,6 +66,7 @@ mod mem;
 mod monitor;
 mod output;
 mod program;
+mod rng;
 mod sched;
 mod sync;
 mod thread;
@@ -87,6 +88,7 @@ pub use output::{OutputLog, OutputRec};
 pub use program::{
     AllocId, AllocSpec, BarrierSpec, BasicBlock, BlockId, FuncId, Function, Pc, Program, SyncId,
 };
+pub use rng::SmallRng;
 pub use sched::{PickReason, Scheduler};
 pub use sync::{BarrierState, CondState, MutexState, SyncState};
 pub use thread::{Frame, ResumePhase, Thread, ThreadId, ThreadState};

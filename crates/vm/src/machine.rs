@@ -216,9 +216,7 @@ impl Machine {
             let resource = t.state.resource().unwrap_or_else(|| "unknown".into());
             let holder = match t.state {
                 ThreadState::BlockedMutex(m) => self.sync.mutex_owner(m),
-                ThreadState::BlockedJoin(j) => {
-                    (!self.thread(j).is_finished()).then_some(j)
-                }
+                ThreadState::BlockedJoin(j) => (!self.thread(j).is_finished()).then_some(j),
                 _ => None,
             };
             edges.push((t.id, resource, holder));
@@ -279,7 +277,11 @@ impl Machine {
             None
         } else {
             self.path.push(cond.not());
-            Some(VmError::AssertFailed { tid, pc, msg: msg.to_string() })
+            Some(VmError::AssertFailed {
+                tid,
+                pc,
+                msg: msg.to_string(),
+            })
         }
     }
 
@@ -290,7 +292,10 @@ impl Machine {
     /// synchronization operation.
     pub fn step(&mut self, mon: &mut dyn Monitor) -> StepEvent {
         let tid = self.cur;
-        debug_assert!(self.thread(tid).is_runnable(), "stepping a non-runnable thread");
+        debug_assert!(
+            self.thread(tid).is_runnable(),
+            "stepping a non-runnable thread"
+        );
         let pc = match self.thread(tid).pc() {
             Some(pc) => pc,
             None => return StepEvent::Err(self.misuse(pc_unknown(), "stepping finished thread")),
@@ -347,16 +352,12 @@ impl Machine {
                                 Some((_, true)) => {
                                     return StepEvent::Err(VmError::Overflow { tid, pc })
                                 }
-                                None => {
-                                    return StepEvent::Err(VmError::DivisionByZero { tid, pc })
-                                }
+                                None => return StepEvent::Err(VmError::DivisionByZero { tid, pc }),
                             }
                         } else {
                             match op.apply(x, y) {
                                 Some(v) => Val::C(v),
-                                None => {
-                                    return StepEvent::Err(VmError::DivisionByZero { tid, pc })
-                                }
+                                None => return StepEvent::Err(VmError::DivisionByZero { tid, pc }),
                             }
                         }
                     }
@@ -444,7 +445,11 @@ impl Machine {
                 self.jump_to(target);
                 StepEvent::Ran
             }
-            Inst::Branch { cond, then_b, else_b } => match self.eval(cond) {
+            Inst::Branch {
+                cond,
+                then_b,
+                else_b,
+            } => match self.eval(cond) {
                 Val::C(v) => {
                     self.count_step();
                     self.jump_to(if v != 0 { then_b } else { else_b });
@@ -456,7 +461,11 @@ impl Machine {
                         self.jump_to(if v != 0 { then_b } else { else_b });
                         StepEvent::Ran
                     }
-                    None => StepEvent::SymBranch { cond: e, then_b, else_b },
+                    None => StepEvent::SymBranch {
+                        cond: e,
+                        then_b,
+                        else_b,
+                    },
                 },
             },
             Inst::Call { dst, func, args } => {
@@ -486,7 +495,11 @@ impl Machine {
                             t.state = ThreadState::Runnable;
                         }
                     }
-                    mon.on_thread(&ThreadEvent { tid, pc, kind: ThreadEventKind::Exited });
+                    mon.on_thread(&ThreadEvent {
+                        tid,
+                        pc,
+                        kind: ThreadEventKind::Exited,
+                    });
                     StepEvent::Exited
                 } else {
                     if let (Some(r), Some(v)) = (frame.ret_to, v) {
@@ -502,15 +515,17 @@ impl Machine {
                 let frame = Frame::new(&program, func, &[argv], None);
                 self.threads.push(Thread::new(child, frame));
                 self.set_reg(dst, Val::C(child.0 as i64));
-                mon.on_thread(&ThreadEvent { tid, pc, kind: ThreadEventKind::Spawned { child } });
+                mon.on_thread(&ThreadEvent {
+                    tid,
+                    pc,
+                    kind: ThreadEventKind::Spawned { child },
+                });
                 self.advance();
                 StepEvent::Ran
             }
             Inst::Join { tid: target_op } => {
                 let target = match self.eval(target_op).as_concrete() {
-                    Some(v) if v >= 0 && (v as usize) < self.threads.len() => {
-                        ThreadId(v as u32)
-                    }
+                    Some(v) if v >= 0 && (v as usize) < self.threads.len() => ThreadId(v as u32),
                     Some(_) => return StepEvent::Err(self.misuse(pc, "join of unknown thread")),
                     None => {
                         return StepEvent::Err(VmError::SymbolicValue {
@@ -522,7 +537,11 @@ impl Machine {
                 };
                 if self.thread(target).is_finished() {
                     self.count_step();
-                    mon.on_thread(&ThreadEvent { tid, pc, kind: ThreadEventKind::Joined { target } });
+                    mon.on_thread(&ThreadEvent {
+                        tid,
+                        pc,
+                        kind: ThreadEventKind::Joined { target },
+                    });
                     self.advance();
                     StepEvent::Ran
                 } else {
@@ -568,15 +587,17 @@ impl Machine {
                     self.threads[w.0 as usize].state = ThreadState::Runnable;
                 }
                 self.count_step();
-                mon.on_sync(&SyncEvent { tid, pc, kind: SyncEventKind::MutexReleased(mutex) });
+                mon.on_sync(&SyncEvent {
+                    tid,
+                    pc,
+                    kind: SyncEventKind::MutexReleased(mutex),
+                });
                 self.advance();
                 StepEvent::Ran
             }
             Inst::CondWait { cond, mutex } => {
                 if self.sync.mutexes[mutex.0 as usize].owner != Some(tid) {
-                    return StepEvent::Err(
-                        self.misuse(pc, "cond-wait without holding the mutex"),
-                    );
+                    return StepEvent::Err(self.misuse(pc, "cond-wait without holding the mutex"));
                 }
                 // Release the mutex and wake contenders.
                 let mu = &mut self.sync.mutexes[mutex.0 as usize];
@@ -585,7 +606,11 @@ impl Machine {
                 for w in waiters {
                     self.threads[w.0 as usize].state = ThreadState::Runnable;
                 }
-                mon.on_sync(&SyncEvent { tid, pc, kind: SyncEventKind::MutexReleased(mutex) });
+                mon.on_sync(&SyncEvent {
+                    tid,
+                    pc,
+                    kind: SyncEventKind::MutexReleased(mutex),
+                });
                 self.sync.conds[cond.0 as usize].waiters.push(tid);
                 self.thread_mut(tid).state = ThreadState::BlockedCond(cond);
                 self.thread_mut(tid).phase = ResumePhase::CondReacquire(mutex);
@@ -645,7 +670,10 @@ impl Machine {
                     mon.on_sync(&SyncEvent {
                         tid,
                         pc,
-                        kind: SyncEventKind::BarrierReleased { barrier, participants },
+                        kind: SyncEventKind::BarrierReleased {
+                            barrier,
+                            participants,
+                        },
                     });
                     self.advance();
                     StepEvent::Ran
@@ -732,7 +760,11 @@ impl Machine {
                 mu.waiters.retain(|w| *w != tid);
                 self.thread_mut(tid).phase = ResumePhase::None;
                 self.count_step();
-                mon.on_sync(&SyncEvent { tid, pc, kind: SyncEventKind::MutexAcquired(mutex) });
+                mon.on_sync(&SyncEvent {
+                    tid,
+                    pc,
+                    kind: SyncEventKind::MutexAcquired(mutex),
+                });
                 self.advance();
                 StepEvent::Ran
             }
@@ -768,9 +800,13 @@ impl Machine {
     fn mem_fault(&self, tid: ThreadId, pc: Pc, base: AllocId, _idx: i64, f: MemFault) -> VmError {
         let alloc = self.mem.alloc(base).name.clone();
         match f {
-            MemFault::OutOfBounds { index, len } => {
-                VmError::OutOfBounds { tid, pc, alloc, index, len }
-            }
+            MemFault::OutOfBounds { index, len } => VmError::OutOfBounds {
+                tid,
+                pc,
+                alloc,
+                index,
+                len,
+            },
             MemFault::UseAfterFree | MemFault::DoubleFree => {
                 VmError::UseAfterFree { tid, pc, alloc }
             }
@@ -778,12 +814,20 @@ impl Machine {
     }
 
     fn misuse(&self, pc: Pc, what: &str) -> VmError {
-        VmError::SyncMisuse { tid: self.cur, pc, what: what.to_string() }
+        VmError::SyncMisuse {
+            tid: self.cur,
+            pc,
+            what: what.to_string(),
+        }
     }
 }
 
 fn pc_unknown() -> Pc {
-    Pc { func: crate::program::FuncId(u32::MAX), block: BlockId(u32::MAX), idx: u32::MAX }
+    Pc {
+        func: crate::program::FuncId(u32::MAX),
+        block: BlockId(u32::MAX),
+        idx: u32::MAX,
+    }
 }
 
 #[cfg(test)]
@@ -924,7 +968,14 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         };
-        assert!(matches!(err, VmError::OutOfBounds { index: 4, len: 4, .. }));
+        assert!(matches!(
+            err,
+            VmError::OutOfBounds {
+                index: 4,
+                len: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

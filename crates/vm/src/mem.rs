@@ -55,7 +55,11 @@ impl Memory {
                 for (i, &v) in s.init.iter().enumerate().take(s.len) {
                     cells[i] = Val::C(v);
                 }
-                Allocation { name: s.name.clone(), cells, live: true }
+                Allocation {
+                    name: s.name.clone(),
+                    cells,
+                    live: true,
+                }
             })
             .collect();
         Memory { allocs }
@@ -86,7 +90,10 @@ impl Memory {
             return Err(MemFault::UseAfterFree);
         }
         if index < 0 || index as usize >= a.cells.len() {
-            return Err(MemFault::OutOfBounds { index, len: a.cells.len() });
+            return Err(MemFault::OutOfBounds {
+                index,
+                len: a.cells.len(),
+            });
         }
         Ok(a.cells[index as usize].clone())
     }
@@ -102,7 +109,10 @@ impl Memory {
             return Err(MemFault::UseAfterFree);
         }
         if index < 0 || index as usize >= a.cells.len() {
-            return Err(MemFault::OutOfBounds { index, len: a.cells.len() });
+            return Err(MemFault::OutOfBounds {
+                index,
+                len: a.cells.len(),
+            });
         }
         a.cells[index as usize] = value;
         Ok(())
@@ -219,8 +229,16 @@ mod tests {
 
     fn mem() -> Memory {
         Memory::from_specs(&[
-            AllocSpec { name: "g".into(), len: 1, init: vec![7] },
-            AllocSpec { name: "arr".into(), len: 4, init: vec![1, 2] },
+            AllocSpec {
+                name: "g".into(),
+                len: 1,
+                init: vec![7],
+            },
+            AllocSpec {
+                name: "arr".into(),
+                len: 4,
+                init: vec![1, 2],
+            },
         ])
     }
 
@@ -257,7 +275,10 @@ mod tests {
         let mut m = mem();
         m.free(AllocId(0)).unwrap();
         assert_eq!(m.load(AllocId(0), 0), Err(MemFault::UseAfterFree));
-        assert_eq!(m.store(AllocId(0), 0, Val::C(1)), Err(MemFault::UseAfterFree));
+        assert_eq!(
+            m.store(AllocId(0), 0, Val::C(1)),
+            Err(MemFault::UseAfterFree)
+        );
         assert_eq!(m.free(AllocId(0)), Err(MemFault::DoubleFree));
     }
 

@@ -187,7 +187,11 @@ mod tests {
     use crate::program::{BlockId, FuncId};
 
     fn pc() -> Pc {
-        Pc { func: FuncId(0), block: BlockId(0), idx: 0 }
+        Pc {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        }
     }
 
     #[test]

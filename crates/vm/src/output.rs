@@ -119,7 +119,11 @@ mod tests {
             fd: 1,
             val: Val::C(v),
             tid: ThreadId(0),
-            pc: Pc { func: FuncId(0), block: BlockId(0), idx: 0 },
+            pc: Pc {
+                func: FuncId(0),
+                block: BlockId(0),
+                idx: 0,
+            },
         }
     }
 

@@ -296,7 +296,11 @@ impl Program {
                 check_op(src)
             }
             Inst::Jump { target } => check_block(*target),
-            Inst::Branch { cond, then_b, else_b } => {
+            Inst::Branch {
+                cond,
+                then_b,
+                else_b,
+            } => {
                 check_op(cond)?;
                 check_block(*then_b)?;
                 check_block(*else_b)
@@ -382,8 +386,13 @@ mod tests {
     #[test]
     fn validate_rejects_bad_register() {
         let mut p = tiny();
-        p.funcs[0].blocks[0].insts =
-            vec![Inst::Copy { dst: 5, src: Operand::Imm(0) }, Inst::Ret { value: None }];
+        p.funcs[0].blocks[0].insts = vec![
+            Inst::Copy {
+                dst: 5,
+                src: Operand::Imm(0),
+            },
+            Inst::Ret { value: None },
+        ];
         p.funcs[0].blocks[0].lines = vec![1, 1];
         assert!(p.validate().unwrap_err().contains("register"));
     }
@@ -391,7 +400,11 @@ mod tests {
     #[test]
     fn pc_display_and_loc() {
         let p = tiny();
-        let pc = Pc { func: FuncId(0), block: BlockId(0), idx: 0 };
+        let pc = Pc {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        };
         assert_eq!(pc.to_string(), "f0:b0:0");
         assert_eq!(p.line_at(pc), 1);
         assert!(p.loc(pc).contains("t.c:1"));

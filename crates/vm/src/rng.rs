@@ -1,0 +1,108 @@
+//! A small, dependency-free, deterministic pseudo-random number
+//! generator (splitmix64 seeding into xoshiro256**), used by the
+//! random scheduler. Determinism per seed is what makes randomized
+//! schedules replayable; statistical quality only needs to be good
+//! enough to diversify thread interleavings.
+
+/// A seeded deterministic PRNG. Cloning it clones the stream position,
+/// so forked exploration states draw independent but reproducible
+/// decision sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: [u64; 4],
+}
+
+impl SmallRng {
+    /// A generator seeded from a 64-bit value (splitmix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly distributed index in `0..len`. `len` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the distribution
+    /// is exactly uniform for any `len`.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "gen_index on an empty range");
+        let n = len as u64;
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = mul_wide(x, n);
+            if lo >= threshold {
+                return hi as usize;
+            }
+        }
+    }
+}
+
+/// Full 128-bit product of two u64s, as (high, low) words.
+fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let p = (a as u128) * (b as u128);
+    ((p >> 64) as u64, p as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_index_in_range_and_covers() {
+        let mut r = SmallRng::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let i = r.gen_index(5);
+            assert!(i < 5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all indices hit: {seen:?}");
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

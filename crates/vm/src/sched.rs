@@ -7,10 +7,9 @@
 //! lets the multi-path explorer prune paths that diverge from a recorded
 //! schedule trace (paper Fig. 5).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
+use crate::rng::SmallRng;
 use crate::thread::ThreadId;
 
 /// Why the scheduler is being consulted.
@@ -28,16 +27,17 @@ pub enum PickReason {
 ///
 /// All policies are deterministic given their initial value ([`Scheduler::Random`]
 /// carries a seeded RNG), which is what makes replay exact.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum Scheduler {
     /// Run the current thread until it blocks or exits; then pick the
     /// lowest-id runnable thread. This is the default for plain runs.
+    #[default]
     Cooperative,
     /// Rotate through runnable threads at every preemption point.
     RoundRobin,
     /// Pick uniformly at random at every preemption point (used for
     /// multi-schedule analysis, paper §3.4).
-    Random(StdRng),
+    Random(SmallRng),
     /// Follow a recorded decision list; once exhausted or diverged, fall
     /// back to the inner policy.
     Trace {
@@ -57,7 +57,7 @@ pub enum Scheduler {
 impl Scheduler {
     /// A random scheduler with the given seed.
     pub fn random(seed: u64) -> Self {
-        Scheduler::Random(StdRng::seed_from_u64(seed))
+        Scheduler::Random(SmallRng::seed_from_u64(seed))
     }
 
     /// A trace-following scheduler with a cooperative fallback.
@@ -114,6 +114,7 @@ impl Scheduler {
     /// # Panics
     ///
     /// Panics if `schedulable` is empty (the executor never does this).
+    #[allow(clippy::only_used_in_recursion)] // `reason` is part of the policy API
     pub fn pick(
         &mut self,
         schedulable: &[ThreadId],
@@ -121,7 +122,10 @@ impl Scheduler {
         current: ThreadId,
         reason: PickReason,
     ) -> ThreadId {
-        assert!(!schedulable.is_empty(), "scheduler consulted with no runnable thread");
+        assert!(
+            !schedulable.is_empty(),
+            "scheduler consulted with no runnable thread"
+        );
         match self {
             Scheduler::Cooperative => {
                 if schedulable.contains(&current) {
@@ -140,10 +144,15 @@ impl Scheduler {
                     .unwrap_or(schedulable[0])
             }
             Scheduler::Random(rng) => {
-                let i = rng.gen_range(0..schedulable.len());
+                let i = rng.gen_index(schedulable.len());
                 schedulable[i]
             }
-            Scheduler::Trace { trace, pos, diverged, fallback } => {
+            Scheduler::Trace {
+                trace,
+                pos,
+                diverged,
+                fallback,
+            } => {
                 if *diverged || *pos >= trace.len() {
                     return fallback.pick(schedulable, alive, current, reason);
                 }
@@ -163,12 +172,6 @@ impl Scheduler {
     }
 }
 
-impl Default for Scheduler {
-    fn default() -> Self {
-        Scheduler::Cooperative
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,15 +183,37 @@ mod tests {
     #[test]
     fn cooperative_prefers_current() {
         let mut s = Scheduler::Cooperative;
-        assert_eq!(s.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption), t(1));
-        assert_eq!(s.pick(&[t(0), t(2)], &[t(0), t(2)], t(1), PickReason::Blocked), t(0));
+        assert_eq!(
+            s.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption),
+            t(1)
+        );
+        assert_eq!(
+            s.pick(&[t(0), t(2)], &[t(0), t(2)], t(1), PickReason::Blocked),
+            t(0)
+        );
     }
 
     #[test]
     fn round_robin_rotates() {
         let mut s = Scheduler::RoundRobin;
-        assert_eq!(s.pick(&[t(0), t(1), t(2)], &[t(0), t(1), t(2)], t(0), PickReason::Preemption), t(1));
-        assert_eq!(s.pick(&[t(0), t(1), t(2)], &[t(0), t(1), t(2)], t(2), PickReason::Preemption), t(0));
+        assert_eq!(
+            s.pick(
+                &[t(0), t(1), t(2)],
+                &[t(0), t(1), t(2)],
+                t(0),
+                PickReason::Preemption
+            ),
+            t(1)
+        );
+        assert_eq!(
+            s.pick(
+                &[t(0), t(1), t(2)],
+                &[t(0), t(1), t(2)],
+                t(2),
+                PickReason::Preemption
+            ),
+            t(0)
+        );
     }
 
     #[test]
@@ -207,12 +232,21 @@ mod tests {
     #[test]
     fn trace_follows_then_falls_back() {
         let mut s = Scheduler::follow(vec![t(1), t(0)]);
-        assert_eq!(s.pick(&[t(0), t(1)], &[t(0), t(1)], t(0), PickReason::Preemption), t(1));
-        assert_eq!(s.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption), t(0));
+        assert_eq!(
+            s.pick(&[t(0), t(1)], &[t(0), t(1)], t(0), PickReason::Preemption),
+            t(1)
+        );
+        assert_eq!(
+            s.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption),
+            t(0)
+        );
         assert!(s.trace_exhausted());
         assert!(!s.diverged());
         // Exhausted: cooperative fallback keeps the current thread.
-        assert_eq!(s.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption), t(1));
+        assert_eq!(
+            s.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption),
+            t(1)
+        );
     }
 
     #[test]
@@ -228,7 +262,13 @@ mod tests {
         let mut a = Scheduler::follow(vec![t(1), t(0)]);
         let _ = a.pick(&[t(0), t(1)], &[t(0), t(1)], t(0), PickReason::Preemption);
         let mut b = a.clone();
-        assert_eq!(a.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption), t(0));
-        assert_eq!(b.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption), t(0));
+        assert_eq!(
+            a.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption),
+            t(0)
+        );
+        assert_eq!(
+            b.pick(&[t(0), t(1)], &[t(0), t(1)], t(1), PickReason::Preemption),
+            t(0)
+        );
     }
 }

@@ -47,7 +47,10 @@ impl SyncState {
             conds: vec![CondState::default(); n_conds],
             barriers: barriers
                 .iter()
-                .map(|b| BarrierState { party: b.party, arrived: Vec::new() })
+                .map(|b| BarrierState {
+                    party: b.party,
+                    arrived: Vec::new(),
+                })
                 .collect(),
         }
     }
@@ -88,7 +91,10 @@ mod tests {
         let s = SyncState::from_program(
             0,
             0,
-            &[BarrierSpec { name: "b".into(), party: 4 }],
+            &[BarrierSpec {
+                name: "b".into(),
+                party: 4,
+            }],
         );
         assert_eq!(s.barriers[0].party, 4);
         assert!(s.barriers[0].arrived.is_empty());

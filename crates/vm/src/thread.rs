@@ -84,12 +84,22 @@ impl Frame {
         for (i, a) in args.iter().enumerate().take(num_regs) {
             regs[i] = a.clone();
         }
-        Frame { func, block: BlockId(0), idx: 0, regs, ret_to }
+        Frame {
+            func,
+            block: BlockId(0),
+            idx: 0,
+            regs,
+            ret_to,
+        }
     }
 
     /// The frame's current program counter.
     pub fn pc(&self) -> Pc {
-        Pc { func: self.func, block: self.block, idx: self.idx }
+        Pc {
+            func: self.func,
+            block: self.block,
+            idx: self.idx,
+        }
     }
 }
 

@@ -5,9 +5,9 @@ use std::sync::Arc;
 
 use portend_symex::CmpOp;
 use portend_vm::{
-    drive, DriveCfg, DriveStop, InputMode, InputSource, InputSpec, Machine, NullMonitor,
-    Operand, Program, ProgramBuilder, RecordingMonitor, Scheduler, SyncEventKind, ThreadId,
-    VmConfig, VmError, Watch,
+    drive, DriveCfg, DriveStop, InputMode, InputSource, InputSpec, Machine, NullMonitor, Operand,
+    Program, ProgramBuilder, RecordingMonitor, Scheduler, SyncEventKind, ThreadId, VmConfig,
+    VmError, Watch,
 };
 
 fn boot(p: Program, inputs: Vec<i64>) -> Machine {
@@ -33,7 +33,10 @@ fn barrier_with_party_one_is_a_no_op() {
         f.ret(None);
     });
     let mut m = boot(pb.build(main).unwrap(), vec![]);
-    assert_eq!(run(&mut m, &mut Scheduler::Cooperative), DriveStop::Completed);
+    assert_eq!(
+        run(&mut m, &mut Scheduler::Cooperative),
+        DriveStop::Completed
+    );
     assert_eq!(m.output.concrete_values(), Some(vec![1]));
 }
 
@@ -121,7 +124,10 @@ fn lost_signal_then_flag_prevents_deadlock() {
         f.ret(None);
     });
     let mut m = boot(pb.build(main).unwrap(), vec![]);
-    assert_eq!(run(&mut m, &mut Scheduler::RoundRobin), DriveStop::Completed);
+    assert_eq!(
+        run(&mut m, &mut Scheduler::RoundRobin),
+        DriveStop::Completed
+    );
 }
 
 #[test]
@@ -141,7 +147,10 @@ fn join_of_already_finished_thread_succeeds() {
         f.ret(None);
     });
     let mut m = boot(pb.build(main).unwrap(), vec![]);
-    assert_eq!(run(&mut m, &mut Scheduler::RoundRobin), DriveStop::Completed);
+    assert_eq!(
+        run(&mut m, &mut Scheduler::RoundRobin),
+        DriveStop::Completed
+    );
 }
 
 #[test]
@@ -269,7 +278,10 @@ fn nested_calls_return_through_frames() {
         f.ret(None);
     });
     let mut m = boot(pb.build(main).unwrap(), vec![]);
-    assert_eq!(run(&mut m, &mut Scheduler::Cooperative), DriveStop::Completed);
+    assert_eq!(
+        run(&mut m, &mut Scheduler::Cooperative),
+        DriveStop::Completed
+    );
     assert_eq!(m.output.concrete_values(), Some(vec![42]));
 }
 
@@ -314,11 +326,10 @@ fn monitor_sees_barrier_and_cond_events() {
     let mut sched = Scheduler::RoundRobin;
     let stop = drive(&mut m, &mut sched, &mut mon, &DriveCfg::default());
     assert_eq!(stop, DriveStop::Completed);
-    assert!(mon
-        .syncs
-        .iter()
-        .any(|s| matches!(&s.kind, SyncEventKind::BarrierReleased { participants, .. }
-            if participants.len() == 2)));
+    assert!(mon.syncs.iter().any(
+        |s| matches!(&s.kind, SyncEventKind::BarrierReleased { participants, .. }
+            if participants.len() == 2)
+    ));
 }
 
 #[test]
@@ -364,12 +375,15 @@ fn sym_branch_event_reaches_caller_in_symbolic_mode() {
     let mut pb = ProgramBuilder::new("sb", "sb.c");
     let main = pb.func("main", |f| {
         let x = f.input();
-        f.if_else(x, |f| f.output(1, Operand::Imm(1)), |f| f.output(1, Operand::Imm(0)));
+        f.if_else(
+            x,
+            |f| f.output(1, Operand::Imm(1)),
+            |f| f.output(1, Operand::Imm(0)),
+        );
         f.ret(None);
     });
     let program = Arc::new(pb.build(main).unwrap());
-    let spec = InputSpec::concrete(vec![0])
-        .with_symbolic(portend_vm::SymDomain::new("x", 0, 1));
+    let spec = InputSpec::concrete(vec![0]).with_symbolic(portend_vm::SymDomain::new("x", 0, 1));
     let mut m = Machine::new(
         program,
         InputSource::new(spec, InputMode::Symbolic),
@@ -378,7 +392,11 @@ fn sym_branch_event_reaches_caller_in_symbolic_mode() {
     let mut sched = Scheduler::Cooperative;
     let mut mon = NullMonitor;
     match drive(&mut m, &mut sched, &mut mon, &DriveCfg::default()) {
-        DriveStop::SymBranch { cond, then_b, else_b } => {
+        DriveStop::SymBranch {
+            cond,
+            then_b,
+            else_b,
+        } => {
             assert_ne!(then_b, else_b);
             // Resolve the false side and finish.
             m.apply_branch(else_b, cond.not());

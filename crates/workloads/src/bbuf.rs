@@ -123,6 +123,9 @@ pub fn bbuf() -> Workload {
         record_scheduler: Scheduler::RoundRobin,
         vm: VmConfig::default(),
         ground_truth,
-        expected: ClassCounts { out_diff: 6, ..Default::default() },
+        expected: ClassCounts {
+            out_diff: 6,
+            ..Default::default()
+        },
     }
 }

@@ -26,13 +26,19 @@ pub fn ctrace() -> Workload {
     let stats_array = pb.array("stats_array", MAX_SIZE as usize);
     let lock = pb.mutex("l");
     // Debug bookkeeping cells: written by two threads, never read.
-    let dbg: Vec<_> = (0..4).map(|i| pb.global(format!("dbg_cell{i}"), 0)).collect();
+    let dbg: Vec<_> = (0..4)
+        .map(|i| pb.global(format!("dbg_cell{i}"), 0))
+        .collect();
     // Directly printed trace level (single-path-visible outDiff).
     let trc_level = pb.global("trc_level", 0);
     // Gated log counters (multi-path outDiff).
-    let log_cnt: Vec<_> = (0..5).map(|i| pb.global(format!("log_cnt{i}"), 0)).collect();
+    let log_cnt: Vec<_> = (0..5)
+        .map(|i| pb.global(format!("log_cnt{i}"), 0))
+        .collect();
     // Double-read format buffers (multi-schedule outDiff; 2 races each).
-    let fmt: Vec<_> = (0..2).map(|i| pb.global(format!("fmt_buf{i}"), 0)).collect();
+    let fmt: Vec<_> = (0..2)
+        .map(|i| pb.global(format!("fmt_buf{i}"), 0))
+        .collect();
 
     // T1 — reqHandler (paper Fig. 4 thread T1): increments `id` under a
     // lock, MAX_SIZE times, then stamps two debug cells.

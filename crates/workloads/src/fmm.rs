@@ -7,11 +7,11 @@
 use std::sync::Arc;
 
 use portend::Predicate;
-use portend_vm::{
-    AllocId, InputSpec, Machine, Operand, ProgramBuilder, Scheduler, VmConfig,
-};
+use portend_vm::{AllocId, InputSpec, Machine, Operand, ProgramBuilder, Scheduler, VmConfig};
 
-use crate::common::{declare_adhoc_stage, emit_consume, emit_produce, kw_differ_truth, stage_truths};
+use crate::common::{
+    declare_adhoc_stage, emit_consume, emit_produce, kw_differ_truth, stage_truths,
+};
 use crate::spec::{ClassCounts, Workload};
 
 /// Builds the workload.
@@ -92,7 +92,11 @@ pub fn fmm() -> Workload {
         record_scheduler: Scheduler::RoundRobin,
         vm: VmConfig::default(),
         ground_truth,
-        expected: ClassCounts { kw_differ: 1, single_ord: 12, ..Default::default() },
+        expected: ClassCounts {
+            kw_differ: 1,
+            single_ord: 12,
+            ..Default::default()
+        },
     }
 }
 
@@ -104,12 +108,8 @@ pub fn fmm() -> Workload {
 /// into "spec violated" (Table 2's semantic row) without implicating the
 /// other twelve fmm races.
 pub fn timestamps_positive(ts: AllocId) -> Predicate {
-    Predicate::new(
-        "timestamps-positive",
-        vec![],
-        move |m: &Machine| {
-            let v = m.mem.load(ts, 0).ok()?.as_concrete()?;
-            (v < 0).then(|| format!("timestamp = {v}"))
-        },
-    )
+    Predicate::new("timestamps-positive", vec![], move |m: &Machine| {
+        let v = m.mem.load(ts, 0).ok()?.as_concrete()?;
+        (v < 0).then(|| format!("timestamp = {v}"))
+    })
 }

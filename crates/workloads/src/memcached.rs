@@ -13,9 +13,7 @@ use std::sync::Arc;
 use portend::RaceClass;
 use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, VmConfig};
 
-use crate::common::{
-    declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths,
-};
+use crate::common::{declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths};
 use crate::spec::{ClassCounts, GroundTruth, Needs, Workload};
 
 /// Builds the stock workload.
@@ -30,7 +28,11 @@ pub fn memcached_weakened() -> Workload {
 
 fn build(weakened: bool) -> Workload {
     let mut pb = ProgramBuilder::new(
-        if weakened { "memcached-weakened" } else { "memcached" },
+        if weakened {
+            "memcached-weakened"
+        } else {
+            "memcached"
+        },
         "memcached.c",
     );
     let stages: Vec<_> = (0..4)
@@ -78,6 +80,7 @@ fn build(weakened: bool) -> Workload {
         f.store(current_time, Operand::Imm(0), Operand::Imm(1_000)); // racy
         f.line(2874);
         f.store(oldest_live, Operand::Imm(0), Operand::Imm(999)); // racy
+
         // The connection sweeper: the store below is protected by
         // conn_lock in stock memcached; the what-if experiment removes
         // that synchronization.
@@ -152,7 +155,11 @@ fn build(weakened: bool) -> Workload {
         Needs::SinglePath,
         "schedule-sensitive expiry horizon reaches APPEND_STAT (Fig. 8c)",
     ));
-    let mut expected = ClassCounts { out_diff: 2, single_ord: 16, ..Default::default() };
+    let mut expected = ClassCounts {
+        out_diff: 2,
+        single_ord: 16,
+        ..Default::default()
+    };
     if weakened {
         ground_truth.push(GroundTruth {
             alloc: "conn_idx".to_string(),
@@ -165,7 +172,11 @@ fn build(weakened: bool) -> Workload {
     }
 
     Workload {
-        name: if weakened { "memcached-weakened" } else { "memcached" },
+        name: if weakened {
+            "memcached-weakened"
+        } else {
+            "memcached"
+        },
         language: "C",
         original_loc: 8_300,
         forked_threads: 8,

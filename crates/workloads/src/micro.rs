@@ -23,7 +23,10 @@ fn kw_same(alloc: &str, note: &'static str) -> GroundTruth {
 }
 
 fn one_kw_same() -> ClassCounts {
-    ClassCounts { kw_same: 1, ..Default::default() }
+    ClassCounts {
+        kw_same: 1,
+        ..Default::default()
+    }
 }
 
 /// RW — redundant writes: two threads store the same value.

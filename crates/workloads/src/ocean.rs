@@ -11,9 +11,7 @@ use std::sync::Arc;
 use portend_symex::CmpOp;
 use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, SymDomain, VmConfig};
 
-use crate::common::{
-    declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths,
-};
+use crate::common::{declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths};
 use crate::spec::{ClassCounts, Needs, Workload};
 
 /// Builds the workload.
@@ -60,35 +58,60 @@ pub fn ocean() -> Workload {
             // sides — reproducing the paper's §5.4 miss.
             use portend_symex::BinOp;
             let c1 = f.cmp(CmpOp::Lt, x, Operand::Imm(32));
-            f.if_else(c1, |_f| {}, |f| {
-                let c2 = f.cmp(CmpOp::Lt, y, Operand::Imm(16));
-                f.if_else(c2, |_f| {}, |f| {
-                    let s = f.add(x, y);
-                    let r = f.bin(BinOp::Rem, s, Operand::Imm(7));
-                    let c3 = f.cmp(CmpOp::Ne, r, Operand::Imm(6));
-                    f.if_else(c3, |_f| {}, |f| {
-                        let d = f.mul(x, Operand::Imm(3));
-                        let d = f.add(d, y);
-                        let d = f.bin(BinOp::Rem, d, Operand::Imm(11));
-                        let c4 = f.cmp(CmpOp::Ne, d, Operand::Imm(0));
-                        f.if_else(c4, |_f| {}, |f| {
-                            let m = f.bin(BinOp::Xor, x, y);
-                            let m = f.bin(BinOp::Rem, m, Operand::Imm(13));
-                            let c5 = f.cmp(CmpOp::Ne, m, Operand::Imm(2));
-                            f.if_else(c5, |_f| {}, |f| {
-                                let q = f.mul(x, y);
-                                let q = f.bin(BinOp::Rem, q, Operand::Imm(17));
-                                let c6 = f.cmp(CmpOp::Ne, q, Operand::Imm(0));
-                                f.if_else(c6, |_f| {}, |f| {
-                                    let r = f.load(residual, Operand::Imm(0));
-                                    f.line(4890);
-                                    f.output(1, r); // order-dependent!
-                                });
-                            });
-                        });
-                    });
-                });
-            });
+            f.if_else(
+                c1,
+                |_f| {},
+                |f| {
+                    let c2 = f.cmp(CmpOp::Lt, y, Operand::Imm(16));
+                    f.if_else(
+                        c2,
+                        |_f| {},
+                        |f| {
+                            let s = f.add(x, y);
+                            let r = f.bin(BinOp::Rem, s, Operand::Imm(7));
+                            let c3 = f.cmp(CmpOp::Ne, r, Operand::Imm(6));
+                            f.if_else(
+                                c3,
+                                |_f| {},
+                                |f| {
+                                    let d = f.mul(x, Operand::Imm(3));
+                                    let d = f.add(d, y);
+                                    let d = f.bin(BinOp::Rem, d, Operand::Imm(11));
+                                    let c4 = f.cmp(CmpOp::Ne, d, Operand::Imm(0));
+                                    f.if_else(
+                                        c4,
+                                        |_f| {},
+                                        |f| {
+                                            let m = f.bin(BinOp::Xor, x, y);
+                                            let m = f.bin(BinOp::Rem, m, Operand::Imm(13));
+                                            let c5 = f.cmp(CmpOp::Ne, m, Operand::Imm(2));
+                                            f.if_else(
+                                                c5,
+                                                |_f| {},
+                                                |f| {
+                                                    let q = f.mul(x, y);
+                                                    let q = f.bin(BinOp::Rem, q, Operand::Imm(17));
+                                                    let c6 = f.cmp(CmpOp::Ne, q, Operand::Imm(0));
+                                                    f.if_else(
+                                                        c6,
+                                                        |_f| {},
+                                                        |f| {
+                                                            let r =
+                                                                f.load(residual, Operand::Imm(0));
+                                                            f.line(4890);
+                                                            f.output(1, r); // order-dependent!
+                                                        },
+                                                    );
+                                                },
+                                            );
+                                        },
+                                    );
+                                },
+                            );
+                        },
+                    );
+                },
+            );
             f.output(1, Operand::Imm(7)); // unconditional convergence banner
             f.ret(None);
         })
@@ -123,6 +146,10 @@ pub fn ocean() -> Workload {
         // NOTE: expected counts describe *Portend's* anticipated output
         // (matching the paper's Table 3), not pure ground truth: the
         // residual race is truly outDiff but lands in kw_differ.
-        expected: ClassCounts { kw_differ: 1, single_ord: 4, ..Default::default() },
+        expected: ClassCounts {
+            kw_differ: 1,
+            single_ord: 4,
+            ..Default::default()
+        },
     }
 }

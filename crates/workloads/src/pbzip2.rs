@@ -11,9 +11,7 @@ use std::sync::Arc;
 use portend::RaceClass;
 use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, SymDomain, VmConfig};
 
-use crate::common::{
-    declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths,
-};
+use crate::common::{declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths};
 use crate::spec::{ClassCounts, GroundTruth, Needs, Workload};
 
 /// Builds the workload.
@@ -38,13 +36,12 @@ pub fn pbzip2() -> Workload {
     // Three decompressor workers; worker i consumes its stages, updates
     // progress, then publishes the end-of-stream sentinel.
     let mut workers = Vec::new();
-    for i in 0..3 {
+    for (i, &nb) in next_block.iter().enumerate() {
         let my_stages: Vec<_> = match i {
             0 => vec![stages[0].clone(), stages[1].clone()],
             1 => vec![stages[2].clone(), stages[3].clone()],
             _ => vec![stages[4].clone()],
         };
-        let nb = next_block[i];
         let done = blocks_done.get(i).copied();
         let ti = total_in;
         let func = pb.func(format!("decompress{i}"), move |f| {
@@ -54,7 +51,8 @@ pub fn pbzip2() -> Workload {
             }
             if let Some(done) = done {
                 f.line(1610 + i as u32);
-                f.store(done, Operand::Imm(0), Operand::Imm(11 * (i as i64 + 1))); // racy
+                f.store(done, Operand::Imm(0), Operand::Imm(11 * (i as i64 + 1)));
+                // racy
             }
             if i == 2 {
                 f.line(1650);
@@ -155,13 +153,17 @@ pub fn pbzip2() -> Workload {
         forked_threads: 4,
         program,
         inputs: vec![0],
-        input_spec: InputSpec::concrete(vec![0])
-            .with_symbolic(SymDomain::new("verbose", 0, 1)),
+        input_spec: InputSpec::concrete(vec![0]).with_symbolic(SymDomain::new("verbose", 0, 1)),
         predicates: vec![],
         optional_predicates: vec![],
         record_scheduler: Scheduler::RoundRobin,
         vm: VmConfig::default(),
         ground_truth,
-        expected: ClassCounts { spec_viol: 3, out_diff: 3, single_ord: 25, ..Default::default() },
+        expected: ClassCounts {
+            spec_viol: 3,
+            out_diff: 3,
+            single_ord: 25,
+            ..Default::default()
+        },
     }
 }

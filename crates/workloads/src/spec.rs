@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use portend::{Pipeline, PipelineResult, Predicate, PortendConfig, RaceClass};
+use portend::{Pipeline, PipelineResult, PortendConfig, Predicate, RaceClass};
 use portend_race::RaceReport;
 use portend_replay::RecordConfig;
 use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
@@ -108,7 +108,9 @@ impl std::fmt::Debug for Workload {
 impl Workload {
     /// Ground truth for a detected race, by allocation name.
     pub fn truth_for(&self, race: &RaceReport) -> Option<&GroundTruth> {
-        self.ground_truth.iter().find(|g| g.alloc == race.alloc_name)
+        self.ground_truth
+            .iter()
+            .find(|g| g.alloc == race.alloc_name)
     }
 
     /// Runs the full detect + classify pipeline with the given Portend
@@ -124,21 +126,56 @@ impl Workload {
         config: PortendConfig,
         predicates: Vec<Predicate>,
     ) -> PipelineResult {
-        let pipeline = Pipeline {
-            record: RecordConfig {
-                scheduler: self.record_scheduler.clone(),
-                vm: self.vm,
-                ..Default::default()
-            },
-            portend: config,
-        };
-        pipeline.run(
+        self.pipeline(config).run(
             &self.program,
             self.inputs.clone(),
             self.input_spec.clone(),
             predicates,
             self.vm,
         )
+    }
+
+    /// Like [`Workload::analyze`], but classifies this workload's races
+    /// concurrently on the `portend-farm` pool with `workers` threads
+    /// (`0` = one per CPU). Verdicts are identical to [`Workload::analyze`].
+    pub fn analyze_parallel(&self, config: PortendConfig, workers: usize) -> PipelineResult {
+        self.pipeline(config).run_parallel(
+            &self.program,
+            self.inputs.clone(),
+            self.input_spec.clone(),
+            self.predicates.clone(),
+            self.vm,
+            workers,
+        )
+    }
+
+    /// [`Workload::analyze_parallel`], additionally reporting farm
+    /// statistics (worker utilization, solver-cache hit rate).
+    pub fn analyze_parallel_with_stats(
+        &self,
+        config: PortendConfig,
+        workers: usize,
+    ) -> (PipelineResult, portend::FarmStats) {
+        self.pipeline(config).run_parallel_with_stats(
+            &self.program,
+            self.inputs.clone(),
+            self.input_spec.clone(),
+            self.predicates.clone(),
+            self.vm,
+            workers,
+        )
+    }
+
+    /// The pipeline this workload is analyzed with.
+    fn pipeline(&self, config: PortendConfig) -> Pipeline {
+        Pipeline {
+            record: RecordConfig {
+                scheduler: self.record_scheduler.clone(),
+                vm: self.vm,
+                ..Default::default()
+            },
+            portend: config,
+        }
     }
 
     /// The model's size in IR instructions (our Table 1 "size" analog).
@@ -172,7 +209,9 @@ impl ScoreCard {
                 }
             };
             match &a.verdict {
-                Ok(v) => card.rows.push((race.alloc_name.clone(), truth.expected, v.class)),
+                Ok(v) => card
+                    .rows
+                    .push((race.alloc_name.clone(), truth.expected, v.class)),
                 Err(_) => card.errors += 1,
             }
         }

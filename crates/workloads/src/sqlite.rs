@@ -79,6 +79,9 @@ pub fn sqlite() -> Workload {
             states_differ: true,
             note: "alternate ordering takes the lazy-init path and deadlocks",
         }],
-        expected: ClassCounts { spec_viol: 1, ..Default::default() },
+        expected: ClassCounts {
+            spec_viol: 1,
+            ..Default::default()
+        },
     }
 }

@@ -7,7 +7,10 @@ use portend::{AnalysisStages, PortendConfig, RaceClass};
 use portend_workloads::{by_name, Needs};
 
 fn config(stages: AnalysisStages) -> PortendConfig {
-    PortendConfig { stages, ..Default::default() }
+    PortendConfig {
+        stages,
+        ..Default::default()
+    }
 }
 
 /// Races annotated `MultiPath` are fixed by multi-path analysis alone
@@ -86,7 +89,10 @@ fn multi_schedule_races_need_randomized_alternates() {
             race.alloc_name
         );
     }
-    assert!(checked >= 4, "ctrace has four double-read races needing randomization");
+    assert!(
+        checked >= 4,
+        "ctrace has four double-read races needing randomization"
+    );
 }
 
 /// Races annotated `AdHoc` flip from conservative-harmful to
@@ -110,7 +116,12 @@ fn adhoc_races_need_adhoc_detection() {
             }
             let before = a_without.verdict.as_ref().unwrap().class;
             let after = a_with.verdict.as_ref().unwrap().class;
-            assert_eq!(after, RaceClass::SingleOrdering, "{name}/{}", race.alloc_name);
+            assert_eq!(
+                after,
+                RaceClass::SingleOrdering,
+                "{name}/{}",
+                race.alloc_name
+            );
             if before != after {
                 flipped += 1;
             }
@@ -159,7 +170,9 @@ fn technique_need_population_matches_paper() {
         // Count per-race (double-read cells contribute two races each).
         let result = w.analyze(PortendConfig::default());
         for a in &result.analyzed {
-            let truth = w.truth_for(&a.cluster.representative).expect("ground truth");
+            let truth = w
+                .truth_for(&a.cluster.representative)
+                .expect("ground truth");
             // The ocean residual race is the known miss (§5.4): it would
             // need multi-path analysis *beyond* the Mp budget, so the
             // paper does not count it among the successfully classified
@@ -205,7 +218,11 @@ fn ocean_miss_is_a_budget_effect_not_a_bug() {
         RaceClass::KWitnessHarmless
     );
     // Generous budget: the needle path is explored and the truth emerges.
-    let big = PortendConfig { mp: 16, max_exploration_states: 1024, ..Default::default() };
+    let big = PortendConfig {
+        mp: 16,
+        max_exploration_states: 1024,
+        ..Default::default()
+    };
     let result = w.analyze(big);
     let residual = result
         .analyzed

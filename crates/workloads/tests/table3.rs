@@ -67,7 +67,10 @@ fn every_workload_matches_its_table3_row() {
     assert_eq!(total_races, 93, "expected the paper's 93 distinct races");
     // 92/93 correct: only the ocean residual race is misclassified (§5.4).
     assert_eq!(total_scored, 93);
-    assert_eq!(total_correct, 92, "expected exactly one misclassification (ocean)");
+    assert_eq!(
+        total_correct, 92,
+        "expected exactly one misclassification (ocean)"
+    );
 }
 
 #[test]
@@ -102,7 +105,12 @@ fn ctrace_fig4_crash_found_via_multipath_multischedule() {
             // The evidence must carry the --no-hash-table input (0), not
             // the recorded --use-hash-table (1): Fig. 4's "the developer
             // is given the trace in which the input is --no-hash-table".
-            assert_eq!(replay.inputs.first(), Some(&0), "inputs: {:?}", replay.inputs);
+            assert_eq!(
+                replay.inputs.first(),
+                Some(&0),
+                "inputs: {:?}",
+                replay.inputs
+            );
         }
         other => panic!("{other:?}"),
     }
@@ -118,13 +126,13 @@ fn fmm_semantic_predicate_flips_timestamp_race_to_spec_violated() {
         .iter()
         .find(|a| a.cluster.representative.alloc_name == "timestamp")
         .expect("timestamp race detected");
-    assert_eq!(ts.verdict.as_ref().unwrap().class, RaceClass::KWitnessHarmless);
+    assert_eq!(
+        ts.verdict.as_ref().unwrap().class,
+        RaceClass::KWitnessHarmless
+    );
 
     // With the §5.1 predicate: spec violated (semantic).
-    let result = w.analyze_with_predicates(
-        PortendConfig::default(),
-        w.optional_predicates.clone(),
-    );
+    let result = w.analyze_with_predicates(PortendConfig::default(), w.optional_predicates.clone());
     let ts = result
         .analyzed
         .iter()

@@ -14,11 +14,13 @@ fn main() {
 
     // 1. Classic single-pre/single-post classification (what replay-based
     //    classifiers do): the race looks harmless.
-    let mut single = PortendConfig::default();
-    single.stages = AnalysisStages {
-        adhoc_detection: true,
-        multi_path: false,
-        multi_schedule: false,
+    let single = PortendConfig {
+        stages: AnalysisStages {
+            adhoc_detection: true,
+            multi_path: false,
+            multi_schedule: false,
+        },
+        ..Default::default()
     };
     let result = workload.analyze(single);
     let id_race = result

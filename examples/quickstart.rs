@@ -33,7 +33,10 @@ fn main() {
 
     // Detect and classify.
     let pipeline = Pipeline {
-        record: RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+        record: RecordConfig {
+            scheduler: Scheduler::RoundRobin,
+            ..Default::default()
+        },
         portend: PortendConfig::default(),
     };
     let result = pipeline.run(

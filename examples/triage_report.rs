@@ -34,7 +34,10 @@ fn main() {
     // Harmful first, then output-differs, then the harmless classes.
     triage.sort_by_key(|(_, _, class, _)| *class);
 
-    println!("=== Portend triage: {} races, most critical first ===\n", triage.len());
+    println!(
+        "=== Portend triage: {} races, most critical first ===\n",
+        triage.len()
+    );
     let mut last_class = None;
     for (app, race, class, verdict) in &triage {
         if last_class != Some(*class) {

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 
 pub use portend;
+pub use portend_farm;
 pub use portend_race;
 pub use portend_replay;
 pub use portend_symex;

@@ -28,7 +28,11 @@ fn record_replay_is_deterministic_for_every_workload() {
         };
         let run1 = record(&w.program, w.inputs.clone(), cfg.clone());
         let run2 = record(&w.program, w.inputs.clone(), cfg);
-        assert_eq!(run1.output, run2.output, "{}: nondeterministic recording", w.name);
+        assert_eq!(
+            run1.output, run2.output,
+            "{}: nondeterministic recording",
+            w.name
+        );
         assert_eq!(
             run1.clusters.len(),
             run2.clusters.len(),
@@ -47,7 +51,11 @@ fn record_replay_is_deterministic_for_every_workload() {
             w.name
         );
         assert_eq!(m.output, run1.output, "{}: replay output differs", w.name);
-        assert!(!sched.diverged(), "{}: replay diverged from its own trace", w.name);
+        assert!(
+            !sched.diverged(),
+            "{}: replay diverged from its own trace",
+            w.name
+        );
     }
 }
 
@@ -87,16 +95,24 @@ fn false_positive_reports_classified_harmless() {
         vec![],
         RecordConfig {
             scheduler: Scheduler::RoundRobin,
-            detector: DetectorConfig { ignore_mutexes: true, ..Default::default() },
+            detector: DetectorConfig {
+                ignore_mutexes: true,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
-    assert!(!run.clusters.is_empty(), "the broken detector must report false positives");
+    assert!(
+        !run.clusters.is_empty(),
+        "the broken detector must report false positives"
+    );
 
     let case = AnalysisCase::concrete(Arc::clone(&program), run.trace.clone());
     let portend = Portend::new(PortendConfig::default());
     for cluster in &run.clusters {
-        let v = portend.classify(&case, &cluster.representative).expect("classifiable");
+        let v = portend
+            .classify(&case, &cluster.representative)
+            .expect("classifiable");
         assert!(
             !v.class.is_harmful(),
             "false positive classified harmful: {} -> {v}",
@@ -132,7 +148,10 @@ fn sound_detector_reports_nothing_for_locked_program() {
         let run = record(
             &program,
             vec![],
-            RecordConfig { scheduler: Scheduler::random(seed), ..Default::default() },
+            RecordConfig {
+                scheduler: Scheduler::random(seed),
+                ..Default::default()
+            },
         );
         assert!(run.clusters.is_empty(), "seed {seed}: {:?}", run.clusters);
     }
@@ -180,7 +199,9 @@ fn heuristic_classifier_patterns() {
     let race = &result.analyzed[0].cluster.representative;
     assert_eq!(
         h.classify(&result.case, race),
-        HeuristicVerdict::LikelyBenign { pattern: "redundant write" }
+        HeuristicVerdict::LikelyBenign {
+            pattern: "redundant write"
+        }
     );
 
     let sqlite = portend_repro::portend_workloads::sqlite();
@@ -223,9 +244,7 @@ fn harmful_verdicts_carry_replayable_evidence() {
             if let Ok(v) = &a.verdict {
                 if v.class == RaceClass::SpecViolated {
                     match &v.detail {
-                        portend_repro::portend::VerdictDetail::SpecViolation {
-                            replay, ..
-                        } => {
+                        portend_repro::portend::VerdictDetail::SpecViolation { replay, .. } => {
                             assert!(
                                 !replay.schedule.is_empty(),
                                 "{name}: empty schedule evidence"
@@ -285,7 +304,10 @@ fn cluster_representative_prefers_write_first() {
     let run = record(
         &program,
         vec![],
-        RecordConfig { scheduler: Scheduler::RoundRobin, ..Default::default() },
+        RecordConfig {
+            scheduler: Scheduler::RoundRobin,
+            ..Default::default()
+        },
     );
     let clusters = cluster_races(&run.races);
     assert_eq!(clusters.len(), 1);

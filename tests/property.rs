@@ -1,18 +1,22 @@
-//! Property-based tests (proptest) on the reproduction's core
-//! invariants: solver soundness, expression-simplification equivalence,
-//! vector-clock laws, and VM replay determinism.
+//! Randomized property tests on the reproduction's core invariants:
+//! solver soundness, solver-cache transparency, expression-simplification
+//! equivalence, vector-clock laws, and VM replay determinism.
+//!
+//! Driven by the workspace's own deterministic PRNG
+//! ([`portend_repro::portend_vm::SmallRng`]) instead of an external
+//! property-testing crate: every case derives from a fixed seed, so
+//! failures reproduce exactly and the suite needs no network access.
 
-use proptest::prelude::*;
+use std::sync::Arc;
 
 use portend_repro::portend_race::VectorClock;
 use portend_repro::portend_symex::{
-    BinOp, CmpOp, Expr, Model, SatResult, Solver, VarId, VarTable,
+    BinOp, CmpOp, Expr, Model, SatResult, Solver, SolverCache, VarId, VarTable,
 };
 use portend_repro::portend_vm::{
     drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, Operand, ProgramBuilder,
-    Scheduler, ThreadId, VmConfig,
+    Scheduler, SmallRng, ThreadId, VmConfig,
 };
-use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // Expression language: random expression trees over two bounded vars.
@@ -27,42 +31,47 @@ enum ETree {
     Not(Box<ETree>),
 }
 
-fn etree() -> impl Strategy<Value = ETree> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(ETree::Const),
-        (0u8..2).prop_map(ETree::Var),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                    Just(BinOp::Xor),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| ETree::Bin(op, Box::new(a), Box::new(b))),
-            (
-                prop_oneof![
-                    Just(CmpOp::Eq),
-                    Just(CmpOp::Ne),
-                    Just(CmpOp::Lt),
-                    Just(CmpOp::Le),
-                    Just(CmpOp::Gt),
-                    Just(CmpOp::Ge),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| ETree::Cmp(op, Box::new(a), Box::new(b))),
-            inner.prop_map(|a| ETree::Not(Box::new(a))),
-        ]
-    })
+const BIN_OPS: [BinOp; 6] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+];
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+/// A random expression tree of depth at most `depth`.
+fn gen_etree(r: &mut SmallRng, depth: u32) -> ETree {
+    let leaf = depth == 0 || r.gen_index(3) == 0;
+    if leaf {
+        if r.gen_index(2) == 0 {
+            ETree::Const(r.gen_index(40) as i64 - 20)
+        } else {
+            ETree::Var(r.gen_index(2) as u8)
+        }
+    } else {
+        match r.gen_index(3) {
+            0 => ETree::Bin(
+                BIN_OPS[r.gen_index(BIN_OPS.len())],
+                Box::new(gen_etree(r, depth - 1)),
+                Box::new(gen_etree(r, depth - 1)),
+            ),
+            1 => ETree::Cmp(
+                CMP_OPS[r.gen_index(CMP_OPS.len())],
+                Box::new(gen_etree(r, depth - 1)),
+                Box::new(gen_etree(r, depth - 1)),
+            ),
+            _ => ETree::Not(Box::new(gen_etree(r, depth - 1))),
+        }
+    }
 }
 
 fn build(t: &ETree) -> Expr {
@@ -87,44 +96,62 @@ fn eval_ref(t: &ETree, a: i64, b: i64) -> Option<i64> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Constant folding and simplification preserve semantics.
-    #[test]
-    fn expr_simplification_preserves_semantics(t in etree(), a in -30i64..30, b in -30i64..30) {
+/// Constant folding and simplification preserve semantics.
+#[test]
+fn expr_simplification_preserves_semantics() {
+    let mut r = SmallRng::seed_from_u64(0xE59);
+    for _case in 0..256 {
+        let t = gen_etree(&mut r, 3);
+        let a = r.gen_index(60) as i64 - 30;
+        let b = r.gen_index(60) as i64 - 30;
         let e = build(&t);
         let mut m = Model::new();
         m.set(VarId(0), a);
         m.set(VarId(1), b);
         let expected = eval_ref(&t, a, b);
         let got = e.eval(&m).ok();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "tree {t:?} under ({a},{b})");
     }
+}
 
-    /// Any model the solver returns actually satisfies the constraints.
-    #[test]
-    fn solver_models_are_sound(ts in prop::collection::vec(etree(), 1..4)) {
-        let mut vars = VarTable::new();
-        vars.fresh("a", -10, 10);
-        vars.fresh("b", -10, 10);
+fn two_var_table(lo: i64, hi: i64) -> VarTable {
+    let mut vars = VarTable::new();
+    vars.fresh("a", lo, hi);
+    vars.fresh("b", lo, hi);
+    vars
+}
+
+/// Any model the solver returns actually satisfies the constraints.
+#[test]
+fn solver_models_are_sound() {
+    let mut r = SmallRng::seed_from_u64(0x50B);
+    for _case in 0..256 {
+        let n = 1 + r.gen_index(3);
+        let ts: Vec<ETree> = (0..n).map(|_| gen_etree(&mut r, 3)).collect();
+        let vars = two_var_table(-10, 10);
         let cs: Vec<Expr> = ts.iter().map(build).collect();
         let solver = Solver::new();
         if let SatResult::Sat(model) = solver.check(&cs, &vars) {
             for c in &cs {
                 // A satisfying model makes every constraint non-zero.
                 let v = c.eval(&model);
-                prop_assert!(matches!(v, Ok(x) if x != 0), "constraint {} -> {:?} under {}", c, v, model);
+                assert!(
+                    matches!(v, Ok(x) if x != 0),
+                    "constraint {c} -> {v:?} under {model}"
+                );
             }
         }
     }
+}
 
-    /// Unsat answers are sound: no assignment in the domain satisfies.
-    #[test]
-    fn solver_unsat_is_sound(ts in prop::collection::vec(etree(), 1..3)) {
-        let mut vars = VarTable::new();
-        vars.fresh("a", -4, 4);
-        vars.fresh("b", -4, 4);
+/// Unsat answers are sound: no assignment in the domain satisfies.
+#[test]
+fn solver_unsat_is_sound() {
+    let mut r = SmallRng::seed_from_u64(0x07A);
+    for _case in 0..256 {
+        let n = 1 + r.gen_index(2);
+        let ts: Vec<ETree> = (0..n).map(|_| gen_etree(&mut r, 3)).collect();
+        let vars = two_var_table(-4, 4);
         let cs: Vec<Expr> = ts.iter().map(build).collect();
         let solver = Solver::new();
         if solver.check(&cs, &vars) == SatResult::Unsat {
@@ -134,38 +161,90 @@ proptest! {
                     m.set(VarId(0), a);
                     m.set(VarId(1), b);
                     let all_hold = cs.iter().all(|c| matches!(c.eval(&m), Ok(v) if v != 0));
-                    prop_assert!(!all_hold, "unsat but ({a},{b}) satisfies");
+                    assert!(!all_hold, "unsat but ({a},{b}) satisfies {cs:?}");
                 }
             }
         }
     }
+}
 
-    /// Vector-clock join is a least upper bound: both operands ≤ join.
-    #[test]
-    fn vector_clock_join_is_lub(ticks_a in prop::collection::vec(0u32..4, 0..12),
-                                ticks_b in prop::collection::vec(0u32..4, 0..12)) {
+/// The shared solver cache never changes a satisfiability answer: for
+/// random constraint sets, a cache-backed solver returns exactly what an
+/// uncached solver returns — on the miss that populates the cache, on
+/// the hit that reuses it, and across solvers sharing the cache.
+#[test]
+fn solver_cache_is_transparent() {
+    let mut r = SmallRng::seed_from_u64(0xCAC4E);
+    let cache = Arc::new(SolverCache::new(4));
+    let cached = Solver::new().cached(Arc::clone(&cache));
+    let cached_peer = Solver::new().cached(Arc::clone(&cache));
+    let uncached = Solver::new();
+    let mut hits_seen = 0u64;
+    for _case in 0..192 {
+        let n = 1 + r.gen_index(3);
+        let ts: Vec<ETree> = (0..n).map(|_| gen_etree(&mut r, 3)).collect();
+        let vars = two_var_table(-6, 6);
+        let cs: Vec<Expr> = ts.iter().map(build).collect();
+
+        let reference = uncached.check(&cs, &vars);
+        let (first, s1) = cached.check_with_stats(&cs, &vars);
+        let (second, s2) = cached.check_with_stats(&cs, &vars);
+        let (third, s3) = cached_peer.check_with_stats(&cs, &vars);
+        assert_eq!(first, reference, "miss result differs for {cs:?}");
+        assert_eq!(second, reference, "hit result differs for {cs:?}");
+        assert_eq!(third, reference, "shared-cache result differs for {cs:?}");
+        assert!(
+            !s1.cache_hit || hits_seen > 0,
+            "first query can only hit a repeat key"
+        );
+        assert!(s2.cache_hit, "identical repeat query must hit");
+        assert!(s3.cache_hit, "peer solver on the same cache must hit");
+        hits_seen += (s1.cache_hit as u64) + 2;
+    }
+    let snap = cache.snapshot();
+    assert!(snap.hits >= 2 * 192, "hits {snap:?}");
+    assert!(snap.entries > 0 && snap.entries <= snap.misses);
+}
+
+/// Vector-clock join is a least upper bound: both operands ≤ join;
+/// idempotent and commutative.
+#[test]
+fn vector_clock_join_is_lub() {
+    let mut r = SmallRng::seed_from_u64(0xC10C);
+    for _case in 0..256 {
+        let len_a = r.gen_index(12);
+        let len_b = r.gen_index(12);
         let mut a = VectorClock::new();
-        for t in &ticks_a { a.tick(ThreadId(*t)); }
+        for _ in 0..len_a {
+            a.tick(ThreadId(r.gen_index(4) as u32));
+        }
         let mut b = VectorClock::new();
-        for t in &ticks_b { b.tick(ThreadId(*t)); }
+        for _ in 0..len_b {
+            b.tick(ThreadId(r.gen_index(4) as u32));
+        }
         let mut j = a.clone();
         j.join(&b);
-        prop_assert!(a.leq(&j));
-        prop_assert!(b.leq(&j));
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
         // Idempotent.
         let mut j2 = j.clone();
         j2.join(&b);
-        prop_assert_eq!(j.clone(), j2);
+        assert_eq!(j, j2);
         // Commutative.
         let mut k = b.clone();
         k.join(&a);
-        prop_assert_eq!(j, k);
+        assert_eq!(j, k);
     }
+}
 
-    /// The VM is deterministic: the same seeded random schedule produces
-    /// the same outputs, step counts, and final memory.
-    #[test]
-    fn vm_runs_are_deterministic(seed in 0u64..1000, increments in 1i64..24) {
+/// The VM is deterministic: the same seeded random schedule produces
+/// the same outputs, step counts, and final memory.
+#[test]
+fn vm_runs_are_deterministic() {
+    let mut r = SmallRng::seed_from_u64(0xDE7);
+    for _case in 0..40 {
+        let seed = r.next_u64() % 1000;
+        let increments = 1 + r.gen_index(23) as i64;
         let mut pb = ProgramBuilder::new("det", "det.c");
         let g = pb.global("g", 0);
         let worker = pb.func("worker", move |f| {
@@ -197,13 +276,18 @@ proptest! {
             let stop = drive(&mut m, &mut s, &mut mon, &DriveCfg::default());
             (stop, m.output.hash_chain(), m.steps, m.mem.fingerprint())
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed), "seed {seed}, increments {increments}");
     }
+}
 
-    /// The final counter value under any schedule stays within the
-    /// lost-update envelope [increments, 2*increments].
-    #[test]
-    fn racy_counter_respects_lost_update_envelope(seed in 0u64..200, n in 1i64..16) {
+/// The final counter value under any schedule stays within the
+/// lost-update envelope [increments, 2*increments].
+#[test]
+fn racy_counter_respects_lost_update_envelope() {
+    let mut r = SmallRng::seed_from_u64(0x10E);
+    for _case in 0..60 {
+        let seed = r.next_u64() % 200;
+        let n = 1 + r.gen_index(15) as i64;
         let mut pb = ProgramBuilder::new("env", "env.c");
         let g = pb.global("g", 0);
         let worker = pb.func("worker", move |f| {
@@ -235,6 +319,6 @@ proptest! {
         let mut mon = portend_repro::portend_vm::NullMonitor;
         let _ = drive(&mut m, &mut s, &mut mon, &DriveCfg::default());
         let total = m.output.concrete_values().unwrap()[0];
-        prop_assert!(total >= n && total <= 2 * n, "total {total} for n {n}");
+        assert!(total >= n && total <= 2 * n, "total {total} for n {n}");
     }
 }
