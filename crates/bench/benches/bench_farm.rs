@@ -3,9 +3,9 @@
 //! corpus, plus the corpus-level fan-out (one farm job per workload).
 //!
 //! Prints, per workload: serial and parallel wall time, wall-clock
-//! speedup, *critical-path* speedup, solver cache hit rate, and worker
-//! utilization — the headline numbers for the farm's ">1.5× at 4
-//! workers with a nonzero cache hit rate" target.
+//! speedup, *critical-path* speedup, solver cache hit rates (whole-query
+//! and slice-level), and worker utilization — the headline numbers for
+//! the farm's ">1.5× at 4 workers with a nonzero cache hit rate" target.
 //!
 //! Wall-clock speedup requires the hardware to exist: on a host with
 //! fewer cores than workers (CI containers are often single-core) the
@@ -86,6 +86,7 @@ fn main() {
             .as_secs_f64();
         let cp_speedup = stats.busy_total.as_secs_f64() / critical_path.max(1e-9);
         let hit_rate = stats.cache_hit_rate().unwrap_or(0.0);
+        let slice_rate = stats.slice_hit_rate().unwrap_or(0.0);
         rows.push(vec![
             name.to_string(),
             serial_result.analyzed.len().to_string(),
@@ -97,6 +98,7 @@ fn main() {
             ),
             format!("{cp_speedup:.2}x"),
             format!("{:.0}%", 100.0 * hit_rate),
+            format!("{:.0}%", 100.0 * slice_rate),
             format!("{:.0}%", 100.0 * stats.utilization()),
         ]);
     }
@@ -109,6 +111,7 @@ fn main() {
             "{:.2}x",
             total_serial.as_secs_f64() / total_parallel.as_secs_f64().max(1e-9)
         ),
+        String::new(),
         String::new(),
         String::new(),
         String::new(),
@@ -138,6 +141,7 @@ fn main() {
                 "Wall speedup",
                 "Crit-path speedup",
                 "Cache hit",
+                "Slice hit",
                 "Worker util",
             ],
             &rows,

@@ -1,9 +1,14 @@
 //! Criterion benchmark: the bounded-domain constraint solver (the STP
-//! substitute) on the query shapes Portend issues.
+//! substitute) on the query shapes Portend issues, plus a measured
+//! comparison of whole-query vs slice-level caching on an Mp × Ma-style
+//! corpus (shared pre-race prefix, per-race / per-path / per-schedule
+//! suffixes — the paper's §3.3 query distribution).
+
+use std::sync::Arc;
 
 use portend_bench::crit::Criterion;
-use portend_bench::{criterion_group, criterion_main};
-use portend_symex::{CmpOp, Expr, Solver, VarTable};
+use portend_bench::{criterion_group, criterion_main, render_table};
+use portend_symex::{CmpOp, Expr, SatResult, Solver, SolverCache, VarTable};
 
 fn bench_solver(c: &mut Criterion) {
     // Path-condition feasibility: linear constraints (pruning-friendly).
@@ -53,5 +58,127 @@ fn bench_solver(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_solver);
+/// The Mp × Ma corpus: for each of `races` races, every combination of
+/// `mp` primary paths and `ma` alternate schedules issues one
+/// feasibility query `prefix ∧ race_i ∧ path_j ∧ sched_k`. The prefix
+/// (the pre-race path condition) is shared by *every* query; the other
+/// pieces recur across subsets. No two whole queries are identical, so
+/// whole-query caching cannot hit within one corpus pass — slice-level
+/// caching is what converts the structural repetition into hits.
+fn mp_ma_corpus(races: usize, mp: usize, ma: usize) -> (VarTable, Vec<Vec<Expr>>) {
+    let mut vars = VarTable::new();
+    let s0 = Expr::var(vars.fresh("s0", 0, 63));
+    let s1 = Expr::var(vars.fresh("s1", 0, 63));
+    let p = Expr::var(vars.fresh("p", 0, 63));
+    let q = Expr::var(vars.fresh("q", 0, 63));
+    let race_vars: Vec<Expr> = (0..races)
+        .map(|i| Expr::var(vars.fresh(format!("r{i}"), 0, 63)))
+        .collect();
+    // The shared pre-race prefix: one connected slice over s0, s1.
+    let prefix = [
+        s0.clone().cmp(CmpOp::Ge, Expr::konst(8)),
+        s0.clone().add(s1.clone()).cmp(CmpOp::Lt, Expr::konst(90)),
+        s1.clone().cmp(CmpOp::Gt, Expr::konst(2)),
+    ];
+    let mut queries = Vec::with_capacity(races * mp * ma);
+    for (i, rv) in race_vars.iter().enumerate() {
+        for j in 0..mp {
+            for k in 0..ma {
+                let mut cs: Vec<Expr> = prefix.to_vec();
+                cs.push(rv.clone().cmp(CmpOp::Ne, Expr::konst(i as i64)));
+                cs.push(p.clone().cmp(CmpOp::Gt, Expr::konst(j as i64)));
+                cs.push(q.clone().cmp(CmpOp::Le, Expr::konst(40 + k as i64)));
+                queries.push(cs);
+            }
+        }
+    }
+    (vars, queries)
+}
+
+/// Runs the corpus through a whole-query-cached solver and a sliced
+/// solver sharing a fresh cache each, asserting verdict equality, and
+/// reports solve counts (cache misses), rendered-key bytes, and hit
+/// rates — the measured reduction the slice layer exists for.
+fn report_slice_reduction() {
+    const RACES: usize = 6;
+    const MP: usize = 5;
+    const MA: usize = 2;
+    let (vars, queries) = mp_ma_corpus(RACES, MP, MA);
+
+    let whole_cache = Arc::new(SolverCache::default());
+    let whole = Solver::new().cached(Arc::clone(&whole_cache));
+    let sliced_cache = Arc::new(SolverCache::default());
+    let sliced = Solver::new().cached(Arc::clone(&sliced_cache));
+
+    for cs in &queries {
+        let a = whole.check(cs, &vars);
+        let b = sliced.check_sliced(cs, &vars);
+        assert_eq!(a, b, "sliced verdict must equal whole-query verdict");
+        assert!(!matches!(a, SatResult::Unknown), "corpus stays in budget");
+    }
+    let w = whole_cache.snapshot();
+    let s = sliced_cache.snapshot();
+    let solved_whole = w.misses;
+    let solved_sliced = s.slice_misses;
+    assert!(
+        solved_sliced < solved_whole,
+        "slice-level keys must reduce solver queries: {solved_sliced} vs {solved_whole}"
+    );
+    println!(
+        "\nsolver-cache granularity on the Mp x Ma corpus \
+         ({RACES} races x {MP} paths x {MA} schedules = {} queries):\n",
+        queries.len()
+    );
+    println!(
+        "{}",
+        render_table(
+            &["Cache", "Lookups", "Hit rate", "Solved", "Key bytes"],
+            &[
+                vec![
+                    "whole-query".into(),
+                    (w.hits + w.misses).to_string(),
+                    format!("{:.0}%", 100.0 * w.hit_rate()),
+                    solved_whole.to_string(),
+                    w.key_bytes.to_string(),
+                ],
+                vec![
+                    "sliced".into(),
+                    (s.slice_hits + s.slice_misses).to_string(),
+                    format!("{:.0}%", 100.0 * s.slice_hit_rate()),
+                    solved_sliced.to_string(),
+                    s.key_bytes.to_string(),
+                ],
+            ],
+        )
+    );
+    println!(
+        "query reduction: {solved_whole} -> {solved_sliced} solves \
+         ({:.1}x fewer)\n",
+        solved_whole as f64 / solved_sliced.max(1) as f64
+    );
+}
+
+fn bench_sliced(c: &mut Criterion) {
+    // Wall-clock: one corpus pass, whole-query-cached vs sliced-cached.
+    let (vars, queries) = mp_ma_corpus(6, 5, 2);
+    c.bench_function("solver_corpus_whole_query_cache", |b| {
+        b.iter(|| {
+            let solver = Solver::new().cached(Arc::new(SolverCache::default()));
+            for cs in &queries {
+                portend_bench::crit::black_box(solver.check(cs, &vars));
+            }
+        })
+    });
+    c.bench_function("solver_corpus_sliced_cache", |b| {
+        b.iter(|| {
+            let solver = Solver::new().cached(Arc::new(SolverCache::default()));
+            for cs in &queries {
+                portend_bench::crit::black_box(solver.check_sliced(cs, &vars));
+            }
+        })
+    });
+    report_slice_reduction();
+}
+
+criterion_group!(benches, bench_solver, bench_sliced);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! so the `criterion` crate cannot be vendored; this module provides the
 //! narrow API surface our benches use — [`Criterion::bench_function`],
 //! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`], and
-//! the [`criterion_group!`]/[`criterion_main!`] macros — with wall-clock
+//! the [`crate::criterion_group!`]/[`crate::criterion_main!`] macros — with wall-clock
 //! timing and a min/mean/median report. Benches declare
 //! `harness = false` and run as plain binaries under `cargo bench`.
 

@@ -15,7 +15,7 @@ use crate::enforce::{enforce_alternate, EnforceOutcome};
 use crate::explorer::{explore_primaries, ExploreResult, PrimaryPath};
 use crate::locate::locate_race;
 use crate::outcmp::{symbolic_match, OutputMatch};
-use crate::single::{single_classify, SingleResult};
+use crate::single::{single_classify, SingleResult, SingleWork};
 use crate::supervise::{SupStop, Supervisor};
 use crate::taxonomy::{
     ClassifyStats, RaceClass, ReplayEvidence, SpecViolationKind, Verdict, VerdictDetail,
@@ -92,10 +92,13 @@ impl Portend {
             preemptions: located.post.0.preemptions,
             dependent_branches: 0,
             instructions: located.replay_steps,
+            max_path_instructions: 0,
         };
 
         // --- Algorithm 1: single-pre/single-post.
-        let single = single_classify(case, race, &located, cfg);
+        let (single, swork) = single_classify(case, race, &located, cfg);
+        stats.instructions += swork.instructions;
+        stats.preemptions += swork.preemptions;
         let states_differ = match single {
             SingleResult::SpecViol { kind, replay } => {
                 return Ok(finish(Verdict::spec_violation(kind, replay), stats))
@@ -131,6 +134,7 @@ impl Portend {
         stats.dependent_branches = xstats.dependent_branches;
         stats.instructions += xstats.instructions;
         stats.preemptions += xstats.preemptions;
+        stats.max_path_instructions = xstats.max_path_instructions;
         let primaries = match explored {
             ExploreResult::SpecViol { kind, replay } => {
                 return Ok(finish(Verdict::spec_violation(kind, replay), stats))
@@ -152,7 +156,10 @@ impl Portend {
                     .wrapping_add((i as u64) << 8)
                     .wrapping_add(j as u64);
                 stats.alternates += 1;
-                match self.run_alternate(case, race, primary, seed, cfg, j > 0) {
+                let (outcome, awork) = self.run_alternate(case, race, primary, seed, cfg, j > 0);
+                stats.instructions += awork.instructions;
+                stats.preemptions += awork.preemptions;
+                match outcome {
                     AltOutcome::Match => k += 1,
                     AltOutcome::Skipped => {}
                     AltOutcome::Mismatch(ev) => {
@@ -186,7 +193,8 @@ impl Portend {
     /// Runs one alternate for a primary: replay the primary's inputs to
     /// the pre-race point, enforce the reversed access ordering, then run
     /// to completion with a randomized post-race schedule (when
-    /// `randomize`), and compare outputs symbolically.
+    /// `randomize`), and compare outputs symbolically. Also reports the
+    /// work executed, for the `ClassifyStats` totals.
     fn run_alternate(
         &self,
         case: &AnalysisCase,
@@ -195,6 +203,24 @@ impl Portend {
         seed: u64,
         cfg: &PortendConfig,
         randomize: bool,
+    ) -> (AltOutcome, SingleWork) {
+        let mut sup = Supervisor::new(cfg.step_budget);
+        let outcome = self.run_alternate_inner(case, race, primary, seed, cfg, randomize, &mut sup);
+        let mut work = SingleWork::default();
+        work.absorb(&sup);
+        (outcome, work)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_alternate_inner(
+        &self,
+        case: &AnalysisCase,
+        race: &RaceReport,
+        primary: &PrimaryPath,
+        seed: u64,
+        cfg: &PortendConfig,
+        randomize: bool,
+        sup: &mut Supervisor,
     ) -> AltOutcome {
         let fallback = Scheduler::RoundRobin;
         let mut m = Machine::new(
@@ -210,7 +236,6 @@ impl Portend {
 
         // Phase 1: replay to the pre-race point (the
         // `first_occ_at_race`-th occurrence of the first racing access).
-        let mut sup = Supervisor::new(cfg.step_budget);
         sup.race_watches.push(cell);
         let mut count: u32 = 0;
         loop {
@@ -243,7 +268,7 @@ impl Portend {
         }
 
         // Phase 2: enforce the alternate ordering.
-        match enforce_alternate(&mut m, &mut sched, &mut sup, race, &case.predicates) {
+        match enforce_alternate(&mut m, &mut sched, sup, race, &case.predicates) {
             EnforceOutcome::Swapped => {
                 if randomize && cfg.stages.multi_schedule {
                     // Paper §3.4: once the alternate ordering is enforced,
@@ -283,6 +308,7 @@ impl Portend {
                     &m.output,
                     &primary.concrete_inputs,
                     &self.solver,
+                    cfg.slice_solver,
                 ) {
                     OutputMatch::Match => AltOutcome::Match,
                     OutputMatch::Mismatch(ev) => AltOutcome::Mismatch(ev),

@@ -74,6 +74,15 @@ pub struct PortendConfig {
     pub schedule_seed: u64,
     /// Solver configuration.
     pub solver: SolverConfig,
+    /// Solve path-condition queries by constraint slicing (partitioning
+    /// on variable connectivity and memoizing per slice — see
+    /// `portend_symex::slice`). Slicing never flips a decided
+    /// satisfiability answer; it can only decide queries whole-query
+    /// solving would abandon at the node budget, and it is what lets
+    /// the shared pre-race constraint prefix hit the solver cache across
+    /// Mp × Ma path/schedule combinations. Disable to force whole-query
+    /// solving.
+    pub slice_solver: bool,
     /// Parallel-classification farm knobs (used by
     /// `Pipeline::run_parallel`; ignored by the serial path).
     pub farm: FarmKnobs,
@@ -90,6 +99,7 @@ impl Default for PortendConfig {
             max_exploration_states: 256,
             schedule_seed: 0x9e3779b9,
             solver: SolverConfig::default(),
+            slice_solver: true,
             farm: FarmKnobs::default(),
         }
     }

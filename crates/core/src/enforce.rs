@@ -88,8 +88,13 @@ pub(crate) fn enforce_alternate(
     }
 
     // Grace window: watch for same-pc retries of the enforced access.
+    // On exit, the overall budget is restored minus exactly what the
+    // window consumed (`initial_grace - grace`); subtracting the full
+    // GRACE_BUDGET when less than that was available would over-charge
+    // the window and under-report the remaining budget.
     let saved = sup.budget;
-    let mut grace = sup.budget.min(GRACE_BUDGET);
+    let initial_grace = sup.budget.min(GRACE_BUDGET);
+    let mut grace = initial_grace;
     let mut retries: u32 = 0;
     loop {
         sup.budget = grace;
@@ -99,7 +104,7 @@ pub(crate) fn enforce_alternate(
             SupStop::RaceHit(h) if h.pc == first_hit_pc => {
                 retries += 1;
                 if retries >= RETRY_LIMIT {
-                    sup.budget = saved.saturating_sub(GRACE_BUDGET - grace);
+                    sup.budget = saved.saturating_sub(initial_grace - grace);
                     return EnforceOutcome::RetryLoop;
                 }
                 if let Some(stop) = sup.step_over_checked(m, predicates) {
@@ -114,7 +119,7 @@ pub(crate) fn enforce_alternate(
             // thread moving on all confirm a genuine swap. A pending
             // (unstepped) hit stays pending for the caller's next phase.
             SupStop::RaceHit(_) | SupStop::Timeout | SupStop::Stuck | SupStop::Completed => {
-                sup.budget = saved.saturating_sub(GRACE_BUDGET.min(saved) - grace);
+                sup.budget = saved.saturating_sub(initial_grace - grace);
                 return EnforceOutcome::Swapped;
             }
             SupStop::Error(e) => return EnforceOutcome::Error(e),

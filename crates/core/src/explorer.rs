@@ -6,9 +6,15 @@
 //! after the second racing access the state is released from the trace.
 //! Completed states that experienced the race become *primary paths*: the
 //! solver produces concrete inputs driving the program down each one.
+//!
+//! Feasibility checks go through a [`ScopedSolver`]: sibling states in
+//! the fork tree share their path-condition prefix, so at each fork the
+//! child's check reuses the parent's already-solved constraint slices
+//! (memo hits) instead of re-rendering and re-solving the whole path
+//! condition (see `portend_symex::slice`).
 
 use portend_race::RaceReport;
-use portend_symex::{Model, SatResult, Solver};
+use portend_symex::{Model, SatResult, ScopedSolver, Solver};
 use portend_vm::{Machine, Scheduler, VmError, Watch};
 
 use crate::case::AnalysisCase;
@@ -56,10 +62,18 @@ pub(crate) struct ExploreStats {
     pub forks: u64,
     /// Maximum dependent-branch count along any explored path.
     pub dependent_branches: u64,
-    /// Instructions executed across all states.
+    /// Instructions executed, summed across all explored states: each
+    /// state contributes only the segment it executed itself — a forked
+    /// child starts counting at the fork point, so the shared prefix is
+    /// counted exactly once, by the state that actually ran it.
     pub instructions: u64,
-    /// Preemption points encountered across all states.
+    /// Preemption points encountered, with the same per-segment
+    /// summation as `instructions`.
     pub preemptions: u64,
+    /// Maximum cumulative instruction count along any single explored
+    /// path (the exploration's depth, as opposed to `instructions`,
+    /// its total volume).
+    pub max_path_instructions: u64,
 }
 
 struct ExpState {
@@ -69,6 +83,12 @@ struct ExpState {
     first_count: u32,
     past_race: bool,
     occ_at_race: u32,
+    /// `m.steps` when this state started executing (0 for the root,
+    /// the fork point for children); the state's contribution to
+    /// `ExploreStats::instructions` is its delta from here.
+    base_steps: u64,
+    /// `m.preemptions` at the same point.
+    base_preemptions: u64,
 }
 
 /// Explores up to `cfg.mp` primary paths that follow the recorded
@@ -80,10 +100,6 @@ pub(crate) fn explore_primaries(
     cfg: &PortendConfig,
     solver: &Solver,
 ) -> (ExploreResult, ExploreStats) {
-    let mut stats = ExploreStats::default();
-    let mut primaries: Vec<PrimaryPath> = Vec::new();
-    let cell = Watch::cell(race.alloc, race.offset as i64);
-
     let root = ExpState {
         m: case
             .trace
@@ -93,14 +109,89 @@ pub(crate) fn explore_primaries(
         first_count: 0,
         past_race: false,
         occ_at_race: 0,
+        base_steps: 0,
+        base_preemptions: 0,
     };
-    let mut worklist: Vec<ExpState> = vec![root];
-    let mut forked: usize = 0;
+    let scoped = if cfg.slice_solver {
+        ScopedSolver::new(solver.clone())
+    } else {
+        ScopedSolver::whole_query(solver.clone())
+    };
+    let mut ex = Exploration {
+        stats: ExploreStats::default(),
+        primaries: Vec::new(),
+        worklist: vec![root],
+        forked: 0,
+        scoped,
+    };
 
-    while let Some(mut st) = worklist.pop() {
-        if primaries.len() >= cfg.mp {
+    while let Some(mut st) = ex.worklist.pop() {
+        if ex.primaries.len() >= cfg.mp {
             break;
         }
+        let outcome = ex.run_state(&mut st, case, race, located, cfg);
+        ex.settle(&st);
+        match outcome {
+            StateOutcome::Abort(r) => return (r, ex.stats),
+            StateOutcome::Primary {
+                model,
+                concrete_inputs,
+            } => ex.primaries.push(PrimaryPath {
+                first_occ_at_race: st.occ_at_race,
+                machine: st.m,
+                model,
+                concrete_inputs,
+            }),
+            StateOutcome::Pruned => {}
+        }
+    }
+    (ExploreResult::Primaries(ex.primaries), ex.stats)
+}
+
+/// How one state's drive ended: pruned/dry, a completed primary path
+/// (the caller owns the state and moves its machine into the
+/// [`PrimaryPath`] without cloning), or an exploration-aborting
+/// spec violation.
+enum StateOutcome {
+    Pruned,
+    Primary {
+        model: Model,
+        concrete_inputs: Vec<i64>,
+    },
+    Abort(ExploreResult),
+}
+
+/// The exploration's mutable context: counters, the state worklist, the
+/// collected primaries, and the incremental solver shared by every
+/// feasibility check.
+struct Exploration {
+    stats: ExploreStats,
+    primaries: Vec<PrimaryPath>,
+    worklist: Vec<ExpState>,
+    forked: usize,
+    scoped: ScopedSolver,
+}
+
+impl Exploration {
+    /// Folds a finished (or abandoned) state's execution segment into the
+    /// totals. Called exactly once per state.
+    fn settle(&mut self, st: &ExpState) {
+        self.stats.instructions += st.m.steps.saturating_sub(st.base_steps);
+        self.stats.preemptions += st.m.preemptions.saturating_sub(st.base_preemptions);
+        self.stats.max_path_instructions = self.stats.max_path_instructions.max(st.m.steps);
+    }
+
+    /// Drives one state until it completes, faults, forks itself dry, or
+    /// is pruned.
+    fn run_state(
+        &mut self,
+        st: &mut ExpState,
+        case: &AnalysisCase,
+        race: &RaceReport,
+        located: &Located,
+        cfg: &PortendConfig,
+    ) -> StateOutcome {
+        let cell = Watch::cell(race.alloc, race.offset as i64);
         loop {
             let mut sup = Supervisor::new(st.budget);
             if !st.past_race {
@@ -108,13 +199,11 @@ pub(crate) fn explore_primaries(
             }
             let stop = sup.run(&mut st.m, &mut st.sched, &case.predicates);
             st.budget = sup.budget;
-            stats.instructions = stats.instructions.max(st.m.steps);
-            stats.preemptions = stats.preemptions.max(st.m.preemptions);
 
             // Prune states that diverged from the trace before the race
             // (paper Fig. 5's pruned paths).
             if !st.past_race && st.sched.diverged() {
-                break;
+                return StateOutcome::Pruned;
             }
 
             match stop {
@@ -125,16 +214,14 @@ pub(crate) fn explore_primaries(
                     let is_second =
                         h.tid == race.second.tid && st.first_count >= located.first_occurrence;
                     if let Some(stop) = sup.step_over_checked(&mut st.m, &case.predicates) {
-                        if let Some(r) = fault_on_path(&st, stop, case, solver) {
-                            return (r, stats);
-                        }
-                        break;
+                        return self.fault_on_path(st, stop);
                     }
                     st.budget = sup.budget;
                     if is_second && !st.past_race {
                         st.past_race = true;
                         st.occ_at_race = st.first_count;
-                        stats.dependent_branches = stats.dependent_branches.max(st.m.sym_branches);
+                        self.stats.dependent_branches =
+                            self.stats.dependent_branches.max(st.m.sym_branches);
                     }
                 }
                 SupStop::SymBranch {
@@ -142,18 +229,24 @@ pub(crate) fn explore_primaries(
                     then_b,
                     else_b,
                 } => {
-                    stats.dependent_branches = stats.dependent_branches.max(st.m.sym_branches + 1);
-                    let mut with_then = st.m.path.clone();
-                    with_then.push(cond.clone().truthy());
-                    let mut with_else = st.m.path.clone();
-                    with_else.push(cond.clone().not());
-                    let then_ok = solver.check(&with_then, &st.m.vars).decided() != Some(false);
-                    let else_ok = solver.check(&with_else, &st.m.vars).decided() != Some(false);
+                    self.stats.dependent_branches =
+                        self.stats.dependent_branches.max(st.m.sym_branches + 1);
+                    self.scoped.sync_path(&st.m.path);
+                    let then_ok = self
+                        .scoped
+                        .check_assuming(cond.clone().truthy(), &st.m.vars)
+                        .decided()
+                        != Some(false);
+                    let else_ok = self
+                        .scoped
+                        .check_assuming(cond.clone().not(), &st.m.vars)
+                        .decided()
+                        != Some(false);
                     match (then_ok, else_ok) {
                         (true, true) => {
-                            if forked < cfg.max_exploration_states {
-                                forked += 1;
-                                stats.forks += 1;
+                            if self.forked < cfg.max_exploration_states {
+                                self.forked += 1;
+                                self.stats.forks += 1;
                                 let mut other = ExpState {
                                     m: st.m.clone(),
                                     sched: st.sched.clone(),
@@ -161,108 +254,223 @@ pub(crate) fn explore_primaries(
                                     first_count: st.first_count,
                                     past_race: st.past_race,
                                     occ_at_race: st.occ_at_race,
+                                    base_steps: st.m.steps,
+                                    base_preemptions: st.m.preemptions,
                                 };
                                 other.m.apply_branch(else_b, cond.clone().not());
-                                worklist.push(other);
+                                self.worklist.push(other);
                             }
                             st.m.apply_branch(then_b, cond.truthy());
                         }
                         (true, false) => st.m.apply_branch(then_b, cond.truthy()),
                         (false, true) => st.m.apply_branch(else_b, cond.not()),
-                        (false, false) => break, // infeasible state
+                        (false, false) => return StateOutcome::Pruned, // infeasible
                     }
                 }
                 SupStop::SymAssert { cond, msg } => {
+                    self.scoped.sync_path(&st.m.path);
                     // Explore the failing side only for states that
                     // experienced the race: the failure is then a
                     // consequence reachable under this schedule.
                     if st.past_race {
-                        let mut with_fail = st.m.path.clone();
-                        with_fail.push(cond.clone().not());
-                        if let SatResult::Sat(model) = solver.check(&with_fail, &st.m.vars) {
+                        if let SatResult::Sat(model) =
+                            self.scoped.check_assuming(cond.clone().not(), &st.m.vars)
+                        {
                             let inputs = st.m.inputs.concretize(&model, &st.m.vars);
                             let tid = st.m.cur;
                             let pc = st.m.thread(tid).pc().expect("live");
-                            return (
-                                ExploreResult::SpecViol {
-                                    kind: SpecViolationKind::Crash(VmError::AssertFailed {
-                                        tid,
-                                        pc,
-                                        msg,
-                                    }),
-                                    replay: ReplayEvidence {
-                                        inputs,
-                                        schedule: st.m.sched_log.clone(),
-                                        description: "assertion fails on an explored primary path"
-                                            .into(),
-                                    },
+                            return StateOutcome::Abort(ExploreResult::SpecViol {
+                                kind: SpecViolationKind::Crash(VmError::AssertFailed {
+                                    tid,
+                                    pc,
+                                    msg,
+                                }),
+                                replay: ReplayEvidence {
+                                    inputs,
+                                    schedule: st.m.sched_log.clone(),
+                                    description: "assertion fails on an explored primary path"
+                                        .into(),
                                 },
-                                stats,
-                            );
+                            });
                         }
                     }
                     // Continue down the passing side if feasible.
-                    let mut with_pass = st.m.path.clone();
-                    with_pass.push(cond.clone().truthy());
-                    if solver.check(&with_pass, &st.m.vars).decided() == Some(false) {
-                        break;
+                    if self
+                        .scoped
+                        .check_assuming(cond.clone().truthy(), &st.m.vars)
+                        .decided()
+                        == Some(false)
+                    {
+                        return StateOutcome::Pruned;
                     }
                     let _ = st.m.apply_assert(true, cond, "explored assert");
                 }
                 SupStop::Completed => {
                     if st.past_race {
-                        if let SatResult::Sat(model) = solver.check(&st.m.path, &st.m.vars) {
+                        self.scoped.sync_path(&st.m.path);
+                        if let SatResult::Sat(model) = self.scoped.check(&st.m.vars) {
                             let concrete_inputs = st.m.inputs.concretize(&model, &st.m.vars);
-                            primaries.push(PrimaryPath {
-                                first_occ_at_race: st.occ_at_race,
-                                machine: st.m,
+                            return StateOutcome::Primary {
                                 model,
                                 concrete_inputs,
-                            });
+                            };
                         }
                     }
-                    break;
+                    return StateOutcome::Pruned;
                 }
                 SupStop::Error(_) | SupStop::Semantic(_) => {
-                    if let Some(r) = fault_on_path(&st, stop, case, solver) {
-                        return (r, stats);
-                    }
-                    break;
+                    return self.fault_on_path(st, stop);
                 }
-                SupStop::Timeout | SupStop::Stuck => break,
+                SupStop::Timeout | SupStop::Stuck => return StateOutcome::Pruned,
             }
         }
     }
-    (ExploreResult::Primaries(primaries), stats)
+
+    /// Turns a fault on an explored path into spec-violation evidence,
+    /// but only when the path experienced the race (pre-race faults are
+    /// unrelated to the race's ordering and are pruned).
+    fn fault_on_path(&mut self, st: &ExpState, stop: SupStop) -> StateOutcome {
+        if !st.past_race {
+            return StateOutcome::Pruned;
+        }
+        self.scoped.sync_path(&st.m.path);
+        let model = match self.scoped.check(&st.m.vars) {
+            SatResult::Sat(m) => m,
+            _ => Model::new(),
+        };
+        let inputs = st.m.inputs.concretize(&model, &st.m.vars);
+        let replay = ReplayEvidence {
+            inputs,
+            schedule: st.m.sched_log.clone(),
+            description: "violation on an explored primary path".into(),
+        };
+        let kind = match stop {
+            SupStop::Error(e @ VmError::Deadlock(_)) => SpecViolationKind::Deadlock(e),
+            SupStop::Error(e) => SpecViolationKind::Crash(e),
+            SupStop::Semantic(message) => SpecViolationKind::Semantic { message },
+            _ => return StateOutcome::Pruned,
+        };
+        StateOutcome::Abort(ExploreResult::SpecViol { kind, replay })
+    }
 }
 
-/// Turns a fault on an explored path into spec-violation evidence, but
-/// only when the path experienced the race (pre-race faults are unrelated
-/// to the race's ordering and are pruned).
-fn fault_on_path(
-    st: &ExpState,
-    stop: SupStop,
-    _case: &AnalysisCase,
-    solver: &Solver,
-) -> Option<ExploreResult> {
-    if !st.past_race {
-        return None;
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locate::locate_race;
+    use portend_replay::{record, RecordConfig};
+    use portend_vm::{InputSpec, Operand, ProgramBuilder, SymDomain, VmConfig};
+    use std::sync::Arc;
+
+    /// A racy program whose post-race code branches twice on a symbolic
+    /// input, so exploration forks into multiple states.
+    fn forking_case() -> (AnalysisCase, RaceReport) {
+        let mut pb = ProgramBuilder::new("forky", "forky.c");
+        let g = pb.global("g", 0);
+        let worker = pb.func("worker", |f| {
+            let _ = f.param();
+            f.store(g, Operand::Imm(0), Operand::Imm(1));
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let t = f.spawn(worker, Operand::Imm(0));
+            let v = f.load(g, Operand::Imm(0)); // races with the store
+            f.join(t);
+            let i = f.input();
+            let big = f.cmp(portend_symex::CmpOp::Gt, i, Operand::Imm(5));
+            f.if_else(
+                big,
+                |f| f.output(1, Operand::Imm(100)),
+                |f| f.output(1, Operand::Imm(200)),
+            );
+            let j = f.input();
+            let odd = f.cmp(portend_symex::CmpOp::Gt, j, Operand::Imm(2));
+            f.if_else(
+                odd,
+                |f| f.output(1, Operand::Imm(1)),
+                |f| f.output(1, Operand::Imm(2)),
+            );
+            f.output(1, v);
+            f.ret(None);
+        });
+        let program = Arc::new(pb.build(main).unwrap());
+        let run = record(&program, vec![4, 1], RecordConfig::default());
+        assert!(!run.clusters.is_empty(), "the load/store race must record");
+        let race = run.clusters[0].representative.clone();
+        let case = AnalysisCase {
+            program,
+            trace: run.trace.clone(),
+            input_spec: InputSpec::concrete(vec![4, 1])
+                .with_symbolic(SymDomain::new("i", 0, 10))
+                .with_symbolic(SymDomain::new("j", 0, 10)),
+            predicates: vec![],
+            vm: VmConfig::default(),
+        };
+        (case, race)
     }
-    let model = match solver.check(&st.m.path, &st.m.vars) {
-        SatResult::Sat(m) => m,
-        _ => Model::new(),
-    };
-    let inputs = st.m.inputs.concretize(&model, &st.m.vars);
-    let replay = ReplayEvidence {
-        inputs,
-        schedule: st.m.sched_log.clone(),
-        description: "violation on an explored primary path".into(),
-    };
-    let kind = match stop {
-        SupStop::Error(e @ VmError::Deadlock(_)) => SpecViolationKind::Deadlock(e),
-        SupStop::Error(e) => SpecViolationKind::Crash(e),
-        SupStop::Semantic(message) => SpecViolationKind::Semantic { message },
-        _ => return None,
-    };
-    Some(ExploreResult::SpecViol { kind, replay })
+
+    /// Regression for the exploration-cost accounting fix: `instructions`
+    /// must be the *sum* of per-state segments, not a running max of
+    /// cumulative per-machine counters. With ≥ 2 explored paths, the sum
+    /// is strictly larger than the deepest path, while the old
+    /// implementation reported exactly the deepest path.
+    #[test]
+    fn instructions_sum_segments_across_forked_states() {
+        let (case, race) = forking_case();
+        let cfg = PortendConfig::default();
+        let located = locate_race(&case, &race, cfg.step_budget * 2).expect("locatable");
+        let solver = Solver::with_config(cfg.solver);
+        let (result, stats) = explore_primaries(&case, &race, &located, &cfg, &solver);
+
+        let primaries = match result {
+            ExploreResult::Primaries(ps) => ps,
+            other => panic!("expected primaries, got {other:?}"),
+        };
+        assert!(primaries.len() >= 2, "forks explored: {}", primaries.len());
+        assert!(stats.forks >= 1, "at least one fork: {stats:?}");
+
+        let deepest = primaries.iter().map(|p| p.machine.steps).max().unwrap();
+        assert_eq!(
+            stats.max_path_instructions, deepest,
+            "max-depth field pins the deepest explored path: {stats:?}"
+        );
+        assert!(
+            stats.instructions > stats.max_path_instructions,
+            "total work across ≥2 states strictly exceeds the deepest \
+             single path (the old max-based counter under-reported): {stats:?}"
+        );
+        // Each explored state runs at most the full trace; the summed
+        // total is bounded by (#states) × deepest path.
+        let states = stats.forks + 1;
+        assert!(
+            stats.instructions <= states * deepest,
+            "sum is per-segment, not per-state-cumulative: {stats:?}"
+        );
+    }
+
+    /// Sliced and whole-query feasibility checking explore the same
+    /// primaries and count the same work.
+    #[test]
+    fn sliced_and_whole_query_exploration_agree() {
+        let (case, race) = forking_case();
+        let mut cfg = PortendConfig::default();
+        let located = locate_race(&case, &race, cfg.step_budget * 2).expect("locatable");
+        let solver = Solver::with_config(cfg.solver);
+
+        cfg.slice_solver = true;
+        let (sliced, s_stats) = explore_primaries(&case, &race, &located, &cfg, &solver);
+        cfg.slice_solver = false;
+        let (whole, w_stats) = explore_primaries(&case, &race, &located, &cfg, &solver);
+        let (sliced, whole) = match (sliced, whole) {
+            (ExploreResult::Primaries(a), ExploreResult::Primaries(b)) => (a, b),
+            other => panic!("both explorations yield primaries: {other:?}"),
+        };
+        assert_eq!(sliced.len(), whole.len());
+        for (a, b) in sliced.iter().zip(&whole) {
+            assert_eq!(a.concrete_inputs, b.concrete_inputs);
+            assert_eq!(a.machine.steps, b.machine.steps);
+        }
+        assert_eq!(s_stats.instructions, w_stats.instructions);
+        assert_eq!(s_stats.forks, w_stats.forks);
+    }
 }

@@ -26,21 +26,29 @@ pub(crate) enum OutputMatch {
 ///
 /// A solver `Unknown` is treated as a match: Portend only reports "output
 /// differs" on *proven* differences (paper §3.3.1 accepts potential false
-/// negatives here).
+/// negatives here). A length mismatch is always a proven difference; its
+/// evidence points at the first position the logs provably diverge — a
+/// differing entry within the common prefix when one exists, otherwise
+/// the first extra output operation (at index `min(len)`).
 pub(crate) fn symbolic_match(
     primary: &Machine,
     alternate_out: &OutputLog,
     alternate_inputs: &[i64],
     solver: &Solver,
+    sliced: bool,
 ) -> OutputMatch {
+    let check = |cs: &[Expr]| {
+        if sliced {
+            solver.check_sliced(cs, &primary.vars)
+        } else {
+            solver.check(cs, &primary.vars)
+        }
+    };
     let p = &primary.output;
     let n = p.len().min(alternate_out.len());
 
-    // Count mismatch: one log has extra output operations.
-    if p.len() != alternate_out.len() {
-        return OutputMatch::Mismatch(evidence_at(primary, alternate_out, n, alternate_inputs));
-    }
-
+    // Pass 1 over the common prefix: locally provable differences, and
+    // equality constraints for symbolic positions.
     let mut constraints: Vec<Expr> = primary.path.clone();
     for (i, (pr, ar)) in p.iter().zip(alternate_out.iter()).enumerate() {
         if pr.fd != ar.fd {
@@ -76,8 +84,16 @@ pub(crate) fn symbolic_match(
         }
     }
 
-    match solver.check(&constraints, &primary.vars) {
-        SatResult::Sat(_) | SatResult::Unknown => OutputMatch::Match,
+    match check(&constraints) {
+        SatResult::Sat(_) | SatResult::Unknown => {
+            if p.len() == alternate_out.len() {
+                OutputMatch::Match
+            } else {
+                // The common prefix is compatible: the first provable
+                // divergence is the first extra output operation.
+                OutputMatch::Mismatch(evidence_at(primary, alternate_out, n, alternate_inputs))
+            }
+        }
         SatResult::Unsat => {
             // Locate the first position whose equality makes the system
             // unsatisfiable, for the report.
@@ -85,7 +101,7 @@ pub(crate) fn symbolic_match(
             for (i, (pr, ar)) in p.iter().zip(alternate_out.iter()).enumerate() {
                 if let (None, Some(conc)) = (pr.val.as_concrete(), ar.val.as_concrete()) {
                     acc.push(pr.val.to_expr().eq(Expr::konst(conc)));
-                    if solver.check(&acc, &primary.vars) == SatResult::Unsat {
+                    if check(&acc) == SatResult::Unsat {
                         return OutputMatch::Mismatch(evidence_at(
                             primary,
                             alternate_out,
@@ -125,6 +141,8 @@ fn evidence_at(
         position: pos,
         primary: primary_str,
         alternate: alternate_str,
+        primary_len: primary.output.len(),
+        alternate_len: alternate_out.len(),
         primary_loc: loc,
         inputs: alternate_inputs.to_vec(),
     }
@@ -188,17 +206,19 @@ mod tests {
     fn positive_value_satisfies_constraint() {
         let m = machine_with_sym_output();
         let solver = Solver::new();
-        assert_eq!(
-            symbolic_match(&m, &concrete_log(&[42]), &[], &solver),
-            OutputMatch::Match
-        );
+        for sliced in [false, true] {
+            assert_eq!(
+                symbolic_match(&m, &concrete_log(&[42]), &[], &solver, sliced),
+                OutputMatch::Match
+            );
+        }
     }
 
     #[test]
     fn negative_value_is_a_proven_mismatch() {
         let m = machine_with_sym_output();
         let solver = Solver::new();
-        match symbolic_match(&m, &concrete_log(&[-3]), &[9], &solver) {
+        match symbolic_match(&m, &concrete_log(&[-3]), &[9], &solver, true) {
             OutputMatch::Mismatch(ev) => {
                 assert_eq!(ev.position, 0);
                 assert_eq!(ev.alternate, "-3");
@@ -210,12 +230,40 @@ mod tests {
     }
 
     #[test]
-    fn length_mismatch_detected() {
+    fn length_mismatch_with_matching_prefix_points_at_first_extra_op() {
         let m = machine_with_sym_output();
         let solver = Solver::new();
-        match symbolic_match(&m, &concrete_log(&[1, 2]), &[], &solver) {
-            OutputMatch::Mismatch(ev) => assert_eq!(ev.position, 1),
-            other => panic!("{other:?}"),
+        for sliced in [false, true] {
+            match symbolic_match(&m, &concrete_log(&[1, 2]), &[], &solver, sliced) {
+                OutputMatch::Mismatch(ev) => {
+                    assert_eq!(ev.position, 1, "first extra op, not a prefix entry");
+                    assert_eq!((ev.primary_len, ev.alternate_len), (1, 2));
+                    assert_eq!(ev.primary, "<missing>");
+                    assert_eq!(ev.alternate, "2");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_with_diverging_prefix_points_at_the_divergence() {
+        // Regression: the alternate's first entry (-3) already violates
+        // the primary's `i >= 0` constraint, so the reported divergence
+        // must be position 0 — not min(len) = 1, which is a prefix index
+        // that happens to hold a matching entry in other scenarios.
+        let m = machine_with_sym_output();
+        let solver = Solver::new();
+        for sliced in [false, true] {
+            match symbolic_match(&m, &concrete_log(&[-3, 7]), &[4], &solver, sliced) {
+                OutputMatch::Mismatch(ev) => {
+                    assert_eq!(ev.position, 0, "divergence inside the common prefix");
+                    assert_eq!((ev.primary_len, ev.alternate_len), (1, 2));
+                    assert_eq!(ev.alternate, "-3");
+                    assert!(ev.primary.contains('i'));
+                }
+                other => panic!("{other:?}"),
+            }
         }
     }
 }

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use portend_farm::{cluster_priority, Farm, FarmStats, JobSpec};
 use portend_race::{DetectorConfig, RaceCluster};
 use portend_replay::{record, RecordConfig, RecordedRun};
-use portend_symex::SolverCache;
+use portend_symex::{CacheSnapshot, SolverCache};
 use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
 
 use crate::case::{AnalysisCase, Predicate};
@@ -41,6 +41,11 @@ pub struct PipelineResult {
     /// The analysis case shared by all classifications (program, trace,
     /// symbolic inputs, predicates).
     pub case: AnalysisCase,
+    /// Solver-cache counters for the run (whole-query and slice-level
+    /// hits/misses), when `FarmKnobs::solver_cache` enabled one. Both
+    /// the serial and the parallel path share one cache across all of
+    /// the run's classifications.
+    pub cache: Option<CacheSnapshot>,
 }
 
 /// The full pipeline configuration.
@@ -68,7 +73,14 @@ impl Pipeline {
     ) -> PipelineResult {
         let (run, record_time, case) =
             self.record_phase(program, inputs, input_spec, predicates, vm);
-        let portend = Portend::new(self.portend.clone());
+        let knobs = &self.portend.farm;
+        let cache = knobs
+            .solver_cache
+            .then(|| Arc::new(SolverCache::new(knobs.cache_shards)));
+        let portend = match &cache {
+            Some(c) => Portend::with_cache(self.portend.clone(), Arc::clone(c)),
+            None => Portend::new(self.portend.clone()),
+        };
         let mut analyzed = Vec::with_capacity(run.clusters.len());
         for cluster in &run.clusters {
             let t = Instant::now();
@@ -84,6 +96,7 @@ impl Pipeline {
             analyzed,
             record_time,
             case,
+            cache: cache.map(|c| c.snapshot()),
         }
     }
 
@@ -172,6 +185,7 @@ impl Pipeline {
                 analyzed,
                 record_time,
                 case,
+                cache: cache.map(|c| c.snapshot()),
             },
             stats,
         )

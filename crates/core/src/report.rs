@@ -47,6 +47,12 @@ pub fn render_report(case: &AnalysisCase, race: &RaceReport, verdict: &Verdict) 
                 "Output differs at position {}:\n  primary:   {}\n  alternate: {}\n",
                 d.position, d.primary, d.alternate
             ));
+            if d.primary_len != d.alternate_len {
+                out.push_str(&format!(
+                    "Output operation counts differ: primary {} vs alternate {}\n",
+                    d.primary_len, d.alternate_len
+                ));
+            }
             out.push_str(&format!("Output produced at: {}\n", d.primary_loc));
             out.push_str(&format!("Inputs exposing the difference: {:?}\n", d.inputs));
         }

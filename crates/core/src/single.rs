@@ -39,33 +39,49 @@ pub(crate) enum SingleResult {
     },
 }
 
-/// Runs Algorithm 1 for one race.
+/// Instructions and preemptions Algorithm 1 actually executed (primary
+/// continuation + alternate enforcement and probes), summed per segment.
+/// Feeds the classification-wide `ClassifyStats` totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SingleWork {
+    /// VM instructions executed.
+    pub instructions: u64,
+    /// Preemption points encountered.
+    pub preemptions: u64,
+}
+
+impl SingleWork {
+    pub(crate) fn absorb(&mut self, sup: &Supervisor) {
+        self.instructions += sup.executed;
+        self.preemptions += sup.preempted;
+    }
+}
+
+/// Runs Algorithm 1 for one race, also reporting the work it performed.
 pub(crate) fn single_classify(
     case: &AnalysisCase,
     race: &RaceReport,
     located: &Located,
     cfg: &PortendConfig,
-) -> SingleResult {
+) -> (SingleResult, SingleWork) {
+    let mut work = SingleWork::default();
+
     // --- primary: continue from the post-race checkpoint to completion.
     let (mut pm, mut psched) = located.post.clone();
     let mut sup = Supervisor::new(cfg.step_budget);
-    let primary_out = match sup.run(&mut pm, &mut psched, &case.predicates) {
-        SupStop::Completed => pm.output.clone(),
-        SupStop::Error(e) => {
-            return spec_viol(e, &pm, case, "primary execution after the race");
-        }
-        SupStop::Semantic(msg) => {
-            return SingleResult::SpecViol {
-                kind: SpecViolationKind::Semantic { message: msg },
-                replay: evidence(&pm, case, "primary execution after the race"),
-            }
-        }
-        SupStop::Timeout => {
-            return SingleResult::SpecViol {
-                kind: SpecViolationKind::InfiniteLoop { spinning: pm.cur },
-                replay: evidence(&pm, case, "primary execution hung after the race"),
-            }
-        }
+    let stop = sup.run(&mut pm, &mut psched, &case.predicates);
+    work.absorb(&sup);
+    let primary = match stop {
+        SupStop::Completed => Ok(pm.output.clone()),
+        SupStop::Error(e) => Err(spec_viol(e, &pm, case, "primary execution after the race")),
+        SupStop::Semantic(msg) => Err(SingleResult::SpecViol {
+            kind: SpecViolationKind::Semantic { message: msg },
+            replay: evidence(&pm, case, "primary execution after the race"),
+        }),
+        SupStop::Timeout => Err(SingleResult::SpecViol {
+            kind: SpecViolationKind::InfiniteLoop { spinning: pm.cur },
+            replay: evidence(&pm, case, "primary execution hung after the race"),
+        }),
         SupStop::Stuck
         | SupStop::RaceHit(_)
         | SupStop::SymBranch { .. }
@@ -73,42 +89,59 @@ pub(crate) fn single_classify(
             unreachable!("concrete, unsuspended, unwatched primary cannot stop this way")
         }
     };
+    let primary_out = match primary {
+        Ok(out) => out,
+        Err(result) => return (result, work),
+    };
 
     // --- alternate: enforce the reversed ordering from the pre-race
     // checkpoint by suspending the thread that raced first.
     let (mut am, mut asched) = located.pre.clone();
     let enforce_budget = located.replay_steps * cfg.enforce_budget_factor + 10_000;
     let mut sup = Supervisor::new(enforce_budget);
-    match enforce_alternate(&mut am, &mut asched, &mut sup, race, &case.predicates) {
+    let result = match enforce_alternate(&mut am, &mut asched, &mut sup, race, &case.predicates) {
         EnforceOutcome::Swapped => {
             sup.suspended.clear();
-            run_alternate_tail(case, race, located, cfg, sup, am, asched, &primary_out)
+            run_alternate_tail(
+                case,
+                race,
+                located,
+                cfg,
+                &mut sup,
+                &mut am,
+                &mut asched,
+                &primary_out,
+            )
         }
         EnforceOutcome::RetryLoop => {
             if !cfg.stages.adhoc_detection {
-                return conservative_harmful(&am, case, race);
+                conservative_harmful(&am, case, race)
+            } else {
+                // A busy-wait loop on the racy cell itself: confirmed
+                // ad-hoc synchronization.
+                SingleResult::SingleOrd
             }
-            // A busy-wait loop on the racy cell itself: confirmed ad-hoc
-            // synchronization.
-            SingleResult::SingleOrd
         }
         EnforceOutcome::Timeout => {
             if !cfg.stages.adhoc_detection {
-                return conservative_harmful(&am, case, race);
+                conservative_harmful(&am, case, race)
+            } else {
+                // Timeout with the first thread suspended: either ad-hoc
+                // synchronization (progress resumes once the suspended
+                // thread runs) or a genuine infinite loop (paper §3.2,
+                // §3.5).
+                probe_after_timeout(case, race, &mut sup, &mut am, &mut asched, enforce_budget)
             }
-            // Timeout with the first thread suspended: either ad-hoc
-            // synchronization (progress resumes once the suspended thread
-            // runs) or a genuine infinite loop (paper §3.2, §3.5).
-            probe_after_timeout(case, race, sup, am, asched, enforce_budget)
         }
         EnforceOutcome::Stuck => {
             if !cfg.stages.adhoc_detection {
-                return conservative_harmful(&am, case, race);
+                conservative_harmful(&am, case, race)
+            } else {
+                // The second thread is blocked on something the suspended
+                // thread holds. Release it and watch for a deadlock
+                // (Alg. 1 line 14) or for the ordering resolving itself.
+                probe_after_stuck(case, race, &mut sup, &mut am, &mut asched)
             }
-            // The second thread is blocked on something the suspended
-            // thread holds. Release it and watch for a deadlock
-            // (Alg. 1 line 14) or for the ordering resolving itself.
-            probe_after_stuck(case, race, sup, am, asched)
         }
         EnforceOutcome::Completed => SingleResult::SingleOrd,
         EnforceOutcome::Error(e) => spec_viol(e, &am, case, "alternate execution"),
@@ -116,7 +149,9 @@ pub(crate) fn single_classify(
             kind: SpecViolationKind::Semantic { message },
             replay: evidence(&am, case, "alternate execution"),
         },
-    }
+    };
+    work.absorb(&sup);
+    (result, work)
 }
 
 /// Replay-analyzer-style conservatism when ad-hoc-synchronization
@@ -134,25 +169,25 @@ fn conservative_harmful(am: &Machine, case: &AnalysisCase, race: &RaceReport) ->
 fn probe_after_timeout(
     case: &AnalysisCase,
     race: &RaceReport,
-    mut sup: Supervisor,
-    mut am: Machine,
-    mut asched: portend_vm::Scheduler,
+    sup: &mut Supervisor,
+    am: &mut Machine,
+    asched: &mut portend_vm::Scheduler,
     budget: u64,
 ) -> SingleResult {
     let cell = Watch::cell(race.alloc, race.offset as i64);
     sup.suspended.clear();
     sup.budget = budget;
     sup.race_watches = vec![cell.by(race.second.tid)];
-    match sup.run(&mut am, &mut asched, &case.predicates) {
+    match sup.run(am, asched, &case.predicates) {
         SupStop::RaceHit(_) | SupStop::Completed => SingleResult::SingleOrd,
         SupStop::Timeout => SingleResult::SpecViol {
             kind: SpecViolationKind::InfiniteLoop { spinning: am.cur },
-            replay: evidence(&am, case, "loop never exits in the alternate ordering"),
+            replay: evidence(am, case, "loop never exits in the alternate ordering"),
         },
-        SupStop::Error(e) => spec_viol(e, &am, case, "alternate after timeout probe"),
+        SupStop::Error(e) => spec_viol(e, am, case, "alternate after timeout probe"),
         SupStop::Semantic(msg) => SingleResult::SpecViol {
             kind: SpecViolationKind::Semantic { message: msg },
-            replay: evidence(&am, case, "alternate after timeout probe"),
+            replay: evidence(am, case, "alternate after timeout probe"),
         },
         SupStop::Stuck => SingleResult::SingleOrd,
         SupStop::SymBranch { .. } | SupStop::SymAssert { .. } => {
@@ -164,31 +199,31 @@ fn probe_after_timeout(
 fn probe_after_stuck(
     case: &AnalysisCase,
     race: &RaceReport,
-    mut sup: Supervisor,
-    mut am: Machine,
-    mut asched: portend_vm::Scheduler,
+    sup: &mut Supervisor,
+    am: &mut Machine,
+    asched: &mut portend_vm::Scheduler,
 ) -> SingleResult {
     let cell = Watch::cell(race.alloc, race.offset as i64);
     sup.suspended.clear();
     sup.race_watches = vec![cell.by(race.first.tid), cell.by(race.second.tid)];
-    match sup.run(&mut am, &mut asched, &case.predicates) {
+    match sup.run(am, asched, &case.predicates) {
         SupStop::RaceHit(h) if h.tid == race.second.tid => {
             // The swap happened after all once the blockage cleared.
-            if let Some(stop) = sup.step_over_checked(&mut am, &case.predicates) {
-                return stop_to_result(stop, &am, case, "second racing access");
+            if let Some(stop) = sup.step_over_checked(am, &case.predicates) {
+                return stop_to_result(stop, am, case, "second racing access");
             }
             // Too late to compare against the primary cleanly — treat the
             // ordering as possible but unknown-consequence: continue and
             // compare outputs.
             sup.race_watches.clear();
-            match sup.run(&mut am, &mut asched, &case.predicates) {
+            match sup.run(am, asched, &case.predicates) {
                 SupStop::Completed => SingleResult::OutSame {
                     states_differ: true,
                 },
-                SupStop::Error(e) => spec_viol(e, &am, case, "alternate after stuck probe"),
+                SupStop::Error(e) => spec_viol(e, am, case, "alternate after stuck probe"),
                 SupStop::Semantic(msg) => SingleResult::SpecViol {
                     kind: SpecViolationKind::Semantic { message: msg },
-                    replay: evidence(&am, case, "alternate after stuck probe"),
+                    replay: evidence(am, case, "alternate after stuck probe"),
                 },
                 _ => SingleResult::SingleOrd,
             }
@@ -197,21 +232,21 @@ fn probe_after_stuck(
             // The first thread performed its access first: the alternate
             // ordering is impossible. Keep running to see whether the
             // blockage was the prelude to a deadlock (Alg. 1 line 14).
-            if let Some(stop) = sup.step_over_checked(&mut am, &case.predicates) {
-                return stop_to_result(stop, &am, case, "first racing access");
+            if let Some(stop) = sup.step_over_checked(am, &case.predicates) {
+                return stop_to_result(stop, am, case, "first racing access");
             }
             sup.race_watches.clear();
-            match sup.run(&mut am, &mut asched, &case.predicates) {
+            match sup.run(am, asched, &case.predicates) {
                 SupStop::Error(e @ VmError::Deadlock(_)) => spec_viol(
                     e,
-                    &am,
+                    am,
                     case,
                     "deadlock after the alternate ordering could not be enforced",
                 ),
-                SupStop::Error(e) => spec_viol(e, &am, case, "alternate enforcement probe"),
+                SupStop::Error(e) => spec_viol(e, am, case, "alternate enforcement probe"),
                 SupStop::Semantic(msg) => SingleResult::SpecViol {
                     kind: SpecViolationKind::Semantic { message: msg },
-                    replay: evidence(&am, case, "alternate enforcement probe"),
+                    replay: evidence(am, case, "alternate enforcement probe"),
                 },
                 SupStop::Completed | SupStop::Timeout | SupStop::Stuck => SingleResult::SingleOrd,
                 SupStop::RaceHit(_) | SupStop::SymBranch { .. } | SupStop::SymAssert { .. } => {
@@ -221,14 +256,14 @@ fn probe_after_stuck(
         }
         SupStop::Error(e @ VmError::Deadlock(_)) => spec_viol(
             e,
-            &am,
+            am,
             case,
             "deadlock while enforcing the alternate ordering",
         ),
-        SupStop::Error(e) => spec_viol(e, &am, case, "alternate enforcement probe"),
+        SupStop::Error(e) => spec_viol(e, am, case, "alternate enforcement probe"),
         SupStop::Semantic(msg) => SingleResult::SpecViol {
             kind: SpecViolationKind::Semantic { message: msg },
-            replay: evidence(&am, case, "alternate enforcement probe"),
+            replay: evidence(am, case, "alternate enforcement probe"),
         },
         SupStop::Completed | SupStop::Timeout | SupStop::Stuck => SingleResult::SingleOrd,
         SupStop::SymBranch { .. } | SupStop::SymAssert { .. } => {
@@ -246,9 +281,9 @@ fn run_alternate_tail(
     race: &RaceReport,
     located: &Located,
     cfg: &PortendConfig,
-    mut sup: Supervisor,
-    mut am: Machine,
-    mut asched: portend_vm::Scheduler,
+    sup: &mut Supervisor,
+    am: &mut Machine,
+    asched: &mut portend_vm::Scheduler,
     primary_out: &OutputLog,
 ) -> SingleResult {
     let cell = Watch::cell(race.alloc, race.offset as i64);
@@ -258,10 +293,10 @@ fn run_alternate_tail(
     // interleave the released thread.
     sup.preempt_watches = vec![cell];
     let mut states_differ = true; // pessimistic until both accesses align
-    match sup.run(&mut am, &mut asched, &case.predicates) {
+    match sup.run(am, asched, &case.predicates) {
         SupStop::RaceHit(_) => {
-            if let Some(stop) = sup.step_over_checked(&mut am, &case.predicates) {
-                return stop_to_result(stop, &am, case, "first racing access in the alternate");
+            if let Some(stop) = sup.step_over_checked(am, &case.predicates) {
+                return stop_to_result(stop, am, case, "first racing access in the alternate");
             }
             // Both racing accesses done: this is the state the
             // Record/Replay-Analyzer compares (paper §2.1). Memory only:
@@ -271,19 +306,19 @@ fn run_alternate_tail(
         SupStop::Completed => {
             // The first thread's access became unreachable; outputs are
             // already final.
-            return compare_outputs(case, primary_out, &am, states_differ);
+            return compare_outputs(case, primary_out, am, states_differ);
         }
-        SupStop::Error(e) => return spec_viol(e, &am, case, "alternate execution"),
+        SupStop::Error(e) => return spec_viol(e, am, case, "alternate execution"),
         SupStop::Semantic(msg) => {
             return SingleResult::SpecViol {
                 kind: SpecViolationKind::Semantic { message: msg },
-                replay: evidence(&am, case, "alternate execution"),
+                replay: evidence(am, case, "alternate execution"),
             }
         }
         SupStop::Timeout => {
             return SingleResult::SpecViol {
                 kind: SpecViolationKind::InfiniteLoop { spinning: am.cur },
-                replay: evidence(&am, case, "alternate execution hung"),
+                replay: evidence(am, case, "alternate execution hung"),
             }
         }
         SupStop::Stuck | SupStop::SymBranch { .. } | SupStop::SymAssert { .. } => {
@@ -296,16 +331,16 @@ fn run_alternate_tail(
     sup.race_watches.clear();
     sup.preempt_watches = vec![cell];
     sup.budget = sup.budget.max(cfg.step_budget);
-    match sup.run(&mut am, &mut asched, &case.predicates) {
-        SupStop::Completed => compare_outputs(case, primary_out, &am, states_differ),
-        SupStop::Error(e) => spec_viol(e, &am, case, "alternate execution after the race"),
+    match sup.run(am, asched, &case.predicates) {
+        SupStop::Completed => compare_outputs(case, primary_out, am, states_differ),
+        SupStop::Error(e) => spec_viol(e, am, case, "alternate execution after the race"),
         SupStop::Semantic(msg) => SingleResult::SpecViol {
             kind: SpecViolationKind::Semantic { message: msg },
-            replay: evidence(&am, case, "alternate execution after the race"),
+            replay: evidence(am, case, "alternate execution after the race"),
         },
         SupStop::Timeout => SingleResult::SpecViol {
             kind: SpecViolationKind::InfiniteLoop { spinning: am.cur },
-            replay: evidence(&am, case, "alternate execution hung after the race"),
+            replay: evidence(am, case, "alternate execution hung after the race"),
         },
         SupStop::Stuck
         | SupStop::RaceHit(_)
@@ -342,6 +377,8 @@ fn compare_outputs(
                     .as_ref()
                     .map(|v| v.to_string())
                     .unwrap_or_else(|| "<missing>".into()),
+                primary_len: primary_out.len(),
+                alternate_len: am.output.len(),
                 primary_loc: loc,
                 inputs: case.trace.inputs.clone(),
             })

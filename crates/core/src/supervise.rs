@@ -58,6 +58,12 @@ pub(crate) struct Supervisor {
     pub suspended: BTreeSet<ThreadId>,
     /// Remaining instruction budget (consumed across calls).
     pub budget: u64,
+    /// Instructions executed under this supervisor, across all calls.
+    /// Unlike `budget` (which callers reset between phases), this is a
+    /// monotone counter of real work, suitable for Table 4 accounting.
+    pub executed: u64,
+    /// Preemption points the driven machine hit under this supervisor.
+    pub preempted: u64,
 }
 
 impl Supervisor {
@@ -68,6 +74,8 @@ impl Supervisor {
             preempt_watches: Vec::new(),
             suspended: BTreeSet::new(),
             budget,
+            executed: 0,
+            preempted: 0,
         }
     }
 
@@ -95,8 +103,12 @@ impl Supervisor {
                 record_schedule: true,
             };
             let before = m.steps;
+            let before_preempt = m.preemptions;
             let stop = drive(m, sched, &mut NullMonitor, &cfg);
-            self.budget = self.budget.saturating_sub(m.steps.saturating_sub(before));
+            let ran = m.steps.saturating_sub(before);
+            self.budget = self.budget.saturating_sub(ran);
+            self.executed += ran;
+            self.preempted += m.preemptions.saturating_sub(before_preempt);
             match stop {
                 DriveStop::WatchHit(h) => {
                     if hit_matches_any(&h, &self.race_watches) {
@@ -145,7 +157,10 @@ impl Supervisor {
         m: &mut Machine,
         predicates: &[Predicate],
     ) -> Option<SupStop> {
-        match m.step(&mut NullMonitor) {
+        let before = m.steps;
+        let event = m.step(&mut NullMonitor);
+        self.executed += m.steps.saturating_sub(before);
+        match event {
             StepEvent::Ran | StepEvent::Blocked | StepEvent::Exited => {}
             StepEvent::Err(e) => return Some(SupStop::Error(e)),
             StepEvent::SymBranch {

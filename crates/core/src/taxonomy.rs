@@ -111,13 +111,19 @@ pub struct ReplayEvidence {
 /// Evidence for an "output differs" verdict.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OutputDiffEvidence {
-    /// First differing output position.
+    /// First position at which the outputs provably diverge. When one
+    /// log is a strict prefix of the other, this is the prefix length —
+    /// the index of the first extra output operation.
     pub position: usize,
     /// The primary's output at that position (symbolic constraint or
-    /// concrete value, printed).
+    /// concrete value, printed; `<missing>` past the primary's end).
     pub primary: String,
     /// The alternate's output at that position (or `<missing>`).
     pub alternate: String,
+    /// Total output operations the primary performed.
+    pub primary_len: usize,
+    /// Total output operations the alternate performed.
+    pub alternate_len: usize,
     /// Location (`file:line (function)`) where the primary emitted it.
     pub primary_loc: String,
     /// The inputs under which the difference manifests.
@@ -143,18 +149,30 @@ pub enum VerdictDetail {
 }
 
 /// Work counters for one classification (feeds Table 4 and Fig. 9).
+///
+/// `instructions` and `preemptions` are *totals across all executions*:
+/// each execution segment (replay, Algorithm 1's primary/alternate runs,
+/// every multi-path exploration state) contributes its own delta exactly
+/// once — forked states only count what they executed after the fork.
+/// The deepest single path is reported separately as
+/// `max_path_instructions`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassifyStats {
     /// Primary paths explored (≤ Mp).
     pub primaries: u64,
     /// Alternate executions run.
     pub alternates: u64,
-    /// Preemption points encountered across all explored executions.
+    /// Preemption points encountered, summed across all executions.
     pub preemptions: u64,
     /// Branches that depended on symbolic input (Fig. 9's x-axis).
     pub dependent_branches: u64,
-    /// Total VM instructions executed during classification.
+    /// Total VM instructions executed during classification, summed
+    /// across all executions.
     pub instructions: u64,
+    /// Maximum cumulative instruction count along any single explored
+    /// path (exploration depth; `0` when multi-path analysis did not
+    /// run).
+    pub max_path_instructions: u64,
 }
 
 /// The result of classifying one race.

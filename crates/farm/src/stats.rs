@@ -46,19 +46,35 @@ impl FarmStats {
         (self.busy_total.as_secs_f64() / self.wall.as_secs_f64() / workers as f64).min(1.0)
     }
 
-    /// Solver-cache hit fraction, when a cache was attached.
+    /// Solver-cache whole-query hit fraction, when a cache was attached.
     pub fn cache_hit_rate(&self) -> Option<f64> {
         self.cache.map(|c| c.hit_rate())
+    }
+
+    /// Solver-cache *slice-level* hit fraction, when a cache was
+    /// attached and the run issued sliced queries (the default
+    /// `slice_solver` path). This is the rate at which independent
+    /// constraint slices — e.g. the pre-race prefix shared by all
+    /// Mp × Ma combinations — were answered without solving.
+    pub fn slice_hit_rate(&self) -> Option<f64> {
+        self.cache.map(|c| c.slice_hit_rate())
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let cache = match self.cache {
-            Some(c) => format!(
-                ", cache {:.0}% hit ({} entries)",
-                100.0 * c.hit_rate(),
-                c.entries
-            ),
+            Some(c) => {
+                let slices = if c.slice_hits + c.slice_misses > 0 {
+                    format!(", slices {:.0}% hit", 100.0 * c.slice_hit_rate())
+                } else {
+                    String::new()
+                };
+                format!(
+                    ", cache {:.0}% hit ({} entries{slices})",
+                    100.0 * c.hit_rate(),
+                    c.entries
+                )
+            }
             None => String::new(),
         };
         format!(
@@ -88,6 +104,31 @@ mod tests {
         };
         assert!((stats.utilization() - 0.75).abs() < 1e-9);
         assert_eq!(stats.cache_hit_rate(), None);
+        assert_eq!(stats.slice_hit_rate(), None);
         assert!(stats.summary().contains("4 jobs on 2 workers"));
+    }
+
+    #[test]
+    fn slice_hit_rate_surfaces_in_summary() {
+        let stats = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot {
+                slice_hits: 3,
+                slice_misses: 1,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert_eq!(stats.slice_hit_rate(), Some(0.75));
+        assert!(
+            stats.summary().contains("slices 75% hit"),
+            "{}",
+            stats.summary()
+        );
+        // No sliced queries -> the slice clause is omitted.
+        let whole_only = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot::default()),
+            ..Default::default()
+        };
+        assert!(!whole_only.summary().contains("slices"));
     }
 }

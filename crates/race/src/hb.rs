@@ -195,8 +195,19 @@ impl Monitor for HbDetector {
                     racing.push(*wa);
                 }
             }
-            meta.reads.retain(|(rt, _, _)| *rt != tid);
-            meta.reads.push((tid, clock.get(tid), access));
+            // Replace this thread's stale read epoch in place: one scan
+            // that stops at the matching slot, no element shifting, and
+            // `reads` stays bounded by the thread count even on
+            // read-heavy loops (a remove-then-append scheme walks and
+            // compacts the whole vector on every repeated read).
+            let epoch = clock.get(tid);
+            match meta.reads.iter_mut().find(|(rt, _, _)| *rt == tid) {
+                Some(slot) => {
+                    slot.1 = epoch;
+                    slot.2 = access;
+                }
+                None => meta.reads.push((tid, epoch, access)),
+            }
         }
         for prev in racing {
             self.record_race(ev.alloc, ev.offset, prev, access);
@@ -426,6 +437,38 @@ mod tests {
                 DetectorConfig::default(),
             );
             assert!(det.races().is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn repeated_reads_do_not_grow_cell_metadata() {
+        // A read-heavy loop: each thread re-reads the same cell many
+        // times. The per-cell read list must stay bounded by the thread
+        // count (one epoch slot per thread, updated in place), or the
+        // detector's write-path scan goes quadratic on such loops.
+        use portend_vm::{AccessEvent, AllocId, BlockId, FuncId, Pc};
+        let mut det = HbDetector::new();
+        let pc = Pc {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        };
+        for step in 0..1_000u64 {
+            det.on_access(&AccessEvent {
+                tid: ThreadId((step % 3) as u32),
+                pc,
+                line: 1,
+                alloc: AllocId(0),
+                offset: 0,
+                is_write: false,
+                step,
+            });
+        }
+        let meta = det.cells.get(&(AllocId(0), 0)).expect("cell tracked");
+        assert_eq!(meta.reads.len(), 3, "one read-epoch slot per thread");
+        // Each slot carries the thread's latest epoch, not its first.
+        for &(tid, epoch, _) in &meta.reads {
+            assert_eq!(epoch, det.clocks[tid.0 as usize].get(tid) - 1);
         }
     }
 

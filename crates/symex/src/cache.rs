@@ -3,16 +3,29 @@
 //! Portend's classification cost is dominated by repeated satisfiability
 //! queries: the same path-constraint prefixes recur across the Mp × Ma
 //! path/schedule combinations of one race, and across the races of one
-//! program (they share the pre-race trace). The cache memoizes whole
-//! queries keyed by an exact canonical rendering of the *ordered*
-//! constraint list, the domains of every mentioned variable, and the
-//! solver configuration.
+//! program (they share the pre-race trace). The cache memoizes queries
+//! keyed by an exact canonical rendering of the *ordered* constraint
+//! list, the domains of every mentioned variable, and the solver
+//! configuration.
 //!
 //! Because the key captures everything [`crate::Solver::check_with_stats`]
 //! depends on, and the solver is deterministic, a cache hit returns
 //! byte-for-byte the result the solver would have recomputed — the cache
 //! can never change a satisfiability answer (see the workspace property
 //! test `solver_cache_is_transparent`).
+//!
+//! Entries are stored at two granularities sharing one namespace and one
+//! key format: *whole queries* (the [`crate::Solver::check_with_stats`]
+//! path) and *slices* — independent sub-queries produced by partitioning
+//! a constraint list on variable connectivity (the
+//! [`crate::Solver::check_sliced_with_stats`] / [`crate::ScopedSolver`]
+//! path, see [`crate::slice`]). A whole query consisting of a single
+//! slice and that slice itself render to the same key, so the two
+//! granularities cross-pollinate. Hit/miss counters are kept per
+//! granularity because their hit rates answer different questions (key
+//! granularity, not capacity, dominates the hit rate — finer slice keys
+//! are what let the shared pre-race prefix hit across Mp × Ma
+//! combinations whose *whole* constraint lists all differ).
 //!
 //! Shards are independent mutex-protected maps selected by key hash, so
 //! concurrent classification workers rarely contend on the same lock.
@@ -51,6 +64,9 @@ pub struct SolverCache {
     per_shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    slice_hits: AtomicU64,
+    slice_misses: AtomicU64,
+    key_bytes: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -88,23 +104,42 @@ impl SolverCache {
             per_shard_cap: (max_entries / n).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            slice_hits: AtomicU64::new(0),
+            slice_misses: AtomicU64::new(0),
+            key_bytes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks a canonical key up, counting a hit or a miss.
+    /// Looks a whole-query canonical key up, counting a hit or a miss.
     pub(crate) fn lookup(&self, key: &str) -> Option<SatResult> {
-        let shard = &self.shards[self.shard_of(key)];
-        let got = shard
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
-            .cloned();
+        let got = self.get(key);
         match &got {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         got
+    }
+
+    /// Looks a slice key up, counting against the slice-level counters.
+    pub(crate) fn lookup_slice(&self, key: &str) -> Option<SatResult> {
+        let got = self.get(key);
+        match &got {
+            Some(_) => self.slice_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.slice_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    fn get(&self, key: &str) -> Option<SatResult> {
+        self.key_bytes
+            .fetch_add(key.len() as u64, Ordering::Relaxed);
+        let shard = &self.shards[self.shard_of(key)];
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
     }
 
     /// Stores the result for a canonical key, flushing the target shard
@@ -134,6 +169,9 @@ impl SolverCache {
         CacheSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            slice_hits: self.slice_hits.load(Ordering::Relaxed),
+            slice_misses: self.slice_misses.load(Ordering::Relaxed),
+            key_bytes: self.key_bytes.load(Ordering::Relaxed),
             entries,
             evictions: self.evictions.load(Ordering::Relaxed),
         }
@@ -143,10 +181,19 @@ impl SolverCache {
 /// A point-in-time view of a [`SolverCache`]'s counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheSnapshot {
-    /// Queries answered from the cache.
+    /// Whole queries answered from the cache.
     pub hits: u64,
-    /// Queries that had to be solved.
+    /// Whole queries that had to be solved.
     pub misses: u64,
+    /// Constraint slices answered from the cache (sliced queries only).
+    pub slice_hits: u64,
+    /// Constraint slices that had to be solved (sliced queries only).
+    pub slice_misses: u64,
+    /// Total bytes of rendered keys presented to the cache (a proxy for
+    /// key-construction cost; slice keys cover only a subset of the
+    /// constraint list, so sliced lookups render fewer bytes per reused
+    /// prefix).
+    pub key_bytes: u64,
     /// Distinct memoized queries currently stored.
     pub entries: u64,
     /// Shard flushes performed to stay within the entry bound.
@@ -154,14 +201,24 @@ pub struct CacheSnapshot {
 }
 
 impl CacheSnapshot {
-    /// Hit fraction in `[0, 1]`; `0` when no query was made.
+    /// Whole-query hit fraction in `[0, 1]`; `0` when no query was made.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        ratio(self.hits, self.misses)
+    }
+
+    /// Slice-level hit fraction in `[0, 1]`; `0` when no sliced query was
+    /// made.
+    pub fn slice_hit_rate(&self) -> f64 {
+        ratio(self.slice_hits, self.slice_misses)
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
     }
 }
 
@@ -172,21 +229,44 @@ impl CacheSnapshot {
 /// key a complete description of the solver call, so a hit is provably
 /// equivalent to recomputation; structurally identical queries — the
 /// dominant form of reuse across schedules and races — still collide.
+///
+/// Slice keys (see [`crate::slice`]) are assembled from the same three
+/// pieces ([`config_prefix`], [`render_constraint`], [`push_domains`]),
+/// so a slice and a whole query over the identical ordered constraint
+/// list produce byte-identical keys.
 pub(crate) fn canonical_key(constraints: &[Expr], vars: &VarTable, cfg: SolverConfig) -> String {
-    let mut key = String::with_capacity(64 + constraints.len() * 24);
-    let _ = write!(key, "b{};p{};", cfg.node_budget, cfg.max_prune_passes);
+    let mut key = config_prefix(cfg);
+    key.reserve(constraints.len() * 24);
     let mut mentioned: Vec<VarId> = Vec::new();
     for c in constraints {
         c.collect_vars(&mut mentioned);
-        let _ = write!(key, "{c};");
+        render_constraint(&mut key, c);
     }
+    push_domains(&mut key, &mut mentioned, vars);
+    key
+}
+
+/// The configuration portion of a canonical key.
+pub(crate) fn config_prefix(cfg: SolverConfig) -> String {
+    let mut key = String::with_capacity(64);
+    let _ = write!(key, "b{};p{};", cfg.node_budget, cfg.max_prune_passes);
+    key
+}
+
+/// Appends one constraint's canonical rendering to `key`.
+pub(crate) fn render_constraint(key: &mut String, c: &Expr) {
+    let _ = write!(key, "{c};");
+}
+
+/// Sorts and dedups `mentioned` in place, then appends each variable's
+/// domain to `key`.
+pub(crate) fn push_domains(key: &mut String, mentioned: &mut Vec<VarId>, vars: &VarTable) {
     mentioned.sort_unstable();
     mentioned.dedup();
-    for v in mentioned {
+    for &v in mentioned.iter() {
         let i = vars.info(v).interval();
         let _ = write!(key, "{v}:[{},{}];", i.lo, i.hi);
     }
-    key
 }
 
 /// FNV-1a over bytes; used only for shard selection.
@@ -230,6 +310,22 @@ mod tests {
         let s = cache.snapshot();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.key_bytes, 2 * "k1".len() as u64);
+    }
+
+    #[test]
+    fn slice_counters_are_separate_but_share_entries() {
+        let cache = SolverCache::new(4);
+        // A slice lookup misses, a whole-query insert under the same key
+        // then serves slice lookups (shared namespace).
+        assert!(cache.lookup_slice("k").is_none());
+        cache.insert("k".into(), SatResult::Unsat);
+        assert_eq!(cache.lookup_slice("k"), Some(SatResult::Unsat));
+        assert_eq!(cache.lookup("k"), Some(SatResult::Unsat));
+        let s = cache.snapshot();
+        assert_eq!((s.slice_hits, s.slice_misses), (1, 1));
+        assert_eq!((s.hits, s.misses), (1, 0));
+        assert!((s.slice_hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * [`Solver`] — interval-pruned depth-first search answering the three
 //!   query shapes Portend needs: branch feasibility, model extraction, and
 //!   symbolic output comparison;
-//! * [`Model`] — concrete variable assignments (solver witnesses).
+//! * [`Model`] — concrete variable assignments (solver witnesses);
+//! * [`mod@slice`] / [`ScopedSolver`] — constraint slicing by variable
+//!   connectivity with per-slice memoization in a shared [`SolverCache`],
+//!   and an incremental push/pop front end for explorers that extend one
+//!   path condition a constraint at a time.
 //!
 //! ## Example
 //!
@@ -42,6 +46,7 @@ mod domain;
 mod expr;
 mod model;
 mod op;
+pub mod slice;
 mod solver;
 
 pub use cache::{CacheSnapshot, SolverCache, DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS};
@@ -49,4 +54,5 @@ pub use domain::{Interval, VarId, VarInfo, VarTable};
 pub use expr::{EvalError, Expr, Node};
 pub use model::Model;
 pub use op::{BinOp, CmpOp};
+pub use slice::{partition_slices, ScopedSolver, ScopedStats};
 pub use solver::{SatResult, Solver, SolverConfig, SolverStats};

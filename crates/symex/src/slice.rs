@@ -1,0 +1,724 @@
+//! Constraint slicing: solving a query as independent sub-queries.
+//!
+//! A path condition is a conjunction. Two constraints interact only when
+//! they (transitively) share variables, so the ordered constraint list
+//! partitions — by union-find over mentioned [`VarId`]s — into *slices*
+//! that can be solved separately:
+//!
+//! * UNSAT in any slice ⇒ the conjunction is UNSAT (the slice alone is a
+//!   sub-formula of the conjunction);
+//! * all slices SAT ⇒ the conjunction is SAT, and the union of the
+//!   per-slice models is a model of the whole (no variable appears in
+//!   two slices, so the merge cannot conflict).
+//!
+//! Slicing is what makes the [`crate::SolverCache`] pay off at Portend's
+//! query distribution: the Mp × Ma path/schedule combinations of one
+//! race — and the races of one program — share a long pre-race
+//! constraint prefix but diverge in their suffixes, so their *whole*
+//! constraint lists never repeat exactly. Sliced, the shared prefix
+//! becomes its own recurring sub-query with a stable key, and only the
+//! genuinely new suffix slices are ever solved.
+//!
+//! [`ScopedSolver`] builds incrementality on top: it keeps the current
+//! path condition as a stack of pre-rendered frames with push/pop
+//! scopes, plus a local slice-result memo, so the explorer's feasibility
+//! check at a fork reuses the parent state's already-solved slices
+//! instead of re-rendering (let alone re-solving) the whole path
+//! condition.
+//!
+//! Transparency: every slice is solved by the same solver backend
+//! under the same configuration (full node budget per slice), so sliced
+//! solving never flips a decided answer and returns the same model —
+//! the first solution in lexicographic order over per-variable value
+//! enumeration, which for variable-disjoint slices is exactly the
+//! combination of the per-slice first solutions. It can turn a
+//! whole-query [`SatResult::Unknown`] into a decided answer (each
+//! slice's search tree is a projection of the combined one), never the
+//! reverse on queries the whole solver decides. The workspace property
+//! test `sliced_solver_is_transparent` pins this.
+
+use std::collections::HashMap;
+
+use crate::cache::{config_prefix, push_domains, render_constraint};
+use crate::domain::{VarId, VarTable};
+use crate::expr::Expr;
+use crate::model::Model;
+use crate::solver::{SatResult, Solver, SolverStats};
+
+/// Partitions `constraints` into independent slices by variable
+/// connectivity. Each slice is a list of indices into `constraints`, in
+/// original order; slices are ordered by their first constraint.
+/// Constraints mentioning no variable form singleton slices.
+pub fn partition_slices(constraints: &[Expr]) -> Vec<Vec<usize>> {
+    let vars: Vec<Vec<VarId>> = constraints
+        .iter()
+        .map(|c| {
+            let mut v = Vec::new();
+            c.collect_vars(&mut v);
+            v
+        })
+        .collect();
+    partition_by_vars(&vars)
+}
+
+/// [`partition_slices`] over pre-collected per-constraint variable lists.
+pub(crate) fn partition_by_vars<V: AsRef<[VarId]>>(vars: &[V]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(vars.len());
+    let mut owner: HashMap<VarId, usize> = HashMap::new();
+    for (i, vs) in vars.iter().enumerate() {
+        for v in vs.as_ref() {
+            match owner.get(v) {
+                Some(&j) => uf.union(i, j),
+                None => {
+                    owner.insert(*v, i);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_group: HashMap<usize, usize> = HashMap::new();
+    for i in 0..vars.len() {
+        let r = uf.find(i);
+        let g = *root_to_group.entry(r).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(i);
+    }
+    groups
+}
+
+/// Union-find over constraint indices (path halving + union by rank).
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// One slice prepared for solving: its constraints (original order) and,
+/// when a cache or memo will be consulted, its canonical key.
+pub(crate) struct SliceQuery {
+    pub exprs: Vec<Expr>,
+    pub key: Option<String>,
+}
+
+/// Result of [`solve_slices`]: the combined answer plus how many of the
+/// examined slices were served by the local memo and how many were
+/// actually solved (an UNSAT short-circuit leaves later slices
+/// unexamined, so these can sum to less than the partition size; the
+/// shared-cache hits are counted in the [`SolverStats`]).
+pub(crate) struct SliceOutcome {
+    pub result: SatResult,
+    pub memo_hits: u64,
+    pub solved: u64,
+}
+
+/// Solves prepared slices in order, combining their answers.
+///
+/// Resolution order per slice: local `memo` → shared cache → solve
+/// (each solve under the solver's full node budget, so memoized slice
+/// results are budget-exact and reusable under the same key). An UNSAT
+/// slice decides the query immediately; `Unknown` is sticky unless a
+/// later slice is UNSAT.
+pub(crate) fn solve_slices(
+    solver: &Solver,
+    vars: &VarTable,
+    queries: &[SliceQuery],
+    mut memo: Option<&mut HashMap<String, SatResult>>,
+    stats: &mut SolverStats,
+) -> SliceOutcome {
+    let mut merged = Model::new();
+    let mut unknown = false;
+    let mut memo_hits = 0u64;
+    let mut solved = 0u64;
+    stats.slices += queries.len() as u64;
+    for q in queries {
+        let mut from_memo = false;
+        let mut from_cache = false;
+        let result = 'resolve: {
+            if let (Some(memo), Some(key)) = (memo.as_deref(), q.key.as_deref()) {
+                if let Some(r) = memo.get(key) {
+                    from_memo = true;
+                    break 'resolve r.clone();
+                }
+            }
+            if let (Some(cache), Some(key)) = (solver.query_cache(), q.key.as_deref()) {
+                if let Some(r) = cache.lookup_slice(key) {
+                    from_cache = true;
+                    break 'resolve r;
+                }
+            }
+            let (r, s) = solver.solve(&q.exprs, vars);
+            solved += 1;
+            stats.nodes += s.nodes;
+            stats.prune_passes += s.prune_passes;
+            stats.budget_exhausted |= s.budget_exhausted;
+            r
+        };
+        if let Some(key) = &q.key {
+            if !from_cache && !from_memo {
+                if let Some(cache) = solver.query_cache() {
+                    cache.insert(key.clone(), result.clone());
+                }
+            }
+            if let Some(memo) = memo.as_deref_mut() {
+                if !from_memo {
+                    memo.insert(key.clone(), result.clone());
+                }
+            }
+        }
+        memo_hits += from_memo as u64;
+        stats.slice_cache_hits += from_cache as u64;
+        match result {
+            SatResult::Unsat => {
+                return SliceOutcome {
+                    result: SatResult::Unsat,
+                    memo_hits,
+                    solved,
+                }
+            }
+            SatResult::Unknown => unknown = true,
+            SatResult::Sat(m) => {
+                for (v, val) in m.iter() {
+                    merged.set(v, val);
+                }
+            }
+        }
+    }
+    SliceOutcome {
+        result: if unknown {
+            SatResult::Unknown
+        } else {
+            SatResult::Sat(merged)
+        },
+        memo_hits,
+        solved,
+    }
+}
+
+/// One constraint as the slice-preparation pipeline sees it. Callers
+/// with cached metadata (the [`ScopedSolver`] frames) pass it through;
+/// others let the pipeline compute it.
+struct ConstraintView<'a> {
+    expr: &'a Expr,
+    vars: &'a [VarId],
+    /// Cached canonical rendering; `None` renders on demand.
+    rendered: Option<&'a str>,
+    konst: Option<i64>,
+}
+
+/// Outcome of [`prepare_slices`]: the query was decided by constant
+/// filtering alone, or slice queries remain to be solved.
+enum Prepared {
+    Decided(SatResult),
+    Queries(Vec<SliceQuery>),
+}
+
+/// The shared front half of every sliced check: constant filtering
+/// (identical to the whole-query path), partitioning by variable
+/// connectivity, and slice-key assembly (only when `prefix` is given).
+/// Both [`Solver::check_sliced_with_stats`] and
+/// [`ScopedSolver::check_with_stats`] go through here — keeping them
+/// byte-identical is load-bearing for the transparency guarantee.
+fn prepare_slices(views: &[ConstraintView<'_>], prefix: Option<&str>, vars: &VarTable) -> Prepared {
+    let mut active: Vec<&ConstraintView<'_>> = Vec::with_capacity(views.len());
+    for v in views {
+        match v.konst {
+            Some(0) => return Prepared::Decided(SatResult::Unsat),
+            Some(_) => {}
+            None => active.push(v),
+        }
+    }
+    if active.is_empty() {
+        return Prepared::Decided(SatResult::Sat(Model::new()));
+    }
+    let var_lists: Vec<&[VarId]> = active.iter().map(|v| v.vars).collect();
+    let queries = partition_by_vars(&var_lists)
+        .into_iter()
+        .map(|group| {
+            let key = prefix.map(|p| {
+                let mut key = p.to_string();
+                let mut mentioned = Vec::new();
+                for &i in &group {
+                    match active[i].rendered {
+                        Some(r) => key.push_str(r),
+                        None => render_constraint(&mut key, active[i].expr),
+                    }
+                    mentioned.extend_from_slice(active[i].vars);
+                }
+                push_domains(&mut key, &mut mentioned, vars);
+                key
+            });
+            SliceQuery {
+                exprs: group.iter().map(|&i| active[i].expr.clone()).collect(),
+                key,
+            }
+        })
+        .collect();
+    Prepared::Queries(queries)
+}
+
+/// The sliced equivalent of [`Solver::solve`] with optional per-slice
+/// cache/memoization; backs [`Solver::check_sliced_with_stats`].
+pub(crate) fn check_sliced(
+    solver: &Solver,
+    constraints: &[Expr],
+    vars: &VarTable,
+    memo: Option<&mut HashMap<String, SatResult>>,
+) -> (SatResult, SolverStats) {
+    let mut stats = SolverStats::default();
+    let var_lists: Vec<Vec<VarId>> = constraints
+        .iter()
+        .map(|c| {
+            let mut v = Vec::new();
+            c.collect_vars(&mut v);
+            v
+        })
+        .collect();
+    let views: Vec<ConstraintView<'_>> = constraints
+        .iter()
+        .zip(&var_lists)
+        .map(|(c, vl)| ConstraintView {
+            expr: c,
+            vars: vl,
+            rendered: None,
+            konst: c.as_const(),
+        })
+        .collect();
+    let want_keys = memo.is_some() || solver.query_cache().is_some();
+    let prefix = want_keys.then(|| config_prefix(solver.config()));
+    match prepare_slices(&views, prefix.as_deref(), vars) {
+        Prepared::Decided(r) => (r, stats),
+        Prepared::Queries(queries) => {
+            let outcome = solve_slices(solver, vars, &queries, memo, &mut stats);
+            (outcome.result, stats)
+        }
+    }
+}
+
+/// Work counters for one [`ScopedSolver`] (cumulative across checks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScopedStats {
+    /// Satisfiability checks issued.
+    pub checks: u64,
+    /// Slices examined across all checks.
+    pub slices: u64,
+    /// Slices answered from this solver's local memo (typically the
+    /// parent state's already-solved slices at a fork).
+    pub memo_hits: u64,
+    /// Slices answered from the shared [`crate::SolverCache`].
+    pub cache_hits: u64,
+    /// Slices actually solved.
+    pub solved: u64,
+}
+
+/// An incremental, scope-structured front end to [`Solver`].
+///
+/// The current path condition lives as a stack of *frames* (one
+/// constraint each, pre-rendered for key construction) grouped into
+/// scopes by [`ScopedSolver::push_scope`] / [`ScopedSolver::pop_scope`].
+/// Each [`ScopedSolver::check`] partitions the stack into independent
+/// slices and resolves every slice through a local memo, then the shared
+/// cache, then the solver — so after a fork, a child state's feasibility
+/// check only solves the slice actually touched by the new branch
+/// constraint; everything inherited from the parent is a memo hit, and
+/// its key bytes are re-concatenated from the frames' cached renderings
+/// rather than re-rendered.
+///
+/// Constructed in whole-query mode ([`ScopedSolver::whole_query`]) it
+/// degrades to `Solver::check` over the frame stack — the knob-off
+/// configuration with identical call structure.
+///
+/// ```
+/// use portend_symex::{CmpOp, Expr, SatResult, ScopedSolver, Solver, VarTable};
+/// let mut vars = VarTable::new();
+/// let x = Expr::var(vars.fresh("x", 0, 9));
+/// let mut s = ScopedSolver::new(Solver::new());
+/// s.assume(x.clone().cmp(CmpOp::Ge, Expr::konst(5)));
+/// s.push_scope();
+/// s.assume(x.clone().cmp(CmpOp::Lt, Expr::konst(5)));
+/// assert_eq!(s.check(&vars), SatResult::Unsat);
+/// s.pop_scope(); // back to the satisfiable prefix
+/// assert!(matches!(s.check(&vars), SatResult::Sat(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScopedSolver {
+    solver: Solver,
+    sliced: bool,
+    prefix: String,
+    frames: Vec<Frame>,
+    marks: Vec<usize>,
+    memo: HashMap<String, SatResult>,
+    stats: ScopedStats,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    constraint: Expr,
+    rendered: String,
+    vars: Vec<VarId>,
+    konst: Option<i64>,
+}
+
+impl Frame {
+    fn new(constraint: Expr) -> Self {
+        let mut rendered = String::new();
+        render_constraint(&mut rendered, &constraint);
+        let mut vars = Vec::new();
+        constraint.collect_vars(&mut vars);
+        let konst = constraint.as_const();
+        Frame {
+            constraint,
+            rendered,
+            vars,
+            konst,
+        }
+    }
+}
+
+impl ScopedSolver {
+    /// A scoped solver that slices and memoizes per slice.
+    pub fn new(solver: Solver) -> Self {
+        Self::with_mode(solver, true)
+    }
+
+    /// A scoped solver that issues whole queries (no slicing, no local
+    /// memo) — behaviorally the plain [`Solver::check`] over the current
+    /// frame stack.
+    pub fn whole_query(solver: Solver) -> Self {
+        Self::with_mode(solver, false)
+    }
+
+    fn with_mode(solver: Solver, sliced: bool) -> Self {
+        let prefix = config_prefix(solver.config());
+        ScopedSolver {
+            solver,
+            sliced,
+            prefix,
+            frames: Vec::new(),
+            marks: Vec::new(),
+            memo: HashMap::new(),
+            stats: ScopedStats::default(),
+        }
+    }
+
+    /// The underlying solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Whether checks are sliced (vs whole-query mode).
+    pub fn is_sliced(&self) -> bool {
+        self.sliced
+    }
+
+    /// Opens a scope; constraints assumed after this call are discarded
+    /// by the matching [`ScopedSolver::pop_scope`].
+    pub fn push_scope(&mut self) {
+        self.marks.push(self.frames.len());
+    }
+
+    /// Discards every constraint assumed since the matching
+    /// [`ScopedSolver::push_scope`]. Memoized slice results are kept —
+    /// they stay valid for any future stack that re-forms the same slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no scope is open.
+    pub fn pop_scope(&mut self) {
+        let mark = self.marks.pop().expect("pop_scope without push_scope");
+        self.frames.truncate(mark);
+    }
+
+    /// Adds a constraint to the current scope.
+    pub fn assume(&mut self, constraint: Expr) {
+        self.frames.push(Frame::new(constraint));
+    }
+
+    /// Number of constraints currently on the stack.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stack holds no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Reconciles the stack to exactly `path`: shared prefix frames are
+    /// kept (their renderings and solved slices are reused), the rest
+    /// are replaced. Open scopes are reset — this is the "switch to a
+    /// sibling state" operation of a worklist explorer, where scope
+    /// nesting no longer corresponds to the new state's history.
+    pub fn sync_path(&mut self, path: &[Expr]) {
+        self.marks.clear();
+        let keep = self
+            .frames
+            .iter()
+            .zip(path)
+            .take_while(|(f, c)| &f.constraint == *c)
+            .count();
+        self.frames.truncate(keep);
+        for c in &path[keep..] {
+            self.frames.push(Frame::new(c.clone()));
+        }
+    }
+
+    /// Satisfiability of the current constraint stack.
+    pub fn check(&mut self, vars: &VarTable) -> SatResult {
+        self.check_with_stats(vars).0
+    }
+
+    /// Satisfiability of the stack plus one extra constraint (the
+    /// classic branch-feasibility probe), without disturbing the stack.
+    pub fn check_assuming(&mut self, extra: Expr, vars: &VarTable) -> SatResult {
+        self.frames.push(Frame::new(extra));
+        let r = self.check(vars);
+        self.frames.pop();
+        r
+    }
+
+    /// Like [`ScopedSolver::check`], reporting per-query work counters.
+    pub fn check_with_stats(&mut self, vars: &VarTable) -> (SatResult, SolverStats) {
+        self.stats.checks += 1;
+        if !self.sliced {
+            let constraints: Vec<Expr> = self.frames.iter().map(|f| f.constraint.clone()).collect();
+            return self.solver.check_with_stats(&constraints, vars);
+        }
+        let mut stats = SolverStats::default();
+        let views: Vec<ConstraintView<'_>> = self
+            .frames
+            .iter()
+            .map(|f| ConstraintView {
+                expr: &f.constraint,
+                vars: &f.vars,
+                rendered: Some(&f.rendered),
+                konst: f.konst,
+            })
+            .collect();
+        let queries = match prepare_slices(&views, Some(&self.prefix), vars) {
+            Prepared::Decided(r) => return (r, stats),
+            Prepared::Queries(queries) => queries,
+        };
+        let outcome = solve_slices(
+            &self.solver,
+            vars,
+            &queries,
+            Some(&mut self.memo),
+            &mut stats,
+        );
+        self.stats.slices += stats.slices;
+        self.stats.memo_hits += outcome.memo_hits;
+        self.stats.cache_hits += stats.slice_cache_hits;
+        self.stats.solved += outcome.solved;
+        (outcome.result, stats)
+    }
+
+    /// Cumulative work counters for this solver.
+    pub fn stats(&self) -> ScopedStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::CmpOp;
+    use std::sync::Arc;
+
+    fn vt(domains: &[(i64, i64)]) -> VarTable {
+        let mut t = VarTable::new();
+        for (i, &(lo, hi)) in domains.iter().enumerate() {
+            t.fresh(format!("x{i}"), lo, hi);
+        }
+        t
+    }
+
+    fn x(i: u32) -> Expr {
+        Expr::var(VarId(i))
+    }
+
+    #[test]
+    fn partition_groups_by_transitive_connectivity() {
+        // c0: x0,x1   c1: x2   c2: x1,x3   c3: const-ish (no vars)
+        let cs = [
+            x(0).add(x(1)).cmp(CmpOp::Gt, Expr::konst(0)),
+            x(2).cmp(CmpOp::Lt, Expr::konst(5)),
+            x(1).cmp(CmpOp::Eq, x(3)),
+            Expr::bin(crate::op::BinOp::Div, Expr::konst(1), Expr::konst(0))
+                .cmp(CmpOp::Eq, Expr::konst(1)),
+        ];
+        let slices = partition_slices(&cs);
+        assert_eq!(slices, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn partition_keeps_original_order_within_and_across_slices() {
+        let cs = [
+            x(4).cmp(CmpOp::Gt, Expr::konst(0)),
+            x(0).cmp(CmpOp::Gt, Expr::konst(0)),
+            x(4).cmp(CmpOp::Lt, Expr::konst(9)),
+            x(0).cmp(CmpOp::Lt, Expr::konst(9)),
+        ];
+        let slices = partition_slices(&cs);
+        assert_eq!(slices, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn sliced_check_equals_whole_check_on_disjoint_slices() {
+        let vars = vt(&[(0, 10), (0, 10), (0, 10)]);
+        let s = Solver::new();
+        let cs = [
+            x(0).cmp(CmpOp::Ge, Expr::konst(4)),
+            x(1).add(x(2)).cmp(CmpOp::Eq, Expr::konst(7)),
+            x(0).cmp(CmpOp::Lt, Expr::konst(6)),
+        ];
+        assert_eq!(s.check_sliced(&cs, &vars), s.check(&cs, &vars));
+        // One unsatisfiable slice decides the whole query.
+        let cs_unsat = [
+            x(0).cmp(CmpOp::Ge, Expr::konst(4)),
+            x(1).cmp(CmpOp::Gt, Expr::konst(20)),
+        ];
+        assert_eq!(s.check_sliced(&cs_unsat, &vars), SatResult::Unsat);
+        assert_eq!(s.check(&cs_unsat, &vars), SatResult::Unsat);
+    }
+
+    #[test]
+    fn sliced_check_memoizes_per_slice_in_shared_cache() {
+        let vars = vt(&[(0, 10), (0, 10)]);
+        let cache = Arc::new(crate::cache::SolverCache::new(2));
+        let s = Solver::new().cached(Arc::clone(&cache));
+        let prefix = x(0).cmp(CmpOp::Ge, Expr::konst(3));
+        // Two queries sharing the x0 slice but with different x1 suffixes.
+        let q1 = [prefix.clone(), x(1).cmp(CmpOp::Lt, Expr::konst(2))];
+        let q2 = [prefix.clone(), x(1).cmp(CmpOp::Gt, Expr::konst(7))];
+        let (_, s1) = s.check_sliced_with_stats(&q1, &vars);
+        let (_, s2) = s.check_sliced_with_stats(&q2, &vars);
+        assert_eq!((s1.slices, s1.slice_cache_hits), (2, 0));
+        assert_eq!(
+            (s2.slices, s2.slice_cache_hits),
+            (2, 1),
+            "prefix slice hits"
+        );
+        let snap = cache.snapshot();
+        assert_eq!((snap.slice_hits, snap.slice_misses), (1, 3));
+    }
+
+    #[test]
+    fn scoped_solver_reuses_parent_slices_at_forks() {
+        let vars = vt(&[(0, 20), (0, 20)]);
+        let mut scoped = ScopedSolver::new(Solver::new());
+        scoped.assume(x(0).cmp(CmpOp::Ge, Expr::konst(5)));
+        scoped.assume(x(0).cmp(CmpOp::Lt, Expr::konst(15)));
+        assert!(matches!(scoped.check(&vars), SatResult::Sat(_)));
+        let base_solved = scoped.stats().solved;
+        // A fork probing both sides of a branch on an unrelated variable:
+        // the x0 slice must come from the memo both times.
+        let then_r = scoped.check_assuming(x(1).cmp(CmpOp::Gt, Expr::konst(10)), &vars);
+        let else_r = scoped.check_assuming(x(1).cmp(CmpOp::Le, Expr::konst(10)), &vars);
+        assert!(matches!(then_r, SatResult::Sat(_)));
+        assert!(matches!(else_r, SatResult::Sat(_)));
+        let st = scoped.stats();
+        assert_eq!(st.memo_hits, 2, "x0 slice reused in both probes: {st:?}");
+        assert_eq!(st.solved - base_solved, 2, "only the new x1 slices solved");
+    }
+
+    #[test]
+    fn unsat_short_circuit_does_not_overcount_solved() {
+        let vars = vt(&[(0, 5), (0, 5), (0, 5)]);
+        let mut scoped = ScopedSolver::new(Solver::new());
+        scoped.assume(x(0).cmp(CmpOp::Gt, Expr::konst(9))); // UNSAT, first slice
+        scoped.assume(x(1).cmp(CmpOp::Ge, Expr::konst(1)));
+        scoped.assume(x(2).cmp(CmpOp::Ge, Expr::konst(1)));
+        assert_eq!(scoped.check(&vars), SatResult::Unsat);
+        let st = scoped.stats();
+        assert_eq!(st.slices, 3, "partition size still reported: {st:?}");
+        assert_eq!(
+            st.solved, 1,
+            "slices skipped by the UNSAT short-circuit are not solved: {st:?}"
+        );
+        assert_eq!((st.memo_hits, st.cache_hits), (0, 0));
+    }
+
+    #[test]
+    fn scoped_scopes_and_sync_path_agree_with_plain_checks() {
+        let vars = vt(&[(0, 9), (0, 9)]);
+        let plain = Solver::new();
+        let mut scoped = ScopedSolver::new(Solver::new());
+        let a = x(0).cmp(CmpOp::Ge, Expr::konst(7));
+        let b = x(1).cmp(CmpOp::Lt, Expr::konst(3));
+        let c = x(0).cmp(CmpOp::Lt, Expr::konst(7));
+        scoped.assume(a.clone());
+        scoped.push_scope();
+        scoped.assume(c.clone());
+        assert_eq!(scoped.check(&vars), plain.check(&[a.clone(), c], &vars));
+        scoped.pop_scope();
+        assert_eq!(scoped.len(), 1);
+        let path = [a.clone(), b.clone()];
+        scoped.sync_path(&path);
+        assert_eq!(scoped.len(), 2);
+        assert_eq!(scoped.check(&vars), plain.check(&path, &vars));
+        // Syncing to a shorter, diverging path rebuilds only the tail.
+        let short = [b.clone()];
+        scoped.sync_path(&short);
+        assert_eq!(scoped.len(), 1);
+        assert_eq!(scoped.check(&vars), plain.check(&short, &vars));
+    }
+
+    #[test]
+    fn whole_query_mode_matches_plain_solver() {
+        let vars = vt(&[(0, 9)]);
+        let mut scoped = ScopedSolver::whole_query(Solver::new());
+        assert!(!scoped.is_sliced());
+        scoped.assume(x(0).cmp(CmpOp::Gt, Expr::konst(3)));
+        scoped.assume(x(0).cmp(CmpOp::Lt, Expr::konst(5)));
+        let plain = Solver::new().check(
+            &[
+                x(0).cmp(CmpOp::Gt, Expr::konst(3)),
+                x(0).cmp(CmpOp::Lt, Expr::konst(5)),
+            ],
+            &vars,
+        );
+        assert_eq!(scoped.check(&vars), plain);
+    }
+
+    #[test]
+    fn constant_false_frame_short_circuits() {
+        let vars = vt(&[(0, 9)]);
+        let mut scoped = ScopedSolver::new(Solver::new());
+        scoped.assume(x(0).cmp(CmpOp::Ge, Expr::konst(0)));
+        scoped.assume(Expr::konst(0));
+        assert_eq!(scoped.check(&vars), SatResult::Unsat);
+    }
+}

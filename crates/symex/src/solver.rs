@@ -64,8 +64,15 @@ pub struct SolverStats {
     pub prune_passes: u64,
     /// Whether the query terminated because of the budget.
     pub budget_exhausted: bool,
-    /// Whether the query was answered from a shared [`SolverCache`].
+    /// Whether the query was answered from a shared [`SolverCache`]
+    /// (whole-query path) without any solving work.
     pub cache_hit: bool,
+    /// Independent slices the query was partitioned into (`0` for
+    /// whole-query solving; see [`Solver::check_sliced_with_stats`]).
+    pub slices: u64,
+    /// Of those slices, how many were answered from a shared
+    /// [`SolverCache`] instead of being solved.
+    pub slice_cache_hits: u64,
 }
 
 /// Solver configuration.
@@ -170,8 +177,41 @@ impl Solver {
         }
     }
 
+    /// Like [`Solver::check`], but partitioning the query into
+    /// independent constraint slices first (see [`crate::slice`]).
+    pub fn check_sliced(&self, constraints: &[Expr], vars: &VarTable) -> SatResult {
+        self.check_sliced_with_stats(constraints, vars).0
+    }
+
+    /// Checks satisfiability by slicing the constraint list into
+    /// variable-connectivity groups and solving each slice independently
+    /// (UNSAT in any slice ⇒ UNSAT overall; models merged on SAT — sound
+    /// because slices share no variables).
+    ///
+    /// With a cache attached (see [`Solver::cached`]), each *slice* is
+    /// memoized separately, so the shared pre-race constraint prefix
+    /// recurring across Mp × Ma path/schedule combinations hits the
+    /// cache even when later branch constraints differ. Every slice is
+    /// solved under the full configured node budget; a slice that
+    /// exhausts it yields [`SatResult::Unknown`] overall (unless another
+    /// slice is UNSAT, which decides the query regardless).
+    ///
+    /// Slicing never flips a decided answer: whenever whole-query
+    /// solving decides within budget, the sliced result is structurally
+    /// identical, model included (workspace property test
+    /// `sliced_solver_is_transparent`). It can only *improve* on
+    /// `Unknown` — each slice's search is no larger than the combined
+    /// search that interleaves it with unrelated variables.
+    pub fn check_sliced_with_stats(
+        &self,
+        constraints: &[Expr],
+        vars: &VarTable,
+    ) -> (SatResult, SolverStats) {
+        crate::slice::check_sliced(self, constraints, vars, None)
+    }
+
     /// The uncached solving path.
-    fn solve(&self, constraints: &[Expr], vars: &VarTable) -> (SatResult, SolverStats) {
+    pub(crate) fn solve(&self, constraints: &[Expr], vars: &VarTable) -> (SatResult, SolverStats) {
         let mut stats = SolverStats::default();
 
         // 1. Constant filtering.

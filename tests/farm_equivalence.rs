@@ -118,12 +118,20 @@ fn farm_stats_are_coherent() {
     let util = stats.utilization();
     assert!((0.0..=1.0).contains(&util), "utilization {util}");
     let cache = stats.cache.expect("solver cache on by default");
+    // Queries arrive at slice granularity by default (`slice_solver`),
+    // at whole-query granularity when slicing is off.
+    let lookups = cache.hits + cache.misses + cache.slice_hits + cache.slice_misses;
     assert!(
-        cache.hits + cache.misses > 0,
+        lookups > 0,
         "classification must issue solver queries: {cache:?}"
     );
     assert!(
-        cache.hits > 0,
+        cache.hits + cache.slice_hits > 0,
         "multi-race workloads repeat constraint queries across races/schedules: {cache:?}"
     );
+    assert!(
+        cache.slice_hits > 0,
+        "slice-level keys must hit across the Mp x Ma combinations: {cache:?}"
+    );
+    assert!(cache.key_bytes > 0, "lookups render keys: {cache:?}");
 }

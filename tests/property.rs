@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use portend_repro::portend_race::VectorClock;
 use portend_repro::portend_symex::{
-    BinOp, CmpOp, Expr, Model, SatResult, Solver, SolverCache, VarId, VarTable,
+    BinOp, CmpOp, Expr, Model, SatResult, ScopedSolver, Solver, SolverCache, SolverConfig, VarId,
+    VarTable,
 };
 use portend_repro::portend_vm::{
     drive, DriveCfg, InputMode, InputSource, InputSpec, Machine, Operand, ProgramBuilder,
@@ -204,6 +205,133 @@ fn solver_cache_is_transparent() {
     let snap = cache.snapshot();
     assert!(snap.hits >= 2 * 192, "hits {snap:?}");
     assert!(snap.entries > 0 && snap.entries <= snap.misses);
+}
+
+/// Constraint slicing is transparent: on randomized constraint sets the
+/// sliced answer is structurally identical to the whole-query answer —
+/// verdict and witness model — whenever the whole query decides within
+/// budget, and slicing never turns a decided answer into `Unknown`.
+///
+/// Two regimes:
+/// * default budget — on this distribution the whole query always
+///   decides, so exact equality (including the model) is asserted for
+///   every case, with and without a shared cache attached;
+/// * starvation budget — when the whole query still decides, slicing
+///   must agree exactly (each slice's search is a projection of the
+///   combined search, so it fits in any budget the whole query fit in);
+///   when the whole query gives up with `Unknown`, slicing may decide,
+///   and the decision is verified against the domain (model check for
+///   `Sat`, brute force for `Unsat`).
+#[test]
+fn sliced_solver_is_transparent() {
+    let mut r = SmallRng::seed_from_u64(0x511CED);
+    let solver = Solver::new();
+    let cache = Arc::new(SolverCache::new(4));
+    let cached = Solver::new().cached(Arc::clone(&cache));
+    for _case in 0..256 {
+        let n = 1 + r.gen_index(4);
+        let ts: Vec<ETree> = (0..n).map(|_| gen_etree(&mut r, 3)).collect();
+        let vars = two_var_table(-6, 6);
+        let cs: Vec<Expr> = ts.iter().map(build).collect();
+        let whole = solver.check(&cs, &vars);
+        assert_ne!(whole, SatResult::Unknown, "distribution stays in budget");
+        let sliced = solver.check_sliced(&cs, &vars);
+        assert_eq!(sliced, whole, "sliced != whole for {cs:?}");
+        // Per-slice caching must not change the answer either — cold,
+        // and again warm (every slice now memoized).
+        assert_eq!(cached.check_sliced(&cs, &vars), whole, "cold cache: {cs:?}");
+        assert_eq!(cached.check_sliced(&cs, &vars), whole, "warm cache: {cs:?}");
+    }
+    let snap = cache.snapshot();
+    assert!(snap.slice_hits > 0, "warm passes hit per-slice: {snap:?}");
+
+    // Starvation regime: `Unknown` budgeting.
+    let tiny = Solver::with_config(SolverConfig {
+        node_budget: 8,
+        max_prune_passes: 1,
+    });
+    let mut improved = 0u64;
+    for _case in 0..256 {
+        let n = 1 + r.gen_index(4);
+        let ts: Vec<ETree> = (0..n).map(|_| gen_etree(&mut r, 3)).collect();
+        let vars = two_var_table(-4, 4);
+        let cs: Vec<Expr> = ts.iter().map(build).collect();
+        let whole = tiny.check(&cs, &vars);
+        let sliced = tiny.check_sliced(&cs, &vars);
+        match &whole {
+            SatResult::Unknown => match &sliced {
+                // Slicing may decide what the whole query could not;
+                // verify any such decision against the domains.
+                SatResult::Sat(m) => {
+                    improved += 1;
+                    for c in &cs {
+                        assert!(
+                            matches!(c.eval(m), Ok(v) if v != 0),
+                            "sliced Sat model violates {c} under {m}"
+                        );
+                    }
+                }
+                SatResult::Unsat => {
+                    improved += 1;
+                    for a in -4i64..=4 {
+                        for b in -4i64..=4 {
+                            let mut m = Model::new();
+                            m.set(VarId(0), a);
+                            m.set(VarId(1), b);
+                            let all = cs.iter().all(|c| matches!(c.eval(&m), Ok(v) if v != 0));
+                            assert!(!all, "sliced Unsat but ({a},{b}) satisfies {cs:?}");
+                        }
+                    }
+                }
+                SatResult::Unknown => {}
+            },
+            decided => assert_eq!(
+                &sliced, decided,
+                "slicing flipped a decided answer for {cs:?}"
+            ),
+        }
+    }
+    assert!(improved > 0, "starvation regime exercises Unknown recovery");
+}
+
+/// The scoped solver's incremental checks (shared-prefix sync plus a
+/// probed extra constraint) agree with fresh whole-list checks at every
+/// step of a randomly evolving path condition.
+#[test]
+fn scoped_solver_matches_fresh_checks() {
+    let mut r = SmallRng::seed_from_u64(0x5C07D);
+    let plain = Solver::new();
+    for _round in 0..48 {
+        let vars = two_var_table(-6, 6);
+        let mut scoped = ScopedSolver::new(Solver::new());
+        let mut path: Vec<Expr> = Vec::new();
+        for _step in 0..8 {
+            // Mutate the path the way a worklist explorer does: truncate
+            // to a random prefix (switching to a sibling state), then
+            // extend with fresh branch constraints.
+            path.truncate(r.gen_index(path.len() + 1));
+            for _ in 0..=r.gen_index(2) {
+                path.push(build(&gen_etree(&mut r, 2)));
+            }
+            scoped.sync_path(&path);
+            assert_eq!(
+                scoped.check(&vars),
+                plain.check(&path, &vars),
+                "sync_path state diverged for {path:?}"
+            );
+            let extra = build(&gen_etree(&mut r, 2));
+            let mut with_extra = path.clone();
+            with_extra.push(extra.clone());
+            assert_eq!(
+                scoped.check_assuming(extra, &vars),
+                plain.check(&with_extra, &vars),
+                "check_assuming diverged for {with_extra:?}"
+            );
+            assert_eq!(scoped.len(), path.len(), "probe must not leak frames");
+        }
+        let st = scoped.stats();
+        assert_eq!(st.checks, 16, "8 syncs x (check + probe)");
+    }
 }
 
 /// Vector-clock join is a least upper bound: both operands ≤ join;
