@@ -428,6 +428,10 @@ pub struct Fig9Row {
     pub preemptions: u64,
     /// Branches depending on symbolic input.
     pub dependent_branches: u64,
+    /// Deepest explored path in instructions — the depth axis of the
+    /// time-vs-depth plot (`ClassifyStats::max_path_instructions`; the
+    /// summed total would conflate exploration breadth with depth).
+    pub max_path_instructions: u64,
     /// Classification time in milliseconds.
     pub time_ms: f64,
 }
@@ -455,6 +459,7 @@ pub fn fig9() -> Vec<Fig9Row> {
                 label: format!("{}{}", w.name, i + 1),
                 preemptions: v.stats.preemptions,
                 dependent_branches: v.stats.dependent_branches,
+                max_path_instructions: v.stats.max_path_instructions,
                 time_ms: time.as_secs_f64() * 1e3,
             });
         }
@@ -471,6 +476,7 @@ pub fn fig9_table() -> String {
                 r.label,
                 r.preemptions.to_string(),
                 r.dependent_branches.to_string(),
+                r.max_path_instructions.to_string(),
                 format!("{:.3}", r.time_ms),
             ]
         })
@@ -480,6 +486,7 @@ pub fn fig9_table() -> String {
             "Race",
             "# preemption points",
             "# dependent branches",
+            "Max path insts (depth)",
             "Classification time (ms)",
         ],
         &rows,

@@ -93,6 +93,9 @@ impl Portend {
             dependent_branches: 0,
             instructions: located.replay_steps,
             max_path_instructions: 0,
+            bytes_copied_on_fork: 0,
+            bytes_shared_on_fork: 0,
+            slices_reused_at_fork: 0,
         };
 
         // --- Algorithm 1: single-pre/single-post.
@@ -135,6 +138,9 @@ impl Portend {
         stats.instructions += xstats.instructions;
         stats.preemptions += xstats.preemptions;
         stats.max_path_instructions = xstats.max_path_instructions;
+        stats.bytes_copied_on_fork = xstats.bytes_copied_on_fork;
+        stats.bytes_shared_on_fork = xstats.bytes_shared_on_fork;
+        stats.slices_reused_at_fork = xstats.slices_reused_at_fork;
         let primaries = match explored {
             ExploreResult::SpecViol { kind, replay } => {
                 return Ok(finish(Verdict::spec_violation(kind, replay), stats))
@@ -355,7 +361,7 @@ fn kind_of(e: VmError) -> SpecViolationKind {
 fn replay_of(m: &Machine, primary: &PrimaryPath, what: &str) -> ReplayEvidence {
     ReplayEvidence {
         inputs: primary.concrete_inputs.clone(),
-        schedule: m.sched_log.clone(),
+        schedule: m.sched_log.to_vec(),
         description: what.to_string(),
     }
 }

@@ -74,6 +74,19 @@ pub(crate) struct ExploreStats {
     /// path (the exploration's depth, as opposed to `instructions`,
     /// its total volume).
     pub max_path_instructions: u64,
+    /// Bytes copy-on-write forks actually copied: the eager snapshot
+    /// cost reported by [`Machine::fork`] at each fork, plus every lazy
+    /// first-write-after-fork copy, attributed per state segment (like
+    /// `instructions`).
+    pub bytes_copied_on_fork: u64,
+    /// Heap/log bytes fork snapshots shared structurally instead of
+    /// copying, summed over all forks — what an eager deep clone would
+    /// have copied up front every time.
+    pub bytes_shared_on_fork: u64,
+    /// Constraint slices feasibility checks reused from the scoped
+    /// solver's memo instead of re-solving (the incremental-solver
+    /// payoff at forks).
+    pub slices_reused_at_fork: u64,
 }
 
 struct ExpState {
@@ -89,6 +102,9 @@ struct ExpState {
     base_steps: u64,
     /// `m.preemptions` at the same point.
     base_preemptions: u64,
+    /// `m.cow_bytes()` at the same point; the delta is the lazy
+    /// copy-on-write work this state's segment performed.
+    base_cow_bytes: u64,
 }
 
 /// Explores up to `cfg.mp` primary paths that follow the recorded
@@ -111,6 +127,7 @@ pub(crate) fn explore_primaries(
         occ_at_race: 0,
         base_steps: 0,
         base_preemptions: 0,
+        base_cow_bytes: 0,
     };
     let scoped = if cfg.slice_solver {
         ScopedSolver::new(solver.clone())
@@ -132,7 +149,13 @@ pub(crate) fn explore_primaries(
         let outcome = ex.run_state(&mut st, case, race, located, cfg);
         ex.settle(&st);
         match outcome {
-            StateOutcome::Abort(r) => return (r, ex.stats),
+            StateOutcome::Abort(r) => {
+                // The abort path must report the same counters the
+                // normal exit does (settle already folded the byte
+                // counters in above).
+                ex.stats.slices_reused_at_fork = ex.scoped.stats().memo_hits;
+                return (r, ex.stats);
+            }
             StateOutcome::Primary {
                 model,
                 concrete_inputs,
@@ -145,6 +168,7 @@ pub(crate) fn explore_primaries(
             StateOutcome::Pruned => {}
         }
     }
+    ex.stats.slices_reused_at_fork = ex.scoped.stats().memo_hits;
     (ExploreResult::Primaries(ex.primaries), ex.stats)
 }
 
@@ -179,6 +203,9 @@ impl Exploration {
         self.stats.instructions += st.m.steps.saturating_sub(st.base_steps);
         self.stats.preemptions += st.m.preemptions.saturating_sub(st.base_preemptions);
         self.stats.max_path_instructions = self.stats.max_path_instructions.max(st.m.steps);
+        // Lazy CoW copies this segment performed (the deferred share of
+        // the fork cost, paid by whichever state first wrote).
+        self.stats.bytes_copied_on_fork += st.m.cow_bytes().saturating_sub(st.base_cow_bytes);
     }
 
     /// Drives one state until it completes, faults, forks itself dry, or
@@ -247,15 +274,19 @@ impl Exploration {
                             if self.forked < cfg.max_exploration_states {
                                 self.forked += 1;
                                 self.stats.forks += 1;
+                                let (child, cost) = st.m.fork();
+                                self.stats.bytes_copied_on_fork += cost.bytes_copied;
+                                self.stats.bytes_shared_on_fork += cost.bytes_shared;
                                 let mut other = ExpState {
-                                    m: st.m.clone(),
+                                    base_steps: child.steps,
+                                    base_preemptions: child.preemptions,
+                                    base_cow_bytes: child.cow_bytes(),
+                                    m: child,
                                     sched: st.sched.clone(),
                                     budget: st.budget,
                                     first_count: st.first_count,
                                     past_race: st.past_race,
                                     occ_at_race: st.occ_at_race,
-                                    base_steps: st.m.steps,
-                                    base_preemptions: st.m.preemptions,
                                 };
                                 other.m.apply_branch(else_b, cond.clone().not());
                                 self.worklist.push(other);
@@ -287,7 +318,7 @@ impl Exploration {
                                 }),
                                 replay: ReplayEvidence {
                                     inputs,
-                                    schedule: st.m.sched_log.clone(),
+                                    schedule: st.m.sched_log.to_vec(),
                                     description: "assertion fails on an explored primary path"
                                         .into(),
                                 },
@@ -341,7 +372,7 @@ impl Exploration {
         let inputs = st.m.inputs.concretize(&model, &st.m.vars);
         let replay = ReplayEvidence {
             inputs,
-            schedule: st.m.sched_log.clone(),
+            schedule: st.m.sched_log.to_vec(),
             description: "violation on an explored primary path".into(),
         };
         let kind = match stop {

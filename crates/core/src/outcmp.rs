@@ -122,8 +122,8 @@ fn evidence_at(
     pos: usize,
     alternate_inputs: &[i64],
 ) -> OutputDiffEvidence {
-    let p = primary.output.recs.get(pos);
-    let a = alternate_out.recs.get(pos);
+    let p = primary.output.get(pos);
+    let a = alternate_out.get(pos);
     let primary_str = p
         .map(|r| match r.val.as_concrete() {
             Some(v) => v.to_string(),
@@ -133,6 +133,7 @@ fn evidence_at(
     let alternate_str = a
         .map(|r| r.val.to_string())
         .unwrap_or_else(|| "<missing>".into());
+    let (primary_fd, alternate_fd) = OutputDiffEvidence::fd_pair(p, a);
     let loc = p
         .or(a)
         .map(|r| primary.program.loc(r.pc))
@@ -141,6 +142,8 @@ fn evidence_at(
         position: pos,
         primary: primary_str,
         alternate: alternate_str,
+        primary_fd,
+        alternate_fd,
         primary_len: primary.output.len(),
         alternate_len: alternate_out.len(),
         primary_loc: loc,

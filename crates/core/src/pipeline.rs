@@ -164,10 +164,10 @@ impl Pipeline {
         if let Some(c) = &cache {
             frun.attach_cache(Arc::clone(c));
         }
-        let (outputs, stats) = frun.join();
+        let (outputs, mut stats) = frun.join();
 
         // `join` sorts by job index, restoring detection order.
-        let analyzed = outputs
+        let analyzed: Vec<AnalyzedRace> = outputs
             .into_iter()
             .map(|o| {
                 let (cluster, verdict) = o.result;
@@ -178,6 +178,15 @@ impl Pipeline {
                 }
             })
             .collect();
+        // Roll the per-classification fork-cost counters up into the
+        // farm aggregate (the generic pool cannot see inside verdicts).
+        for a in &analyzed {
+            if let Ok(v) = &a.verdict {
+                stats.fork_bytes_copied += v.stats.bytes_copied_on_fork;
+                stats.fork_bytes_shared += v.stats.bytes_shared_on_fork;
+                stats.fork_slices_reused += v.stats.slices_reused_at_fork;
+            }
+        }
         let case = Arc::try_unwrap(case).unwrap_or_else(|arc| arc.as_ref().clone());
         (
             PipelineResult {

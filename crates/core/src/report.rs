@@ -47,6 +47,11 @@ pub fn render_report(case: &AnalysisCase, race: &RaceReport, verdict: &Verdict) 
                 "Output differs at position {}:\n  primary:   {}\n  alternate: {}\n",
                 d.position, d.primary, d.alternate
             ));
+            if let (Some(pf), Some(af)) = (d.primary_fd, d.alternate_fd) {
+                out.push_str(&format!(
+                    "Output channels differ: primary fd {pf} vs alternate fd {af}\n"
+                ));
+            }
             if d.primary_len != d.alternate_len {
                 out.push_str(&format!(
                     "Output operation counts differ: primary {} vs alternate {}\n",

@@ -67,7 +67,9 @@ pub(crate) fn single_classify(
     let mut work = SingleWork::default();
 
     // --- primary: continue from the post-race checkpoint to completion.
-    let (mut pm, mut psched) = located.post.clone();
+    // Checkpoints restore through the CoW snapshot API: the restored
+    // machine shares the checkpoint's heap and logs until first write.
+    let (mut pm, mut psched) = (located.post.0.snapshot(), located.post.1.clone());
     let mut sup = Supervisor::new(cfg.step_budget);
     let stop = sup.run(&mut pm, &mut psched, &case.predicates);
     work.absorb(&sup);
@@ -96,7 +98,7 @@ pub(crate) fn single_classify(
 
     // --- alternate: enforce the reversed ordering from the pre-race
     // checkpoint by suspending the thread that raced first.
-    let (mut am, mut asched) = located.pre.clone();
+    let (mut am, mut asched) = (located.pre.0.snapshot(), located.pre.1.clone());
     let enforce_budget = located.replay_steps * cfg.enforce_budget_factor + 10_000;
     let mut sup = Supervisor::new(enforce_budget);
     let result = match enforce_alternate(&mut am, &mut asched, &mut sup, race, &case.predicates) {
@@ -361,22 +363,24 @@ fn compare_outputs(
     match diffs.first() {
         None => SingleResult::OutSame { states_differ },
         Some((pos, p, a)) => {
-            let loc = primary_out
-                .recs
-                .get(*pos)
-                .or_else(|| am.output.recs.get(*pos))
+            let loc = p
+                .as_ref()
+                .or(a.as_ref())
                 .map(|r| case.program.loc(r.pc))
                 .unwrap_or_default();
+            let (primary_fd, alternate_fd) = OutputDiffEvidence::fd_pair(p.as_ref(), a.as_ref());
             SingleResult::OutDiff(OutputDiffEvidence {
                 position: *pos,
                 primary: p
                     .as_ref()
-                    .map(|v| v.to_string())
+                    .map(|r| r.val.to_string())
                     .unwrap_or_else(|| "<missing>".into()),
                 alternate: a
                     .as_ref()
-                    .map(|v| v.to_string())
+                    .map(|r| r.val.to_string())
                     .unwrap_or_else(|| "<missing>".into()),
+                primary_fd,
+                alternate_fd,
                 primary_len: primary_out.len(),
                 alternate_len: am.output.len(),
                 primary_loc: loc,
@@ -411,7 +415,7 @@ fn stop_to_result(stop: SupStop, m: &Machine, case: &AnalysisCase, what: &str) -
 pub(crate) fn evidence(m: &Machine, case: &AnalysisCase, what: &str) -> ReplayEvidence {
     ReplayEvidence {
         inputs: case.trace.inputs.clone(),
-        schedule: m.sched_log.clone(),
+        schedule: m.sched_log.to_vec(),
         description: what.to_string(),
     }
 }

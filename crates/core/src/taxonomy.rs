@@ -120,6 +120,13 @@ pub struct OutputDiffEvidence {
     pub primary: String,
     /// The alternate's output at that position (or `<missing>`).
     pub alternate: String,
+    /// The output channel the primary wrote at that position, when the
+    /// divergence is (partly) a channel mismatch — the "first provable
+    /// divergence" refinement also covers fd-only mismatches inside the
+    /// common prefix.
+    pub primary_fd: Option<i64>,
+    /// The channel the alternate wrote at that position.
+    pub alternate_fd: Option<i64>,
     /// Total output operations the primary performed.
     pub primary_len: usize,
     /// Total output operations the alternate performed.
@@ -128,6 +135,23 @@ pub struct OutputDiffEvidence {
     pub primary_loc: String,
     /// The inputs under which the difference manifests.
     pub inputs: Vec<i64>,
+}
+
+impl OutputDiffEvidence {
+    /// The `(primary_fd, alternate_fd)` pair for a divergence position:
+    /// populated only when both records exist and their channels differ.
+    /// Shared by the concrete (`single`) and symbolic (`outcmp`)
+    /// comparison paths so the fd-parity refinement cannot drift
+    /// between them.
+    pub(crate) fn fd_pair(
+        p: Option<&portend_vm::OutputRec>,
+        a: Option<&portend_vm::OutputRec>,
+    ) -> (Option<i64>, Option<i64>) {
+        match (p, a) {
+            (Some(x), Some(y)) if x.fd != y.fd => (Some(x.fd), Some(y.fd)),
+            _ => (None, None),
+        }
+    }
 }
 
 /// Detailed findings attached to a verdict.
@@ -173,6 +197,19 @@ pub struct ClassifyStats {
     /// path (exploration depth; `0` when multi-path analysis did not
     /// run).
     pub max_path_instructions: u64,
+    /// Bytes the multi-path explorer's copy-on-write forks actually
+    /// copied: the eager per-fork cost (thread stacks, path condition)
+    /// plus every lazy first-write-after-fork copy, summed per state
+    /// segment. A deep-cloning explorer would have copied
+    /// `bytes_copied_on_fork + bytes_shared_on_fork`.
+    pub bytes_copied_on_fork: u64,
+    /// Heap and log bytes fork snapshots shared structurally instead of
+    /// copying, summed over all forks.
+    pub bytes_shared_on_fork: u64,
+    /// Constraint slices the explorer's scoped solver reused from its
+    /// memo at feasibility checks (typically a parent state's
+    /// already-solved slices at a fork) instead of re-solving.
+    pub slices_reused_at_fork: u64,
 }
 
 /// The result of classifying one race.

@@ -20,8 +20,9 @@ use crate::taxonomy::Verdict;
 /// Outcome of triaging one third-party race report.
 #[derive(Debug, Clone)]
 pub enum TriageOutcome {
-    /// The report was located in the trace and classified.
-    Classified(Verdict),
+    /// The report was located in the trace and classified. Boxed: a
+    /// verdict (evidence + work counters) dwarfs the `NotLocated` arm.
+    Classified(Box<Verdict>),
     /// The report could not be re-located in a deterministic replay of
     /// the recorded trace — e.g. a static detector's false positive whose
     /// accesses never actually executed, or a report against another
@@ -62,7 +63,7 @@ pub fn triage_reports(
     reports
         .iter()
         .map(|r| match portend.classify(case, r) {
-            Ok(v) => TriageOutcome::Classified(v),
+            Ok(v) => TriageOutcome::Classified(Box::new(v)),
             Err(e) => TriageOutcome::NotLocated { reason: e.0 },
         })
         .collect()

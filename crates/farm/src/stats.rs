@@ -33,6 +33,17 @@ pub struct FarmStats {
     pub budget_overruns: u64,
     /// Solver-cache counters, when a cache was attached to the run.
     pub cache: Option<CacheSnapshot>,
+    /// Bytes the jobs' copy-on-write exploration forks actually copied
+    /// (eager snapshot cost plus lazy first-write copies). Filled by
+    /// callers whose jobs report fork costs (the classification
+    /// pipeline); zero otherwise.
+    pub fork_bytes_copied: u64,
+    /// Heap/log bytes fork snapshots shared structurally instead of
+    /// copying — what eager deep-clone forks would have added.
+    pub fork_bytes_shared: u64,
+    /// Constraint slices the jobs' scoped solvers reused from their
+    /// memos at fork feasibility checks instead of re-solving.
+    pub fork_slices_reused: u64,
 }
 
 impl FarmStats {
@@ -60,6 +71,14 @@ impl FarmStats {
         self.cache.map(|c| c.slice_hit_rate())
     }
 
+    /// Fraction of total fork bytes the copy-on-write snapshots shared
+    /// instead of copying, in `[0, 1]`; `None` when no job reported
+    /// fork costs.
+    pub fn fork_shared_ratio(&self) -> Option<f64> {
+        let total = self.fork_bytes_copied + self.fork_bytes_shared;
+        (total > 0).then(|| self.fork_bytes_shared as f64 / total as f64)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let cache = match self.cache {
@@ -77,8 +96,16 @@ impl FarmStats {
             }
             None => String::new(),
         };
+        let forks = match self.fork_shared_ratio() {
+            Some(r) => format!(
+                ", forks {:.0}% shared ({} slices reused)",
+                100.0 * r,
+                self.fork_slices_reused
+            ),
+            None => String::new(),
+        };
         format!(
-            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache})",
+            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache}{forks})",
             self.jobs,
             self.per_worker.len(),
             self.wall.as_secs_f64(),

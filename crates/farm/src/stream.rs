@@ -97,6 +97,11 @@ impl<R> FarmRun<R> {
             budget_overruns: self.overruns.load(Ordering::Relaxed),
             per_worker,
             cache: self.cache.as_ref().map(|c| c.snapshot()),
+            // The generic pool cannot see inside job results; callers
+            // whose jobs report fork costs fill these in afterwards.
+            fork_bytes_copied: 0,
+            fork_bytes_shared: 0,
+            fork_slices_reused: 0,
         };
         (remaining, stats)
     }

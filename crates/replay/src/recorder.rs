@@ -73,7 +73,7 @@ pub fn record(program: &Arc<Program>, inputs: Vec<i64>, cfg: RecordConfig) -> Re
     let races = det.take_races();
     let clusters = cluster_races(&races);
     RecordedRun {
-        trace: ExecutionTrace::new(machine.sched_log.clone(), inputs),
+        trace: ExecutionTrace::new(machine.sched_log.to_vec(), inputs),
         races,
         clusters,
         stop,

@@ -50,17 +50,38 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// analyses in a long-lived process.
 pub const DEFAULT_MAX_ENTRIES: usize = 1 << 16;
 
+/// Hits since insertion (or since surviving a flush) that earn an entry
+/// a second chance at the next epoch flush. Slice entries for the shared
+/// pre-race prefix are looked up by every Mp × Ma combination, so they
+/// clear this easily; one-off suffix slices don't.
+const SECOND_CHANCE_HITS: u32 = 2;
+
+/// One memoized result plus the hit count driving second-chance
+/// eviction.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    result: SatResult,
+    hits: u32,
+}
+
 /// A sharded, thread-safe memoization cache for [`crate::Solver`] queries.
 ///
 /// Cheap to share: wrap it in an `Arc` and hand clones to
 /// [`crate::Solver::cached`]. All counters are monotone and lock-free.
 ///
 /// Memory is bounded: when a shard reaches its share of the entry cap,
-/// it is flushed wholesale before the next insert (epoch eviction —
-/// no per-entry bookkeeping, and hot queries repopulate immediately).
-/// Eviction only forgets memoized answers; it can never change one.
+/// it is flushed before the next insert (epoch eviction). The flush
+/// gives *high-hit* entries a second chance: entries hit at least
+/// `SECOND_CHANCE_HITS` (2) times since insertion (or since the last
+/// flush) survive with their count reset — so the hot pre-race-prefix
+/// slices every Mp × Ma combination re-reads outlive the one-off suffix
+/// slices that fill the shard. A flush that would retain more than
+/// half the shard clears it wholesale instead: that keeps the entry
+/// bound hard and keeps the flush scan amortized over at least
+/// `cap / 2` inserts. Eviction only forgets memoized answers; it can
+/// never change one.
 pub struct SolverCache {
-    shards: Vec<Mutex<HashMap<String, SatResult>>>,
+    shards: Vec<Mutex<HashMap<String, CacheEntry>>>,
     per_shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -68,6 +89,7 @@ pub struct SolverCache {
     slice_misses: AtomicU64,
     key_bytes: AtomicU64,
     evictions: AtomicU64,
+    second_chances: AtomicU64,
 }
 
 impl fmt::Debug for SolverCache {
@@ -108,6 +130,7 @@ impl SolverCache {
             slice_misses: AtomicU64::new(0),
             key_bytes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            second_chances: AtomicU64::new(0),
         }
     }
 
@@ -135,24 +158,45 @@ impl SolverCache {
         self.key_bytes
             .fetch_add(key.len() as u64, Ordering::Relaxed);
         let shard = &self.shards[self.shard_of(key)];
-        shard
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
-            .cloned()
+        let mut map = shard.lock().expect("cache shard poisoned");
+        map.get_mut(key).map(|e| {
+            e.hits = e.hits.saturating_add(1);
+            e.result.clone()
+        })
     }
 
     /// Stores the result for a canonical key, flushing the target shard
-    /// first if it is at capacity.
+    /// first if it is at capacity (high-hit entries get a second
+    /// chance — see the type docs).
     pub(crate) fn insert(&self, key: String, result: SatResult) {
         let shard = &self.shards[self.shard_of(&key)];
         let mut map = shard.lock().expect("cache shard poisoned");
         if map.len() >= self.per_shard_cap && !map.contains_key(&key) {
-            map.clear();
+            map.retain(|_, e| {
+                let keep = e.hits >= SECOND_CHANCE_HITS;
+                e.hits = 0; // survivors must re-earn the next flush
+                keep
+            });
+            if map.len() > self.per_shard_cap / 2 {
+                // A flush must reclaim at least half the shard;
+                // otherwise the next few inserts refill it and every
+                // insert pays the O(cap) retain scan that the wholesale
+                // epoch flush amortizes over `cap` inserts. Fall back to
+                // the full flush (also keeps the entry bound hard when
+                // everything was hot).
+                map.clear();
+            } else {
+                self.second_chances
+                    .fetch_add(map.len() as u64, Ordering::Relaxed);
+            }
             map.shrink_to_fit();
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        map.insert(key, result);
+        // Re-inserting an existing key (two workers racing to solve the
+        // same query) must not reset the hit count that earns the entry
+        // its second chance; the result is identical by the cache's
+        // determinism contract.
+        map.entry(key).or_insert(CacheEntry { result, hits: 0 });
     }
 
     fn shard_of(&self, key: &str) -> usize {
@@ -174,6 +218,7 @@ impl SolverCache {
             key_bytes: self.key_bytes.load(Ordering::Relaxed),
             entries,
             evictions: self.evictions.load(Ordering::Relaxed),
+            second_chances: self.second_chances.load(Ordering::Relaxed),
         }
     }
 }
@@ -198,6 +243,9 @@ pub struct CacheSnapshot {
     pub entries: u64,
     /// Shard flushes performed to stay within the entry bound.
     pub evictions: u64,
+    /// Entries that survived a shard flush on the high-hit second
+    /// chance (cumulative across flushes).
+    pub second_chances: u64,
 }
 
 impl CacheSnapshot {
@@ -344,5 +392,87 @@ mod tests {
         cache.insert("a".into(), SatResult::Unsat);
         assert_eq!(cache.snapshot().evictions, 0);
         assert_eq!(cache.snapshot().entries, 2);
+    }
+
+    /// Regression for slice-aware eviction: a hot slice entry (the
+    /// shared pre-race prefix, hit by every Mp × Ma combination) must
+    /// survive the epoch flush that discards one-off suffix entries.
+    #[test]
+    fn high_hit_entries_survive_epoch_flush() {
+        let cache = SolverCache::with_max_entries(1, 8);
+        cache.insert("hot-prefix".into(), SatResult::Unsat);
+        for _ in 0..SECOND_CHANCE_HITS {
+            assert!(cache.lookup_slice("hot-prefix").is_some());
+        }
+        // Fill to the cap with cold entries, then overflow: the flush
+        // fires, cold entries go, the hot prefix stays resident.
+        for i in 0..8 {
+            cache.insert(format!("cold{i}"), SatResult::Unsat);
+        }
+        let s = cache.snapshot();
+        assert!(s.evictions >= 1, "flush fired: {s:?}");
+        assert!(s.second_chances >= 1, "survivor counted: {s:?}");
+        assert!(
+            cache.lookup_slice("hot-prefix").is_some(),
+            "hot entry survived the flush"
+        );
+        assert!(
+            cache.lookup_slice("cold0").is_none(),
+            "cold entries were evicted"
+        );
+
+        // Survivors must re-earn the next flush: without further hits
+        // the former survivor is dropped the next time around.
+        let cache = SolverCache::with_max_entries(1, 4);
+        cache.insert("once-hot".into(), SatResult::Unsat);
+        for _ in 0..SECOND_CHANCE_HITS {
+            assert!(cache.lookup_slice("once-hot").is_some());
+        }
+        for i in 0..4 {
+            cache.insert(format!("a{i}"), SatResult::Unsat); // first flush: survives
+        }
+        assert!(cache.lookup("once-hot").is_some());
+        // One hit since the flush is below the threshold.
+        for i in 0..8 {
+            cache.insert(format!("b{i}"), SatResult::Unsat); // second flush: dropped
+        }
+        assert!(cache.lookup("once-hot").is_none());
+    }
+
+    /// Re-inserting an existing key (two workers racing to solve the
+    /// same query) preserves the hit count that drives the second
+    /// chance.
+    #[test]
+    fn reinsert_preserves_hit_count() {
+        let cache = SolverCache::with_max_entries(1, 8);
+        cache.insert("hot".into(), SatResult::Unsat);
+        for _ in 0..SECOND_CHANCE_HITS {
+            assert!(cache.lookup_slice("hot").is_some());
+        }
+        // A racing worker re-inserts the same (identical) result.
+        cache.insert("hot".into(), SatResult::Unsat);
+        for i in 0..8 {
+            cache.insert(format!("cold{i}"), SatResult::Unsat);
+        }
+        assert!(
+            cache.lookup("hot").is_some(),
+            "hit count survived the re-insert and earned the second chance"
+        );
+    }
+
+    /// An all-hot shard still respects the entry bound (full flush
+    /// fallback).
+    #[test]
+    fn all_hot_shard_falls_back_to_full_flush() {
+        let cache = SolverCache::with_max_entries(1, 2);
+        cache.insert("a".into(), SatResult::Unsat);
+        cache.insert("b".into(), SatResult::Unsat);
+        for _ in 0..SECOND_CHANCE_HITS {
+            assert!(cache.lookup("a").is_some());
+            assert!(cache.lookup("b").is_some());
+        }
+        cache.insert("c".into(), SatResult::Unsat);
+        let s = cache.snapshot();
+        assert!(s.entries <= 2, "bound stays hard: {s:?}");
     }
 }

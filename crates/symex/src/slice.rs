@@ -19,12 +19,28 @@
 //! becomes its own recurring sub-query with a stable key, and only the
 //! genuinely new suffix slices are ever solved.
 //!
-//! [`ScopedSolver`] builds incrementality on top: it keeps the current
-//! path condition as a stack of pre-rendered frames with push/pop
-//! scopes, plus a local slice-result memo, so the explorer's feasibility
-//! check at a fork reuses the parent state's already-solved slices
-//! instead of re-rendering (let alone re-solving) the whole path
-//! condition.
+//! [`ScopedSolver`] builds incrementality on top, along two axes:
+//!
+//! * **Incremental partitioning.** The slice partition of the current
+//!   frame stack is maintained *under* `push`/`pop`: each assumed
+//!   constraint merges into the union-find as it arrives (unions are
+//!   recorded in an undo log; popping a frame reverts exactly its
+//!   merges), so a check never re-partitions from scratch. The
+//!   maintained partition always equals a fresh [`partition_slices`] of
+//!   the stack (workspace property test
+//!   `incremental_partition_matches_fresh`).
+//! * **Per-slice result *and domain* memoization.** Besides memoizing
+//!   each slice's [`SatResult`], the scoped solver caches the slice's
+//!   *pruned interval domains* (the solver's post-fixpoint box, which
+//!   soundly over-approximates the slice's solution set). When a new
+//!   constraint merges into an already-solved slice — the child state at
+//!   a fork — the merged slice is first checked against the cached box
+//!   by interval evaluation: a definite contradiction refutes the slice
+//!   with no solving at all, and that is the common case for the
+//!   infeasible side of a branch probe. The refutation is sound (the box
+//!   contains every solution of the sub-slice, hence of the merged
+//!   slice), so it can only turn `Unknown` into `Unsat`, never flip a
+//!   decided answer.
 //!
 //! Transparency: every slice is solved by the same solver backend
 //! under the same configuration (full node budget per slice), so sliced
@@ -38,9 +54,10 @@
 //! test `sliced_solver_is_transparent` pins this.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::cache::{config_prefix, push_domains, render_constraint};
-use crate::domain::{VarId, VarTable};
+use crate::domain::{Interval, VarId, VarTable};
 use crate::expr::Expr;
 use crate::model::Model;
 use crate::solver::{SatResult, Solver, SolverStats};
@@ -89,6 +106,9 @@ pub(crate) fn partition_by_vars<V: AsRef<[VarId]>>(vars: &[V]) -> Vec<Vec<usize>
 }
 
 /// Union-find over constraint indices (path halving + union by rank).
+/// The from-scratch variant used by [`partition_slices`]; the
+/// incremental variant with an undo log lives in
+/// [`IncrementalPartition`].
 struct UnionFind {
     parent: Vec<usize>,
     rank: Vec<u8>,
@@ -126,46 +146,192 @@ impl UnionFind {
     }
 }
 
-/// One slice prepared for solving: its constraints (original order) and,
-/// when a cache or memo will be consulted, its canonical key.
+/// A union-find over frame indices maintained *incrementally*: frames
+/// register as they are assumed, and an undo log makes popping a frame
+/// O(its own unions) instead of a re-partition. No path compression —
+/// `find` must not mutate state the undo log does not cover; union by
+/// rank alone keeps chains logarithmic.
+#[derive(Debug, Clone, Default)]
+struct IncrementalPartition {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// First frame that mentioned each variable (the frame later vars
+    /// union into) — mirrors `partition_by_vars`' owner map.
+    owner: HashMap<VarId, usize>,
+    /// Per-frame reversal record, parallel to the frame stack.
+    undo: Vec<FrameUndo>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FrameUndo {
+    /// Variables this frame claimed first (to un-own on pop).
+    owned: Vec<VarId>,
+    /// Unions this frame performed, in order.
+    unions: Vec<MergeRecord>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MergeRecord {
+    /// The root that was attached under `winner`.
+    absorbed: usize,
+    /// The root that absorbed it.
+    winner: usize,
+    /// Whether the winner's rank was incremented by this union.
+    rank_bumped: bool,
+}
+
+impl IncrementalPartition {
+    /// Registers the next frame with the variables it mentions (empty
+    /// for constant frames), merging it into every component that
+    /// already owns one of them.
+    fn push(&mut self, vars: &[VarId]) {
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.rank.push(0);
+        let mut undo = FrameUndo::default();
+        for &v in vars {
+            match self.owner.get(&v) {
+                Some(&j) => {
+                    if let Some(rec) = self.union(i, j) {
+                        undo.unions.push(rec);
+                    }
+                }
+                None => {
+                    self.owner.insert(v, i);
+                    undo.owned.push(v);
+                }
+            }
+        }
+        self.undo.push(undo);
+    }
+
+    /// Reverts frames down to length `to`, undoing their unions and
+    /// ownership claims in reverse order.
+    fn truncate(&mut self, to: usize) {
+        while self.parent.len() > to {
+            let undo = self.undo.pop().expect("one undo record per frame");
+            for rec in undo.unions.iter().rev() {
+                self.parent[rec.absorbed] = rec.absorbed;
+                if rec.rank_bumped {
+                    self.rank[rec.winner] -= 1;
+                }
+            }
+            for v in &undo.owned {
+                self.owner.remove(v);
+            }
+            self.parent.pop();
+            self.rank.pop();
+        }
+    }
+
+    /// Root of `x`'s component (no mutation: undo-safe).
+    fn find(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> Option<MergeRecord> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        let (winner, absorbed, rank_bumped) = match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => (rb, ra, false),
+            std::cmp::Ordering::Greater => (ra, rb, false),
+            std::cmp::Ordering::Equal => {
+                self.rank[ra] += 1;
+                (ra, rb, true)
+            }
+        };
+        self.parent[absorbed] = winner;
+        Some(MergeRecord {
+            absorbed,
+            winner,
+            rank_bumped,
+        })
+    }
+
+    /// The current partition over frames `0..len()` that pass `keep`,
+    /// grouped exactly like [`partition_by_vars`]: groups ordered by
+    /// first member, members ascending.
+    fn groups(&self, keep: impl Fn(usize) -> bool) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut root_to_group: HashMap<usize, usize> = HashMap::new();
+        for i in 0..self.parent.len() {
+            if !keep(i) {
+                continue;
+            }
+            let r = self.find(i);
+            let g = *root_to_group.entry(r).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+        }
+        groups
+    }
+}
+
+/// One slice prepared for solving: its constraints (original order),
+/// its canonical key (when a cache or memo will be consulted), and an
+/// optional sound interval box inherited from previously-solved
+/// sub-slices (see [`ScopedSolver`]).
 pub(crate) struct SliceQuery {
     pub exprs: Vec<Expr>,
     pub key: Option<String>,
+    pub hint: Option<Vec<(VarId, Interval)>>,
 }
 
+/// Per-slice pruned-domain memo: canonical slice key → the solver's
+/// post-fixpoint interval box for that slice's variables.
+type DomainMemo = HashMap<String, Vec<(VarId, Interval)>>;
+
 /// Result of [`solve_slices`]: the combined answer plus how many of the
-/// examined slices were served by the local memo and how many were
-/// actually solved (an UNSAT short-circuit leaves later slices
-/// unexamined, so these can sum to less than the partition size; the
-/// shared-cache hits are counted in the [`SolverStats`]).
+/// examined slices were served by the local memo, refuted by cached
+/// interval domains, and actually solved (an UNSAT short-circuit leaves
+/// later slices unexamined, so these can sum to less than the partition
+/// size; the shared-cache hits are counted in the [`SolverStats`]).
 pub(crate) struct SliceOutcome {
     pub result: SatResult,
     pub memo_hits: u64,
+    pub domain_unsat: u64,
     pub solved: u64,
 }
 
 /// Solves prepared slices in order, combining their answers.
 ///
-/// Resolution order per slice: local `memo` → shared cache → solve
-/// (each solve under the solver's full node budget, so memoized slice
-/// results are budget-exact and reusable under the same key). An UNSAT
-/// slice decides the query immediately; `Unknown` is sticky unless a
-/// later slice is UNSAT.
+/// Resolution order per slice: local `memo` → shared cache → cached
+/// interval-domain refutation (hint) → solve (each solve under the
+/// solver's full node budget, so memoized slice results are
+/// budget-exact and reusable under the same key). An UNSAT slice
+/// decides the query immediately; `Unknown` is sticky unless a later
+/// slice is UNSAT.
+///
+/// Hint-refuted results go into the *local* memo only, never the shared
+/// cache: the shared cache's contract is byte-identical-to-recompute,
+/// and an interval refutation may decide what a budgeted solve would
+/// answer `Unknown` (a sound improvement this solver's local scope is
+/// allowed to keep).
 pub(crate) fn solve_slices(
     solver: &Solver,
     vars: &VarTable,
     queries: &[SliceQuery],
     mut memo: Option<&mut HashMap<String, SatResult>>,
+    mut domains: Option<&mut DomainMemo>,
     stats: &mut SolverStats,
 ) -> SliceOutcome {
     let mut merged = Model::new();
     let mut unknown = false;
     let mut memo_hits = 0u64;
+    let mut domain_unsat = 0u64;
     let mut solved = 0u64;
     stats.slices += queries.len() as u64;
     for q in queries {
         let mut from_memo = false;
         let mut from_cache = false;
+        let mut from_hint = false;
         let result = 'resolve: {
             if let (Some(memo), Some(key)) = (memo.as_deref(), q.key.as_deref()) {
                 if let Some(r) = memo.get(key) {
@@ -179,15 +345,33 @@ pub(crate) fn solve_slices(
                     break 'resolve r;
                 }
             }
-            let (r, s) = solver.solve(&q.exprs, vars);
+            if let Some(hint) = &q.hint {
+                let env = |id: VarId| {
+                    hint.iter()
+                        .find(|(v, _)| *v == id)
+                        .map(|&(_, i)| i)
+                        .unwrap_or_else(|| vars.info(id).interval())
+                };
+                if q.exprs
+                    .iter()
+                    .any(|e| e.eval_interval(&env).definitely_false())
+                {
+                    from_hint = true;
+                    break 'resolve SatResult::Unsat;
+                }
+            }
+            let (r, s, doms) = solver.solve_capture(&q.exprs, vars, domains.is_some());
             solved += 1;
             stats.nodes += s.nodes;
             stats.prune_passes += s.prune_passes;
             stats.budget_exhausted |= s.budget_exhausted;
+            if let (Some(dm), Some(key), Some(doms)) = (domains.as_deref_mut(), &q.key, doms) {
+                dm.insert(key.clone(), doms);
+            }
             r
         };
         if let Some(key) = &q.key {
-            if !from_cache && !from_memo {
+            if !from_cache && !from_memo && !from_hint {
                 if let Some(cache) = solver.query_cache() {
                     cache.insert(key.clone(), result.clone());
                 }
@@ -199,12 +383,14 @@ pub(crate) fn solve_slices(
             }
         }
         memo_hits += from_memo as u64;
+        domain_unsat += from_hint as u64;
         stats.slice_cache_hits += from_cache as u64;
         match result {
             SatResult::Unsat => {
                 return SliceOutcome {
                     result: SatResult::Unsat,
                     memo_hits,
+                    domain_unsat,
                     solved,
                 }
             }
@@ -223,6 +409,7 @@ pub(crate) fn solve_slices(
             SatResult::Sat(merged)
         },
         memo_hits,
+        domain_unsat,
         solved,
     }
 }
@@ -245,12 +432,44 @@ enum Prepared {
     Queries(Vec<SliceQuery>),
 }
 
-/// The shared front half of every sliced check: constant filtering
-/// (identical to the whole-query path), partitioning by variable
-/// connectivity, and slice-key assembly (only when `prefix` is given).
-/// Both [`Solver::check_sliced_with_stats`] and
-/// [`ScopedSolver::check_with_stats`] go through here — keeping them
-/// byte-identical is load-bearing for the transparency guarantee.
+/// Assembles one slice's query — constraint clones plus the canonical
+/// key (when `prefix` is given): prefix, then every member's rendering
+/// in original order, then the mentioned variables' sorted domains.
+/// This is the *single* key-construction path: both [`prepare_slices`]
+/// (stateless sliced checks) and [`ScopedSolver::check_with_stats`]
+/// (incrementally-maintained groups) go through it, which keeps their
+/// keys byte-identical — the property the shared cache's cross-solver
+/// slice reuse and the transparency guarantee rest on.
+fn build_query(
+    members: &[&ConstraintView<'_>],
+    prefix: Option<&str>,
+    vars: &VarTable,
+) -> SliceQuery {
+    let key = prefix.map(|p| {
+        let mut key = p.to_string();
+        let mut mentioned = Vec::new();
+        for v in members {
+            match v.rendered {
+                Some(r) => key.push_str(r),
+                None => render_constraint(&mut key, v.expr),
+            }
+            mentioned.extend_from_slice(v.vars);
+        }
+        push_domains(&mut key, &mut mentioned, vars);
+        key
+    });
+    SliceQuery {
+        exprs: members.iter().map(|v| v.expr.clone()).collect(),
+        key,
+        hint: None,
+    }
+}
+
+/// The shared front half of a stateless sliced check: constant
+/// filtering, partitioning by variable connectivity, and query assembly
+/// via [`build_query`]. The scoped solver performs the same filtering
+/// over its frames and feeds its incremental groups to the same
+/// [`build_query`].
 fn prepare_slices(views: &[ConstraintView<'_>], prefix: Option<&str>, vars: &VarTable) -> Prepared {
     let mut active: Vec<&ConstraintView<'_>> = Vec::with_capacity(views.len());
     for v in views {
@@ -267,23 +486,8 @@ fn prepare_slices(views: &[ConstraintView<'_>], prefix: Option<&str>, vars: &Var
     let queries = partition_by_vars(&var_lists)
         .into_iter()
         .map(|group| {
-            let key = prefix.map(|p| {
-                let mut key = p.to_string();
-                let mut mentioned = Vec::new();
-                for &i in &group {
-                    match active[i].rendered {
-                        Some(r) => key.push_str(r),
-                        None => render_constraint(&mut key, active[i].expr),
-                    }
-                    mentioned.extend_from_slice(active[i].vars);
-                }
-                push_domains(&mut key, &mut mentioned, vars);
-                key
-            });
-            SliceQuery {
-                exprs: group.iter().map(|&i| active[i].expr.clone()).collect(),
-                key,
-            }
+            let members: Vec<&ConstraintView<'_>> = group.iter().map(|&i| active[i]).collect();
+            build_query(&members, prefix, vars)
         })
         .collect();
     Prepared::Queries(queries)
@@ -321,7 +525,7 @@ pub(crate) fn check_sliced(
     match prepare_slices(&views, prefix.as_deref(), vars) {
         Prepared::Decided(r) => (r, stats),
         Prepared::Queries(queries) => {
-            let outcome = solve_slices(solver, vars, &queries, memo, &mut stats);
+            let outcome = solve_slices(solver, vars, &queries, memo, None, &mut stats);
             (outcome.result, stats)
         }
     }
@@ -339,8 +543,22 @@ pub struct ScopedStats {
     pub memo_hits: u64,
     /// Slices answered from the shared [`crate::SolverCache`].
     pub cache_hits: u64,
+    /// Slices refuted by cached pruned interval domains alone (a new
+    /// constraint contradicting an already-solved sub-slice's box) —
+    /// no solving performed.
+    pub domain_unsat: u64,
     /// Slices actually solved.
     pub solved: u64,
+}
+
+/// The slice a frame belonged to at the last check: its canonical key
+/// and its member frame indices at that time. Used to decide whether a
+/// cached domain box is still sound for a merged slice (every recorded
+/// member must still be on the stack under the same key).
+#[derive(Debug, Clone)]
+struct SliceTag {
+    key: Arc<str>,
+    members: Arc<[usize]>,
 }
 
 /// An incremental, scope-structured front end to [`Solver`].
@@ -348,13 +566,17 @@ pub struct ScopedStats {
 /// The current path condition lives as a stack of *frames* (one
 /// constraint each, pre-rendered for key construction) grouped into
 /// scopes by [`ScopedSolver::push_scope`] / [`ScopedSolver::pop_scope`].
-/// Each [`ScopedSolver::check`] partitions the stack into independent
-/// slices and resolves every slice through a local memo, then the shared
-/// cache, then the solver — so after a fork, a child state's feasibility
-/// check only solves the slice actually touched by the new branch
-/// constraint; everything inherited from the parent is a memo hit, and
-/// its key bytes are re-concatenated from the frames' cached renderings
-/// rather than re-rendered.
+/// The union-find slice partition of the stack is maintained
+/// *incrementally* under push/pop (merge-on-push, undo log on pop — see
+/// [`ScopedSolver::current_partition`]), so [`ScopedSolver::check`]
+/// never re-partitions. Each check resolves every slice through a local
+/// result memo, then the shared cache, then a cached-domain refutation,
+/// then the solver — so after a fork, a child state's feasibility check
+/// only solves the slice actually touched by the new branch constraint;
+/// everything inherited from the parent is a memo hit, its key bytes
+/// re-concatenated from the frames' cached renderings rather than
+/// re-rendered, and the touched slice itself is often refuted from the
+/// parent slice's pruned domains without solving.
 ///
 /// Constructed in whole-query mode ([`ScopedSolver::whole_query`]) it
 /// degrades to `Solver::check` over the frame stack — the knob-off
@@ -379,7 +601,9 @@ pub struct ScopedSolver {
     prefix: String,
     frames: Vec<Frame>,
     marks: Vec<usize>,
+    part: IncrementalPartition,
     memo: HashMap<String, SatResult>,
+    domains: DomainMemo,
     stats: ScopedStats,
 }
 
@@ -389,6 +613,7 @@ struct Frame {
     rendered: String,
     vars: Vec<VarId>,
     konst: Option<i64>,
+    tag: Option<SliceTag>,
 }
 
 impl Frame {
@@ -403,6 +628,7 @@ impl Frame {
             rendered,
             vars,
             konst,
+            tag: None,
         }
     }
 }
@@ -428,7 +654,9 @@ impl ScopedSolver {
             prefix,
             frames: Vec::new(),
             marks: Vec::new(),
+            part: IncrementalPartition::default(),
             memo: HashMap::new(),
+            domains: DomainMemo::new(),
             stats: ScopedStats::default(),
         }
     }
@@ -450,8 +678,9 @@ impl ScopedSolver {
     }
 
     /// Discards every constraint assumed since the matching
-    /// [`ScopedSolver::push_scope`]. Memoized slice results are kept —
-    /// they stay valid for any future stack that re-forms the same slice.
+    /// [`ScopedSolver::push_scope`], reverting the incremental partition
+    /// via its undo log. Memoized slice results are kept — they stay
+    /// valid for any future stack that re-forms the same slice.
     ///
     /// # Panics
     ///
@@ -459,11 +688,22 @@ impl ScopedSolver {
     pub fn pop_scope(&mut self) {
         let mark = self.marks.pop().expect("pop_scope without push_scope");
         self.frames.truncate(mark);
+        self.part.truncate(mark);
     }
 
-    /// Adds a constraint to the current scope.
+    /// Adds a constraint to the current scope, merging it into the
+    /// incremental slice partition.
     pub fn assume(&mut self, constraint: Expr) {
-        self.frames.push(Frame::new(constraint));
+        let frame = Frame::new(constraint);
+        self.part.push(if frame.konst.is_some() {
+            // Constant frames never join a slice (mirrors the active
+            // filtering of `prepare_slices`); constant folding
+            // guarantees they mention no variable anyway.
+            &[]
+        } else {
+            &frame.vars
+        });
+        self.frames.push(frame);
     }
 
     /// Number of constraints currently on the stack.
@@ -476,11 +716,21 @@ impl ScopedSolver {
         self.frames.is_empty()
     }
 
+    /// The incrementally-maintained slice partition of the current
+    /// stack: groups of frame indices, ordered by first member.
+    /// Always equal to [`partition_slices`] over the assumed
+    /// constraints (pinned by the workspace property suite) — exposed
+    /// for introspection and those tests.
+    pub fn current_partition(&self) -> Vec<Vec<usize>> {
+        self.part.groups(|_| true)
+    }
+
     /// Reconciles the stack to exactly `path`: shared prefix frames are
-    /// kept (their renderings and solved slices are reused), the rest
-    /// are replaced. Open scopes are reset — this is the "switch to a
-    /// sibling state" operation of a worklist explorer, where scope
-    /// nesting no longer corresponds to the new state's history.
+    /// kept (their renderings, partition merges, and solved slices are
+    /// reused), the rest are replaced. Open scopes are reset — this is
+    /// the "switch to a sibling state" operation of a worklist explorer,
+    /// where scope nesting no longer corresponds to the new state's
+    /// history.
     pub fn sync_path(&mut self, path: &[Expr]) {
         self.marks.clear();
         let keep = self
@@ -490,8 +740,9 @@ impl ScopedSolver {
             .take_while(|(f, c)| &f.constraint == *c)
             .count();
         self.frames.truncate(keep);
+        self.part.truncate(keep);
         for c in &path[keep..] {
-            self.frames.push(Frame::new(c.clone()));
+            self.assume(c.clone());
         }
     }
 
@@ -502,10 +753,19 @@ impl ScopedSolver {
 
     /// Satisfiability of the stack plus one extra constraint (the
     /// classic branch-feasibility probe), without disturbing the stack.
+    /// The probe frame's partition merges are reverted through the undo
+    /// log, and the surviving frames' slice tags are restored so cached
+    /// domain boxes keep working across repeated probes.
     pub fn check_assuming(&mut self, extra: Expr, vars: &VarTable) -> SatResult {
-        self.frames.push(Frame::new(extra));
+        let saved: Vec<Option<SliceTag>> = self.frames.iter().map(|f| f.tag.clone()).collect();
+        self.assume(extra);
         let r = self.check(vars);
-        self.frames.pop();
+        let mark = self.frames.len() - 1;
+        self.frames.truncate(mark);
+        self.part.truncate(mark);
+        for (f, tag) in self.frames.iter_mut().zip(saved) {
+            f.tag = tag;
+        }
         r
     }
 
@@ -517,6 +777,22 @@ impl ScopedSolver {
             return self.solver.check_with_stats(&constraints, vars);
         }
         let mut stats = SolverStats::default();
+        // Constant filtering, identical to `prepare_slices`.
+        let mut any_active = false;
+        for f in &self.frames {
+            match f.konst {
+                Some(0) => return (SatResult::Unsat, stats),
+                Some(_) => {}
+                None => any_active = true,
+            }
+        }
+        if !any_active {
+            return (SatResult::Sat(Model::new()), stats);
+        }
+        // Slice queries straight off the incremental partition, through
+        // the same `build_query` as the stateless path (cached per-frame
+        // renderings pass through, nothing is re-rendered), plus hints
+        // from previously-solved sub-slices' domain boxes.
         let views: Vec<ConstraintView<'_>> = self
             .frames
             .iter()
@@ -527,22 +803,81 @@ impl ScopedSolver {
                 konst: f.konst,
             })
             .collect();
-        let queries = match prepare_slices(&views, Some(&self.prefix), vars) {
-            Prepared::Decided(r) => return (r, stats),
-            Prepared::Queries(queries) => queries,
-        };
+        let groups = self.part.groups(|i| self.frames[i].konst.is_none());
+        let mut queries = Vec::with_capacity(groups.len());
+        for group in &groups {
+            let members: Vec<&ConstraintView<'_>> = group.iter().map(|&i| &views[i]).collect();
+            let mut q = build_query(&members, Some(&self.prefix), vars);
+            q.hint = self.assemble_hint(group, q.key.as_deref().expect("scoped keys always built"));
+            queries.push(q);
+        }
+        drop(views);
+        // Re-tag frames with their current slice so future checks can
+        // validate and reuse this check's domain boxes.
+        for (group, q) in groups.iter().zip(&queries) {
+            let key: Arc<str> = Arc::from(q.key.as_deref().expect("scoped keys always built"));
+            let members: Arc<[usize]> = Arc::from(group.as_slice());
+            for &i in group {
+                self.frames[i].tag = Some(SliceTag {
+                    key: Arc::clone(&key),
+                    members: Arc::clone(&members),
+                });
+            }
+        }
         let outcome = solve_slices(
             &self.solver,
             vars,
             &queries,
             Some(&mut self.memo),
+            Some(&mut self.domains),
             &mut stats,
         );
         self.stats.slices += stats.slices;
         self.stats.memo_hits += outcome.memo_hits;
         self.stats.cache_hits += stats.slice_cache_hits;
+        self.stats.domain_unsat += outcome.domain_unsat;
         self.stats.solved += outcome.solved;
         (outcome.result, stats)
+    }
+
+    /// A sound interval box for `group` assembled from its members'
+    /// previously-solved slices. A previous slice contributes only when
+    /// every frame it covered is still on the stack under the same tag
+    /// (⇒ its constraint set is a subset of this group's, so its pruned
+    /// box over-approximates this group's solutions too). Previous
+    /// slices were variable-disjoint, so their boxes concatenate without
+    /// conflicts. `None` when the group's own key is already memoized
+    /// (the memo will answer) or no valid box exists.
+    fn assemble_hint(&self, group: &[usize], key: &str) -> Option<Vec<(VarId, Interval)>> {
+        if self.memo.contains_key(key) {
+            return None;
+        }
+        let mut out: Vec<(VarId, Interval)> = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for &i in group {
+            let Some(tag) = &self.frames[i].tag else {
+                continue;
+            };
+            let k: &str = &tag.key;
+            if k == key || seen.contains(&k) {
+                continue;
+            }
+            let valid = tag.members.iter().all(|&m| {
+                self.frames
+                    .get(m)
+                    .and_then(|f| f.tag.as_ref())
+                    .is_some_and(|t| *t.key == *k)
+            });
+            if !valid {
+                continue;
+            }
+            let Some(doms) = self.domains.get(k) else {
+                continue;
+            };
+            seen.push(k);
+            out.extend_from_slice(doms);
+        }
+        (!out.is_empty()).then_some(out)
     }
 
     /// Cumulative work counters for this solver.
@@ -555,7 +890,6 @@ impl ScopedSolver {
 mod tests {
     use super::*;
     use crate::op::CmpOp;
-    use std::sync::Arc;
 
     fn vt(domains: &[(i64, i64)]) -> VarTable {
         let mut t = VarTable::new();
@@ -596,6 +930,22 @@ mod tests {
     }
 
     #[test]
+    fn incremental_partition_tracks_push_and_undo() {
+        let mut scoped = ScopedSolver::new(Solver::new());
+        scoped.assume(x(0).cmp(CmpOp::Gt, Expr::konst(0))); // {0}
+        scoped.assume(x(1).cmp(CmpOp::Gt, Expr::konst(0))); // {1}
+        assert_eq!(scoped.current_partition(), vec![vec![0], vec![1]]);
+        scoped.push_scope();
+        scoped.assume(x(0).cmp(CmpOp::Eq, x(1))); // merges both
+        assert_eq!(scoped.current_partition(), vec![vec![0, 1, 2]]);
+        scoped.pop_scope(); // undo restores the split
+        assert_eq!(scoped.current_partition(), vec![vec![0], vec![1]]);
+        // And the undone state keeps evolving correctly.
+        scoped.assume(x(1).cmp(CmpOp::Lt, Expr::konst(9)));
+        assert_eq!(scoped.current_partition(), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
     fn sliced_check_equals_whole_check_on_disjoint_slices() {
         let vars = vt(&[(0, 10), (0, 10), (0, 10)]);
         let s = Solver::new();
@@ -617,8 +967,8 @@ mod tests {
     #[test]
     fn sliced_check_memoizes_per_slice_in_shared_cache() {
         let vars = vt(&[(0, 10), (0, 10)]);
-        let cache = Arc::new(crate::cache::SolverCache::new(2));
-        let s = Solver::new().cached(Arc::clone(&cache));
+        let cache = std::sync::Arc::new(crate::cache::SolverCache::new(2));
+        let s = Solver::new().cached(std::sync::Arc::clone(&cache));
         let prefix = x(0).cmp(CmpOp::Ge, Expr::konst(3));
         // Two queries sharing the x0 slice but with different x1 suffixes.
         let q1 = [prefix.clone(), x(1).cmp(CmpOp::Lt, Expr::konst(2))];
@@ -652,6 +1002,40 @@ mod tests {
         let st = scoped.stats();
         assert_eq!(st.memo_hits, 2, "x0 slice reused in both probes: {st:?}");
         assert_eq!(st.solved - base_solved, 2, "only the new x1 slices solved");
+    }
+
+    #[test]
+    fn cached_domains_refute_merged_slice_without_solving() {
+        let vars = vt(&[(0, 100)]);
+        let mut scoped = ScopedSolver::new(Solver::new());
+        // Solving this slice prunes x0's box to [40, 60].
+        scoped.assume(x(0).cmp(CmpOp::Ge, Expr::konst(40)));
+        scoped.assume(x(0).cmp(CmpOp::Le, Expr::konst(60)));
+        assert!(matches!(scoped.check(&vars), SatResult::Sat(_)));
+        let solved_before = scoped.stats().solved;
+        // The probe contradicts the cached box: refuted by interval
+        // evaluation, no solve.
+        let r = scoped.check_assuming(x(0).cmp(CmpOp::Gt, Expr::konst(90)), &vars);
+        assert_eq!(r, SatResult::Unsat);
+        let st = scoped.stats();
+        assert_eq!(st.solved, solved_before, "no solving for the refutation");
+        assert_eq!(st.domain_unsat, 1, "{st:?}");
+        // The tag survived the probe: a second contradicting probe is
+        // refuted the same way (not via a stale memo miss).
+        let r2 = scoped.check_assuming(x(0).cmp(CmpOp::Lt, Expr::konst(10)), &vars);
+        assert_eq!(r2, SatResult::Unsat);
+        assert_eq!(scoped.stats().domain_unsat, 2);
+        // A compatible probe still solves and agrees with a fresh check.
+        let r3 = scoped.check_assuming(x(0).cmp(CmpOp::Gt, Expr::konst(50)), &vars);
+        let fresh = Solver::new().check(
+            &[
+                x(0).cmp(CmpOp::Ge, Expr::konst(40)),
+                x(0).cmp(CmpOp::Le, Expr::konst(60)),
+                x(0).cmp(CmpOp::Gt, Expr::konst(50)),
+            ],
+            &vars,
+        );
+        assert_eq!(r3, fresh);
     }
 
     #[test]

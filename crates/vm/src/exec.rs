@@ -429,7 +429,7 @@ mod tests {
         };
         let stop = drive(&mut m1, &mut s1, &mut mon1, &cfg);
         assert_eq!(stop, DriveStop::Completed);
-        let trace = m1.sched_log.clone();
+        let trace = m1.sched_log.to_vec();
         assert!(!trace.is_empty());
 
         // Replaying the recorded decisions reproduces the exact access

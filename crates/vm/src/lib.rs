@@ -57,6 +57,7 @@
 
 mod builder;
 mod config;
+mod cowlog;
 mod error;
 pub mod exec;
 mod inst;
@@ -78,7 +79,7 @@ pub use error::{DeadlockInfo, VmError};
 pub use exec::{drive, run_to_completion, DriveCfg, DriveStop, Watch, WatchHit};
 pub use inst::{Inst, Operand, Reg};
 pub use io::{InputMode, InputSource, InputSpec, SymDomain};
-pub use machine::{Machine, StepEvent};
+pub use machine::{ForkCost, Machine, StepEvent};
 pub use mem::{Allocation, Fnv, MemFault, Memory};
 pub use monitor::{
     AccessEvent, Monitor, MonitorSet, NullMonitor, RecordingMonitor, SyncEvent, SyncEventKind,
@@ -89,7 +90,7 @@ pub use program::{
     AllocId, AllocSpec, BarrierSpec, BasicBlock, BlockId, FuncId, Function, Pc, Program, SyncId,
 };
 pub use rng::SmallRng;
-pub use sched::{PickReason, Scheduler};
+pub use sched::{PickReason, SchedLog, Scheduler};
 pub use sync::{BarrierState, CondState, MutexState, SyncState};
 pub use thread::{Frame, ResumePhase, Thread, ThreadId, ThreadState};
 pub use value::Val;

@@ -25,9 +25,23 @@ use crate::monitor::{
 };
 use crate::output::{OutputLog, OutputRec};
 use crate::program::{AllocId, BlockId, Pc, Program, SyncId};
+use crate::sched::SchedLog;
 use crate::sync::SyncState;
 use crate::thread::{Frame, ResumePhase, Thread, ThreadId, ThreadState};
 use crate::value::Val;
+
+/// Cost accounting for one [`Machine::fork`]: what the copy-on-write
+/// snapshot copied eagerly and what it shared structurally. A non-CoW
+/// (deep) fork would copy `bytes_copied + bytes_shared` up front.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForkCost {
+    /// Bytes the snapshot copied eagerly (thread stacks, path condition,
+    /// symbolic-variable table — estimated from element sizes).
+    pub bytes_copied: u64,
+    /// Heap and log bytes shared structurally instead of copied (the
+    /// memory allocations and the append-only output/schedule logs).
+    pub bytes_shared: u64,
+}
 
 /// What happened when the machine executed (or tried to execute) one
 /// instruction of the current thread.
@@ -88,7 +102,7 @@ pub struct Machine {
     /// Scheduler consultations performed (Fig. 9's "preemption points").
     pub preemptions: u64,
     /// Schedule decisions recorded by the executor when recording is on.
-    pub sched_log: Vec<ThreadId>,
+    pub sched_log: SchedLog,
     /// Number of symbolic branch forks this state went through
     /// (Fig. 9's "dependent branches").
     pub sym_branches: u64,
@@ -121,10 +135,75 @@ impl Machine {
             path: Vec::new(),
             steps: 0,
             preemptions: 0,
-            sched_log: Vec::new(),
+            sched_log: SchedLog::new(),
             sym_branches: 0,
             cfg,
         }
+    }
+
+    /// A copy-on-write checkpoint of this state (paper §3.2 "pre-race
+    /// checkpoint"). Equivalent to `clone()`: heap allocations and the
+    /// append-only logs are shared structurally and copied lazily on
+    /// first write, so the checkpoint itself costs O(threads), not
+    /// O(heap).
+    pub fn snapshot(&self) -> Machine {
+        self.clone()
+    }
+
+    /// Forks this state (the multi-path explorer's operation at a
+    /// symbolic branch, paper §3.3), reporting what the copy-on-write
+    /// snapshot copied versus shared.
+    pub fn fork(&self) -> (Machine, ForkCost) {
+        let cost = ForkCost {
+            bytes_copied: self.eager_fork_bytes(),
+            bytes_shared: self.shared_fork_bytes(),
+        };
+        (self.clone(), cost)
+    }
+
+    /// An eagerly deep-copied clone: memory and logs are copied now
+    /// instead of on first write. Behaviorally identical to `clone()`
+    /// (pinned by the workspace `cow_fork_equals_deep_clone` property
+    /// suite); used as the non-CoW reference in tests and `bench_fork`.
+    pub fn deep_clone(&self) -> Machine {
+        let mut m = self.clone();
+        m.mem = self.mem.deep_clone();
+        m.output = self.output.deep_clone();
+        m.sched_log = self.sched_log.deep_clone();
+        m
+    }
+
+    /// Approximate bytes `clone` copies eagerly at a fork: thread
+    /// stacks (frames and register files), the path condition, and the
+    /// symbolic-variable table. Heap and log storage is shared instead
+    /// (see [`Machine::shared_fork_bytes`]).
+    pub fn eager_fork_bytes(&self) -> u64 {
+        let mut bytes = std::mem::size_of::<Machine>() as u64;
+        for t in &self.threads {
+            bytes += std::mem::size_of::<Thread>() as u64;
+            for f in &t.frames {
+                bytes += (std::mem::size_of::<Frame>() + f.regs.len() * std::mem::size_of::<Val>())
+                    as u64;
+            }
+        }
+        bytes += (self.path.len() * std::mem::size_of::<Expr>()) as u64;
+        bytes += (self.vars.len() * std::mem::size_of::<(u64, u64, u64)>()) as u64;
+        bytes
+    }
+
+    /// Bytes a fork shares structurally instead of copying: the memory
+    /// allocations plus the output and schedule logs. A deep clone
+    /// copies all of them up front.
+    pub fn shared_fork_bytes(&self) -> u64 {
+        self.mem.heap_bytes() + self.output.heap_bytes() + self.sched_log.heap_bytes()
+    }
+
+    /// Bytes this state lazily copied on-write since construction
+    /// (monotone, summed over memory and both logs; carried by value
+    /// across clones, so `cow_bytes() - base` is one execution segment's
+    /// deferred fork cost).
+    pub fn cow_bytes(&self) -> u64 {
+        self.mem.cow_bytes() + self.output.cow_bytes() + self.sched_log.cow_bytes()
     }
 
     /// The machine configuration.

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use crate::cowlog::CowList;
 use crate::rng::SmallRng;
 use crate::thread::ThreadId;
 
@@ -52,6 +53,67 @@ pub enum Scheduler {
         /// Policy used after the trace ends or diverges.
         fallback: Box<Scheduler>,
     },
+}
+
+/// The recorded schedule-decision log of one execution.
+///
+/// Append-only and `Arc`-backed (shared `CowList` storage): cloning
+/// (part of every machine fork) copies one pointer; the first append
+/// after a fork copies the decisions once (copy-on-write), tracked by
+/// [`SchedLog::cow_bytes`] for fork-cost accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedLog {
+    decisions: CowList<ThreadId>,
+}
+
+impl SchedLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a decision.
+    pub fn push(&mut self, t: ThreadId) {
+        self.decisions.push(t);
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether no decision was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The decisions as a slice, in consult order.
+    pub fn as_slice(&self) -> &[ThreadId] {
+        self.decisions.as_slice()
+    }
+
+    /// The decisions as an owned vector (for replay evidence and
+    /// [`Scheduler::follow`]).
+    pub fn to_vec(&self) -> Vec<ThreadId> {
+        self.decisions.as_slice().to_vec()
+    }
+
+    /// Bytes a deep copy of the log would move.
+    pub fn heap_bytes(&self) -> u64 {
+        self.decisions.heap_bytes()
+    }
+
+    /// Bytes this instance copied on-write since construction (monotone).
+    pub fn cow_bytes(&self) -> u64 {
+        self.decisions.cow_bytes()
+    }
+
+    /// An eagerly deep-copied clone (no shared storage).
+    pub fn deep_clone(&self) -> SchedLog {
+        SchedLog {
+            decisions: self.decisions.deep_clone(),
+        }
+    }
 }
 
 impl Scheduler {
