@@ -2,13 +2,16 @@
 //! substitute) on the query shapes Portend issues, plus a measured
 //! comparison of whole-query vs slice-level caching on an Mp × Ma-style
 //! corpus (shared pre-race prefix, per-race / per-path / per-schedule
-//! suffixes — the paper's §3.3 query distribution).
+//! suffixes — the paper's §3.3 query distribution), plus a warm-vs-cold
+//! comparison of the persistent cross-run cache (the warm store) on
+//! both the synthetic corpus and a real classification run (ctrace).
 
 use std::sync::Arc;
 
+use portend::PortendConfig;
 use portend_bench::crit::Criterion;
 use portend_bench::{criterion_group, criterion_main, render_table};
-use portend_symex::{CmpOp, Expr, SatResult, Solver, SolverCache, VarTable};
+use portend_symex::{CmpOp, Expr, SatResult, Solver, SolverCache, VarTable, WarmPolicy};
 
 fn bench_solver(c: &mut Criterion) {
     // Path-condition feasibility: linear constraints (pruning-friendly).
@@ -158,6 +161,142 @@ fn report_slice_reduction() {
     );
 }
 
+/// Runs the Mp × Ma corpus twice through the sliced cached solver —
+/// once cold, once on a cache warmed from the first run's persisted
+/// store — asserting identical verdicts and strictly fewer solves, and
+/// prints the warm-vs-cold columns. This is the cross-run scenario the
+/// warm store exists for: a long-lived service re-analyzing successive
+/// builds of one program.
+fn report_warm_start() {
+    let (vars, queries) = mp_ma_corpus(6, 5, 2);
+    let path = std::env::temp_dir().join(format!("portend-bench-{}.warm", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let cold_cache = Arc::new(SolverCache::default());
+    let cold = Solver::new().cached(Arc::clone(&cold_cache));
+    let cold_answers: Vec<SatResult> = queries
+        .iter()
+        .map(|cs| cold.check_sliced(cs, &vars))
+        .collect();
+    cold_cache
+        .save_to(&path, &WarmPolicy::default())
+        .expect("persist warm store");
+
+    let warm_cache = Arc::new(SolverCache::load_from(&path).expect("load warm store"));
+    let warm = Solver::new().cached(Arc::clone(&warm_cache));
+    for (cs, expected) in queries.iter().zip(&cold_answers) {
+        assert_eq!(
+            &warm.check_sliced(cs, &vars),
+            expected,
+            "warm verdict must equal cold verdict"
+        );
+    }
+    let c = cold_cache.snapshot();
+    let w = warm_cache.snapshot();
+    let row = |label: &str, s: &portend_symex::CacheSnapshot| {
+        vec![
+            label.into(),
+            (s.slice_hits + s.slice_misses).to_string(),
+            format!("{:.0}%", 100.0 * s.slice_hit_rate()),
+            (s.misses + s.slice_misses).to_string(),
+            s.warm_hits.to_string(),
+        ]
+    };
+    println!("\nwarm store on the Mp x Ma corpus (second run of the same program):\n");
+    println!(
+        "{}",
+        render_table(
+            &["Run", "Lookups", "Hit rate", "Solved", "Warm hits"],
+            &[row("cold", &c), row("warm", &w)],
+        )
+    );
+    let (cold_solves, warm_solves) = (c.misses + c.slice_misses, w.misses + w.slice_misses);
+    assert!(
+        warm_solves < cold_solves,
+        "warm run must solve strictly fewer queries: {warm_solves} vs {cold_solves}"
+    );
+    assert_eq!(w.warm_mismatches, 0, "store must validate cleanly");
+    println!(
+        "warm start: {cold_solves} -> {warm_solves} solves \
+         ({:.1}x fewer, {} validated by sampling)\n",
+        cold_solves as f64 / warm_solves.max(1) as f64,
+        w.warm_validations
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The CI smoke for the real pipeline: two `analyze_parallel` runs of
+/// the ctrace workload sharing a warm store must classify identically
+/// while the second performs strictly fewer solver invocations.
+fn report_ctrace_warm_start() {
+    let w = portend_workloads::by_name("ctrace").expect("ctrace workload");
+    let path =
+        std::env::temp_dir().join(format!("portend-bench-ctrace-{}.warm", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let mut config = PortendConfig::default();
+    config.farm.cache_path = Some(path.clone());
+
+    let first = w.analyze_parallel(config.clone(), 2);
+    let second = w.analyze_parallel(config, 2);
+    let solves = |r: &portend::PipelineResult| {
+        let c = r.cache.expect("cache enabled by default");
+        c.misses + c.slice_misses
+    };
+    for (a, b) in first.analyzed.iter().zip(&second.analyzed) {
+        assert_eq!(a.verdict, b.verdict, "warm run must not change verdicts");
+    }
+    assert!(
+        solves(&second) < solves(&first),
+        "ctrace warm run must solve strictly fewer: {} vs {}",
+        solves(&second),
+        solves(&first)
+    );
+    let c2 = second.cache.expect("cache enabled");
+    assert_eq!(c2.warm_mismatches, 0);
+    println!(
+        "ctrace corpus warm start: {} -> {} solves ({} entries persisted, {} warm hits)\n",
+        solves(&first),
+        solves(&second),
+        c2.warmed,
+        c2.warm_hits
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_warm(c: &mut Criterion) {
+    // Wall-clock: one corpus pass on a cold cache vs a warmed cache.
+    let (vars, queries) = mp_ma_corpus(6, 5, 2);
+    let path = std::env::temp_dir().join(format!("portend-bench-wall-{}.warm", std::process::id()));
+    let seed_cache = Arc::new(SolverCache::default());
+    let seed = Solver::new().cached(Arc::clone(&seed_cache));
+    for cs in &queries {
+        seed.check_sliced(cs, &vars);
+    }
+    seed_cache
+        .save_to(&path, &WarmPolicy::default())
+        .expect("persist");
+    c.bench_function("solver_corpus_cold_start", |b| {
+        b.iter(|| {
+            let solver = Solver::new().cached(Arc::new(SolverCache::default()));
+            for cs in &queries {
+                portend_bench::crit::black_box(solver.check_sliced(cs, &vars));
+            }
+        })
+    });
+    c.bench_function("solver_corpus_warm_start", |b| {
+        b.iter(|| {
+            let cache = Arc::new(SolverCache::load_from(&path).expect("load"));
+            let solver = Solver::new().cached(cache);
+            for cs in &queries {
+                portend_bench::crit::black_box(solver.check_sliced(cs, &vars));
+            }
+        })
+    });
+    std::fs::remove_file(&path).ok();
+    report_warm_start();
+    report_ctrace_warm_start();
+}
+
 fn bench_sliced(c: &mut Criterion) {
     // Wall-clock: one corpus pass, whole-query-cached vs sliced-cached.
     let (vars, queries) = mp_ma_corpus(6, 5, 2);
@@ -180,5 +319,5 @@ fn bench_sliced(c: &mut Criterion) {
     report_slice_reduction();
 }
 
-criterion_group!(benches, bench_solver, bench_sliced);
+criterion_group!(benches, bench_solver, bench_sliced, bench_warm);
 criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Portend configuration: the Mp/Ma "dial", the analysis-stage toggles,
 //! and the parallel-classification farm knobs.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use portend_farm::FarmConfig;
-use portend_symex::SolverConfig;
+use portend_symex::{SolverConfig, WarmPolicy};
 
 /// Which analysis techniques are enabled — the axes of the paper's Fig. 7
 /// accuracy breakdown. All stages build on single-pre/single-post
@@ -127,6 +128,22 @@ pub struct FarmKnobs {
     pub cache_shards: usize,
     /// Classify suspected-harmful races first (detector heuristics).
     pub priority_order: bool,
+    /// Persistent warm store for the solver cache. When set, the
+    /// pipeline loads memoized answers from this path before
+    /// classifying (a missing or damaged file is a clean cold start)
+    /// and saves the cache's hot entries back after the run, so a
+    /// second run over the same program skips the solves the first one
+    /// already paid for. Cross-run reuse is answer-preserving: keys are
+    /// self-contained, the store is versioned and checksummed, and the
+    /// first warm hits are validation-sampled against fresh solves
+    /// (`CacheSnapshot::warm_mismatches`). Ignored when `solver_cache`
+    /// is off.
+    pub cache_path: Option<PathBuf>,
+    /// Which entries [`FarmKnobs::cache_path`] persists: entries that
+    /// survived an epoch flush or were hit at least `min_hits` times,
+    /// hottest first, up to a byte budget (see
+    /// [`portend_symex::WarmPolicy`]).
+    pub cache_save_policy: WarmPolicy,
 }
 
 impl Default for FarmKnobs {
@@ -137,11 +154,20 @@ impl Default for FarmKnobs {
             solver_cache: true,
             cache_shards: portend_symex::DEFAULT_SHARDS,
             priority_order: true,
+            cache_path: None,
+            cache_save_policy: WarmPolicy::default(),
         }
     }
 }
 
 impl FarmKnobs {
+    /// Enables the persistent warm store at `path` with the default
+    /// save policy (the "run it twice" configuration).
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
     /// The farm configuration for one run. `workers` overrides the knob
     /// when non-zero.
     pub fn farm_config(&self, workers: usize) -> FarmConfig {

@@ -52,6 +52,7 @@ pub use classify::{ClassifyError, Portend};
 pub use config::{AnalysisStages, FarmKnobs, PortendConfig};
 pub use pipeline::{AnalyzedRace, Pipeline, PipelineResult};
 pub use portend_farm::{FarmStats, WorkerStats};
+pub use portend_symex::{CacheSnapshot, WarmPolicy};
 pub use report::render_report;
 pub use taxonomy::{
     ClassifyStats, OutputDiffEvidence, RaceClass, ReplayEvidence, SpecViolationKind, Verdict,

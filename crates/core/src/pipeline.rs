@@ -14,8 +14,32 @@ use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
 
 use crate::case::{AnalysisCase, Predicate};
 use crate::classify::{ClassifyError, Portend};
-use crate::config::PortendConfig;
+use crate::config::{FarmKnobs, PortendConfig};
 use crate::taxonomy::Verdict;
+
+/// Builds the run's shared solver cache per the farm knobs, warming it
+/// from the persistent store when one is configured. A missing, stale,
+/// or corrupt store is a clean cold start — classification must never
+/// fail because last run's cache file didn't survive.
+fn knobs_cache(knobs: &FarmKnobs) -> Option<Arc<SolverCache>> {
+    let cache = knobs
+        .solver_cache
+        .then(|| Arc::new(SolverCache::new(knobs.cache_shards)))?;
+    if let Some(path) = &knobs.cache_path {
+        let _ = cache.warm_from(path);
+    }
+    Some(cache)
+}
+
+/// Persists the run's cache back to the warm store when one is
+/// configured. Serialization failures (full disk, unwritable path) are
+/// deliberately swallowed: the store is an optimization, the verdicts
+/// are already computed.
+fn persist_cache(knobs: &FarmKnobs, cache: Option<&Arc<SolverCache>>) {
+    if let (Some(cache), Some(path)) = (cache, &knobs.cache_path) {
+        let _ = cache.save_to(path, &knobs.cache_save_policy);
+    }
+}
 
 /// One classified race: the cluster, the verdict (or failure), and how
 /// long classification took (feeds Table 4 and Fig. 9).
@@ -63,6 +87,13 @@ impl Pipeline {
     /// `inputs` is the concrete input log, `input_spec` declares the
     /// symbolic positions for multi-path analysis, and `predicates` are
     /// the semantic properties to watch.
+    ///
+    /// With [`crate::FarmKnobs::cache_path`] set, the solver cache is
+    /// warmed from the persistent store before classification and its
+    /// hot entries are saved back afterwards, so a repeat run of the
+    /// same program performs strictly fewer solves
+    /// (`PipelineResult::cache` reports `warm_hits`). Verdicts are
+    /// unaffected either way.
     pub fn run(
         &self,
         program: &Arc<Program>,
@@ -74,9 +105,7 @@ impl Pipeline {
         let (run, record_time, case) =
             self.record_phase(program, inputs, input_spec, predicates, vm);
         let knobs = &self.portend.farm;
-        let cache = knobs
-            .solver_cache
-            .then(|| Arc::new(SolverCache::new(knobs.cache_shards)));
+        let cache = knobs_cache(knobs);
         let portend = match &cache {
             Some(c) => Portend::with_cache(self.portend.clone(), Arc::clone(c)),
             None => Portend::new(self.portend.clone()),
@@ -91,6 +120,7 @@ impl Pipeline {
                 time: t.elapsed(),
             });
         }
+        persist_cache(knobs, cache.as_ref());
         PipelineResult {
             record: run,
             analyzed,
@@ -139,9 +169,7 @@ impl Pipeline {
             self.record_phase(program, inputs, input_spec, predicates, vm);
         let case = Arc::new(case);
         let knobs = &self.portend.farm;
-        let cache = knobs
-            .solver_cache
-            .then(|| Arc::new(SolverCache::new(knobs.cache_shards)));
+        let cache = knobs_cache(knobs);
         let farm = Farm::new(knobs.farm_config(workers));
         let jobs: Vec<JobSpec<RaceCluster>> = run
             .clusters
@@ -187,6 +215,7 @@ impl Pipeline {
                 stats.fork_slices_reused += v.stats.slices_reused_at_fork;
             }
         }
+        persist_cache(knobs, cache.as_ref());
         let case = Arc::try_unwrap(case).unwrap_or_else(|arc| arc.as_ref().clone());
         (
             PipelineResult {

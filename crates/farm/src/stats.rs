@@ -79,20 +79,38 @@ impl FarmStats {
         (total > 0).then(|| self.fork_bytes_shared as f64 / total as f64)
     }
 
+    /// Lookups answered from the persistent warm store across the run's
+    /// jobs, when a cache was attached (see
+    /// `portend_symex::CacheSnapshot::warm_hits`). `Some(0)` on a cold
+    /// start.
+    pub fn warm_hits(&self) -> Option<u64> {
+        self.cache.map(|c| c.warm_hits)
+    }
+
     /// One-line human-readable summary.
+    ///
+    /// Hit rates render as a percentage only when the cache was actually
+    /// consulted at that granularity; a never-consulted level renders
+    /// "n/a" rather than a misleading "0% hit".
     pub fn summary(&self) -> String {
         let cache = match self.cache {
             Some(c) => {
+                let whole = if c.hits + c.misses > 0 {
+                    format!("{:.0}% hit", 100.0 * c.hit_rate())
+                } else {
+                    "n/a".to_string()
+                };
                 let slices = if c.slice_hits + c.slice_misses > 0 {
                     format!(", slices {:.0}% hit", 100.0 * c.slice_hit_rate())
                 } else {
                     String::new()
                 };
-                format!(
-                    ", cache {:.0}% hit ({} entries{slices})",
-                    100.0 * c.hit_rate(),
-                    c.entries
-                )
+                let warm = if c.warmed > 0 {
+                    format!(", {} warm hits", c.warm_hits)
+                } else {
+                    String::new()
+                };
+                format!(", cache {whole} ({} entries{slices}{warm})", c.entries)
             }
             None => String::new(),
         };
@@ -157,5 +175,61 @@ mod tests {
             ..Default::default()
         };
         assert!(!whole_only.summary().contains("slices"));
+    }
+
+    /// Regression: a cache that was attached but never consulted must
+    /// render "n/a", not "0% hit" (`hit_rate()` returns `0.0` for zero
+    /// lookups, which the summary previously presented as a measured
+    /// zero).
+    #[test]
+    fn unconsulted_cache_renders_na_not_zero_percent() {
+        let never_consulted = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot {
+                entries: 3, // warm-loaded entries, say — still no lookups
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let s = never_consulted.summary();
+        assert!(s.contains("cache n/a"), "{s}");
+        assert!(!s.contains("0% hit"), "{s}");
+        // A consulted cache still renders its measured rate, including
+        // a genuine 0%.
+        let all_misses = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot {
+                misses: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert!(all_misses.summary().contains("cache 0% hit"));
+    }
+
+    /// Warm-store hits surface in the summary only when the run was
+    /// actually warmed.
+    #[test]
+    fn warm_hits_surface_in_summary() {
+        let warmed = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot {
+                warmed: 10,
+                warm_hits: 7,
+                slice_hits: 7,
+                slice_misses: 3,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert_eq!(warmed.warm_hits(), Some(7));
+        assert!(
+            warmed.summary().contains("7 warm hits"),
+            "{}",
+            warmed.summary()
+        );
+        let cold = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot::default()),
+            ..Default::default()
+        };
+        assert!(!cold.summary().contains("warm"));
+        assert_eq!(FarmStats::default().warm_hits(), None);
     }
 }

@@ -34,11 +34,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use crate::domain::{VarId, VarTable};
+use crate::domain::{Interval, VarId, VarTable};
 use crate::expr::Expr;
 use crate::solver::{SatResult, SolverConfig};
+use crate::warm::{WarmPolicy, WarmRecord};
 
 /// Default shard count: enough to make lock contention negligible for
 /// typical worker-pool sizes without wasting memory.
@@ -56,12 +57,62 @@ pub const DEFAULT_MAX_ENTRIES: usize = 1 << 16;
 /// clear this easily; one-off suffix slices don't.
 const SECOND_CHANCE_HITS: u32 = 2;
 
-/// One memoized result plus the hit count driving second-chance
-/// eviction.
+/// Cap on warm-store entries re-solved and compared against their
+/// persisted answer after a [`SolverCache::warm_from`] (answer-
+/// preservation sampling): the first few *hits* on warmed entries are
+/// returned as [`CacheAnswer::Probation`], asking the caller — who
+/// holds the actual constraints — to solve anyway and report back via
+/// [`SolverCache::confirm_warm`]. The actual sample is
+/// `min(this, ⌈warmed entries / 4⌉)` so sampling never re-solves a
+/// meaningful fraction of a small store (which would cancel the very
+/// work the store saves). A store produced by the same solver under the
+/// same format version always validates (determinism); a mismatch means
+/// the store predates a semantic solver change and is surfaced through
+/// [`CacheSnapshot::warm_mismatches`].
+const WARM_VALIDATION_SAMPLE: u64 = 8;
+
+/// The probation sample for a store of `warmed` entries (see
+/// [`WARM_VALIDATION_SAMPLE`]).
+fn warm_sample(warmed: u64) -> u64 {
+    WARM_VALIDATION_SAMPLE.min(warmed.div_ceil(4))
+}
+
+/// One memoized result plus the bookkeeping driving second-chance
+/// eviction and warm-store export/validation.
 #[derive(Debug, Clone)]
 struct CacheEntry {
     result: SatResult,
+    /// Hits since insertion or since the last epoch flush.
     hits: u32,
+    /// Whether the entry survived at least one epoch flush (a signal it
+    /// is hot enough to be worth persisting — see [`WarmPolicy`]).
+    survived_flush: bool,
+    /// Whether the entry was loaded from a warm store rather than
+    /// computed in this process (drives `warm_hits` accounting and the
+    /// probation sampling).
+    warm: bool,
+    /// The solver's post-fixpoint pruned interval box for this query,
+    /// when it was captured (slice-keyed entries solved through the
+    /// sliced path). A deterministic byproduct of solving, so storing
+    /// it — and persisting it — preserves the byte-identical-to-
+    /// recompute contract. `ScopedSolver` uses it to refute merged
+    /// slices by interval evaluation without solving.
+    domain: Option<Arc<[(VarId, Interval)]>>,
+}
+
+/// Outcome of a cache lookup, as seen by the solver.
+#[derive(Debug, Clone)]
+pub(crate) enum CacheAnswer {
+    /// The key is memoized; use the result as-is.
+    Hit(SatResult),
+    /// The key is memoized from a *warm store* and was sampled for
+    /// answer-preservation validation: the caller must solve the query
+    /// itself and report the comparison via
+    /// [`SolverCache::confirm_warm`]. Counted as a miss (a solve
+    /// happens).
+    Probation(SatResult),
+    /// Not memoized.
+    Miss,
 }
 
 /// A sharded, thread-safe memoization cache for [`crate::Solver`] queries.
@@ -90,6 +141,11 @@ pub struct SolverCache {
     key_bytes: AtomicU64,
     evictions: AtomicU64,
     second_chances: AtomicU64,
+    warmed: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_probes_left: AtomicU64,
+    warm_validations: AtomicU64,
+    warm_mismatches: AtomicU64,
 }
 
 impl fmt::Debug for SolverCache {
@@ -131,50 +187,133 @@ impl SolverCache {
             key_bytes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             second_chances: AtomicU64::new(0),
+            warmed: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            warm_probes_left: AtomicU64::new(0),
+            warm_validations: AtomicU64::new(0),
+            warm_mismatches: AtomicU64::new(0),
         }
     }
 
-    /// Looks a whole-query canonical key up, counting a hit or a miss.
-    pub(crate) fn lookup(&self, key: &str) -> Option<SatResult> {
+    /// Looks a whole-query canonical key up, counting a hit or a miss
+    /// ([`CacheAnswer::Probation`] counts as a miss — the caller solves).
+    pub(crate) fn lookup(&self, key: &str) -> CacheAnswer {
         let got = self.get(key);
         match &got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            CacheAnswer::Hit(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            CacheAnswer::Probation(_) | CacheAnswer::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         got
     }
 
-    /// Looks a slice key up, counting against the slice-level counters.
-    pub(crate) fn lookup_slice(&self, key: &str) -> Option<SatResult> {
+    /// Looks a slice key up, counting against the slice-level counters
+    /// ([`CacheAnswer::Probation`] counts as a miss — the caller solves).
+    pub(crate) fn lookup_slice(&self, key: &str) -> CacheAnswer {
         let got = self.get(key);
         match &got {
-            Some(_) => self.slice_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.slice_misses.fetch_add(1, Ordering::Relaxed),
+            CacheAnswer::Hit(_) => self.slice_hits.fetch_add(1, Ordering::Relaxed),
+            CacheAnswer::Probation(_) | CacheAnswer::Miss => {
+                self.slice_misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         got
     }
 
-    fn get(&self, key: &str) -> Option<SatResult> {
+    fn get(&self, key: &str) -> CacheAnswer {
         self.key_bytes
             .fetch_add(key.len() as u64, Ordering::Relaxed);
         let shard = &self.shards[self.shard_of(key)];
         let mut map = shard.lock().expect("cache shard poisoned");
-        map.get_mut(key).map(|e| {
-            e.hits = e.hits.saturating_add(1);
-            e.result.clone()
-        })
+        let Some(e) = map.get_mut(key) else {
+            return CacheAnswer::Miss;
+        };
+        e.hits = e.hits.saturating_add(1);
+        if e.warm && self.take_warm_probe() {
+            self.warm_validations.fetch_add(1, Ordering::Relaxed);
+            return CacheAnswer::Probation(e.result.clone());
+        }
+        if e.warm {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        CacheAnswer::Hit(e.result.clone())
+    }
+
+    /// Claims one warm-validation probe if any remain.
+    fn take_warm_probe(&self) -> bool {
+        self.warm_probes_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Reports the outcome of a [`CacheAnswer::Probation`] re-solve: on
+    /// agreement the entry is confirmed; on disagreement the freshly
+    /// solved result replaces the stale persisted one (and the mismatch
+    /// is counted — see [`CacheSnapshot::warm_mismatches`]).
+    ///
+    /// The domain box is refreshed, not merely kept: a box captured by
+    /// *this* solve is definitively sound for this key under the
+    /// current solver, so it always replaces a persisted one; when the
+    /// re-solve captured no box and the result mismatched, the
+    /// persisted box is dropped too (an entry whose result drifted
+    /// cannot be trusted to carry a faithful box either).
+    pub(crate) fn confirm_warm(
+        &self,
+        key: &str,
+        expected: &SatResult,
+        fresh: &SatResult,
+        domain: Option<&[(VarId, Interval)]>,
+    ) {
+        let shard = &self.shards[self.shard_of(key)];
+        let mut map = shard.lock().expect("cache shard poisoned");
+        let Some(e) = map.get_mut(key) else { return };
+        let matched = expected == fresh;
+        if !matched {
+            self.warm_mismatches.fetch_add(1, Ordering::Relaxed);
+            e.result = fresh.clone();
+        }
+        e.warm = false; // validated (or corrected): now a regular entry
+        match domain {
+            Some(d) => e.domain = Some(Arc::from(d)),
+            None if !matched => e.domain = None,
+            None => {}
+        }
+    }
+
+    /// The captured pruned-domain box memoized under a canonical slice
+    /// key, when one exists. Sound for the exact query the key renders
+    /// (and as an over-approximation for any query that conjoins more
+    /// constraints onto it — how [`crate::ScopedSolver`] uses it).
+    pub(crate) fn domain_of(&self, key: &str) -> Option<Arc<[(VarId, Interval)]>> {
+        let shard = &self.shards[self.shard_of(key)];
+        let map = shard.lock().expect("cache shard poisoned");
+        map.get(key).and_then(|e| e.domain.clone())
     }
 
     /// Stores the result for a canonical key, flushing the target shard
     /// first if it is at capacity (high-hit entries get a second
     /// chance — see the type docs).
     pub(crate) fn insert(&self, key: String, result: SatResult) {
+        self.insert_with_domain(key, result, None);
+    }
+
+    /// [`SolverCache::insert`], additionally attaching the solver's
+    /// captured post-fixpoint domain box (a deterministic byproduct of
+    /// the same solve the result came from).
+    pub(crate) fn insert_with_domain(
+        &self,
+        key: String,
+        result: SatResult,
+        domain: Option<Vec<(VarId, Interval)>>,
+    ) {
         let shard = &self.shards[self.shard_of(&key)];
         let mut map = shard.lock().expect("cache shard poisoned");
         if map.len() >= self.per_shard_cap && !map.contains_key(&key) {
             map.retain(|_, e| {
                 let keep = e.hits >= SECOND_CHANCE_HITS;
                 e.hits = 0; // survivors must re-earn the next flush
+                e.survived_flush |= keep;
                 keep
             });
             if map.len() > self.per_shard_cap / 2 {
@@ -195,8 +334,84 @@ impl SolverCache {
         // Re-inserting an existing key (two workers racing to solve the
         // same query) must not reset the hit count that earns the entry
         // its second chance; the result is identical by the cache's
-        // determinism contract.
-        map.entry(key).or_insert(CacheEntry { result, hits: 0 });
+        // determinism contract. A newly captured domain box still
+        // attaches when the resident entry lacks one.
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let e = o.get_mut();
+                if e.domain.is_none() {
+                    e.domain = domain.map(Arc::from);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(CacheEntry {
+                    result,
+                    hits: 0,
+                    survived_flush: false,
+                    warm: false,
+                    domain: domain.map(Arc::from),
+                });
+            }
+        }
+    }
+
+    /// Entries qualifying for warm-store export under `policy`: hot
+    /// enough to have survived an epoch flush, or hit at least
+    /// `policy.min_hits` times since their last flush. Ordered hottest
+    /// first so a byte budget keeps the most valuable entries.
+    pub(crate) fn export_entries(&self, policy: &WarmPolicy) -> Vec<WarmRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("cache shard poisoned");
+            for (key, e) in map.iter() {
+                if e.survived_flush || u64::from(e.hits) >= u64::from(policy.min_hits) {
+                    out.push(WarmRecord {
+                        key: key.clone(),
+                        result: e.result.clone(),
+                        domain: e.domain.as_ref().map(|d| d.to_vec()),
+                        hits: e
+                            .hits
+                            .saturating_add(u32::from(e.survived_flush) * SECOND_CHANCE_HITS),
+                    });
+                }
+            }
+        }
+        // Hottest first; key as a deterministic tie-break so saves are
+        // byte-stable across runs with equal hit profiles.
+        out.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Inserts records loaded from a warm store, marking them warm (for
+    /// `warm_hits` accounting and validation sampling) and arming the
+    /// probation counter. Shards already at capacity skip further warm
+    /// entries rather than flushing live ones; returns how many records
+    /// were kept.
+    pub(crate) fn absorb_warm(&self, records: Vec<WarmRecord>) -> u64 {
+        let mut kept = 0u64;
+        for rec in records {
+            let shard = &self.shards[self.shard_of(&rec.key)];
+            let mut map = shard.lock().expect("cache shard poisoned");
+            if map.len() >= self.per_shard_cap && !map.contains_key(&rec.key) {
+                continue;
+            }
+            map.entry(rec.key).or_insert_with(|| {
+                kept += 1;
+                CacheEntry {
+                    result: rec.result,
+                    hits: 0,
+                    survived_flush: false,
+                    warm: true,
+                    domain: rec.domain.map(Arc::from),
+                }
+            });
+        }
+        let warmed = self.warmed.fetch_add(kept, Ordering::Relaxed) + kept;
+        if kept > 0 {
+            self.warm_probes_left
+                .store(warm_sample(warmed), Ordering::Relaxed);
+        }
+        kept
     }
 
     fn shard_of(&self, key: &str) -> usize {
@@ -219,6 +434,10 @@ impl SolverCache {
             entries,
             evictions: self.evictions.load(Ordering::Relaxed),
             second_chances: self.second_chances.load(Ordering::Relaxed),
+            warmed: self.warmed.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_validations: self.warm_validations.load(Ordering::Relaxed),
+            warm_mismatches: self.warm_mismatches.load(Ordering::Relaxed),
         }
     }
 }
@@ -246,6 +465,20 @@ pub struct CacheSnapshot {
     /// Entries that survived a shard flush on the high-hit second
     /// chance (cumulative across flushes).
     pub second_chances: u64,
+    /// Entries loaded from a persistent warm store
+    /// ([`SolverCache::warm_from`]); `0` on a cold start.
+    pub warmed: u64,
+    /// Lookups answered by a warm-store entry — solves this process
+    /// skipped because an earlier run already paid for them.
+    pub warm_hits: u64,
+    /// Warm entries re-solved for answer-preservation sampling (the
+    /// first few hits after a load; counted as misses, not warm hits).
+    pub warm_validations: u64,
+    /// Sampled warm entries whose persisted answer disagreed with a
+    /// fresh solve. Always `0` for a store written by the same solver
+    /// (determinism); non-zero flags a stale store, whose entries are
+    /// corrected in place as they are caught.
+    pub warm_mismatches: u64,
 }
 
 impl CacheSnapshot {
@@ -332,6 +565,16 @@ mod tests {
     use super::*;
     use crate::op::CmpOp;
 
+    /// Unwraps a lookup into `Option<SatResult>`; these tests never
+    /// exercise warm probation.
+    fn hit(a: CacheAnswer) -> Option<SatResult> {
+        match a {
+            CacheAnswer::Hit(r) => Some(r),
+            CacheAnswer::Probation(_) => panic!("unexpected probation in cold-cache test"),
+            CacheAnswer::Miss => None,
+        }
+    }
+
     #[test]
     fn keys_distinguish_domains_and_order() {
         let mut vars_a = VarTable::new();
@@ -352,9 +595,9 @@ mod tests {
     #[test]
     fn counters_track_hits_and_misses() {
         let cache = SolverCache::new(4);
-        assert!(cache.lookup("k1").is_none());
+        assert!(hit(cache.lookup("k1")).is_none());
         cache.insert("k1".into(), SatResult::Unsat);
-        assert_eq!(cache.lookup("k1"), Some(SatResult::Unsat));
+        assert_eq!(hit(cache.lookup("k1")), Some(SatResult::Unsat));
         let s = cache.snapshot();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
@@ -366,10 +609,10 @@ mod tests {
         let cache = SolverCache::new(4);
         // A slice lookup misses, a whole-query insert under the same key
         // then serves slice lookups (shared namespace).
-        assert!(cache.lookup_slice("k").is_none());
+        assert!(hit(cache.lookup_slice("k")).is_none());
         cache.insert("k".into(), SatResult::Unsat);
-        assert_eq!(cache.lookup_slice("k"), Some(SatResult::Unsat));
-        assert_eq!(cache.lookup("k"), Some(SatResult::Unsat));
+        assert_eq!(hit(cache.lookup_slice("k")), Some(SatResult::Unsat));
+        assert_eq!(hit(cache.lookup("k")), Some(SatResult::Unsat));
         let s = cache.snapshot();
         assert_eq!((s.slice_hits, s.slice_misses), (1, 1));
         assert_eq!((s.hits, s.misses), (1, 0));
@@ -402,7 +645,7 @@ mod tests {
         let cache = SolverCache::with_max_entries(1, 8);
         cache.insert("hot-prefix".into(), SatResult::Unsat);
         for _ in 0..SECOND_CHANCE_HITS {
-            assert!(cache.lookup_slice("hot-prefix").is_some());
+            assert!(hit(cache.lookup_slice("hot-prefix")).is_some());
         }
         // Fill to the cap with cold entries, then overflow: the flush
         // fires, cold entries go, the hot prefix stays resident.
@@ -413,11 +656,11 @@ mod tests {
         assert!(s.evictions >= 1, "flush fired: {s:?}");
         assert!(s.second_chances >= 1, "survivor counted: {s:?}");
         assert!(
-            cache.lookup_slice("hot-prefix").is_some(),
+            hit(cache.lookup_slice("hot-prefix")).is_some(),
             "hot entry survived the flush"
         );
         assert!(
-            cache.lookup_slice("cold0").is_none(),
+            hit(cache.lookup_slice("cold0")).is_none(),
             "cold entries were evicted"
         );
 
@@ -426,17 +669,17 @@ mod tests {
         let cache = SolverCache::with_max_entries(1, 4);
         cache.insert("once-hot".into(), SatResult::Unsat);
         for _ in 0..SECOND_CHANCE_HITS {
-            assert!(cache.lookup_slice("once-hot").is_some());
+            assert!(hit(cache.lookup_slice("once-hot")).is_some());
         }
         for i in 0..4 {
             cache.insert(format!("a{i}"), SatResult::Unsat); // first flush: survives
         }
-        assert!(cache.lookup("once-hot").is_some());
+        assert!(hit(cache.lookup("once-hot")).is_some());
         // One hit since the flush is below the threshold.
         for i in 0..8 {
             cache.insert(format!("b{i}"), SatResult::Unsat); // second flush: dropped
         }
-        assert!(cache.lookup("once-hot").is_none());
+        assert!(hit(cache.lookup("once-hot")).is_none());
     }
 
     /// Re-inserting an existing key (two workers racing to solve the
@@ -447,7 +690,7 @@ mod tests {
         let cache = SolverCache::with_max_entries(1, 8);
         cache.insert("hot".into(), SatResult::Unsat);
         for _ in 0..SECOND_CHANCE_HITS {
-            assert!(cache.lookup_slice("hot").is_some());
+            assert!(hit(cache.lookup_slice("hot")).is_some());
         }
         // A racing worker re-inserts the same (identical) result.
         cache.insert("hot".into(), SatResult::Unsat);
@@ -455,9 +698,114 @@ mod tests {
             cache.insert(format!("cold{i}"), SatResult::Unsat);
         }
         assert!(
-            cache.lookup("hot").is_some(),
+            hit(cache.lookup("hot")).is_some(),
             "hit count survived the re-insert and earned the second chance"
         );
+    }
+
+    /// Warm-store entries: the first hits go through probation (the
+    /// caller re-solves and confirms), later hits count as `warm_hits`,
+    /// and a confirmed mismatch corrects the entry in place.
+    #[test]
+    fn warm_entries_probe_then_hit_and_mismatches_correct() {
+        use crate::warm::WarmRecord;
+        let cache = SolverCache::new(2);
+        let mut records = vec![
+            WarmRecord {
+                key: "wa".into(),
+                result: SatResult::Unsat,
+                domain: None,
+                hits: 0,
+            },
+            WarmRecord {
+                key: "wb".into(),
+                result: SatResult::Unknown, // "stale": fresh solve disagrees
+                domain: None,
+                hits: 0,
+            },
+        ];
+        // Filler records so the store is large enough for a 2-probe
+        // sample (sample = ⌈warmed / 4⌉, capped).
+        records.extend((0..6).map(|i| WarmRecord {
+            key: format!("fill{i}"),
+            result: SatResult::Unsat,
+            domain: None,
+            hits: 0,
+        }));
+        assert_eq!(cache.absorb_warm(records), 8);
+        assert_eq!(cache.snapshot().warmed, 8);
+
+        // First lookup of a warm entry is a probation (counted as a miss).
+        let CacheAnswer::Probation(expected) = cache.lookup_slice("wa") else {
+            panic!("first warm lookup must probe");
+        };
+        assert_eq!(expected, SatResult::Unsat);
+        cache.confirm_warm("wa", &expected, &SatResult::Unsat, None);
+        // Validated: subsequent lookups are plain hits (no longer warm).
+        assert!(matches!(cache.lookup_slice("wa"), CacheAnswer::Hit(_)));
+
+        // A mismatching confirmation replaces the stale answer.
+        let CacheAnswer::Probation(expected) = cache.lookup("wb") else {
+            panic!("warm lookup must probe while probes remain");
+        };
+        cache.confirm_warm("wb", &expected, &SatResult::Unsat, None);
+        assert_eq!(hit(cache.lookup("wb")), Some(SatResult::Unsat));
+        let s = cache.snapshot();
+        assert_eq!(s.warm_validations, 2);
+        assert_eq!(s.warm_mismatches, 1);
+    }
+
+    /// After the probation budget is spent, warm entries answer
+    /// directly and are counted as warm hits.
+    #[test]
+    fn warm_hits_counted_after_probation_budget() {
+        use crate::warm::WarmRecord;
+        let cache = SolverCache::new(1);
+        let records = (0..12)
+            .map(|i| WarmRecord {
+                key: format!("w{i}"),
+                result: SatResult::Unsat,
+                domain: None,
+                hits: 0,
+            })
+            .collect();
+        assert_eq!(cache.absorb_warm(records), 12);
+        let mut probes = 0;
+        let mut warm_hits = 0;
+        for i in 0..12 {
+            match cache.lookup_slice(&format!("w{i}")) {
+                CacheAnswer::Probation(r) => {
+                    probes += 1;
+                    cache.confirm_warm(&format!("w{i}"), &r, &SatResult::Unsat, None);
+                }
+                CacheAnswer::Hit(_) => warm_hits += 1,
+                CacheAnswer::Miss => panic!("warm entry lost"),
+            }
+        }
+        assert_eq!(probes, warm_sample(12) as usize);
+        assert_eq!(warm_hits, 12 - probes);
+        let s = cache.snapshot();
+        assert_eq!(s.warm_hits, warm_hits as u64);
+        assert_eq!(s.warm_validations, probes as u64);
+        assert_eq!(s.warm_mismatches, 0);
+    }
+
+    /// Domain boxes attach to entries, survive export/absorb, and are
+    /// readable through `domain_of`.
+    #[test]
+    fn domain_boxes_attach_and_export() {
+        let cache = SolverCache::new(2);
+        let boxed = vec![(VarId(0), Interval::new(3, 9))];
+        cache.insert_with_domain("k".into(), SatResult::Unsat, Some(boxed.clone()));
+        assert_eq!(cache.domain_of("k").as_deref(), Some(boxed.as_slice()));
+        assert_eq!(cache.domain_of("absent"), None);
+        // Re-insert without a domain keeps the attached one.
+        cache.insert("k".into(), SatResult::Unsat);
+        assert_eq!(cache.domain_of("k").as_deref(), Some(boxed.as_slice()));
+        // Export keeps the box alongside the entry.
+        let recs = cache.export_entries(&WarmPolicy::keep_everything());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].domain.as_deref(), Some(boxed.as_slice()));
     }
 
     /// An all-hot shard still respects the entry bound (full flush
@@ -468,8 +816,8 @@ mod tests {
         cache.insert("a".into(), SatResult::Unsat);
         cache.insert("b".into(), SatResult::Unsat);
         for _ in 0..SECOND_CHANCE_HITS {
-            assert!(cache.lookup("a").is_some());
-            assert!(cache.lookup("b").is_some());
+            assert!(hit(cache.lookup("a")).is_some());
+            assert!(hit(cache.lookup("b")).is_some());
         }
         cache.insert("c".into(), SatResult::Unsat);
         let s = cache.snapshot();

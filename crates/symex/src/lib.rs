@@ -15,7 +15,12 @@
 //! * [`mod@slice`] / [`ScopedSolver`] — constraint slicing by variable
 //!   connectivity with per-slice memoization in a shared [`SolverCache`],
 //!   and an incremental push/pop front end for explorers that extend one
-//!   path condition a constraint at a time.
+//!   path condition a constraint at a time;
+//! * [`mod@warm`] — cross-run persistence of the solver cache (the
+//!   "warm store"): a versioned, checksummed on-disk format with an
+//!   eviction-aware export policy ([`WarmPolicy`]) and
+//!   answer-preservation validation sampling on load, so a long-lived
+//!   service warm-starts instead of re-solving every recurring slice.
 //!
 //! ## Example
 //!
@@ -39,7 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cache;
 mod domain;
@@ -48,6 +53,7 @@ mod model;
 mod op;
 pub mod slice;
 mod solver;
+pub mod warm;
 
 pub use cache::{CacheSnapshot, SolverCache, DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS};
 pub use domain::{Interval, VarId, VarInfo, VarTable};
@@ -56,3 +62,4 @@ pub use model::Model;
 pub use op::{BinOp, CmpOp};
 pub use slice::{partition_slices, ScopedSolver, ScopedStats};
 pub use solver::{SatResult, Solver, SolverConfig, SolverStats};
+pub use warm::{WarmLoadReport, WarmPolicy, WarmSaveReport, WarmStoreError};

@@ -56,7 +56,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::cache::{config_prefix, push_domains, render_constraint};
+use crate::cache::{config_prefix, push_domains, render_constraint, CacheAnswer};
 use crate::domain::{Interval, VarId, VarTable};
 use crate::expr::Expr;
 use crate::model::Model;
@@ -328,10 +328,16 @@ pub(crate) fn solve_slices(
     let mut domain_unsat = 0u64;
     let mut solved = 0u64;
     stats.slices += queries.len() as u64;
+    // Capture pruned-domain boxes whenever anyone can store them: the
+    // local memo, or the shared cache (which persists them across runs
+    // through the warm store).
+    let capture = domains.is_some() || solver.query_cache().is_some();
     for q in queries {
         let mut from_memo = false;
         let mut from_cache = false;
         let mut from_hint = false;
+        let mut from_probation = false;
+        let mut captured: Option<Vec<(VarId, Interval)>> = None;
         let result = 'resolve: {
             if let (Some(memo), Some(key)) = (memo.as_deref(), q.key.as_deref()) {
                 if let Some(r) = memo.get(key) {
@@ -340,9 +346,26 @@ pub(crate) fn solve_slices(
                 }
             }
             if let (Some(cache), Some(key)) = (solver.query_cache(), q.key.as_deref()) {
-                if let Some(r) = cache.lookup_slice(key) {
-                    from_cache = true;
-                    break 'resolve r;
+                match cache.lookup_slice(key) {
+                    CacheAnswer::Hit(r) => {
+                        from_cache = true;
+                        break 'resolve r;
+                    }
+                    CacheAnswer::Probation(expected) => {
+                        // A warm-store entry sampled for validation:
+                        // solve anyway, compare, and correct the entry
+                        // in place if the store was stale.
+                        let (r, s, doms) = solver.solve_capture(&q.exprs, vars, capture);
+                        solved += 1;
+                        stats.nodes += s.nodes;
+                        stats.prune_passes += s.prune_passes;
+                        stats.budget_exhausted |= s.budget_exhausted;
+                        cache.confirm_warm(key, &expected, &r, doms.as_deref());
+                        captured = doms;
+                        from_probation = true;
+                        break 'resolve r;
+                    }
+                    CacheAnswer::Miss => {}
                 }
             }
             if let Some(hint) = &q.hint {
@@ -360,21 +383,22 @@ pub(crate) fn solve_slices(
                     break 'resolve SatResult::Unsat;
                 }
             }
-            let (r, s, doms) = solver.solve_capture(&q.exprs, vars, domains.is_some());
+            let (r, s, doms) = solver.solve_capture(&q.exprs, vars, capture);
             solved += 1;
             stats.nodes += s.nodes;
             stats.prune_passes += s.prune_passes;
             stats.budget_exhausted |= s.budget_exhausted;
-            if let (Some(dm), Some(key), Some(doms)) = (domains.as_deref_mut(), &q.key, doms) {
-                dm.insert(key.clone(), doms);
-            }
+            captured = doms;
             r
         };
         if let Some(key) = &q.key {
-            if !from_cache && !from_memo && !from_hint {
+            if !from_cache && !from_memo && !from_hint && !from_probation {
                 if let Some(cache) = solver.query_cache() {
-                    cache.insert(key.clone(), result.clone());
+                    cache.insert_with_domain(key.clone(), result.clone(), captured.clone());
                 }
+            }
+            if let (Some(dm), Some(doms)) = (domains.as_deref_mut(), captured) {
+                dm.insert(key.clone(), doms);
             }
             if let Some(memo) = memo.as_deref_mut() {
                 if !from_memo {
@@ -846,8 +870,12 @@ impl ScopedSolver {
     /// (⇒ its constraint set is a subset of this group's, so its pruned
     /// box over-approximates this group's solutions too). Previous
     /// slices were variable-disjoint, so their boxes concatenate without
-    /// conflicts. `None` when the group's own key is already memoized
-    /// (the memo will answer) or no valid box exists.
+    /// conflicts. Boxes come from the local per-slice memo first, then
+    /// from the shared cache (where solves deposit them and the warm
+    /// store persists them across runs — the cached key renders the
+    /// identical query, so the box is sound by the same argument).
+    /// `None` when the group's own key is already memoized (the memo
+    /// will answer) or no valid box exists.
     fn assemble_hint(&self, group: &[usize], key: &str) -> Option<Vec<(VarId, Interval)>> {
         if self.memo.contains_key(key) {
             return None;
@@ -871,11 +899,13 @@ impl ScopedSolver {
             if !valid {
                 continue;
             }
-            let Some(doms) = self.domains.get(k) else {
-                continue;
-            };
-            seen.push(k);
-            out.extend_from_slice(doms);
+            if let Some(doms) = self.domains.get(k) {
+                seen.push(k);
+                out.extend_from_slice(doms);
+            } else if let Some(doms) = self.solver.query_cache().and_then(|c| c.domain_of(k)) {
+                seen.push(k);
+                out.extend_from_slice(&doms);
+            }
         }
         (!out.is_empty()).then_some(out)
     }

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use crate::cache::{canonical_key, SolverCache};
+use crate::cache::{canonical_key, CacheAnswer, SolverCache};
 use crate::domain::{Interval, VarId, VarTable};
 use crate::expr::{Expr, Node};
 use crate::model::Model;
@@ -163,16 +163,28 @@ impl Solver {
             None => self.solve(constraints, vars),
             Some(cache) => {
                 let key = canonical_key(constraints, vars, self.cfg);
-                if let Some(result) = cache.lookup(&key) {
-                    let stats = SolverStats {
-                        cache_hit: true,
-                        ..Default::default()
-                    };
-                    return (result, stats);
+                match cache.lookup(&key) {
+                    CacheAnswer::Hit(result) => {
+                        let stats = SolverStats {
+                            cache_hit: true,
+                            ..Default::default()
+                        };
+                        (result, stats)
+                    }
+                    CacheAnswer::Probation(expected) => {
+                        // A warm-store entry sampled for validation:
+                        // solve and compare (a faithful store always
+                        // agrees; a stale one is corrected in place).
+                        let (result, stats) = self.solve(constraints, vars);
+                        cache.confirm_warm(&key, &expected, &result, None);
+                        (result, stats)
+                    }
+                    CacheAnswer::Miss => {
+                        let (result, stats) = self.solve(constraints, vars);
+                        cache.insert(key, result.clone());
+                        (result, stats)
+                    }
                 }
-                let (result, stats) = self.solve(constraints, vars);
-                cache.insert(key, result.clone());
-                (result, stats)
             }
         }
     }

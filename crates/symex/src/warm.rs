@@ -1,0 +1,655 @@
+//! Cross-run persistence for the [`SolverCache`] (the "warm store").
+//!
+//! A long-lived triage service re-analyzes successive builds of the same
+//! program, and most of its solver work recurs run over run: canonical
+//! keys are self-contained strings (solver configuration + ordered
+//! constraint rendering + every mentioned variable's domain), so a
+//! memoized answer is as valid in the next process as it was in the one
+//! that computed it. This module serializes the hot subset of a cache to
+//! a versioned, self-describing on-disk format and loads it back at the
+//! start of the next run — turning the per-process cold start the
+//! in-memory cache pays on every launch into a one-time cost.
+//!
+//! ## Format
+//!
+//! A hand-rolled little-endian, length-prefixed record stream (no
+//! external dependencies, in the same spirit as the in-workspace
+//! `portend_bench::crit` criterion substitute):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"PTNDWARM"
+//! 8       4     format version (u32; readers reject unknown versions)
+//! 12      4     record count (u32)
+//!               records…                       (see below)
+//! end−8   8     FNV-1a-64 checksum of every preceding byte
+//! ```
+//!
+//! Each record is length-prefixed so a reader can skip or bound-check it
+//! without understanding its interior:
+//!
+//! ```text
+//! 4     record length in bytes (everything after this field)
+//! 4+n   key length + canonical key (UTF-8)
+//! 1     result tag: 0 = Unsat, 1 = Unknown, 2 = Sat
+//! [Sat] 4 + m × (4 var id + 8 value)   witness model
+//! 1     domain flag: 1 = a pruned-domain box follows
+//! [dom] 4 + d × (4 var id + 8 lo + 8 hi)
+//! ```
+//!
+//! ## Versioning rules
+//!
+//! `WARM_FORMAT_VERSION` must be bumped whenever (a) the record layout
+//! changes, or (b) the *semantics* behind identical keys change — a
+//! solver whose search order, pruning, or model selection changed can
+//! return a different (equally correct) answer for the same key, and a
+//! warm store written by the old solver would then violate the cache's
+//! byte-identical-to-recompute contract. Version mismatch on load is a
+//! clean rejection: the run proceeds cold, never with stale answers.
+//!
+//! ## Why answer preservation holds across runs
+//!
+//! Within one process the cache is answer-preserving because the key
+//! captures everything the deterministic solver depends on. Across
+//! processes two additional hazards appear, each with its own guard:
+//!
+//! 1. **Bit rot / truncation** — the trailing checksum plus strict
+//!    structural validation (lengths, tags, interval orientation) reject
+//!    a damaged file wholesale before any entry is inserted.
+//! 2. **Semantic drift** — a store written by a *different solver build*
+//!    under the same format version. The format version is the primary
+//!    guard (rule (b) above); as a defense-in-depth smoke detector, the
+//!    first few hits on warmed entries are returned to the solver as
+//!    *probation* answers: the solver re-solves and compares
+//!    ([`CacheSnapshot::warm_mismatches`] stays 0 for a faithful store,
+//!    and a caught mismatch replaces the stale entry with the fresh
+//!    answer).
+//!
+//! Persisted *domain boxes* ride the same guards. A box's claim —
+//! "every solution of the key's query lies inside it" — is a property
+//! of the *query*, which the key renders exactly, so any soundly
+//! pruning solver produces a valid (if differently tight) box for the
+//! same key; only a semantic change to the key rendering or an unsound
+//! pruner could break it, both covered by rule (b). As additional
+//! hygiene, a probation re-solve always *replaces* the persisted box
+//! with its freshly captured one, and drops the box outright when the
+//! persisted result mismatched.
+//!
+//! [`CacheSnapshot::warm_mismatches`]: crate::CacheSnapshot::warm_mismatches
+
+use std::fmt;
+use std::io::Read as _;
+use std::path::Path;
+
+use crate::cache::SolverCache;
+use crate::domain::{Interval, VarId};
+use crate::model::Model;
+use crate::solver::SatResult;
+
+/// Magic bytes identifying a warm-store file.
+pub const WARM_MAGIC: [u8; 8] = *b"PTNDWARM";
+
+/// Current on-disk format version. See the module docs for the rules on
+/// when this must be bumped.
+pub const WARM_FORMAT_VERSION: u32 = 1;
+
+/// Which cache entries a [`SolverCache::save_to`] persists, and how much
+/// disk it may use.
+///
+/// The defaults encode the eviction-aware export policy: an entry earns
+/// persistence by *heat* — it survived at least one second-chance epoch
+/// flush, or it was hit at least [`WarmPolicy::min_hits`] times since its
+/// last flush. One-off suffix slices (solved once, never re-read) stay
+/// out of the store; the shared pre-race-prefix slices every Mp × Ma
+/// combination re-reads qualify easily. Qualifying entries are written
+/// hottest-first until [`WarmPolicy::byte_budget`] is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmPolicy {
+    /// Minimum hits (since insertion or the last epoch flush) for an
+    /// entry that never survived a flush to qualify for export.
+    pub min_hits: u32,
+    /// Upper bound on the serialized file size in bytes; records beyond
+    /// it are dropped coldest-first. `0` disables the bound.
+    pub byte_budget: u64,
+}
+
+impl Default for WarmPolicy {
+    fn default() -> Self {
+        WarmPolicy {
+            min_hits: 2,
+            byte_budget: 16 << 20, // 16 MiB ≈ 10⁵ typical slice entries
+        }
+    }
+}
+
+impl WarmPolicy {
+    /// A policy that persists every entry regardless of heat (still
+    /// subject to the byte budget). Useful for corpus-replay scenarios
+    /// where the next run is known to repeat *every* query.
+    pub fn keep_everything() -> Self {
+        WarmPolicy {
+            min_hits: 0,
+            ..Default::default()
+        }
+    }
+}
+
+/// One exportable cache entry, as exchanged between the cache and the
+/// serializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WarmRecord {
+    pub key: String,
+    pub result: SatResult,
+    pub domain: Option<Vec<(VarId, Interval)>>,
+    /// Export-ordering heat (hits, boosted for flush survivors).
+    pub hits: u32,
+}
+
+/// What a [`SolverCache::save_to`] wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmSaveReport {
+    /// Entries serialized into the store.
+    pub entries: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Qualifying entries dropped because the byte budget was reached.
+    pub dropped_by_budget: u64,
+}
+
+/// What a [`SolverCache::warm_from`] loaded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmLoadReport {
+    /// Entries inserted into the cache.
+    pub entries: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Valid records skipped because their shard was already at
+    /// capacity (or their key already resident).
+    pub skipped: u64,
+}
+
+/// Why a warm store could not be read. Every variant is a *clean cold
+/// start*: no entry from a rejected store ever reaches the cache.
+#[derive(Debug)]
+pub enum WarmStoreError {
+    /// The file could not be read (missing file is the common first-run
+    /// case).
+    Io(std::io::Error),
+    /// The file does not start with [`WARM_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`WARM_FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The trailing FNV-1a checksum does not match the contents
+    /// (truncation or corruption).
+    ChecksumMismatch,
+    /// A structural invariant failed while parsing; the payload names
+    /// the first violated check.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WarmStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmStoreError::Io(e) => write!(f, "warm store i/o error: {e}"),
+            WarmStoreError::BadMagic => write!(f, "warm store magic mismatch"),
+            WarmStoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "warm store format version {v} (this build reads {WARM_FORMAT_VERSION})"
+                )
+            }
+            WarmStoreError::ChecksumMismatch => write!(f, "warm store checksum mismatch"),
+            WarmStoreError::Corrupt(what) => write!(f, "warm store corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WarmStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WarmStoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WarmStoreError {
+    fn from(e: std::io::Error) -> Self {
+        WarmStoreError::Io(e)
+    }
+}
+
+impl SolverCache {
+    /// Persists this cache's hot entries to `path` under `policy`.
+    ///
+    /// The write is atomic-by-rename: the store is assembled in a
+    /// sibling temporary file — with a per-process, per-save unique
+    /// name, so concurrent savers targeting one store path cannot
+    /// interleave into the same temp file — and moved into place. A
+    /// crash mid-save leaves either the previous store or none, never
+    /// a torn one (a torn file would be rejected by the checksum
+    /// anyway); concurrent saves resolve to whichever rename lands
+    /// last, each image complete.
+    pub fn save_to(
+        &self,
+        path: impl AsRef<Path>,
+        policy: &WarmPolicy,
+    ) -> Result<WarmSaveReport, WarmStoreError> {
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = path.as_ref();
+        let records = self.export_entries(policy);
+        let (bytes, report) = serialize(&records, policy);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(report)
+    }
+
+    /// Loads a warm store into this cache, marking every loaded entry
+    /// for `warm_hits` accounting and arming the answer-preservation
+    /// probation sampling. Entries already resident (or landing in a
+    /// full shard) are skipped, never overwritten.
+    ///
+    /// On any error the cache is untouched — the run proceeds cold.
+    pub fn warm_from(&self, path: impl AsRef<Path>) -> Result<WarmLoadReport, WarmStoreError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+        let records = parse(&bytes)?;
+        let total = records.len() as u64;
+        let kept = self.absorb_warm(records);
+        Ok(WarmLoadReport {
+            entries: kept,
+            bytes: bytes.len() as u64,
+            skipped: total - kept,
+        })
+    }
+
+    /// Constructs a default-shaped cache pre-warmed from `path` (the
+    /// one-call form of `SolverCache::default()` + [`SolverCache::warm_from`]).
+    pub fn load_from(path: impl AsRef<Path>) -> Result<SolverCache, WarmStoreError> {
+        let cache = SolverCache::default();
+        cache.warm_from(path)?;
+        Ok(cache)
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes one record body (everything after its length prefix).
+fn record_body(rec: &WarmRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(rec.key.len() + 64);
+    push_u32(&mut out, rec.key.len() as u32);
+    out.extend_from_slice(rec.key.as_bytes());
+    match &rec.result {
+        SatResult::Unsat => out.push(0),
+        SatResult::Unknown => out.push(1),
+        SatResult::Sat(model) => {
+            out.push(2);
+            push_u32(&mut out, model.len() as u32);
+            for (var, val) in model.iter() {
+                push_u32(&mut out, var.0);
+                push_i64(&mut out, val);
+            }
+        }
+    }
+    match &rec.domain {
+        None => out.push(0),
+        Some(doms) => {
+            out.push(1);
+            push_u32(&mut out, doms.len() as u32);
+            for (var, iv) in doms {
+                push_u32(&mut out, var.0);
+                push_i64(&mut out, iv.lo);
+                push_i64(&mut out, iv.hi);
+            }
+        }
+    }
+    out
+}
+
+/// Assembles the full store image: header, records (hottest-first, up to
+/// the byte budget), checksum footer.
+fn serialize(records: &[WarmRecord], policy: &WarmPolicy) -> (Vec<u8>, WarmSaveReport) {
+    const FIXED_OVERHEAD: u64 = 8 + 4 + 4 + 8; // magic + version + count + checksum
+    let mut bodies = Vec::new();
+    let mut size = FIXED_OVERHEAD;
+    let mut dropped = 0u64;
+    for (i, rec) in records.iter().enumerate() {
+        let body = record_body(rec);
+        let rec_size = 4 + body.len() as u64;
+        if policy.byte_budget > 0 && size + rec_size > policy.byte_budget {
+            // Records arrive hottest-first; cut here so the dropped set
+            // is exactly the coldest suffix (skipping just this record
+            // and continuing would let colder entries displace a hot
+            // one that happened to be large).
+            dropped = (records.len() - i) as u64;
+            break;
+        }
+        size += rec_size;
+        bodies.push(body);
+    }
+    let mut out = Vec::with_capacity(size as usize);
+    out.extend_from_slice(&WARM_MAGIC);
+    push_u32(&mut out, WARM_FORMAT_VERSION);
+    push_u32(&mut out, bodies.len() as u32);
+    for body in &bodies {
+        push_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(body);
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    let report = WarmSaveReport {
+        entries: bodies.len() as u64,
+        bytes: out.len() as u64,
+        dropped_by_budget: dropped,
+    };
+    (out, report)
+}
+
+/// A bounds-checked little-endian reader over the store image.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WarmStoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(WarmStoreError::Corrupt("record overruns file"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WarmStoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WarmStoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, WarmStoreError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Parses and validates a full store image. All-or-nothing: any
+/// violation rejects the whole file before a single record is returned.
+fn parse(bytes: &[u8]) -> Result<Vec<WarmRecord>, WarmStoreError> {
+    const FOOTER: usize = 8;
+    if bytes.len() < 8 + 4 + 4 + FOOTER {
+        return Err(WarmStoreError::Corrupt("file shorter than header"));
+    }
+    if bytes[..8] != WARM_MAGIC {
+        return Err(WarmStoreError::BadMagic);
+    }
+    let body = &bytes[..bytes.len() - FOOTER];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - FOOTER..].try_into().expect("8 bytes"));
+    if fnv1a64(body) != stored {
+        return Err(WarmStoreError::ChecksumMismatch);
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: 8,
+    };
+    let version = r.u32()?;
+    if version != WARM_FORMAT_VERSION {
+        return Err(WarmStoreError::UnsupportedVersion(version));
+    }
+    let count = r.u32()? as usize;
+    let mut records = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let rec_len = r.u32()? as usize;
+        let rec_end = r
+            .pos
+            .checked_add(rec_len)
+            .filter(|&e| e <= body.len())
+            .ok_or(WarmStoreError::Corrupt("record overruns file"))?;
+        let key_len = r.u32()? as usize;
+        let key = std::str::from_utf8(r.take(key_len)?)
+            .map_err(|_| WarmStoreError::Corrupt("key is not UTF-8"))?
+            .to_string();
+        let result = match r.u8()? {
+            0 => SatResult::Unsat,
+            1 => SatResult::Unknown,
+            2 => {
+                let n = r.u32()? as usize;
+                let mut model = Model::new();
+                for _ in 0..n {
+                    let var = VarId(r.u32()?);
+                    let val = r.i64()?;
+                    model.set(var, val);
+                }
+                SatResult::Sat(model)
+            }
+            _ => return Err(WarmStoreError::Corrupt("unknown result tag")),
+        };
+        let domain = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.u32()? as usize;
+                let mut doms = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let var = VarId(r.u32()?);
+                    let lo = r.i64()?;
+                    let hi = r.i64()?;
+                    if lo > hi {
+                        return Err(WarmStoreError::Corrupt("inverted domain interval"));
+                    }
+                    doms.push((var, Interval { lo, hi }));
+                }
+                Some(doms)
+            }
+            _ => return Err(WarmStoreError::Corrupt("unknown domain flag")),
+        };
+        if r.pos != rec_end {
+            return Err(WarmStoreError::Corrupt("record length mismatch"));
+        }
+        records.push(WarmRecord {
+            key,
+            result,
+            domain,
+            hits: 0,
+        });
+    }
+    if r.pos != body.len() {
+        return Err(WarmStoreError::Corrupt("trailing bytes after records"));
+    }
+    Ok(records)
+}
+
+/// FNV-1a over bytes (the store's integrity checksum; also used by the
+/// cache for shard selection).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WarmRecord> {
+        let model: Model = [(VarId(0), 7), (VarId(3), -2)].into_iter().collect();
+        vec![
+            WarmRecord {
+                key: "b2000000;p64;v0>3;v0:[0,10];".into(),
+                result: SatResult::Sat(model),
+                domain: Some(vec![(VarId(0), Interval::new(4, 10))]),
+                hits: 5,
+            },
+            WarmRecord {
+                key: "b2000000;p64;v1<0;v1:[0,9];".into(),
+                result: SatResult::Unsat,
+                domain: None,
+                hits: 2,
+            },
+            WarmRecord {
+                key: "b10;p1;v2*v2==7;v2:[0,63];".into(),
+                result: SatResult::Unknown,
+                domain: Some(vec![(VarId(2), Interval::new(0, 63))]),
+                hits: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn serialize_parse_round_trip_is_identity() {
+        let records = sample_records();
+        let (bytes, report) = serialize(&records, &WarmPolicy::default());
+        assert_eq!(report.entries, 3);
+        assert_eq!(report.bytes, bytes.len() as u64);
+        assert_eq!(report.dropped_by_budget, 0);
+        let mut parsed = parse(&bytes).expect("round trip");
+        // `hits` is export-ordering metadata, zeroed on load.
+        for p in &mut parsed {
+            p.hits = 0;
+        }
+        let mut expected = records;
+        for e in &mut expected {
+            e.hits = 0;
+        }
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn byte_budget_drops_coldest_records() {
+        let records = sample_records();
+        // Budget sized to fit the header plus roughly one record.
+        let (one, _) = serialize(&records[..1], &WarmPolicy::default());
+        let policy = WarmPolicy {
+            min_hits: 0,
+            byte_budget: one.len() as u64 + 8,
+        };
+        let (bytes, report) = serialize(&records, &policy);
+        assert!(report.entries < 3, "{report:?}");
+        assert!(report.dropped_by_budget > 0, "{report:?}");
+        assert_eq!(
+            report.entries + report.dropped_by_budget,
+            3,
+            "cut is a clean prefix/suffix split: {report:?}"
+        );
+        assert!(bytes.len() as u64 <= policy.byte_budget);
+        let kept = parse(&bytes).expect("budget-truncated store still valid");
+        // The cut is a *prefix* of the input order (export order is
+        // hottest-first): a later record must never displace an earlier
+        // one that failed to fit.
+        for (k, r) in kept.iter().zip(&records) {
+            assert_eq!(k.key, r.key, "kept set is an input-order prefix");
+        }
+    }
+
+    #[test]
+    fn corrupted_stores_are_rejected() {
+        let (bytes, _) = serialize(&sample_records(), &WarmPolicy::default());
+
+        // Flipping any single byte must fail the checksum (or, for the
+        // footer itself, the comparison).
+        for pos in [0usize, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x41;
+            assert!(parse(&bad).is_err(), "byte flip at {pos} must be rejected");
+        }
+
+        // Truncation at any prefix length fails cleanly.
+        for cut in [0, 7, 12, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                parse(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+
+        // A version bump is rejected as UnsupportedVersion even with a
+        // recomputed (valid) checksum.
+        let mut bumped = bytes[..bytes.len() - 8].to_vec();
+        bumped[8..12].copy_from_slice(&(WARM_FORMAT_VERSION + 1).to_le_bytes());
+        let sum = fnv1a64(&bumped);
+        bumped.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            parse(&bumped),
+            Err(WarmStoreError::UnsupportedVersion(v)) if v == WARM_FORMAT_VERSION + 1
+        ));
+
+        // Wrong magic with a valid checksum is BadMagic.
+        let mut wrong = bytes[..bytes.len() - 8].to_vec();
+        wrong[0] = b'X';
+        let sum = fnv1a64(&wrong);
+        wrong.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(parse(&wrong), Err(WarmStoreError::BadMagic)));
+    }
+
+    #[test]
+    fn save_load_through_cache_preserves_answers() {
+        let dir = std::env::temp_dir().join(format!("portend-warm-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.warm");
+
+        let cache = SolverCache::new(4);
+        cache.insert("hot".into(), SatResult::Unsat);
+        for _ in 0..2 {
+            assert!(matches!(
+                cache.lookup("hot"),
+                crate::cache::CacheAnswer::Hit(_)
+            ));
+        }
+        cache.insert("cold".into(), SatResult::Unknown);
+        let report = cache.save_to(&path, &WarmPolicy::default()).unwrap();
+        assert_eq!(report.entries, 1, "only the hot entry qualifies");
+
+        let warmed = SolverCache::load_from(&path).unwrap();
+        let snap = warmed.snapshot();
+        assert_eq!((snap.warmed, snap.entries), (1, 1));
+        // The warmed entry answers (first hits go through probation,
+        // which still carries the persisted result).
+        match warmed.lookup("hot") {
+            crate::cache::CacheAnswer::Hit(r) | crate::cache::CacheAnswer::Probation(r) => {
+                assert_eq!(r, SatResult::Unsat)
+            }
+            crate::cache::CacheAnswer::Miss => panic!("warmed entry must be present"),
+        }
+        assert!(matches!(
+            warmed.lookup("cold"),
+            crate::cache::CacheAnswer::Miss
+        ));
+
+        // Keep-everything persists the cold entry too.
+        let report = cache
+            .save_to(&path, &WarmPolicy::keep_everything())
+            .unwrap();
+        assert_eq!(report.entries, 2);
+        let warmed = SolverCache::load_from(&path).unwrap();
+        assert_eq!(warmed.snapshot().warmed, 2);
+
+        // A missing file is an Io error (the first-run case).
+        assert!(matches!(
+            SolverCache::load_from(dir.join("absent.warm")),
+            Err(WarmStoreError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
