@@ -144,6 +144,23 @@ pub struct FarmKnobs {
     /// hottest first, up to a byte budget (see
     /// [`portend_symex::WarmPolicy`]).
     pub cache_save_policy: WarmPolicy,
+    /// Solve cold constraint slices of one feasibility query in
+    /// parallel on the farm's idle workers (`Farm::run_lending` +
+    /// `portend_symex::ParallelSlices`). A worker whose job queue ran
+    /// dry picks up slice-sized sub-jobs from a busy peer, so the run's
+    /// tail — one race with many simultaneously-cold slices — stops
+    /// serializing inside a single worker. Verdicts, models, and the
+    /// examined-slice counters are byte-identical to sequential slice
+    /// solving (the dispatch merges in slice order and cancels exactly
+    /// what the serial UNSAT short-circuit would skip); only shared-
+    /// cache traffic and wall time differ. Ignored when `slice_solver`
+    /// is off; the serial `Pipeline::run` never dispatches.
+    pub parallel_slices: bool,
+    /// Minimum *cold* slices (local-memo / shared-cache / domain-hint
+    /// misses) one query must have before its slices are dispatched;
+    /// below the threshold the query solves sequentially. Floored at 2
+    /// (there is nothing to fan out below that).
+    pub parallel_min_cold_slices: usize,
 }
 
 impl Default for FarmKnobs {
@@ -156,6 +173,8 @@ impl Default for FarmKnobs {
             priority_order: true,
             cache_path: None,
             cache_save_policy: WarmPolicy::default(),
+            parallel_slices: true,
+            parallel_min_cold_slices: 2,
         }
     }
 }
@@ -229,6 +248,13 @@ mod tests {
     fn stage_presets() {
         assert!(!AnalysisStages::single_path().multi_path);
         assert!(AnalysisStages::full().multi_schedule);
+    }
+
+    #[test]
+    fn parallel_slice_knobs_default_on_with_threshold() {
+        let knobs = FarmKnobs::default();
+        assert!(knobs.parallel_slices);
+        assert_eq!(knobs.parallel_min_cold_slices, 2);
     }
 
     #[test]

@@ -6,10 +6,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use portend_farm::{cluster_priority, Farm, FarmStats, JobSpec};
+use portend_farm::{cluster_priority, Farm, FarmStats, JobSpec, SlicePool};
 use portend_race::{DetectorConfig, RaceCluster};
 use portend_replay::{record, RecordConfig, RecordedRun};
-use portend_symex::{CacheSnapshot, SolverCache};
+use portend_symex::{CacheSnapshot, ParallelSlices, SliceExecutor, SolverCache};
 use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
 
 use crate::case::{AnalysisCase, Predicate};
@@ -134,6 +134,13 @@ impl Pipeline {
     /// concurrently on the [`portend_farm`] work-stealing pool, sharing
     /// one sharded solver-query cache across all jobs.
     ///
+    /// With [`crate::FarmKnobs::parallel_slices`] on (the default), the
+    /// farm additionally lends idle workers out at *slice* granularity:
+    /// once a worker's job queue runs dry it executes slice-sized
+    /// solver sub-jobs for peers still grinding through many-cold-slice
+    /// feasibility queries, so the run's serial tail parallelizes too
+    /// (`FarmStats::slices_offloaded` / `slice_parallel_wall_saved`).
+    ///
     /// `workers` is the pool width; `0` defers to the
     /// [`crate::config::FarmKnobs`] in the configuration (whose own `0`
     /// means one worker per CPU). Verdicts are identical to the serial
@@ -171,6 +178,11 @@ impl Pipeline {
         let knobs = &self.portend.farm;
         let cache = knobs_cache(knobs);
         let farm = Farm::new(knobs.farm_config(workers));
+        // The slice-lending pool: idle farm workers pick up slice-sized
+        // solver sub-jobs from busy peers (see `FarmKnobs::parallel_slices`).
+        // Pointless without the slice solver — whole queries don't split.
+        let slice_pool = (knobs.parallel_slices && self.portend.slice_solver)
+            .then(|| Arc::new(SlicePool::new()));
         let jobs: Vec<JobSpec<RaceCluster>> = run
             .clusters
             .iter()
@@ -181,14 +193,24 @@ impl Pipeline {
         let cfg = self.portend.clone();
         let job_case = Arc::clone(&case);
         let job_cache = cache.clone();
-        let mut frun = farm.run(jobs, move |_worker, cluster: RaceCluster| {
-            let portend = match &job_cache {
-                Some(c) => Portend::with_cache(cfg.clone(), Arc::clone(c)),
-                None => Portend::new(cfg.clone()),
-            };
-            let verdict = portend.classify(&job_case, &cluster.representative);
-            (cluster, verdict)
-        });
+        let job_pool = slice_pool.clone();
+        let mut frun = farm.run_lending(
+            jobs,
+            move |_worker, cluster: RaceCluster| {
+                let mut portend = match &job_cache {
+                    Some(c) => Portend::with_cache(cfg.clone(), Arc::clone(c)),
+                    None => Portend::new(cfg.clone()),
+                };
+                if let Some(pool) = &job_pool {
+                    let par = ParallelSlices::new(Arc::clone(pool) as Arc<dyn SliceExecutor>)
+                        .with_min_cold_slices(cfg.farm.parallel_min_cold_slices);
+                    portend = portend.with_slice_pool(par);
+                }
+                let verdict = portend.classify(&job_case, &cluster.representative);
+                (cluster, verdict)
+            },
+            slice_pool.clone(),
+        );
         if let Some(c) = &cache {
             frun.attach_cache(Arc::clone(c));
         }
@@ -214,6 +236,14 @@ impl Pipeline {
                 stats.fork_bytes_shared += v.stats.bytes_shared_on_fork;
                 stats.fork_slices_reused += v.stats.slices_reused_at_fork;
             }
+        }
+        // Slice-lending counters come from the pool itself, not the
+        // verdicts: whether a slice was offloaded is a scheduling fact
+        // of this run, deliberately kept out of the (deterministic,
+        // serial-identical) per-verdict work counters.
+        if let Some(pool) = &slice_pool {
+            stats.slices_offloaded = pool.executed();
+            stats.slice_parallel_wall_saved = pool.wall_saved();
         }
         persist_cache(knobs, cache.as_ref());
         let case = Arc::try_unwrap(case).unwrap_or_else(|arc| arc.as_ref().clone());

@@ -55,7 +55,11 @@ pub fn cluster_priority(cluster: &RaceCluster) -> u64 {
     } else if r.first.is_write || r.second.is_write {
         p += 2_000;
     }
-    let window = r.second.step.saturating_sub(r.first.step);
+    // The race window is an unordered distance: detectors may record
+    // the representative with either access first, and a saturating
+    // subtraction would collapse any reversed-step pair to 0 — handing
+    // out the tight-window boost spuriously.
+    let window = r.second.step.abs_diff(r.first.step);
     if window <= 16 {
         p += 1_000;
     } else if window <= 256 {
@@ -106,6 +110,31 @@ mod tests {
         assert!(ww > rw, "{ww} vs {rw}");
         assert!(tight_rw > rw);
         assert!(ww > tight_rw);
+    }
+
+    /// Regression for the race-window bugfix: a representative recorded
+    /// with `second.step < first.step` used to saturate the window to 0
+    /// and collect the +1000 tight-window boost regardless of the real
+    /// distance. The window is `abs_diff`, so orientation is irrelevant
+    /// and a genuinely wide reversed pair gets no boost.
+    #[test]
+    fn reversed_step_order_does_not_fake_a_tight_window() {
+        let mut wide_reversed = cluster(false, true, 0, 1);
+        wide_reversed.representative.first.step = 5_000;
+        wide_reversed.representative.second.step = 100; // 4900 apart
+        let mut tight_reversed = cluster(false, true, 0, 1);
+        tight_reversed.representative.first.step = 104;
+        tight_reversed.representative.second.step = 100; // 4 apart
+        let tight_forward = cluster_priority(&cluster(false, true, 4, 1));
+        assert_eq!(
+            cluster_priority(&tight_reversed),
+            tight_forward,
+            "window is orientation-independent"
+        );
+        assert!(
+            cluster_priority(&wide_reversed) < cluster_priority(&tight_reversed),
+            "a wide reversed window must not collect the tight boost"
+        );
     }
 
     #[test]

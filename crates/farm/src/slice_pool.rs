@@ -1,0 +1,271 @@
+//! The slice-level work pool: lending idle workers to a busy peer.
+//!
+//! The classification farm parallelizes across *races*, but the paper's
+//! residual tail is a single expensive race whose feasibility query has
+//! many simultaneously-cold constraint slices — work that is
+//! embarrassingly parallel (slices are variable-disjoint) yet used to
+//! serialize inside one worker while its peers sat idle with drained
+//! queues. A [`SlicePool`] closes that gap: it is the hand-off point
+//! where a busy worker's solver ([`portend_symex::Solver`] with
+//! [`portend_symex::ParallelSlices`] attached) offers slice-sized
+//! sub-jobs, and where workers whose own queue ran dry pick them up
+//! ([`SlicePool::help`]) until the whole run is closed.
+//!
+//! Dispatch is strictly *opportunistic*: [`SlicePool::try_execute`]
+//! accepts a job only while at least one helper is registered, so when
+//! every worker is busy the submitting solver falls back to sequential
+//! solving — there is never a queue of sub-jobs nobody is draining, and
+//! an accepted job is guaranteed to execute (helpers drain the queue
+//! even after [`SlicePool::close`]).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use portend_symex::{SliceExecutor, SliceJob};
+
+#[derive(Default)]
+struct PoolState {
+    jobs: VecDeque<SliceJob>,
+    /// Threads currently lending themselves through [`SlicePool::help`].
+    helpers: usize,
+    closed: bool,
+}
+
+/// A shared pool of slice-sized sub-jobs executed by borrowed idle
+/// workers.
+///
+/// Two ways to staff it:
+///
+/// * the farm lends its own workers: [`crate::Farm::run_lending`] sends
+///   each worker into [`SlicePool::help`] once its job queue runs dry,
+///   and closes the pool when the last classification job completes;
+/// * a dedicated helper pool: [`SliceHelpers::new`] spawns fixed helper
+///   threads (benchmarks, tests, and serial drivers that still want
+///   parallel slices).
+pub struct SlicePool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    executed: AtomicU64,
+    busy_nanos: AtomicU64,
+    wall_saved_nanos: AtomicU64,
+}
+
+impl std::fmt::Debug for SlicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock().expect("slice pool poisoned");
+        f.debug_struct("SlicePool")
+            .field("queued", &s.jobs.len())
+            .field("helpers", &s.helpers)
+            .field("closed", &s.closed)
+            .field("executed", &self.executed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for SlicePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlicePool {
+    /// An empty, open pool with no helpers yet.
+    pub fn new() -> Self {
+        SlicePool {
+            state: Mutex::new(PoolState::default()),
+            available: Condvar::new(),
+            executed: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            wall_saved_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Lends the calling thread to the pool: executes sub-jobs as they
+    /// arrive and parks between them, returning — with the number of
+    /// sub-jobs this call executed — once the pool is closed and
+    /// drained. The farm calls this from workers whose queue ran dry;
+    /// accepted jobs submitted before the close are always executed.
+    pub fn help(&self) -> u64 {
+        {
+            let mut s = self.state.lock().expect("slice pool poisoned");
+            s.helpers += 1;
+            // Wake anyone waiting for helpers to come online
+            // ([`SliceHelpers::new`]); parked helpers just re-check.
+            self.available.notify_all();
+        }
+        let mut ran = 0u64;
+        loop {
+            let job = {
+                let mut s = self.state.lock().expect("slice pool poisoned");
+                loop {
+                    if let Some(job) = s.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if s.closed {
+                        s.helpers -= 1;
+                        break None;
+                    }
+                    s = self.available.wait(s).expect("slice pool poisoned");
+                }
+            };
+            let Some(job) = job else { return ran };
+            let t0 = Instant::now();
+            job();
+            self.busy_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            ran += 1;
+        }
+    }
+
+    /// Closes the pool: helpers finish the queued jobs and return, and
+    /// every future [`SlicePool::try_execute`] is refused. Idempotent.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("slice pool poisoned");
+        s.closed = true;
+        self.available.notify_all();
+    }
+
+    /// Sub-jobs executed by helpers so far (the farm-level
+    /// `slices_offloaded`).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Total helper time spent executing sub-jobs.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Submitter-reported wall time saved across all parallel checks
+    /// (offloaded execution time minus result-wait time; see
+    /// [`SliceExecutor::record_wall_saved`]).
+    pub fn wall_saved(&self) -> Duration {
+        Duration::from_nanos(self.wall_saved_nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl SliceExecutor for SlicePool {
+    fn try_execute(&self, job: SliceJob) -> Option<SliceJob> {
+        let mut s = self.state.lock().expect("slice pool poisoned");
+        if s.closed || s.helpers == 0 {
+            return Some(job); // nobody idle: the submitter solves inline
+        }
+        s.jobs.push_back(job);
+        self.available.notify_one();
+        None
+    }
+
+    fn record_wall_saved(&self, saved: Duration) {
+        self.wall_saved_nanos
+            .fetch_add(saved.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A [`SlicePool`] staffed by dedicated helper threads — the fixed-pool
+/// configuration for benchmarks, tests, and serial drivers. Dropping
+/// the handle closes the pool and joins the helpers.
+#[derive(Debug)]
+pub struct SliceHelpers {
+    pool: Arc<SlicePool>,
+    handles: Vec<JoinHandle<u64>>,
+}
+
+impl SliceHelpers {
+    /// Spawns `helpers` dedicated threads lending themselves to a fresh
+    /// pool. Returns once every helper has registered, so dispatch is
+    /// available immediately.
+    pub fn new(helpers: usize) -> Self {
+        let pool = Arc::new(SlicePool::new());
+        let handles: Vec<_> = (0..helpers)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("portend-slice-{i}"))
+                    .spawn(move || pool.help())
+                    .expect("spawn slice helper")
+            })
+            .collect();
+        let s = pool.state.lock().expect("slice pool poisoned");
+        drop(
+            pool.available
+                .wait_while(s, |s| s.helpers < helpers)
+                .expect("slice pool poisoned"),
+        );
+        SliceHelpers { pool, handles }
+    }
+
+    /// The pool to attach to solvers
+    /// ([`portend_symex::ParallelSlices::new`]).
+    pub fn pool(&self) -> &Arc<SlicePool> {
+        &self.pool
+    }
+
+    /// The pool as a [`SliceExecutor`] trait object.
+    pub fn executor(&self) -> Arc<dyn SliceExecutor> {
+        Arc::clone(&self.pool) as Arc<dyn SliceExecutor>
+    }
+}
+
+impl Drop for SliceHelpers {
+    fn drop(&mut self) {
+        self.pool.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn rejects_without_helpers_and_after_close() {
+        let pool = SlicePool::new();
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hit);
+        let job: SliceJob = Box::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let rejected = pool.try_execute(job);
+        assert!(rejected.is_some(), "no helper registered: refused");
+        // The rejected job is returned intact — the caller can run it.
+        rejected.unwrap()();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        pool.close();
+        assert!(pool.try_execute(Box::new(|| {})).is_some(), "closed pool");
+        assert_eq!(pool.executed(), 0);
+    }
+
+    #[test]
+    fn helpers_execute_accepted_jobs_and_drain_on_close() {
+        let helpers = SliceHelpers::new(2);
+        let done = Arc::new(AtomicU64::new(0));
+        let mut accepted = 0;
+        for _ in 0..32 {
+            let d = Arc::clone(&done);
+            let job: SliceJob = Box::new(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+            if helpers.pool().try_execute(job).is_none() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 32, "registered helpers accept everything");
+        drop(helpers); // close + join: every accepted job must have run
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn wall_saved_accumulates() {
+        let pool = SlicePool::new();
+        pool.record_wall_saved(Duration::from_millis(3));
+        pool.record_wall_saved(Duration::from_millis(4));
+        assert_eq!(pool.wall_saved(), Duration::from_millis(7));
+    }
+}

@@ -13,6 +13,10 @@ pub struct WorkerStats {
     pub steals: u64,
     /// Time spent executing jobs (excludes queue waits).
     pub busy: Duration,
+    /// Slice sub-jobs this worker executed for busy peers after its own
+    /// job queue ran dry (see [`crate::SlicePool`] and
+    /// [`crate::Farm::run_lending`]).
+    pub slice_jobs: u64,
 }
 
 /// Aggregate statistics of one [`crate::Farm`] run, produced by
@@ -44,6 +48,15 @@ pub struct FarmStats {
     /// Constraint slices the jobs' scoped solvers reused from their
     /// memos at fork feasibility checks instead of re-solving.
     pub fork_slices_reused: u64,
+    /// Cold constraint slices dispatched onto lent idle workers during
+    /// the run (slice-level parallelism — see [`crate::SlicePool`]).
+    /// Filled by callers that wire a slice pool through the run; zero
+    /// otherwise.
+    pub slices_offloaded: u64,
+    /// Estimated wall time the slice dispatch saved, as reported by the
+    /// submitting solvers: offloaded execution time minus the time they
+    /// spent waiting for offloaded results.
+    pub slice_parallel_wall_saved: Duration,
 }
 
 impl FarmStats {
@@ -122,8 +135,17 @@ impl FarmStats {
             ),
             None => String::new(),
         };
+        let sliced = if self.slices_offloaded > 0 {
+            format!(
+                ", {} slices offloaded ({:.3}s saved)",
+                self.slices_offloaded,
+                self.slice_parallel_wall_saved.as_secs_f64()
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache}{forks})",
+            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache}{forks}{sliced})",
             self.jobs,
             self.per_worker.len(),
             self.wall.as_secs_f64(),

@@ -247,6 +247,19 @@ impl SolverCache {
             .is_ok()
     }
 
+    /// Returns an unused warm-validation probe. Called when a lookup
+    /// received [`CacheAnswer::Probation`] but the promised re-solve
+    /// never happened — the parallel sliced path cancels slices past
+    /// the first UNSAT position before solving them. The entry is still
+    /// marked warm (no [`SolverCache::confirm_warm`] ran), so a later
+    /// hit will probe again; without the refund the probe budget and
+    /// the `warm_validations` counter would claim a validation that
+    /// never executed.
+    pub(crate) fn refund_warm_probe(&self) {
+        self.warm_probes_left.fetch_add(1, Ordering::Relaxed);
+        self.warm_validations.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Reports the outcome of a [`CacheAnswer::Probation`] re-solve: on
     /// agreement the entry is confirmed; on disagreement the freshly
     /// solved result replaces the stale persisted one (and the mismatch
@@ -788,6 +801,38 @@ mod tests {
         assert_eq!(s.warm_hits, warm_hits as u64);
         assert_eq!(s.warm_validations, probes as u64);
         assert_eq!(s.warm_mismatches, 0);
+    }
+
+    /// A refunded probation probe re-arms sampling: the entry stays
+    /// warm, the validation counter no longer claims a re-solve that
+    /// never ran, and the next hit probes again.
+    #[test]
+    fn refunded_probe_is_sampled_again() {
+        use crate::warm::WarmRecord;
+        let cache = SolverCache::new(1);
+        let records = (0..4)
+            .map(|i| WarmRecord {
+                key: format!("w{i}"),
+                result: SatResult::Unsat,
+                domain: None,
+                hits: 0,
+            })
+            .collect();
+        assert_eq!(cache.absorb_warm(records), 4); // sample = ceil(4/4) = 1
+        let CacheAnswer::Probation(_) = cache.lookup_slice("w0") else {
+            panic!("first warm lookup must probe");
+        };
+        assert_eq!(cache.snapshot().warm_validations, 1);
+        // The slice was cancelled before solving: probe given back.
+        cache.refund_warm_probe();
+        assert_eq!(cache.snapshot().warm_validations, 0);
+        // Still warm, still probed on the next hit.
+        let CacheAnswer::Probation(expected) = cache.lookup_slice("w0") else {
+            panic!("refunded probe must be re-armed");
+        };
+        cache.confirm_warm("w0", &expected, &SatResult::Unsat, None);
+        assert_eq!(cache.snapshot().warm_validations, 1);
+        assert!(matches!(cache.lookup_slice("w0"), CacheAnswer::Hit(_)));
     }
 
     /// Domain boxes attach to entries, survive export/absorb, and are

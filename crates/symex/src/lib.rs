@@ -14,8 +14,10 @@
 //! * [`Model`] — concrete variable assignments (solver witnesses);
 //! * [`mod@slice`] / [`ScopedSolver`] — constraint slicing by variable
 //!   connectivity with per-slice memoization in a shared [`SolverCache`],
-//!   and an incremental push/pop front end for explorers that extend one
-//!   path condition a constraint at a time;
+//!   an incremental push/pop front end for explorers that extend one
+//!   path condition a constraint at a time, and parallel slice solving
+//!   ([`Solver::check_sliced_parallel`] / [`SliceExecutor`]) that
+//!   dispatches cold slices onto borrowed idle workers;
 //! * [`mod@warm`] — cross-run persistence of the solver cache (the
 //!   "warm store"): a versioned, checksummed on-disk format with an
 //!   eviction-aware export policy ([`WarmPolicy`]) and
@@ -60,6 +62,8 @@ pub use domain::{Interval, VarId, VarInfo, VarTable};
 pub use expr::{EvalError, Expr, Node};
 pub use model::Model;
 pub use op::{BinOp, CmpOp};
-pub use slice::{partition_slices, ScopedSolver, ScopedStats};
+pub use slice::{
+    partition_slices, ParallelSlices, ScopedSolver, ScopedStats, SliceExecutor, SliceJob,
+};
 pub use solver::{SatResult, Solver, SolverConfig, SolverStats};
 pub use warm::{WarmLoadReport, WarmPolicy, WarmSaveReport, WarmStoreError};

@@ -42,6 +42,16 @@
 //!   slice), so it can only turn `Unknown` into `Unsat`, never flip a
 //!   decided answer.
 //!
+//! Slices of one query are variable-disjoint by construction, so they
+//! are also **embarrassingly parallel**: [`Solver::check_sliced_parallel`]
+//! dispatches cold slices (local-memo / shared-cache / hint misses) as
+//! sub-jobs onto a [`SliceExecutor`] — in production the classification
+//! farm's `SlicePool`, which lends idle workers to a busy peer — and
+//! merges the results deterministically in slice order, falling back to
+//! sequential solving when no worker is idle or too few slices are cold
+//! (see [`solve_slices_parallel`](self) for the cancellation protocol
+//! that keeps the parallel path byte-equivalent to the serial one).
+//!
 //! Transparency: every slice is solved by the same solver backend
 //! under the same configuration (full node budget per slice), so sliced
 //! solving never flips a decided answer and returns the same model —
@@ -54,7 +64,10 @@
 //! test `sliced_solver_is_transparent` pins this.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use crate::cache::{config_prefix, push_domains, render_constraint, CacheAnswer};
 use crate::domain::{Interval, VarId, VarTable};
@@ -327,12 +340,15 @@ pub(crate) fn solve_slices(
     let mut memo_hits = 0u64;
     let mut domain_unsat = 0u64;
     let mut solved = 0u64;
-    stats.slices += queries.len() as u64;
     // Capture pruned-domain boxes whenever anyone can store them: the
     // local memo, or the shared cache (which persists them across runs
     // through the warm store).
     let capture = domains.is_some() || solver.query_cache().is_some();
     for q in queries {
+        // Counted per *examined* slice: an UNSAT short-circuit below
+        // leaves later slices unexamined, and they must not inflate the
+        // counter that identifies parallel-profitable queries.
+        stats.slices += 1;
         let mut from_memo = false;
         let mut from_cache = false;
         let mut from_hint = false;
@@ -409,6 +425,433 @@ pub(crate) fn solve_slices(
         memo_hits += from_memo as u64;
         domain_unsat += from_hint as u64;
         stats.slice_cache_hits += from_cache as u64;
+        match result {
+            SatResult::Unsat => {
+                return SliceOutcome {
+                    result: SatResult::Unsat,
+                    memo_hits,
+                    domain_unsat,
+                    solved,
+                }
+            }
+            SatResult::Unknown => unknown = true,
+            SatResult::Sat(m) => {
+                for (v, val) in m.iter() {
+                    merged.set(v, val);
+                }
+            }
+        }
+    }
+    SliceOutcome {
+        result: if unknown {
+            SatResult::Unknown
+        } else {
+            SatResult::Sat(merged)
+        },
+        memo_hits,
+        domain_unsat,
+        solved,
+    }
+}
+
+/// A slice-sized sub-job: one cold slice's solve, boxed for dispatch
+/// onto a borrowed worker (see [`SliceExecutor`]).
+pub type SliceJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// An executor that lends otherwise-idle workers to slice-sized
+/// sub-jobs. Implemented by `portend_farm::SlicePool`, where the
+/// classification farm's workers help a busy peer once their own job
+/// queue runs dry; any fixed helper pool works too.
+///
+/// The contract [`Solver::check_sliced_parallel`] relies on: a job that
+/// [`SliceExecutor::try_execute`] *accepts* is eventually executed
+/// exactly once (the submitter blocks on its result), and a rejected
+/// job is returned untouched so the submitter solves it inline — the
+/// sequential fallback when no worker is idle.
+pub trait SliceExecutor: fmt::Debug + Send + Sync {
+    /// Offers `job` to an idle worker. Returns `None` when the job was
+    /// accepted (it will run on a borrowed worker) or gives the job
+    /// back when no worker is idle.
+    fn try_execute(&self, job: SliceJob) -> Option<SliceJob>;
+
+    /// Reports submitter-measured wall time saved by one parallel check
+    /// (offloaded execution time minus the time spent waiting for it).
+    /// Purely statistical; the default implementation discards it.
+    fn record_wall_saved(&self, saved: Duration) {
+        let _ = saved;
+    }
+}
+
+/// A slice-parallelism configuration for a [`Solver`]: the worker pool
+/// to borrow from plus the profitability threshold.
+#[derive(Clone)]
+pub struct ParallelSlices {
+    pool: Arc<dyn SliceExecutor>,
+    /// Minimum number of *cold* slices (local-memo / shared-cache /
+    /// domain-hint misses) in one query before sub-jobs are dispatched;
+    /// below it the check solves sequentially. Cold slices are what the
+    /// dispatch parallelizes — a query of mostly-hot slices has nothing
+    /// to fan out.
+    pub min_cold_slices: usize,
+}
+
+impl fmt::Debug for ParallelSlices {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelSlices")
+            .field("min_cold_slices", &self.min_cold_slices)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParallelSlices {
+    /// A configuration borrowing from `pool` with the default threshold
+    /// of 2 cold slices (1 would "parallelize" a single solve).
+    pub fn new(pool: Arc<dyn SliceExecutor>) -> Self {
+        ParallelSlices {
+            pool,
+            min_cold_slices: 2,
+        }
+    }
+
+    /// The same configuration with an explicit cold-slice threshold
+    /// (floored at 2 — see [`ParallelSlices::min_cold_slices`]).
+    pub fn with_min_cold_slices(mut self, min: usize) -> Self {
+        self.min_cold_slices = min.max(2);
+        self
+    }
+
+    /// The executor sub-jobs are offered to.
+    pub fn pool(&self) -> &Arc<dyn SliceExecutor> {
+        &self.pool
+    }
+}
+
+/// How the cheap resolution pass answered one slice (everything short
+/// of solving), or found it cold.
+enum Resolution {
+    /// Answered by the solver-local memo.
+    Memo(SatResult),
+    /// Answered by the shared cache.
+    Cache(SatResult),
+    /// Refuted by a cached interval-domain hint.
+    Hint,
+    /// Needs a solve; `probation` carries the persisted answer to
+    /// confirm when the shared cache sampled this key for warm-store
+    /// validation.
+    Cold { probation: Option<SatResult> },
+}
+
+/// One cold slice's solve outcome, produced inline or by a sub-job.
+struct ColdSolve {
+    result: SatResult,
+    nodes: u64,
+    prune_passes: u64,
+    budget_exhausted: bool,
+    domains: Option<Vec<(VarId, Interval)>>,
+    exec: Duration,
+}
+
+/// Solves one cold slice under the cancellation protocol: a slice
+/// positioned *after* an already-known UNSAT slice is skipped (`None`),
+/// because the serial path would never have examined it; everything at
+/// or before the frontier must solve, so the local memo and the
+/// counters evolve exactly as the serial path's. Shared-cache insertion
+/// (or warm-store confirmation) happens here, on the solving thread —
+/// the cache is sharded and thread-safe, and publishing immediately
+/// lets concurrent workers reuse the slice before the merge.
+fn solve_cold(
+    solver: &Solver,
+    vars: &VarTable,
+    q: &SliceQuery,
+    probation: Option<&SatResult>,
+    capture: bool,
+    pos: usize,
+    min_unsat: &AtomicUsize,
+) -> Option<ColdSolve> {
+    if pos > min_unsat.load(Ordering::SeqCst) {
+        return None; // cancelled: an earlier slice already decided UNSAT
+    }
+    let t0 = Instant::now();
+    let (result, s, doms) = solver.solve_capture(&q.exprs, vars, capture);
+    if let (Some(cache), Some(key)) = (solver.query_cache(), q.key.as_deref()) {
+        match probation {
+            Some(expected) => cache.confirm_warm(key, expected, &result, doms.as_deref()),
+            None => cache.insert_with_domain(key.to_string(), result.clone(), doms.clone()),
+        }
+    }
+    if result == SatResult::Unsat {
+        min_unsat.fetch_min(pos, Ordering::SeqCst);
+    }
+    Some(ColdSolve {
+        result,
+        nodes: s.nodes,
+        prune_passes: s.prune_passes,
+        budget_exhausted: s.budget_exhausted,
+        domains: doms,
+        exec: t0.elapsed(),
+    })
+}
+
+/// [`solve_slices`] with cold slices dispatched onto borrowed idle
+/// workers (when the solver carries a [`ParallelSlices`] pool and at
+/// least [`ParallelSlices::min_cold_slices`] slices are cold), results
+/// merged deterministically in slice order.
+///
+/// Transparency with the serial path is engineered, not incidental:
+///
+/// * the cheap resolution pass (memo → shared cache → domain hint) runs
+///   in slice order and short-circuits on a cheap UNSAT before anything
+///   is dispatched, exactly like the serial loop;
+/// * each cold slice is solved by the same deterministic solver under
+///   the same full node budget, so per-slice results are byte-identical
+///   wherever they run;
+/// * an UNSAT cold slice publishes its *position* ([`AtomicUsize`]
+///   min); only slices strictly after the eventual minimum may be
+///   skipped — precisely the set the serial short-circuit never
+///   examines — so the local memo, the domain memo, and every counter
+///   in [`SolverStats`] are merged for exactly the serial path's
+///   examined prefix, in slice order;
+/// * models merge in slice order over variable-disjoint slices, which
+///   is the serial merge verbatim.
+///
+/// The only observable differences are shared-cache *traffic* (slices
+/// past an UNSAT may have been looked up or solved before the
+/// cancellation landed; their answers are deposited in the shared cache,
+/// which is answer-preserving by contract) and wall-clock time.
+pub(crate) fn solve_slices_parallel(
+    solver: &Solver,
+    vars: &VarTable,
+    queries: &[SliceQuery],
+    mut memo: Option<&mut HashMap<String, SatResult>>,
+    mut domains: Option<&mut DomainMemo>,
+    stats: &mut SolverStats,
+) -> SliceOutcome {
+    let capture = domains.is_some() || solver.query_cache().is_some();
+
+    // ---- Cheap pass, in slice order (the serial resolution order).
+    let mut resolutions: Vec<Resolution> = Vec::with_capacity(queries.len());
+    let mut cold: Vec<usize> = Vec::new();
+    let mut cheap_unsat: Option<usize> = None;
+    for (pos, q) in queries.iter().enumerate() {
+        let res = 'resolve: {
+            if let (Some(m), Some(key)) = (memo.as_deref(), q.key.as_deref()) {
+                if let Some(r) = m.get(key) {
+                    break 'resolve Resolution::Memo(r.clone());
+                }
+            }
+            if let (Some(cache), Some(key)) = (solver.query_cache(), q.key.as_deref()) {
+                match cache.lookup_slice(key) {
+                    CacheAnswer::Hit(r) => break 'resolve Resolution::Cache(r),
+                    CacheAnswer::Probation(expected) => {
+                        break 'resolve Resolution::Cold {
+                            probation: Some(expected),
+                        }
+                    }
+                    CacheAnswer::Miss => {}
+                }
+            }
+            if let Some(hint) = &q.hint {
+                let env = |id: VarId| {
+                    hint.iter()
+                        .find(|(v, _)| *v == id)
+                        .map(|&(_, i)| i)
+                        .unwrap_or_else(|| vars.info(id).interval())
+                };
+                if q.exprs
+                    .iter()
+                    .any(|e| e.eval_interval(&env).definitely_false())
+                {
+                    break 'resolve Resolution::Hint;
+                }
+            }
+            Resolution::Cold { probation: None }
+        };
+        let unsat = matches!(
+            &res,
+            Resolution::Memo(SatResult::Unsat) | Resolution::Cache(SatResult::Unsat)
+        ) || matches!(&res, Resolution::Hint);
+        if matches!(res, Resolution::Cold { .. }) {
+            cold.push(pos);
+        }
+        resolutions.push(res);
+        if unsat {
+            // Serial behavior: later slices are never looked up. Cold
+            // slices found *before* this position must still be solved
+            // (the serial loop solved them on the way here).
+            cheap_unsat = Some(pos);
+            break;
+        }
+    }
+
+    // ---- Solve the cold slices: dispatched + inline, or all inline.
+    let min_unsat = Arc::new(AtomicUsize::new(usize::MAX));
+    let dispatchable = solver
+        .parallel_slices()
+        .filter(|p| cold.len() >= p.min_cold_slices.max(2));
+    let mut results: HashMap<usize, Option<ColdSolve>> = HashMap::with_capacity(cold.len());
+    let mut offloaded = 0u64;
+    let (tx, rx) = mpsc::channel::<(usize, Option<ColdSolve>)>();
+    let mut inline: Vec<usize> = Vec::new();
+    match dispatchable {
+        Some(par) => {
+            // One table clone for the whole batch: the sub-jobs only
+            // read it, and cloning per job would put k full-table
+            // copies on the submitter's critical path.
+            let shared_vars = Arc::new(vars.clone());
+            for (k, &pos) in cold.iter().enumerate() {
+                if k == 0 {
+                    // The submitter always keeps work for itself.
+                    inline.push(pos);
+                    continue;
+                }
+                let q = &queries[pos];
+                let probation = match &resolutions[pos] {
+                    Resolution::Cold { probation } => probation.clone(),
+                    _ => None,
+                };
+                let job_solver = solver.clone();
+                let job_vars = Arc::clone(&shared_vars);
+                let job_query = SliceQuery {
+                    exprs: q.exprs.clone(),
+                    key: q.key.clone(),
+                    hint: None,
+                };
+                let job_min = Arc::clone(&min_unsat);
+                let job_tx = tx.clone();
+                let job: SliceJob = Box::new(move || {
+                    let solved = solve_cold(
+                        &job_solver,
+                        job_vars.as_ref(),
+                        &job_query,
+                        probation.as_ref(),
+                        capture,
+                        pos,
+                        &job_min,
+                    );
+                    // The submitter drains every dispatched result
+                    // before merging; a failed send means it is gone
+                    // (panic unwinding) and there is nobody to notify.
+                    let _ = job_tx.send((pos, solved));
+                });
+                match par.pool().try_execute(job) {
+                    None => offloaded += 1,
+                    // No worker idle: the clones are dropped with the
+                    // rejected box and the submitter solves inline.
+                    Some(_rejected) => inline.push(pos),
+                }
+            }
+        }
+        None => inline.extend(&cold),
+    }
+    drop(tx);
+    for &pos in &inline {
+        let probation = match &resolutions[pos] {
+            Resolution::Cold { probation } => probation.as_ref(),
+            _ => None,
+        };
+        results.insert(
+            pos,
+            solve_cold(
+                solver,
+                vars,
+                &queries[pos],
+                probation,
+                capture,
+                pos,
+                &min_unsat,
+            ),
+        );
+    }
+    if offloaded > 0 {
+        let wait_t0 = Instant::now();
+        let mut offload_exec = Duration::ZERO;
+        for (pos, solved) in rx.iter() {
+            if let Some(cs) = &solved {
+                offload_exec += cs.exec;
+            }
+            results.insert(pos, solved);
+        }
+        let waited = wait_t0.elapsed();
+        let saved = offload_exec.saturating_sub(waited);
+        stats.slices_offloaded += offloaded;
+        stats.slice_parallel_wall_saved += saved;
+        if let Some(par) = solver.parallel_slices() {
+            par.pool().record_wall_saved(saved);
+        }
+    }
+
+    // ---- Deterministic merge in slice order, bounded at the first
+    // UNSAT position — the exact prefix the serial path examines.
+    let cold_unsat = results
+        .iter()
+        .filter_map(|(&p, r)| match r {
+            Some(cs) if cs.result == SatResult::Unsat => Some(p),
+            _ => None,
+        })
+        .min();
+    let first_unsat = match (cheap_unsat, cold_unsat) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    // A cancelled slice whose cheap-pass lookup claimed a warm-store
+    // validation probe never performed the promised re-solve: give the
+    // probe back so the entry (still marked warm) is sampled on a later
+    // hit instead of silently counting a validation that never ran.
+    // Slices at or before `first_unsat` always solved (and confirmed).
+    if let Some(cache) = solver.query_cache() {
+        for &pos in &cold {
+            if matches!(resolutions[pos], Resolution::Cold { probation: Some(_) })
+                && matches!(results.get(&pos), Some(None))
+            {
+                cache.refund_warm_probe();
+            }
+        }
+    }
+    let mut memo_hits = 0u64;
+    let mut domain_unsat = 0u64;
+    let mut solved = 0u64;
+    let mut merged = Model::new();
+    let mut unknown = false;
+    for (pos, q) in queries.iter().enumerate() {
+        if first_unsat.is_some_and(|u| pos > u) {
+            break; // unexamined on the serial path: no bookkeeping
+        }
+        stats.slices += 1;
+        let (result, from_memo) = match &resolutions[pos] {
+            Resolution::Memo(r) => {
+                memo_hits += 1;
+                (r.clone(), true)
+            }
+            Resolution::Cache(r) => {
+                stats.slice_cache_hits += 1;
+                (r.clone(), false)
+            }
+            Resolution::Hint => {
+                domain_unsat += 1;
+                (SatResult::Unsat, false)
+            }
+            Resolution::Cold { .. } => {
+                let cs = results
+                    .remove(&pos)
+                    .flatten()
+                    .expect("every examined cold slice has a result");
+                solved += 1;
+                stats.nodes += cs.nodes;
+                stats.prune_passes += cs.prune_passes;
+                stats.budget_exhausted |= cs.budget_exhausted;
+                if let (Some(dm), Some(key), Some(doms)) =
+                    (domains.as_deref_mut(), q.key.as_ref(), cs.domains)
+                {
+                    dm.insert(key.clone(), doms);
+                }
+                (cs.result, false)
+            }
+        };
+        if let (Some(m), Some(key)) = (memo.as_deref_mut(), &q.key) {
+            if !from_memo {
+                m.insert(key.clone(), result.clone());
+            }
+        }
         match result {
             SatResult::Unsat => {
                 return SliceOutcome {
@@ -518,12 +961,16 @@ fn prepare_slices(views: &[ConstraintView<'_>], prefix: Option<&str>, vars: &Var
 }
 
 /// The sliced equivalent of [`Solver::solve`] with optional per-slice
-/// cache/memoization; backs [`Solver::check_sliced_with_stats`].
+/// cache/memoization; backs [`Solver::check_sliced_with_stats`]. With
+/// `parallel` set, cold slices are dispatched through the solver's
+/// [`ParallelSlices`] pool (backing
+/// [`Solver::check_sliced_parallel_with_stats`]).
 pub(crate) fn check_sliced(
     solver: &Solver,
     constraints: &[Expr],
     vars: &VarTable,
     memo: Option<&mut HashMap<String, SatResult>>,
+    parallel: bool,
 ) -> (SatResult, SolverStats) {
     let mut stats = SolverStats::default();
     let var_lists: Vec<Vec<VarId>> = constraints
@@ -549,7 +996,11 @@ pub(crate) fn check_sliced(
     match prepare_slices(&views, prefix.as_deref(), vars) {
         Prepared::Decided(r) => (r, stats),
         Prepared::Queries(queries) => {
-            let outcome = solve_slices(solver, vars, &queries, memo, None, &mut stats);
+            let outcome = if parallel {
+                solve_slices_parallel(solver, vars, &queries, memo, None, &mut stats)
+            } else {
+                solve_slices(solver, vars, &queries, memo, None, &mut stats)
+            };
             (outcome.result, stats)
         }
     }
@@ -573,6 +1024,14 @@ pub struct ScopedStats {
     pub domain_unsat: u64,
     /// Slices actually solved.
     pub solved: u64,
+    /// Cold slices dispatched onto borrowed idle workers by the
+    /// parallel path (see [`Solver::check_sliced_parallel`]); `0` when
+    /// no [`ParallelSlices`] pool is attached or no worker was idle.
+    pub slices_offloaded: u64,
+    /// Estimated wall time saved by offloading: the dispatched solves'
+    /// execution time minus the time this solver spent waiting for
+    /// their results, summed over checks.
+    pub slice_parallel_wall_saved: Duration,
 }
 
 /// The slice a frame belonged to at the last check: its canonical key
@@ -848,19 +1307,40 @@ impl ScopedSolver {
                 });
             }
         }
-        let outcome = solve_slices(
-            &self.solver,
-            vars,
-            &queries,
-            Some(&mut self.memo),
-            Some(&mut self.domains),
-            &mut stats,
-        );
+        // A query with fewer slices than the cold-slice threshold can
+        // never dispatch; route it through the serial path so small
+        // checks (the overwhelming majority at explorer fork sites) pay
+        // no parallel-bookkeeping overhead at all.
+        let parallel = self
+            .solver
+            .parallel_slices()
+            .is_some_and(|p| queries.len() >= p.min_cold_slices.max(2));
+        let outcome = if parallel {
+            solve_slices_parallel(
+                &self.solver,
+                vars,
+                &queries,
+                Some(&mut self.memo),
+                Some(&mut self.domains),
+                &mut stats,
+            )
+        } else {
+            solve_slices(
+                &self.solver,
+                vars,
+                &queries,
+                Some(&mut self.memo),
+                Some(&mut self.domains),
+                &mut stats,
+            )
+        };
         self.stats.slices += stats.slices;
         self.stats.memo_hits += outcome.memo_hits;
         self.stats.cache_hits += stats.slice_cache_hits;
         self.stats.domain_unsat += outcome.domain_unsat;
         self.stats.solved += outcome.solved;
+        self.stats.slices_offloaded += stats.slices_offloaded;
+        self.stats.slice_parallel_wall_saved += stats.slice_parallel_wall_saved;
         (outcome.result, stats)
     }
 
@@ -1068,8 +1548,14 @@ mod tests {
         assert_eq!(r3, fresh);
     }
 
+    /// Regression for the slice-counter bugfix: `solve_slices` used to
+    /// add the whole partition size to `SolverStats::slices` up front
+    /// and then short-circuit on the first UNSAT slice, counting slices
+    /// it never examined — inflating exactly the counter the roadmap
+    /// uses to find parallel-profitable queries. With an UNSAT-first
+    /// multi-slice query, only the examined slice may be counted.
     #[test]
-    fn unsat_short_circuit_does_not_overcount_solved() {
+    fn unsat_short_circuit_counts_only_examined_slices() {
         let vars = vt(&[(0, 5), (0, 5), (0, 5)]);
         let mut scoped = ScopedSolver::new(Solver::new());
         scoped.assume(x(0).cmp(CmpOp::Gt, Expr::konst(9))); // UNSAT, first slice
@@ -1077,12 +1563,36 @@ mod tests {
         scoped.assume(x(2).cmp(CmpOp::Ge, Expr::konst(1)));
         assert_eq!(scoped.check(&vars), SatResult::Unsat);
         let st = scoped.stats();
-        assert_eq!(st.slices, 3, "partition size still reported: {st:?}");
         assert_eq!(
-            st.solved, 1,
-            "slices skipped by the UNSAT short-circuit are not solved: {st:?}"
+            st.slices, 1,
+            "slices skipped by the UNSAT short-circuit were never examined: {st:?}"
         );
+        assert_eq!(st.solved, 1, "one slice solved, then the short-circuit");
         assert_eq!((st.memo_hits, st.cache_hits), (0, 0));
+
+        // The stateless path counts the same way (`ScopedStats`
+        // aggregation mirrors the fixed `SolverStats` counter).
+        let (r, stats) = Solver::new().check_sliced_with_stats(
+            &[
+                x(0).cmp(CmpOp::Gt, Expr::konst(9)),
+                x(1).cmp(CmpOp::Ge, Expr::konst(1)),
+                x(2).cmp(CmpOp::Ge, Expr::konst(1)),
+            ],
+            &vars,
+        );
+        assert_eq!(r, SatResult::Unsat);
+        assert_eq!(stats.slices, 1, "{stats:?}");
+        // A fully-examined query still reports the partition size.
+        let (r, stats) = Solver::new().check_sliced_with_stats(
+            &[
+                x(0).cmp(CmpOp::Le, Expr::konst(5)),
+                x(1).cmp(CmpOp::Ge, Expr::konst(1)),
+                x(2).cmp(CmpOp::Ge, Expr::konst(1)),
+            ],
+            &vars,
+        );
+        assert!(matches!(r, SatResult::Sat(_)));
+        assert_eq!(stats.slices, 3, "{stats:?}");
     }
 
     #[test]
@@ -1134,5 +1644,146 @@ mod tests {
         scoped.assume(x(0).cmp(CmpOp::Ge, Expr::konst(0)));
         scoped.assume(Expr::konst(0));
         assert_eq!(scoped.check(&vars), SatResult::Unsat);
+    }
+
+    /// A minimal executor for tests: every offered job runs on a fresh
+    /// thread (always "idle"), so dispatch is exercised without the
+    /// farm crate (which depends on this one).
+    #[derive(Debug, Default)]
+    struct SpawnExecutor {
+        accepted: std::sync::atomic::AtomicU64,
+    }
+
+    impl SliceExecutor for SpawnExecutor {
+        fn try_execute(&self, job: SliceJob) -> Option<SliceJob> {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+            std::thread::spawn(job);
+            None
+        }
+    }
+
+    /// A refusing executor: the sequential fallback must engage.
+    #[derive(Debug)]
+    struct BusyExecutor;
+
+    impl SliceExecutor for BusyExecutor {
+        fn try_execute(&self, job: SliceJob) -> Option<SliceJob> {
+            Some(job)
+        }
+    }
+
+    fn par_solver(pool: Arc<dyn SliceExecutor>) -> Solver {
+        Solver::new().parallel(ParallelSlices::new(pool))
+    }
+
+    #[test]
+    fn parallel_sliced_check_equals_serial_sliced_check() {
+        let vars = vt(&[(0, 30), (0, 30), (0, 30), (0, 30)]);
+        let serial = Solver::new();
+        let pool = Arc::new(SpawnExecutor::default());
+        let parallel = par_solver(Arc::clone(&pool) as Arc<dyn SliceExecutor>);
+        let cases: Vec<Vec<Expr>> = vec![
+            // Four cold disjoint slices, all satisfiable.
+            (0..4)
+                .map(|i| {
+                    x(i).mul(x(i))
+                        .cmp(CmpOp::Eq, Expr::konst(((i + 2) * (i + 2)) as i64))
+                })
+                .collect(),
+            // UNSAT in the middle slice.
+            vec![
+                x(0).cmp(CmpOp::Ge, Expr::konst(3)),
+                x(1).cmp(CmpOp::Gt, Expr::konst(99)),
+                x(2).cmp(CmpOp::Le, Expr::konst(7)),
+            ],
+            // Single slice: below the threshold, sequential fallback.
+            vec![x(0).cmp(CmpOp::Ge, Expr::konst(3))],
+        ];
+        for cs in &cases {
+            let (want, ws) = serial.check_sliced_with_stats(cs, &vars);
+            let (got, gs) = parallel.check_sliced_parallel_with_stats(cs, &vars);
+            assert_eq!(got, want, "parallel != serial for {cs:?}");
+            assert_eq!(gs.slices, ws.slices, "examined-slice counts: {cs:?}");
+            assert_eq!(gs.nodes, ws.nodes, "search work per slice: {cs:?}");
+        }
+        assert!(
+            pool.accepted.load(Ordering::Relaxed) > 0,
+            "the many-cold-slice case must dispatch"
+        );
+    }
+
+    #[test]
+    fn parallel_falls_back_when_no_worker_is_idle() {
+        let vars = vt(&[(0, 30), (0, 30), (0, 30)]);
+        let parallel = par_solver(Arc::new(BusyExecutor));
+        let cs = [
+            x(0).mul(x(0)).cmp(CmpOp::Eq, Expr::konst(25)),
+            x(1).mul(x(1)).cmp(CmpOp::Eq, Expr::konst(16)),
+            x(2).cmp(CmpOp::Gt, Expr::konst(99)), // UNSAT
+        ];
+        let (got, stats) = parallel.check_sliced_parallel_with_stats(&cs, &vars);
+        let want = Solver::new().check_sliced(&cs, &vars);
+        assert_eq!(got, want);
+        assert_eq!(stats.slices_offloaded, 0, "every dispatch was refused");
+        assert_eq!(got, SatResult::Unsat);
+    }
+
+    /// The deterministic-merge contract under cancellation: whichever
+    /// sub-job finishes first, an UNSAT slice yields exactly the serial
+    /// verdict and the serial examined-slice counters.
+    #[test]
+    fn parallel_unsat_cancellation_is_deterministic() {
+        let vars = vt(&[(0, 200), (0, 5), (0, 200)]);
+        let pool = Arc::new(SpawnExecutor::default());
+        let parallel = par_solver(pool);
+        // Slice order: slow-sat, fast-unsat, slow-sat. Serial examines
+        // exactly the first two.
+        let cs = [
+            x(0).mul(x(0)).cmp(CmpOp::Eq, Expr::konst(169 * 169)),
+            x(1).cmp(CmpOp::Gt, Expr::konst(9)), // UNSAT
+            x(2).mul(x(2)).cmp(CmpOp::Eq, Expr::konst(101 * 101)),
+        ];
+        let (serial, ss) = Solver::new().check_sliced_with_stats(&cs, &vars);
+        assert_eq!(serial, SatResult::Unsat);
+        for _ in 0..16 {
+            let (got, gs) = parallel.check_sliced_parallel_with_stats(&cs, &vars);
+            assert_eq!(got, SatResult::Unsat);
+            assert_eq!(gs.slices, ss.slices, "examined prefix is serial-exact");
+        }
+    }
+
+    /// Regression (PR 4 follow-up): a shared-cache *hit* on a slice
+    /// must still supply domain boxes for later hint refutation. On
+    /// `CacheAnswer::Hit` nothing is captured locally, so the box can
+    /// only come from `assemble_hint`'s shared-cache fallback
+    /// (`SolverCache::domain_of`) — this pins that path.
+    #[test]
+    fn shared_cache_hit_still_supplies_domain_boxes_for_hints() {
+        let vars = vt(&[(0, 100)]);
+        let cache = Arc::new(crate::cache::SolverCache::new(2));
+        // Solver A deposits the slice result *and* its pruned box
+        // ([40, 60]) into the shared cache.
+        let mut a = ScopedSolver::new(Solver::new().cached(Arc::clone(&cache)));
+        a.assume(x(0).cmp(CmpOp::Ge, Expr::konst(40)));
+        a.assume(x(0).cmp(CmpOp::Le, Expr::konst(60)));
+        assert!(matches!(a.check(&vars), SatResult::Sat(_)));
+
+        // Solver B resolves the same slice via a shared-cache hit: no
+        // local capture happens, so its domain memo stays empty.
+        let mut b = ScopedSolver::new(Solver::new().cached(Arc::clone(&cache)));
+        b.assume(x(0).cmp(CmpOp::Ge, Expr::konst(40)));
+        b.assume(x(0).cmp(CmpOp::Le, Expr::konst(60)));
+        assert!(matches!(b.check(&vars), SatResult::Sat(_)));
+        let st = b.stats();
+        assert_eq!(st.cache_hits, 1, "B must hit A's entry: {st:?}");
+        assert_eq!(st.solved, 0, "B never solves: {st:?}");
+
+        // A contradicting probe on B must be refuted by the *cached*
+        // box alone — no solving — via the shared-cache fallback.
+        let r = b.check_assuming(x(0).cmp(CmpOp::Gt, Expr::konst(90)), &vars);
+        assert_eq!(r, SatResult::Unsat);
+        let st = b.stats();
+        assert_eq!(st.domain_unsat, 1, "refuted from the shared box: {st:?}");
+        assert_eq!(st.solved, 0, "still no solving: {st:?}");
     }
 }

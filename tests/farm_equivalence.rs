@@ -90,6 +90,17 @@ fn farm_knobs_do_not_change_verdicts() {
             cache_shards: 1,
             ..Default::default()
         },
+        FarmKnobs {
+            parallel_slices: false,
+            ..Default::default()
+        },
+        FarmKnobs {
+            // An aggressive cold-slice threshold dispatches as eagerly
+            // as the floor allows; still verdict-invariant.
+            parallel_min_cold_slices: 2,
+            solver_cache: false,
+            ..Default::default()
+        },
     ];
     for (i, farm) in knob_sets.into_iter().enumerate() {
         let cfg = PortendConfig {

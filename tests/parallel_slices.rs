@@ -1,0 +1,208 @@
+//! Parallel slice solving: transparency and equivalence suite.
+//!
+//! `Solver::check_sliced_parallel` dispatches cold constraint slices
+//! onto borrowed idle workers (`portend_farm::SlicePool`). Its contract
+//! is *byte-equivalence* with the serial sliced path — same verdict,
+//! same witness model, same examined-slice counters — under every
+//! worker count (including zero idle workers, the sequential fallback)
+//! and every interleaving of sub-job completion, because results are
+//! merged deterministically in slice order and an UNSAT slice cancels
+//! exactly the suffix the serial short-circuit would skip.
+//!
+//! The suites here pin that contract at three levels: randomized
+//! constraint corpora (with and without a shared cache), the starvation
+//! budget regime (`Unknown` handling), and the full classification
+//! pipeline over real workloads with the farm's slice lending on.
+
+use std::sync::Arc;
+
+use portend_repro::portend::{FarmKnobs, PipelineResult, PortendConfig};
+use portend_repro::portend_farm::SliceHelpers;
+use portend_repro::portend_symex::{
+    CmpOp, Expr, ParallelSlices, SatResult, Solver, SolverCache, SolverConfig, VarTable,
+};
+use portend_repro::portend_vm::SmallRng;
+use portend_repro::portend_workloads::by_name;
+
+/// A table of `n` variables over `[lo, hi]`.
+fn vt(n: usize, lo: i64, hi: i64) -> VarTable {
+    let mut t = VarTable::new();
+    for i in 0..n {
+        t.fresh(format!("x{i}"), lo, hi);
+    }
+    t
+}
+
+/// A random many-cold-slice query: one constraint per variable (each
+/// variable its own slice), mixing nonlinear equalities (real search
+/// work), linear bounds, and — occasionally — unsatisfiable slices, so
+/// the UNSAT short-circuit/cancellation path is exercised too.
+fn gen_query(r: &mut SmallRng, nvars: usize) -> Vec<Expr> {
+    (0..nvars as u32)
+        .map(|i| {
+            let x = Expr::var(portend_repro::portend_symex::VarId(i));
+            match r.gen_index(5) {
+                0 => {
+                    let root = 2 + r.gen_index(6) as i64;
+                    x.clone().mul(x).cmp(CmpOp::Eq, Expr::konst(root * root))
+                }
+                1 => x.cmp(CmpOp::Ge, Expr::konst(r.gen_index(50) as i64)),
+                2 => x.cmp(CmpOp::Lt, Expr::konst(3 + r.gen_index(50) as i64)),
+                3 => {
+                    // Nonlinear, sometimes unsatisfiable (47 is prime).
+                    let t = [47, 36, 25][r.gen_index(3)];
+                    x.clone().mul(x).cmp(CmpOp::Eq, Expr::konst(t))
+                }
+                _ => x.cmp(CmpOp::Gt, Expr::konst(55 + r.gen_index(10) as i64)),
+            }
+        })
+        .collect()
+}
+
+/// Zeroes the scheduling-only counters so the rest of the stats can be
+/// compared exactly against the serial path.
+fn descheduled(
+    mut s: portend_repro::portend_symex::SolverStats,
+) -> portend_repro::portend_symex::SolverStats {
+    s.slices_offloaded = 0;
+    s.slice_parallel_wall_saved = std::time::Duration::ZERO;
+    s
+}
+
+/// The headline property: parallel ≡ serial, byte for byte, across
+/// worker counts {1, 2, 4}, with and without a shared cache.
+#[test]
+fn parallel_equals_serial_across_worker_counts() {
+    for workers in [1usize, 2, 4] {
+        let helpers = SliceHelpers::new(workers);
+        let serial = Solver::new();
+        let parallel = Solver::new().parallel(ParallelSlices::new(helpers.executor()));
+        let cache = Arc::new(SolverCache::new(4));
+        let serial_cached = Solver::new().cached(Arc::clone(&cache));
+        let parallel_cached = Solver::new()
+            .cached(Arc::clone(&cache))
+            .parallel(ParallelSlices::new(helpers.executor()));
+
+        let mut r = SmallRng::seed_from_u64(0x5117CE + workers as u64);
+        let mut dispatched = 0u64;
+        for _case in 0..48 {
+            let nvars = 2 + r.gen_index(6);
+            let vars = vt(nvars, 0, 60);
+            let cs = gen_query(&mut r, nvars);
+            let (want, ws) = serial.check_sliced_with_stats(&cs, &vars);
+            let (got, gs) = parallel.check_sliced_parallel_with_stats(&cs, &vars);
+            assert_eq!(got, want, "workers={workers}: parallel != serial: {cs:?}");
+            assert_eq!(
+                descheduled(gs),
+                ws,
+                "workers={workers}: examined-work counters differ: {cs:?}"
+            );
+            dispatched += gs.slices_offloaded;
+            // Shared-cache variant: verdicts must match the uncached
+            // reference too (the cache is answer-preserving).
+            assert_eq!(parallel_cached.check_sliced_parallel(&cs, &vars), want);
+            assert_eq!(serial_cached.check_sliced(&cs, &vars), want);
+        }
+        assert!(
+            dispatched > 0,
+            "workers={workers}: the corpus must exercise real dispatch"
+        );
+    }
+}
+
+/// The starvation-budget suite: under a tiny node budget the serial
+/// sliced path may return `Unknown`; the parallel path must return the
+/// *identical* answer — `Unknown` included — because every slice is
+/// solved under the same per-slice budget wherever it runs.
+#[test]
+fn starvation_budget_parallel_matches_serial_exactly() {
+    let helpers = SliceHelpers::new(2);
+    let tiny_cfg = SolverConfig {
+        node_budget: 8,
+        max_prune_passes: 1,
+    };
+    let tiny = Solver::with_config(tiny_cfg);
+    let tiny_par = Solver::with_config(tiny_cfg).parallel(ParallelSlices::new(helpers.executor()));
+    let mut r = SmallRng::seed_from_u64(0x57A52E);
+    let mut unknowns = 0u64;
+    for _case in 0..96 {
+        let nvars = 2 + r.gen_index(5);
+        let vars = vt(nvars, 0, 60);
+        let cs = gen_query(&mut r, nvars);
+        let want = tiny.check_sliced(&cs, &vars);
+        let got = tiny_par.check_sliced_parallel(&cs, &vars);
+        assert_eq!(got, want, "starvation regime diverged: {cs:?}");
+        unknowns += matches!(want, SatResult::Unknown) as u64;
+    }
+    assert!(unknowns > 0, "the regime must exercise Unknown cases");
+}
+
+/// Asserts full per-cluster verdict equality (class, evidence, k, and
+/// the deterministic work counters) of two pipeline results.
+fn assert_equivalent(name: &str, a: &PipelineResult, b: &PipelineResult) {
+    assert_eq!(a.analyzed.len(), b.analyzed.len(), "{name}: race counts");
+    for (i, (x, y)) in a.analyzed.iter().zip(&b.analyzed).enumerate() {
+        assert_eq!(x.cluster, y.cluster, "{name}: cluster #{i}");
+        assert_eq!(x.verdict, y.verdict, "{name}: verdict #{i}");
+    }
+}
+
+/// The pipeline contract: with the farm's slice lending on (the
+/// default), verdicts — including every `ClassifyStats` counter — are
+/// identical to the serial pipeline and to a farm with the knob off,
+/// across worker counts. Multi-worker farm configs run fine on
+/// single-core hosts (the farm spawns its own threads), so this suite
+/// exercises real lending wherever the scheduler allows it.
+#[test]
+fn pipeline_slice_lending_preserves_verdicts() {
+    for name in ["ctrace", "bbuf"] {
+        let w = by_name(name).expect("workload exists");
+        let serial = w.analyze(PortendConfig::default());
+        for workers in [1usize, 2, 4] {
+            let on = w.analyze_parallel(PortendConfig::default(), workers);
+            assert_equivalent(&format!("{name} lending on w={workers}"), &serial, &on);
+        }
+        let off = PortendConfig {
+            farm: FarmKnobs {
+                parallel_slices: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let off_run = w.analyze_parallel(off, 4);
+        assert_equivalent(&format!("{name} lending off"), &serial, &off_run);
+    }
+}
+
+/// The farm surfaces the slice-lending counters coherently: zero when
+/// the knob is off, and internally consistent when on (wall saved can
+/// only be nonzero when something was offloaded).
+#[test]
+fn farm_stats_surface_slice_lending_counters() {
+    let w = by_name("ctrace").expect("workload exists");
+    let (_, on) = w.analyze_parallel_with_stats(PortendConfig::default(), 4);
+    if on.slices_offloaded == 0 {
+        assert_eq!(
+            on.slice_parallel_wall_saved,
+            std::time::Duration::ZERO,
+            "no offload, no savings: {on:?}"
+        );
+    } else {
+        assert!(
+            on.summary().contains("slices offloaded"),
+            "offloads surface in the summary: {}",
+            on.summary()
+        );
+    }
+    let off_cfg = PortendConfig {
+        farm: FarmKnobs {
+            parallel_slices: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (_, off) = w.analyze_parallel_with_stats(off_cfg, 4);
+    assert_eq!(off.slices_offloaded, 0);
+    assert_eq!(off.slice_parallel_wall_saved, std::time::Duration::ZERO);
+    assert!(!off.summary().contains("slices offloaded"));
+}
