@@ -7,10 +7,32 @@
 //! the [`crate::criterion_group!`]/[`crate::criterion_main!`] macros — with wall-clock
 //! timing and a min/mean/median report. Benches declare
 //! `harness = false` and run as plain binaries under `cargo bench`.
+//!
+//! ## Machine-readable output
+//!
+//! `cargo bench --bench bench_solver -- --json out.json` additionally
+//! writes every benchmark's per-iteration statistics as one JSON
+//! document (`{"format":"portend-bench","version":1,"benches":[…]}`,
+//! durations in integer nanoseconds) — the artifact CI uploads so runs
+//! can be diffed across commits.
 
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use portend_obs::json::Json;
+
 pub use std::hint::black_box;
+
+/// One finished benchmark's record, kept for the `--json` report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: Option<String>,
+    name: String,
+    samples_ns: Vec<u64>,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Samples per benchmark unless overridden via
 /// [`BenchmarkGroup::sample_size`].
@@ -28,7 +50,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, DEFAULT_SAMPLE_SIZE, f);
+        run_bench(None, name, DEFAULT_SAMPLE_SIZE, f);
         self
     }
 
@@ -37,6 +59,7 @@ impl Criterion {
         println!("group: {name}");
         BenchmarkGroup {
             _parent: self,
+            name: name.to_string(),
             sample_size: DEFAULT_SAMPLE_SIZE,
         }
     }
@@ -46,6 +69,7 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
+    name: String,
     sample_size: usize,
 }
 
@@ -61,7 +85,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, f);
+        run_bench(Some(&self.name), name, self.sample_size, f);
         self
     }
 
@@ -89,7 +113,12 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    name: &str,
+    sample_size: usize,
+    mut f: F,
+) {
     let mut b = Bencher {
         sample_size,
         samples: Vec::new(),
@@ -110,6 +139,77 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         fmt_duration(mean),
         b.samples.len(),
     );
+    RESULTS.lock().expect("bench registry").push(BenchRecord {
+        group: group.map(str::to_string),
+        name: name.to_string(),
+        samples_ns: b.samples.iter().map(|d| d.as_nanos() as u64).collect(),
+    });
+}
+
+/// Renders every benchmark recorded so far as the `--json` document.
+pub fn results_json() -> String {
+    let results = RESULTS.lock().expect("bench registry");
+    let benches: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            // `samples_ns` is sorted (run_bench sorts before recording).
+            let total: u64 = r.samples_ns.iter().sum();
+            let n = r.samples_ns.len() as u64;
+            Json::Obj(vec![
+                (
+                    "group".into(),
+                    r.group.as_deref().map_or(Json::Null, Json::from),
+                ),
+                ("name".into(), r.name.as_str().into()),
+                ("samples".into(), Json::from(n)),
+                ("total_ns".into(), Json::from(total)),
+                ("min_ns".into(), Json::from(r.samples_ns[0])),
+                (
+                    "median_ns".into(),
+                    Json::from(r.samples_ns[r.samples_ns.len() / 2]),
+                ),
+                ("mean_ns".into(), Json::from(total / n)),
+                (
+                    "max_ns".into(),
+                    Json::from(*r.samples_ns.last().expect("non-empty")),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("format".into(), "portend-bench".into()),
+        ("version".into(), Json::from(1u32)),
+        ("benches".into(), Json::Arr(benches)),
+    ])
+    .render()
+}
+
+/// Handles the harness's own CLI: with `--json <path>` among the
+/// arguments (anything after `cargo bench … --`), writes
+/// [`results_json`] to that path. Called by the `main` that
+/// [`crate::criterion_main!`] generates, after every group has run.
+pub fn finish() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = PathBuf::from(args.next().unwrap_or_else(|| {
+                eprintln!("--json requires a path");
+                std::process::exit(2);
+            }));
+            // Cargo runs bench binaries from the package directory, so
+            // relative paths may point at directories that don't exist
+            // yet — create them rather than failing the whole bench.
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(&path, results_json()) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("json report: {}", path.display());
+            return;
+        }
+    }
 }
 
 /// Human-scale duration formatting (ns/µs/ms/s).
@@ -145,6 +245,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::crit::finish();
         }
     };
 }
@@ -165,5 +266,35 @@ mod tests {
         assert!(fmt_duration(Duration::from_micros(15)).contains("µs"));
         assert!(fmt_duration(Duration::from_millis(15)).contains("ms"));
         assert!(fmt_duration(Duration::from_secs(2)).contains("s"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json-group");
+        group
+            .sample_size(4)
+            .bench_function("probe", |b| b.iter(|| black_box(2) * 3));
+        group.finish();
+        let doc = portend_obs::json::parse(&results_json()).expect("report parses");
+        assert_eq!(
+            doc.get("format").and_then(Json::as_str),
+            Some("portend-bench")
+        );
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        let benches = doc.get("benches").and_then(Json::as_arr).expect("benches");
+        let probe = benches
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some("probe"))
+            .expect("probe bench recorded");
+        assert_eq!(
+            probe.get("group").and_then(Json::as_str),
+            Some("json-group")
+        );
+        assert_eq!(probe.get("samples").and_then(Json::as_u64), Some(4));
+        let min = probe.get("min_ns").and_then(Json::as_u64).expect("min");
+        let max = probe.get("max_ns").and_then(Json::as_u64).expect("max");
+        let median = probe.get("median_ns").and_then(Json::as_u64).unwrap();
+        assert!(min <= median && median <= max);
     }
 }

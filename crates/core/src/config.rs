@@ -5,6 +5,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use portend_farm::FarmConfig;
+use portend_obs::TraceConfig;
 use portend_symex::{SolverConfig, WarmPolicy};
 
 /// Which analysis techniques are enabled — the axes of the paper's Fig. 7
@@ -87,6 +88,16 @@ pub struct PortendConfig {
     /// Parallel-classification farm knobs (used by
     /// `Pipeline::run_parallel`; ignored by the serial path).
     pub farm: FarmKnobs,
+    /// Event tracing (`portend-obs`). `None` (the default) records
+    /// nothing and costs nothing — every emission site collapses to one
+    /// thread-local read. `Some` records phase/solver/farm/cache events
+    /// into per-thread lanes, returns the merged
+    /// [`portend_obs::Trace`] on the pipeline result, and optionally
+    /// exports a Chrome trace and a versioned
+    /// [`crate::RunReport`] to the configured paths. Tracing never
+    /// changes a verdict or a stats counter: the recorder only
+    /// *observes* (see the equivalence tests in `tests/run_report.rs`).
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for PortendConfig {
@@ -102,6 +113,7 @@ impl Default for PortendConfig {
             solver: SolverConfig::default(),
             slice_solver: true,
             farm: FarmKnobs::default(),
+            trace: None,
         }
     }
 }

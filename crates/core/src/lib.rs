@@ -30,7 +30,7 @@
 //! substrate substitutions relative to the original Cloud9/KLEE stack.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baselines;
 mod case;
@@ -42,6 +42,7 @@ mod locate;
 mod outcmp;
 mod pipeline;
 mod report;
+pub mod runreport;
 mod single;
 mod supervise;
 mod taxonomy;
@@ -52,8 +53,13 @@ pub use classify::{ClassifyError, Portend};
 pub use config::{AnalysisStages, FarmKnobs, PortendConfig};
 pub use pipeline::{AnalyzedRace, Pipeline, PipelineResult};
 pub use portend_farm::{FarmStats, WorkerStats};
+pub use portend_obs::{Trace, TraceConfig};
 pub use portend_symex::{CacheSnapshot, WarmPolicy};
 pub use report::render_report;
+pub use runreport::{
+    EventSummary, RaceOutcome, ReportError, RunReport, VerdictReport, REPORT_FORMAT_NAME,
+    REPORT_FORMAT_VERSION,
+};
 pub use taxonomy::{
     ClassifyStats, OutputDiffEvidence, RaceClass, ReplayEvidence, SpecViolationKind, Verdict,
     VerdictDetail,

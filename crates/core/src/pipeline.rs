@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use portend_farm::{cluster_priority, Farm, FarmStats, JobSpec, SlicePool};
+use portend_obs::{EventKind, Recorder, Trace, TraceConfig};
 use portend_race::{DetectorConfig, RaceCluster};
 use portend_replay::{record, RecordConfig, RecordedRun};
 use portend_symex::{CacheSnapshot, ParallelSlices, SliceExecutor, SolverCache};
@@ -15,6 +16,7 @@ use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
 use crate::case::{AnalysisCase, Predicate};
 use crate::classify::{ClassifyError, Portend};
 use crate::config::{FarmKnobs, PortendConfig};
+use crate::runreport::RunReport;
 use crate::taxonomy::Verdict;
 
 /// Builds the run's shared solver cache per the farm knobs, warming it
@@ -39,6 +41,32 @@ fn persist_cache(knobs: &FarmKnobs, cache: Option<&Arc<SolverCache>>) {
     if let (Some(cache), Some(path)) = (cache, &knobs.cache_path) {
         let _ = cache.save_to(path, &knobs.cache_save_policy);
     }
+}
+
+/// Exports the finished trace per the [`TraceConfig`] — Chrome trace
+/// JSON and/or the versioned [`RunReport`] — and attaches the merged
+/// trace to the result so callers (and the equivalence tests) can
+/// inspect it in-process. Export failures are swallowed for the same
+/// reason warm-store saves are: observability is an optimization, the
+/// verdicts are already computed.
+fn finish_trace(
+    cfg: &TraceConfig,
+    recorder: &Recorder,
+    result: &mut PipelineResult,
+    farm: Option<&FarmStats>,
+) {
+    let trace = recorder.finish();
+    if let Some(path) = &cfg.chrome_path {
+        let _ = trace.write_chrome(path);
+    }
+    if let Some(path) = &cfg.report_path {
+        let mut report = RunReport::from_result(cfg.label.clone(), result).with_trace(&trace);
+        if let Some(stats) = farm {
+            report = report.with_farm(stats.clone());
+        }
+        let _ = report.write_to(path);
+    }
+    result.trace = Some(trace);
 }
 
 /// One classified race: the cluster, the verdict (or failure), and how
@@ -70,6 +98,10 @@ pub struct PipelineResult {
     /// the serial and the parallel path share one cache across all of
     /// the run's classifications.
     pub cache: Option<CacheSnapshot>,
+    /// The run's merged event trace, when
+    /// [`PortendConfig::trace`](crate::PortendConfig::trace) enabled
+    /// recording. `None` when tracing is off.
+    pub trace: Option<Trace>,
 }
 
 /// The full pipeline configuration.
@@ -102,8 +134,12 @@ impl Pipeline {
         predicates: Vec<Predicate>,
         vm: VmConfig,
     ) -> PipelineResult {
-        let (run, record_time, case) =
-            self.record_phase(program, inputs, input_spec, predicates, vm);
+        let recorder = self.portend.trace.as_ref().map(|_| Recorder::new());
+        let main_lane = recorder.as_ref().map(|r| r.attach("main", 0));
+        let (run, record_time, case) = {
+            let _ev = portend_obs::span_named(EventKind::Phase, "record");
+            self.record_phase(program, inputs, input_spec, predicates, vm)
+        };
         let knobs = &self.portend.farm;
         let cache = knobs_cache(knobs);
         let portend = match &cache {
@@ -111,23 +147,32 @@ impl Pipeline {
             None => Portend::new(self.portend.clone()),
         };
         let mut analyzed = Vec::with_capacity(run.clusters.len());
-        for cluster in &run.clusters {
-            let t = Instant::now();
-            let verdict = portend.classify(&case, &cluster.representative);
-            analyzed.push(AnalyzedRace {
-                cluster: cluster.clone(),
-                verdict,
-                time: t.elapsed(),
-            });
+        {
+            let _ev = portend_obs::span_named(EventKind::Phase, "classify");
+            for cluster in &run.clusters {
+                let t = Instant::now();
+                let verdict = portend.classify(&case, &cluster.representative);
+                analyzed.push(AnalyzedRace {
+                    cluster: cluster.clone(),
+                    verdict,
+                    time: t.elapsed(),
+                });
+            }
         }
         persist_cache(knobs, cache.as_ref());
-        PipelineResult {
+        let mut result = PipelineResult {
             record: run,
             analyzed,
             record_time,
             case,
             cache: cache.map(|c| c.snapshot()),
+            trace: None,
+        };
+        drop(main_lane); // flush the main lane before the merge
+        if let (Some(cfg), Some(recorder)) = (&self.portend.trace, &recorder) {
+            finish_trace(cfg, recorder, &mut result, None);
         }
+        result
     }
 
     /// Like [`Pipeline::run`], but classifies all detected race clusters
@@ -172,12 +217,19 @@ impl Pipeline {
         vm: VmConfig,
         workers: usize,
     ) -> (PipelineResult, FarmStats) {
-        let (run, record_time, case) =
-            self.record_phase(program, inputs, input_spec, predicates, vm);
+        let recorder = self.portend.trace.as_ref().map(|_| Recorder::new());
+        let main_lane = recorder.as_ref().map(|r| r.attach("main", 0));
+        let (run, record_time, case) = {
+            let _ev = portend_obs::span_named(EventKind::Phase, "record");
+            self.record_phase(program, inputs, input_spec, predicates, vm)
+        };
         let case = Arc::new(case);
         let knobs = &self.portend.farm;
         let cache = knobs_cache(knobs);
-        let farm = Farm::new(knobs.farm_config(workers));
+        let mut farm = Farm::new(knobs.farm_config(workers));
+        if let Some(r) = &recorder {
+            farm = farm.with_recorder(r.clone());
+        }
         // The slice-lending pool: idle farm workers pick up slice-sized
         // solver sub-jobs from busy peers (see `FarmKnobs::parallel_slices`).
         // Pointless without the slice solver — whole queries don't split.
@@ -194,6 +246,7 @@ impl Pipeline {
         let job_case = Arc::clone(&case);
         let job_cache = cache.clone();
         let job_pool = slice_pool.clone();
+        let classify_phase = portend_obs::span_named(EventKind::Phase, "classify");
         let mut frun = farm.run_lending(
             jobs,
             move |_worker, cluster: RaceCluster| {
@@ -215,6 +268,7 @@ impl Pipeline {
             frun.attach_cache(Arc::clone(c));
         }
         let (outputs, mut stats) = frun.join();
+        drop(classify_phase);
 
         // `join` sorts by job index, restoring detection order.
         let analyzed: Vec<AnalyzedRace> = outputs
@@ -247,16 +301,19 @@ impl Pipeline {
         }
         persist_cache(knobs, cache.as_ref());
         let case = Arc::try_unwrap(case).unwrap_or_else(|arc| arc.as_ref().clone());
-        (
-            PipelineResult {
-                record: run,
-                analyzed,
-                record_time,
-                case,
-                cache: cache.map(|c| c.snapshot()),
-            },
-            stats,
-        )
+        let mut result = PipelineResult {
+            record: run,
+            analyzed,
+            record_time,
+            case,
+            cache: cache.map(|c| c.snapshot()),
+            trace: None,
+        };
+        drop(main_lane); // flush the main lane before the merge
+        if let (Some(cfg), Some(recorder)) = (&self.portend.trace, &recorder) {
+            finish_trace(cfg, recorder, &mut result, Some(&stats));
+        }
+        (result, stats)
     }
 
     /// The shared prologue of [`Pipeline::run`] and

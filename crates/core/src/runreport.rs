@@ -1,0 +1,901 @@
+//! The versioned, machine-readable run report: one JSON document
+//! unifying everything a pipeline run can tell you — per-race verdicts
+//! with their evidence and work counters, the farm's aggregate and
+//! per-worker statistics, the solver-cache snapshot, and the recorded
+//! event trace's summary.
+//!
+//! ## Format
+//!
+//! A single JSON object (hand-rolled through [`portend_obs::json`], in
+//! the same no-external-dependencies spirit as `portend_symex::warm`'s
+//! binary store):
+//!
+//! ```text
+//! {
+//!   "format":  "portend-run-report",   readers reject anything else
+//!   "version": 1,                      readers reject unknown versions
+//!   "label":   "...",                  free-form run label
+//!   "record_time_ns": …,
+//!   "races":   [ { race + verdict/error + counters } … ],
+//!   "farm":    { FarmStats + per_worker } | null,
+//!   "cache":   { CacheSnapshot } | null,
+//!   "events":  { trace summary } | null
+//! }
+//! ```
+//!
+//! Every counter is written as a JSON integer (the writer never emits
+//! floats), durations as integer nanoseconds — so a report round-trips
+//! structurally exactly: `RunReport::from_json(report.to_json())` is
+//! equality, which is what makes reports diffable across builds and
+//! usable as golden files.
+//!
+//! ## Versioning rules
+//!
+//! [`REPORT_FORMAT_VERSION`] follows the same discipline as
+//! `portend_symex::WARM_FORMAT_VERSION`: bump it whenever (a) the
+//! document shape changes (fields added, removed, or re-typed), or
+//! (b) the *semantics* behind an unchanged field change — a counter
+//! that starts measuring something else would silently poison any
+//! cross-build diff. Version mismatch on read is a clean rejection
+//! ([`ReportError::UnsupportedVersion`]), never a best-effort parse.
+
+use std::fmt;
+use std::path::Path;
+use std::time::Duration;
+
+use portend_farm::{FarmStats, WorkerStats};
+use portend_obs::json::{self, Json};
+use portend_obs::{EventKind, Trace};
+use portend_symex::CacheSnapshot;
+
+use crate::pipeline::PipelineResult;
+use crate::taxonomy::{ClassifyStats, OutputDiffEvidence, Verdict, VerdictDetail};
+
+/// The `"format"` discriminator every report carries.
+pub const REPORT_FORMAT_NAME: &str = "portend-run-report";
+
+/// Current report schema version. See the module docs for the rules on
+/// when this must be bumped.
+pub const REPORT_FORMAT_VERSION: u32 = 1;
+
+/// Why a report document could not be read.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The document is not JSON.
+    Json(json::JsonError),
+    /// The document's `"format"` field is not [`REPORT_FORMAT_NAME`].
+    BadFormat,
+    /// The document's `"version"` is not [`REPORT_FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// A structural invariant failed; the payload names the first
+    /// violated check.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Io(e) => write!(f, "run report i/o error: {e}"),
+            ReportError::Json(e) => write!(f, "run report is not JSON: {e}"),
+            ReportError::BadFormat => write!(f, "not a {REPORT_FORMAT_NAME} document"),
+            ReportError::UnsupportedVersion(v) => write!(
+                f,
+                "run report version {v} (this build reads {REPORT_FORMAT_VERSION})"
+            ),
+            ReportError::Malformed(what) => write!(f, "run report malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<std::io::Error> for ReportError {
+    fn from(e: std::io::Error) -> Self {
+        ReportError::Io(e)
+    }
+}
+
+impl From<json::JsonError> for ReportError {
+    fn from(e: json::JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+/// One race's reported outcome: identity, classification time, and the
+/// verdict (or the classification failure's message).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceOutcome {
+    /// Name of the raced-on allocation.
+    pub alloc_name: String,
+    /// Offset of the raced-on cell within the allocation.
+    pub offset: usize,
+    /// Dynamic occurrences observed for this cluster.
+    pub instances: u64,
+    /// The race's human-readable one-liner (the detector's rendering).
+    pub display: String,
+    /// Wall-clock classification time.
+    pub time: Duration,
+    /// The verdict, or the infrastructure failure that prevented one.
+    pub verdict: Result<VerdictReport, String>,
+}
+
+/// One verdict, flattened for interchange: the class label, the `k`
+/// certificate, the per-classification work counters, and the evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictReport {
+    /// The paper's class label (`specViol`, `outDiff`, `k-witness`,
+    /// `singleOrd`).
+    pub class: String,
+    /// For `k-witness`: the witnessing path × schedule combinations.
+    pub k: u64,
+    /// Whether the post-race concrete states differed, when computed.
+    pub states_differ: Option<bool>,
+    /// The classification's work counters (Table 4 / Fig. 9 inputs,
+    /// including the fork copy-on-write byte counters).
+    pub stats: ClassifyStats,
+    /// The verdict's evidence.
+    pub detail: DetailReport,
+}
+
+impl VerdictReport {
+    /// Flattens a [`Verdict`] for interchange. Spec-violation kinds are
+    /// reported by their Table 2 column plus the rendered message —
+    /// enough to triage and to diff across builds without serializing
+    /// VM-internal error types.
+    pub fn from_verdict(v: &Verdict) -> Self {
+        let detail = match &v.detail {
+            VerdictDetail::SpecViolation { kind, replay } => DetailReport::SpecViolation {
+                column: kind.table2_column().to_string(),
+                message: kind.to_string(),
+                inputs: replay.inputs.clone(),
+                schedule: replay.schedule.iter().map(|t| u64::from(t.0)).collect(),
+                description: replay.description.clone(),
+            },
+            VerdictDetail::OutputDiff(ev) => DetailReport::OutputDiff(ev.clone()),
+            VerdictDetail::KWitness => DetailReport::KWitness,
+            VerdictDetail::AdHocSync => DetailReport::AdHocSync,
+        };
+        VerdictReport {
+            class: v.class.label().to_string(),
+            k: v.k,
+            states_differ: v.states_differ,
+            stats: v.stats,
+            detail,
+        }
+    }
+}
+
+/// A verdict's evidence, flattened for interchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetailReport {
+    /// A specification violation with its replay recipe.
+    SpecViolation {
+        /// Table 2 column (`crash`, `deadlock`, `hang`, `semantic`).
+        column: String,
+        /// The violation, rendered.
+        message: String,
+        /// Concrete inputs reproducing it.
+        inputs: Vec<i64>,
+        /// Scheduler decisions (thread ids) reproducing it.
+        schedule: Vec<u64>,
+        /// What happens on replay.
+        description: String,
+    },
+    /// An output difference with the divergence evidence.
+    OutputDiff(OutputDiffEvidence),
+    /// Harmless in all explored combinations.
+    KWitness,
+    /// Alternate ordering impossible (ad-hoc synchronization).
+    AdHocSync,
+}
+
+/// Summary of the run's recorded event trace: totals per kind plus the
+/// solver-level aggregates read off the `solver_check` span arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventSummary {
+    /// Events recorded across all lanes.
+    pub total: u64,
+    /// Per-kind counts (label → count), in [`EventKind::ALL`] order,
+    /// kinds that never occurred omitted.
+    pub counts: Vec<(String, u64)>,
+    /// Satisfiability checks spanned.
+    pub solver_checks: u64,
+    /// Constraint slices examined across all checks (the sum of the
+    /// checks' first span argument).
+    pub slices_examined: u64,
+    /// Search-tree nodes visited across all checks (second argument).
+    pub nodes_visited: u64,
+}
+
+impl EventSummary {
+    /// Summarizes a merged trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut solver_checks = 0u64;
+        let mut slices_examined = 0u64;
+        let mut nodes_visited = 0u64;
+        for lane in &trace.lanes {
+            for e in &lane.events {
+                if e.kind == EventKind::SolverCheck {
+                    solver_checks += 1;
+                    slices_examined += e.a;
+                    nodes_visited += e.b;
+                }
+            }
+        }
+        EventSummary {
+            total: trace.total_events(),
+            counts: trace
+                .counts_by_kind()
+                .into_iter()
+                .map(|(k, n)| (k.to_string(), n))
+                .collect(),
+            solver_checks,
+            slices_examined,
+            nodes_visited,
+        }
+    }
+}
+
+/// The versioned run report. See the module docs for the schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Free-form run label (workload name, build id, …).
+    pub label: String,
+    /// Wall-clock time of the recording phase.
+    pub record_time: Duration,
+    /// One entry per detected race cluster, in detection order.
+    pub races: Vec<RaceOutcome>,
+    /// Farm statistics, when the run used the parallel pipeline.
+    pub farm: Option<FarmStats>,
+    /// Solver-cache counters, when a cache was enabled.
+    pub cache: Option<CacheSnapshot>,
+    /// Event-trace summary, when the run recorded one.
+    pub events: Option<EventSummary>,
+}
+
+impl RunReport {
+    /// Assembles a report from a pipeline result (serial or parallel).
+    pub fn from_result(label: impl Into<String>, result: &PipelineResult) -> Self {
+        let races = result
+            .analyzed
+            .iter()
+            .map(|a| RaceOutcome {
+                alloc_name: a.cluster.representative.alloc_name.clone(),
+                offset: a.cluster.representative.offset,
+                instances: a.cluster.instances,
+                display: a.cluster.representative.to_string(),
+                time: a.time,
+                verdict: match &a.verdict {
+                    Ok(v) => Ok(VerdictReport::from_verdict(v)),
+                    Err(e) => Err(e.0.clone()),
+                },
+            })
+            .collect();
+        RunReport {
+            label: label.into(),
+            record_time: result.record_time,
+            races,
+            farm: None,
+            cache: result.cache,
+            events: None,
+        }
+    }
+
+    /// The same report, carrying the parallel run's farm statistics.
+    pub fn with_farm(mut self, stats: FarmStats) -> Self {
+        self.farm = Some(stats);
+        self
+    }
+
+    /// The same report, carrying the recorded trace's summary.
+    pub fn with_trace(mut self, trace: &Trace) -> Self {
+        self.events = Some(EventSummary::from_trace(trace));
+        self
+    }
+
+    /// Harmful verdicts (`specViol`) in the report.
+    pub fn harmful(&self) -> u64 {
+        self.races
+            .iter()
+            .filter(|r| matches!(&r.verdict, Ok(v) if v.class == "specViol"))
+            .count() as u64
+    }
+
+    /// Renders the report as its canonical compact JSON document.
+    pub fn to_json(&self) -> String {
+        let mut members = vec![
+            ("format".into(), REPORT_FORMAT_NAME.into()),
+            ("version".into(), Json::from(REPORT_FORMAT_VERSION)),
+            ("label".into(), self.label.as_str().into()),
+            ("record_time_ns".into(), dur_json(self.record_time)),
+            (
+                "races".into(),
+                Json::Arr(self.races.iter().map(race_json).collect()),
+            ),
+        ];
+        members.push((
+            "farm".into(),
+            self.farm.as_ref().map_or(Json::Null, farm_json),
+        ));
+        members.push((
+            "cache".into(),
+            self.cache.as_ref().map_or(Json::Null, cache_json),
+        ));
+        members.push((
+            "events".into(),
+            self.events.as_ref().map_or(Json::Null, events_json),
+        ));
+        Json::Obj(members).render()
+    }
+
+    /// Parses a report document, rejecting wrong formats and versions
+    /// (see the module docs' versioning rules).
+    pub fn from_json(input: &str) -> Result<RunReport, ReportError> {
+        let doc = json::parse(input)?;
+        if doc.get("format").and_then(Json::as_str) != Some(REPORT_FORMAT_NAME) {
+            return Err(ReportError::BadFormat);
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or(ReportError::Malformed("missing version"))?;
+        if version != u64::from(REPORT_FORMAT_VERSION) {
+            return Err(ReportError::UnsupportedVersion(version as u32));
+        }
+        Ok(RunReport {
+            label: req_str(&doc, "label")?.to_string(),
+            record_time: dur_from(&doc, "record_time_ns")?,
+            races: doc
+                .get("races")
+                .and_then(Json::as_arr)
+                .ok_or(ReportError::Malformed("missing races"))?
+                .iter()
+                .map(race_from)
+                .collect::<Result<_, _>>()?,
+            farm: match doc.get("farm") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(farm_from(v)?),
+            },
+            cache: match doc.get("cache") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(cache_from(v)?),
+            },
+            events: match doc.get("events") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(events_from(v)?),
+            },
+        })
+    }
+
+    /// Writes [`RunReport::to_json`] to `path` atomically (by rename,
+    /// like the warm store — readers never observe a torn report).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads and parses a report from `path`.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<RunReport, ReportError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+// ---- serialization helpers (writer side) ----------------------------
+
+fn dur_json(d: Duration) -> Json {
+    Json::Int(d.as_nanos() as i128)
+}
+
+fn opt_i64(v: Option<i64>) -> Json {
+    v.map_or(Json::Null, Json::from)
+}
+
+fn race_json(r: &RaceOutcome) -> Json {
+    Json::Obj(vec![
+        ("alloc".into(), r.alloc_name.as_str().into()),
+        ("offset".into(), Json::from(r.offset)),
+        ("instances".into(), Json::from(r.instances)),
+        ("display".into(), r.display.as_str().into()),
+        ("time_ns".into(), dur_json(r.time)),
+        (
+            "verdict".into(),
+            match &r.verdict {
+                Ok(v) => verdict_json(v),
+                Err(_) => Json::Null,
+            },
+        ),
+        (
+            "error".into(),
+            match &r.verdict {
+                Ok(_) => Json::Null,
+                Err(e) => e.as_str().into(),
+            },
+        ),
+    ])
+}
+
+fn verdict_json(v: &VerdictReport) -> Json {
+    Json::Obj(vec![
+        ("class".into(), v.class.as_str().into()),
+        ("k".into(), Json::from(v.k)),
+        (
+            "states_differ".into(),
+            v.states_differ.map_or(Json::Null, Json::from),
+        ),
+        ("stats".into(), classify_stats_json(&v.stats)),
+        ("detail".into(), detail_json(&v.detail)),
+    ])
+}
+
+fn classify_stats_json(s: &ClassifyStats) -> Json {
+    Json::Obj(vec![
+        ("primaries".into(), Json::from(s.primaries)),
+        ("alternates".into(), Json::from(s.alternates)),
+        ("preemptions".into(), Json::from(s.preemptions)),
+        (
+            "dependent_branches".into(),
+            Json::from(s.dependent_branches),
+        ),
+        ("instructions".into(), Json::from(s.instructions)),
+        (
+            "max_path_instructions".into(),
+            Json::from(s.max_path_instructions),
+        ),
+        (
+            "bytes_copied_on_fork".into(),
+            Json::from(s.bytes_copied_on_fork),
+        ),
+        (
+            "bytes_shared_on_fork".into(),
+            Json::from(s.bytes_shared_on_fork),
+        ),
+        (
+            "slices_reused_at_fork".into(),
+            Json::from(s.slices_reused_at_fork),
+        ),
+    ])
+}
+
+fn detail_json(d: &DetailReport) -> Json {
+    match d {
+        DetailReport::SpecViolation {
+            column,
+            message,
+            inputs,
+            schedule,
+            description,
+        } => Json::Obj(vec![
+            ("type".into(), "spec_violation".into()),
+            ("column".into(), column.as_str().into()),
+            ("message".into(), message.as_str().into()),
+            (
+                "inputs".into(),
+                Json::Arr(inputs.iter().map(|&i| Json::from(i)).collect()),
+            ),
+            (
+                "schedule".into(),
+                Json::Arr(schedule.iter().map(|&t| Json::from(t)).collect()),
+            ),
+            ("description".into(), description.as_str().into()),
+        ]),
+        DetailReport::OutputDiff(ev) => Json::Obj(vec![
+            ("type".into(), "output_diff".into()),
+            ("position".into(), Json::from(ev.position)),
+            ("primary".into(), ev.primary.as_str().into()),
+            ("alternate".into(), ev.alternate.as_str().into()),
+            ("primary_fd".into(), opt_i64(ev.primary_fd)),
+            ("alternate_fd".into(), opt_i64(ev.alternate_fd)),
+            ("primary_len".into(), Json::from(ev.primary_len)),
+            ("alternate_len".into(), Json::from(ev.alternate_len)),
+            ("primary_loc".into(), ev.primary_loc.as_str().into()),
+            (
+                "inputs".into(),
+                Json::Arr(ev.inputs.iter().map(|&i| Json::from(i)).collect()),
+            ),
+        ]),
+        DetailReport::KWitness => Json::Obj(vec![("type".into(), "k_witness".into())]),
+        DetailReport::AdHocSync => Json::Obj(vec![("type".into(), "adhoc_sync".into())]),
+    }
+}
+
+fn farm_json(s: &FarmStats) -> Json {
+    Json::Obj(vec![
+        ("jobs".into(), Json::from(s.jobs)),
+        ("wall_ns".into(), dur_json(s.wall)),
+        ("busy_total_ns".into(), dur_json(s.busy_total)),
+        ("steals".into(), Json::from(s.steals)),
+        ("budget_overruns".into(), Json::from(s.budget_overruns)),
+        (
+            "cache".into(),
+            s.cache.as_ref().map_or(Json::Null, cache_json),
+        ),
+        ("fork_bytes_copied".into(), Json::from(s.fork_bytes_copied)),
+        ("fork_bytes_shared".into(), Json::from(s.fork_bytes_shared)),
+        (
+            "fork_slices_reused".into(),
+            Json::from(s.fork_slices_reused),
+        ),
+        ("slices_offloaded".into(), Json::from(s.slices_offloaded)),
+        (
+            "slice_parallel_wall_saved_ns".into(),
+            dur_json(s.slice_parallel_wall_saved),
+        ),
+        (
+            "per_worker".into(),
+            Json::Arr(
+                s.per_worker
+                    .iter()
+                    .map(|w| {
+                        Json::Obj(vec![
+                            ("jobs".into(), Json::from(w.jobs)),
+                            ("steals".into(), Json::from(w.steals)),
+                            ("busy_ns".into(), dur_json(w.busy)),
+                            ("slice_jobs".into(), Json::from(w.slice_jobs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn cache_json(c: &CacheSnapshot) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::from(c.hits)),
+        ("misses".into(), Json::from(c.misses)),
+        ("slice_hits".into(), Json::from(c.slice_hits)),
+        ("slice_misses".into(), Json::from(c.slice_misses)),
+        ("key_bytes".into(), Json::from(c.key_bytes)),
+        ("entries".into(), Json::from(c.entries)),
+        ("evictions".into(), Json::from(c.evictions)),
+        ("second_chances".into(), Json::from(c.second_chances)),
+        ("warmed".into(), Json::from(c.warmed)),
+        ("warm_hits".into(), Json::from(c.warm_hits)),
+        ("warm_validations".into(), Json::from(c.warm_validations)),
+        ("warm_mismatches".into(), Json::from(c.warm_mismatches)),
+    ])
+}
+
+fn events_json(e: &EventSummary) -> Json {
+    Json::Obj(vec![
+        ("total".into(), Json::from(e.total)),
+        (
+            "counts".into(),
+            Json::Obj(
+                e.counts
+                    .iter()
+                    .map(|(k, n)| (k.clone(), Json::from(*n)))
+                    .collect(),
+            ),
+        ),
+        ("solver_checks".into(), Json::from(e.solver_checks)),
+        ("slices_examined".into(), Json::from(e.slices_examined)),
+        ("nodes_visited".into(), Json::from(e.nodes_visited)),
+    ])
+}
+
+// ---- deserialization helpers (reader side) --------------------------
+
+fn req_str<'a>(v: &'a Json, key: &'static str) -> Result<&'a str, ReportError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or(ReportError::Malformed(key))
+}
+
+fn req_u64(v: &Json, key: &'static str) -> Result<u64, ReportError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(ReportError::Malformed(key))
+}
+
+fn req_usize(v: &Json, key: &'static str) -> Result<usize, ReportError> {
+    usize::try_from(req_u64(v, key)?).map_err(|_| ReportError::Malformed(key))
+}
+
+fn dur_from(v: &Json, key: &'static str) -> Result<Duration, ReportError> {
+    Ok(Duration::from_nanos(req_u64(v, key)?))
+}
+
+fn i64_arr(v: &Json, key: &'static str) -> Result<Vec<i64>, ReportError> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or(ReportError::Malformed(key))?
+        .iter()
+        .map(|x| x.as_i64().ok_or(ReportError::Malformed(key)))
+        .collect()
+}
+
+fn race_from(v: &Json) -> Result<RaceOutcome, ReportError> {
+    let verdict = match (v.get("verdict"), v.get("error")) {
+        (Some(Json::Null) | None, Some(Json::Str(e))) => Err(e.clone()),
+        (Some(obj), _) if !matches!(obj, Json::Null) => Ok(verdict_from(obj)?),
+        _ => return Err(ReportError::Malformed("race has neither verdict nor error")),
+    };
+    Ok(RaceOutcome {
+        alloc_name: req_str(v, "alloc")?.to_string(),
+        offset: req_usize(v, "offset")?,
+        instances: req_u64(v, "instances")?,
+        display: req_str(v, "display")?.to_string(),
+        time: dur_from(v, "time_ns")?,
+        verdict,
+    })
+}
+
+fn verdict_from(v: &Json) -> Result<VerdictReport, ReportError> {
+    let stats = v
+        .get("stats")
+        .ok_or(ReportError::Malformed("verdict stats"))?;
+    Ok(VerdictReport {
+        class: req_str(v, "class")?.to_string(),
+        k: req_u64(v, "k")?,
+        states_differ: match v.get("states_differ") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(b.as_bool().ok_or(ReportError::Malformed("states_differ"))?),
+        },
+        stats: ClassifyStats {
+            primaries: req_u64(stats, "primaries")?,
+            alternates: req_u64(stats, "alternates")?,
+            preemptions: req_u64(stats, "preemptions")?,
+            dependent_branches: req_u64(stats, "dependent_branches")?,
+            instructions: req_u64(stats, "instructions")?,
+            max_path_instructions: req_u64(stats, "max_path_instructions")?,
+            bytes_copied_on_fork: req_u64(stats, "bytes_copied_on_fork")?,
+            bytes_shared_on_fork: req_u64(stats, "bytes_shared_on_fork")?,
+            slices_reused_at_fork: req_u64(stats, "slices_reused_at_fork")?,
+        },
+        detail: detail_from(
+            v.get("detail")
+                .ok_or(ReportError::Malformed("verdict detail"))?,
+        )?,
+    })
+}
+
+fn detail_from(v: &Json) -> Result<DetailReport, ReportError> {
+    match req_str(v, "type")? {
+        "spec_violation" => Ok(DetailReport::SpecViolation {
+            column: req_str(v, "column")?.to_string(),
+            message: req_str(v, "message")?.to_string(),
+            inputs: i64_arr(v, "inputs")?,
+            schedule: v
+                .get("schedule")
+                .and_then(Json::as_arr)
+                .ok_or(ReportError::Malformed("schedule"))?
+                .iter()
+                .map(|x| x.as_u64().ok_or(ReportError::Malformed("schedule")))
+                .collect::<Result<_, _>>()?,
+            description: req_str(v, "description")?.to_string(),
+        }),
+        "output_diff" => Ok(DetailReport::OutputDiff(OutputDiffEvidence {
+            position: req_usize(v, "position")?,
+            primary: req_str(v, "primary")?.to_string(),
+            alternate: req_str(v, "alternate")?.to_string(),
+            primary_fd: match v.get("primary_fd") {
+                None | Some(Json::Null) => None,
+                Some(x) => Some(x.as_i64().ok_or(ReportError::Malformed("primary_fd"))?),
+            },
+            alternate_fd: match v.get("alternate_fd") {
+                None | Some(Json::Null) => None,
+                Some(x) => Some(x.as_i64().ok_or(ReportError::Malformed("alternate_fd"))?),
+            },
+            primary_len: req_usize(v, "primary_len")?,
+            alternate_len: req_usize(v, "alternate_len")?,
+            primary_loc: req_str(v, "primary_loc")?.to_string(),
+            inputs: i64_arr(v, "inputs")?,
+        })),
+        "k_witness" => Ok(DetailReport::KWitness),
+        "adhoc_sync" => Ok(DetailReport::AdHocSync),
+        _ => Err(ReportError::Malformed("unknown detail type")),
+    }
+}
+
+fn farm_from(v: &Json) -> Result<FarmStats, ReportError> {
+    Ok(FarmStats {
+        jobs: req_u64(v, "jobs")?,
+        wall: dur_from(v, "wall_ns")?,
+        busy_total: dur_from(v, "busy_total_ns")?,
+        per_worker: v
+            .get("per_worker")
+            .and_then(Json::as_arr)
+            .ok_or(ReportError::Malformed("per_worker"))?
+            .iter()
+            .map(|w| {
+                Ok(WorkerStats {
+                    jobs: req_u64(w, "jobs")?,
+                    steals: req_u64(w, "steals")?,
+                    busy: dur_from(w, "busy_ns")?,
+                    slice_jobs: req_u64(w, "slice_jobs")?,
+                })
+            })
+            .collect::<Result<_, ReportError>>()?,
+        steals: req_u64(v, "steals")?,
+        budget_overruns: req_u64(v, "budget_overruns")?,
+        cache: match v.get("cache") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(cache_from(c)?),
+        },
+        fork_bytes_copied: req_u64(v, "fork_bytes_copied")?,
+        fork_bytes_shared: req_u64(v, "fork_bytes_shared")?,
+        fork_slices_reused: req_u64(v, "fork_slices_reused")?,
+        slices_offloaded: req_u64(v, "slices_offloaded")?,
+        slice_parallel_wall_saved: dur_from(v, "slice_parallel_wall_saved_ns")?,
+    })
+}
+
+fn cache_from(v: &Json) -> Result<CacheSnapshot, ReportError> {
+    Ok(CacheSnapshot {
+        hits: req_u64(v, "hits")?,
+        misses: req_u64(v, "misses")?,
+        slice_hits: req_u64(v, "slice_hits")?,
+        slice_misses: req_u64(v, "slice_misses")?,
+        key_bytes: req_u64(v, "key_bytes")?,
+        entries: req_u64(v, "entries")?,
+        evictions: req_u64(v, "evictions")?,
+        second_chances: req_u64(v, "second_chances")?,
+        warmed: req_u64(v, "warmed")?,
+        warm_hits: req_u64(v, "warm_hits")?,
+        warm_validations: req_u64(v, "warm_validations")?,
+        warm_mismatches: req_u64(v, "warm_mismatches")?,
+    })
+}
+
+fn events_from(v: &Json) -> Result<EventSummary, ReportError> {
+    Ok(EventSummary {
+        total: req_u64(v, "total")?,
+        counts: v
+            .get("counts")
+            .and_then(Json::as_obj)
+            .ok_or(ReportError::Malformed("counts"))?
+            .iter()
+            .map(|(k, n)| {
+                Ok((
+                    k.clone(),
+                    n.as_u64().ok_or(ReportError::Malformed("counts"))?,
+                ))
+            })
+            .collect::<Result<_, ReportError>>()?,
+        solver_checks: req_u64(v, "solver_checks")?,
+        slices_examined: req_u64(v, "slices_examined")?,
+        nodes_visited: req_u64(v, "nodes_visited")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::{RaceClass, ReplayEvidence, SpecViolationKind};
+    use portend_vm::ThreadId;
+
+    fn sample_report() -> RunReport {
+        let verdict = Verdict {
+            class: RaceClass::SpecViolated,
+            detail: VerdictDetail::SpecViolation {
+                kind: SpecViolationKind::Semantic {
+                    message: "ts < 0".into(),
+                },
+                replay: ReplayEvidence {
+                    inputs: vec![3, -7],
+                    schedule: vec![ThreadId(0), ThreadId(2), ThreadId(1)],
+                    description: "negative timestamp printed".into(),
+                },
+            },
+            k: 0,
+            states_differ: Some(true),
+            stats: ClassifyStats {
+                primaries: 5,
+                alternates: 10,
+                instructions: 123_456,
+                bytes_copied_on_fork: 1 << 40,
+                ..Default::default()
+            },
+        };
+        RunReport {
+            label: "sample \"quoted\"\nlabel".into(),
+            record_time: Duration::from_micros(1500),
+            races: vec![
+                RaceOutcome {
+                    alloc_name: "balance".into(),
+                    offset: 4,
+                    instances: 12,
+                    display: "balance[4]: W@t1 / R@t2".into(),
+                    time: Duration::from_millis(31),
+                    verdict: Ok(VerdictReport::from_verdict(&verdict)),
+                },
+                RaceOutcome {
+                    alloc_name: "flag".into(),
+                    offset: 0,
+                    instances: 1,
+                    display: "flag[0]".into(),
+                    time: Duration::from_nanos(999),
+                    verdict: Err("race not reproducible".into()),
+                },
+            ],
+            farm: Some(FarmStats {
+                jobs: 2,
+                wall: Duration::from_millis(40),
+                busy_total: Duration::from_millis(62),
+                per_worker: vec![
+                    WorkerStats {
+                        jobs: 1,
+                        steals: 1,
+                        busy: Duration::from_millis(31),
+                        slice_jobs: 4,
+                    },
+                    WorkerStats::default(),
+                ],
+                steals: 1,
+                cache: Some(CacheSnapshot {
+                    hits: 7,
+                    misses: 3,
+                    ..Default::default()
+                }),
+                fork_bytes_copied: u64::MAX,
+                ..Default::default()
+            }),
+            cache: Some(CacheSnapshot {
+                hits: 7,
+                misses: 3,
+                slice_hits: 40,
+                slice_misses: 8,
+                key_bytes: 1 << 20,
+                entries: 48,
+                evictions: 1,
+                second_chances: 2,
+                warmed: 30,
+                warm_hits: 25,
+                warm_validations: 3,
+                warm_mismatches: 0,
+            }),
+            events: Some(EventSummary {
+                total: 60,
+                counts: vec![("phase".into(), 2), ("solver_check".into(), 58)],
+                solver_checks: 58,
+                slices_examined: 174,
+                nodes_visited: 9_000,
+            }),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_structurally() {
+        let report = sample_report();
+        let rendered = report.to_json();
+        let parsed = RunReport::from_json(&rendered).expect("own documents parse");
+        assert_eq!(parsed, report);
+        // And the canonical rendering is stable under the cycle.
+        assert_eq!(parsed.to_json(), rendered);
+    }
+
+    #[test]
+    fn report_rejects_wrong_format_and_version() {
+        let report = sample_report();
+        let rendered = report.to_json();
+        let bumped = rendered.replacen(
+            &format!("\"version\":{REPORT_FORMAT_VERSION}"),
+            &format!("\"version\":{}", REPORT_FORMAT_VERSION + 1),
+            1,
+        );
+        assert!(matches!(
+            RunReport::from_json(&bumped),
+            Err(ReportError::UnsupportedVersion(v)) if v == REPORT_FORMAT_VERSION + 1
+        ));
+        let renamed = rendered.replacen(REPORT_FORMAT_NAME, "some-other-format", 1);
+        assert!(matches!(
+            RunReport::from_json(&renamed),
+            Err(ReportError::BadFormat)
+        ));
+        assert!(matches!(
+            RunReport::from_json("{\"truncated\":"),
+            Err(ReportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn harmful_counts_spec_violations_only() {
+        let report = sample_report();
+        assert_eq!(report.harmful(), 1);
+    }
+}

@@ -38,7 +38,7 @@
 //! are identical to serial ones (see `tests/farm_equivalence.rs`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod job;

@@ -34,12 +34,26 @@ use crate::stream::{FarmRun, JobOutput};
 #[derive(Debug, Clone, Default)]
 pub struct Farm {
     cfg: FarmConfig,
+    recorder: Option<portend_obs::Recorder>,
 }
 
 impl Farm {
     /// A farm with the given configuration.
     pub fn new(cfg: FarmConfig) -> Self {
-        Farm { cfg }
+        Farm {
+            cfg,
+            recorder: None,
+        }
+    }
+
+    /// The same farm, with every worker attached to `recorder` as its
+    /// own event lane (`worker-00`, `worker-01`, … — sort keys from the
+    /// worker index, so the merged trace is deterministic). Workers emit
+    /// job spans, steal instants, and lend spans; everything their jobs
+    /// emit (solver checks, cache probes, forks) lands in the same lane.
+    pub fn with_recorder(mut self, recorder: portend_obs::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The active configuration.
@@ -111,9 +125,13 @@ impl Farm {
                 let overruns = Arc::clone(&overruns);
                 let remaining = Arc::clone(&remaining);
                 let slices = slices.clone();
+                let recorder = self.recorder.clone();
                 thread::Builder::new()
                     .name(format!("portend-farm-{w}"))
                     .spawn(move || {
+                        let _lane = recorder
+                            .as_ref()
+                            .map(|r| r.attach(format!("worker-{w:02}"), 100 + w as u32));
                         // Close the pool when this worker exits for ANY
                         // reason — including a panicking job, which
                         // unwinds past the `remaining` decrement below.
@@ -126,9 +144,19 @@ impl Farm {
                         let _close_on_exit = CloseOnExit(slices.clone());
                         let mut ws = WorkerStats::default();
                         while let Some((job, taken)) = queue.take(w) {
+                            if taken == Taken::Stolen {
+                                portend_obs::instant(
+                                    portend_obs::EventKind::Steal,
+                                    job.index as u64,
+                                    0,
+                                );
+                            }
+                            let mut ev = portend_obs::span(portend_obs::EventKind::Job);
                             let t0 = Instant::now();
                             let result = work(w, job.payload);
                             let time = t0.elapsed();
+                            ev.args(job.index as u64, (taken == Taken::Stolen) as u64);
+                            drop(ev);
                             ws.jobs += 1;
                             ws.busy += time;
                             if taken == Taken::Stolen {
@@ -160,7 +188,11 @@ impl Farm {
                         // Queue drained: lend this worker out for slice
                         // sub-jobs until the run completes.
                         if let Some(pool) = &slices {
-                            ws.slice_jobs += pool.help();
+                            let mut ev = portend_obs::span(portend_obs::EventKind::Lend);
+                            let helped = pool.help();
+                            ev.args(helped, 0);
+                            drop(ev);
+                            ws.slice_jobs += helped;
                         }
                         (ws, Instant::now())
                     })

@@ -113,7 +113,10 @@ impl SlicePool {
             };
             let Some(job) = job else { return ran };
             let t0 = Instant::now();
-            job();
+            {
+                let _ev = portend_obs::span(portend_obs::EventKind::SliceJob);
+                job();
+            }
             self.busy_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             self.executed.fetch_add(1, Ordering::Relaxed);

@@ -14,7 +14,7 @@
 //!   paper's §4 clustering into distinct races.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod hb;
 mod lockset;

@@ -205,6 +205,11 @@ impl SolverCache {
                 self.misses.fetch_add(1, Ordering::Relaxed)
             }
         };
+        portend_obs::instant(
+            portend_obs::EventKind::CacheProbe,
+            0,
+            Self::probe_code(&got),
+        );
         got
     }
 
@@ -218,7 +223,22 @@ impl SolverCache {
                 self.slice_misses.fetch_add(1, Ordering::Relaxed)
             }
         };
+        portend_obs::instant(
+            portend_obs::EventKind::CacheProbe,
+            1,
+            Self::probe_code(&got),
+        );
         got
+    }
+
+    /// The [`portend_obs::EventKind::CacheProbe`] `b` argument for one
+    /// answer: 0 miss, 1 hit, 2 probation.
+    fn probe_code(got: &CacheAnswer) -> u64 {
+        match got {
+            CacheAnswer::Miss => 0,
+            CacheAnswer::Hit(_) => 1,
+            CacheAnswer::Probation(_) => 2,
+        }
     }
 
     fn get(&self, key: &str) -> CacheAnswer {

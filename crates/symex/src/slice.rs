@@ -344,7 +344,7 @@ pub(crate) fn solve_slices(
     // local memo, or the shared cache (which persists them across runs
     // through the warm store).
     let capture = domains.is_some() || solver.query_cache().is_some();
-    for q in queries {
+    for (pos, q) in queries.iter().enumerate() {
         // Counted per *examined* slice: an UNSAT short-circuit below
         // leaves later slices unexamined, and they must not inflate the
         // counter that identifies parallel-profitable queries.
@@ -371,7 +371,10 @@ pub(crate) fn solve_slices(
                         // A warm-store entry sampled for validation:
                         // solve anyway, compare, and correct the entry
                         // in place if the store was stale.
+                        let mut ev = portend_obs::span(portend_obs::EventKind::SliceSolve);
                         let (r, s, doms) = solver.solve_capture(&q.exprs, vars, capture);
+                        ev.args(pos as u64, s.nodes);
+                        drop(ev);
                         solved += 1;
                         stats.nodes += s.nodes;
                         stats.prune_passes += s.prune_passes;
@@ -399,7 +402,10 @@ pub(crate) fn solve_slices(
                     break 'resolve SatResult::Unsat;
                 }
             }
+            let mut ev = portend_obs::span(portend_obs::EventKind::SliceSolve);
             let (r, s, doms) = solver.solve_capture(&q.exprs, vars, capture);
+            ev.args(pos as u64, s.nodes);
+            drop(ev);
             solved += 1;
             stats.nodes += s.nodes;
             stats.prune_passes += s.prune_passes;
@@ -572,7 +578,10 @@ fn solve_cold(
         return None; // cancelled: an earlier slice already decided UNSAT
     }
     let t0 = Instant::now();
+    let mut ev = portend_obs::span(portend_obs::EventKind::SliceSolve);
     let (result, s, doms) = solver.solve_capture(&q.exprs, vars, capture);
+    ev.args(pos as u64, s.nodes);
+    drop(ev);
     if let (Some(cache), Some(key)) = (solver.query_cache(), q.key.as_deref()) {
         match probation {
             Some(expected) => cache.confirm_warm(key, expected, &result, doms.as_deref()),
@@ -734,7 +743,10 @@ pub(crate) fn solve_slices_parallel(
                     let _ = job_tx.send((pos, solved));
                 });
                 match par.pool().try_execute(job) {
-                    None => offloaded += 1,
+                    None => {
+                        offloaded += 1;
+                        portend_obs::instant(portend_obs::EventKind::SliceOffload, pos as u64, 0);
+                    }
                     // No worker idle: the clones are dropped with the
                     // rejected box and the submitter solves inline.
                     Some(_rejected) => inline.push(pos),
@@ -972,6 +984,7 @@ pub(crate) fn check_sliced(
     memo: Option<&mut HashMap<String, SatResult>>,
     parallel: bool,
 ) -> (SatResult, SolverStats) {
+    let mut ev = portend_obs::span(portend_obs::EventKind::SolverCheck);
     let mut stats = SolverStats::default();
     let var_lists: Vec<Vec<VarId>> = constraints
         .iter()
@@ -993,7 +1006,7 @@ pub(crate) fn check_sliced(
         .collect();
     let want_keys = memo.is_some() || solver.query_cache().is_some();
     let prefix = want_keys.then(|| config_prefix(solver.config()));
-    match prepare_slices(&views, prefix.as_deref(), vars) {
+    let (result, stats) = match prepare_slices(&views, prefix.as_deref(), vars) {
         Prepared::Decided(r) => (r, stats),
         Prepared::Queries(queries) => {
             let outcome = if parallel {
@@ -1003,7 +1016,9 @@ pub(crate) fn check_sliced(
             };
             (outcome.result, stats)
         }
-    }
+    };
+    ev.args(stats.slices, stats.nodes);
+    (result, stats)
 }
 
 /// Work counters for one [`ScopedSolver`] (cumulative across checks).
@@ -1259,6 +1274,7 @@ impl ScopedSolver {
             let constraints: Vec<Expr> = self.frames.iter().map(|f| f.constraint.clone()).collect();
             return self.solver.check_with_stats(&constraints, vars);
         }
+        let mut ev = portend_obs::span(portend_obs::EventKind::SolverCheck);
         let mut stats = SolverStats::default();
         // Constant filtering, identical to `prepare_slices`.
         let mut any_active = false;
@@ -1341,6 +1357,7 @@ impl ScopedSolver {
         self.stats.solved += outcome.solved;
         self.stats.slices_offloaded += stats.slices_offloaded;
         self.stats.slice_parallel_wall_saved += stats.slice_parallel_wall_saved;
+        ev.args(stats.slices, stats.nodes);
         (outcome.result, stats)
     }
 

@@ -191,6 +191,17 @@ impl Solver {
         constraints: &[Expr],
         vars: &VarTable,
     ) -> (SatResult, SolverStats) {
+        let mut ev = portend_obs::span(portend_obs::EventKind::SolverCheck);
+        let (result, stats) = self.check_with_stats_inner(constraints, vars);
+        ev.args(stats.slices, stats.nodes);
+        (result, stats)
+    }
+
+    fn check_with_stats_inner(
+        &self,
+        constraints: &[Expr],
+        vars: &VarTable,
+    ) -> (SatResult, SolverStats) {
         match &self.cache {
             None => self.solve(constraints, vars),
             Some(cache) => {

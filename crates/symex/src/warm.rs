@@ -236,6 +236,7 @@ impl SolverCache {
         policy: &WarmPolicy,
     ) -> Result<WarmSaveReport, WarmStoreError> {
         static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let mut ev = portend_obs::span(portend_obs::EventKind::WarmSave);
         let path = path.as_ref();
         let records = self.export_entries(policy);
         let (bytes, report) = serialize(&records, policy);
@@ -249,6 +250,7 @@ impl SolverCache {
             std::fs::remove_file(&tmp).ok();
             return Err(e.into());
         }
+        ev.args(report.entries, report.bytes);
         Ok(report)
     }
 
@@ -259,11 +261,13 @@ impl SolverCache {
     ///
     /// On any error the cache is untouched — the run proceeds cold.
     pub fn warm_from(&self, path: impl AsRef<Path>) -> Result<WarmLoadReport, WarmStoreError> {
+        let mut ev = portend_obs::span(portend_obs::EventKind::WarmLoad);
         let mut bytes = Vec::new();
         std::fs::File::open(path.as_ref())?.read_to_end(&mut bytes)?;
         let records = parse(&bytes)?;
         let total = records.len() as u64;
         let kept = self.absorb_warm(records);
+        ev.args(kept, 1);
         Ok(WarmLoadReport {
             entries: kept,
             bytes: bytes.len() as u64,

@@ -158,6 +158,11 @@ impl Machine {
             bytes_copied: self.eager_fork_bytes(),
             bytes_shared: self.shared_fork_bytes(),
         };
+        portend_obs::instant(
+            portend_obs::EventKind::Fork,
+            cost.bytes_copied,
+            cost.bytes_shared,
+        );
         (self.clone(), cost)
     }
 

@@ -1,21 +1,42 @@
 //! Full triage run: detect and classify the races of every modeled
 //! workload, print a prioritized bug-triage list (harmful races first —
 //! the paper's §1 motivation: "developers are better informed and can
-//! fix the critical bugs first"), and score accuracy against ground
-//! truth.
+//! fix the critical bugs first"), score accuracy against ground truth,
+//! and emit one machine-readable `RunReport` JSON per workload.
 //!
-//! Run with: `cargo run --example triage_report`
+//! Run with: `cargo run --example triage_report [output-dir]`
+//! (reports default to `target/triage-reports/<workload>.json`).
 
-use portend::{PortendConfig, RaceClass};
+use std::path::PathBuf;
+
+use portend::{PortendConfig, RaceClass, RunReport, TraceConfig};
 use portend_workloads::{all, ScoreCard};
 
 fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/triage-reports"));
+    std::fs::create_dir_all(&out_dir).expect("create report directory");
+
     let mut triage: Vec<(String, String, RaceClass, String)> = Vec::new();
+    let mut report_paths: Vec<PathBuf> = Vec::new();
     let mut correct = 0usize;
     let mut total = 0usize;
 
     for w in all() {
-        let result = w.analyze(PortendConfig::default());
+        // Tracing on: the pipeline records phase/solver/cache events and
+        // writes the versioned RunReport itself at the end of the run.
+        let report_path = out_dir.join(format!("{}.json", w.name));
+        let cfg = PortendConfig {
+            trace: Some(
+                TraceConfig::new()
+                    .with_label(w.name)
+                    .with_report(&report_path),
+            ),
+            ..Default::default()
+        };
+        let result = w.analyze(cfg);
         let card = ScoreCard::new(&w, &result);
         correct += card.correct();
         total += card.total();
@@ -29,6 +50,7 @@ fn main() {
                 ));
             }
         }
+        report_paths.push(report_path);
     }
 
     // Harmful first, then output-differs, then the harmless classes.
@@ -50,4 +72,22 @@ fn main() {
         "\noverall classification accuracy vs ground truth: {correct}/{total} ({:.1}%)",
         100.0 * correct as f64 / total as f64
     );
+
+    // The reports are this run's machine-readable record: parse every
+    // one back (the format is versioned and rejects anything it does
+    // not understand) and print the per-workload roll-up.
+    println!("\n=== run reports ({}) ===", out_dir.display());
+    for path in &report_paths {
+        let report = RunReport::read_from(path).expect("report round-trips");
+        let events = report.events.as_ref().expect("tracing was on");
+        println!(
+            "{:<12} {} races | {} harmful | {} solver checks | {} events -> {}",
+            report.label,
+            report.races.len(),
+            report.harmful(),
+            events.solver_checks,
+            events.total,
+            path.display(),
+        );
+    }
 }

@@ -8,6 +8,7 @@
 
 pub use portend;
 pub use portend_farm;
+pub use portend_obs;
 pub use portend_race;
 pub use portend_replay;
 pub use portend_symex;
