@@ -18,6 +18,7 @@
 //! `cargo run -p portend-bench --bin figures` to print them.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod crit;
 

@@ -76,6 +76,16 @@ pub struct PortendConfig {
     pub schedule_seed: u64,
     /// Solver configuration.
     pub solver: SolverConfig,
+    /// Run the static lockset/MHP pre-analysis (`portend-sa`) over the
+    /// program before classification. The pass is pure scheduling and
+    /// reporting: clusters whose representative pair the analysis
+    /// proves ordered (lock-protected or never parallel) are demoted in
+    /// the farm's priority queue, statically race-like pairs (may
+    /// happen in parallel, no common lock) are boosted, and the pass's
+    /// counters surface as `StaticStats` on `FarmStats`/`RunReport`.
+    /// Verdicts are byte-identical with the pass on or off (pinned by
+    /// `tests/static_differential.rs`).
+    pub static_pass: bool,
     /// Solve path-condition queries by constraint slicing (partitioning
     /// on variable connectivity and memoizing per slice — see
     /// `portend_symex::slice`). Slicing never flips a decided
@@ -111,6 +121,7 @@ impl Default for PortendConfig {
             max_exploration_states: 256,
             schedule_seed: 0x9e3779b9,
             solver: SolverConfig::default(),
+            static_pass: true,
             slice_solver: true,
             farm: FarmKnobs::default(),
             trace: None,

@@ -52,8 +52,9 @@ pub use case::{AnalysisCase, Predicate};
 pub use classify::{ClassifyError, Portend};
 pub use config::{AnalysisStages, FarmKnobs, PortendConfig};
 pub use pipeline::{AnalyzedRace, Pipeline, PipelineResult};
-pub use portend_farm::{FarmStats, WorkerStats};
+pub use portend_farm::{FarmStats, StaticHint, WorkerStats};
 pub use portend_obs::{Trace, TraceConfig};
+pub use portend_sa::{StaticAnalysis, StaticCandidate, StaticStats};
 pub use portend_symex::{CacheSnapshot, WarmPolicy};
 pub use report::render_report;
 pub use runreport::{

@@ -13,12 +13,13 @@
 //! ```text
 //! {
 //!   "format":  "portend-run-report",   readers reject anything else
-//!   "version": 1,                      readers reject unknown versions
+//!   "version": 2,                      readers reject unknown versions
 //!   "label":   "...",                  free-form run label
 //!   "record_time_ns": …,
 //!   "races":   [ { race + verdict/error + counters } … ],
 //!   "farm":    { FarmStats + per_worker } | null,
 //!   "cache":   { CacheSnapshot } | null,
+//!   "static":  { StaticStats } | null,
 //!   "events":  { trace summary } | null
 //! }
 //! ```
@@ -46,6 +47,7 @@ use std::time::Duration;
 use portend_farm::{FarmStats, WorkerStats};
 use portend_obs::json::{self, Json};
 use portend_obs::{EventKind, Trace};
+use portend_sa::StaticStats;
 use portend_symex::CacheSnapshot;
 
 use crate::pipeline::PipelineResult;
@@ -56,7 +58,11 @@ pub const REPORT_FORMAT_NAME: &str = "portend-run-report";
 
 /// Current report schema version. See the module docs for the rules on
 /// when this must be bumped.
-pub const REPORT_FORMAT_VERSION: u32 = 1;
+///
+/// * v2 — added the `"static"` section ([`portend_sa::StaticStats`]:
+///   static candidate pairs, statically pruned pairs, dynamically
+///   corroborated clusters).
+pub const REPORT_FORMAT_VERSION: u32 = 2;
 
 /// Why a report document could not be read.
 #[derive(Debug)]
@@ -251,6 +257,9 @@ pub struct RunReport {
     pub farm: Option<FarmStats>,
     /// Solver-cache counters, when a cache was enabled.
     pub cache: Option<CacheSnapshot>,
+    /// Static pre-analysis counters, when
+    /// `PortendConfig::static_pass` ran the lockset/MHP pass.
+    pub static_pass: Option<StaticStats>,
     /// Event-trace summary, when the run recorded one.
     pub events: Option<EventSummary>,
 }
@@ -279,6 +288,7 @@ impl RunReport {
             races,
             farm: None,
             cache: result.cache,
+            static_pass: result.static_stats,
             events: None,
         }
     }
@@ -324,6 +334,10 @@ impl RunReport {
             self.cache.as_ref().map_or(Json::Null, cache_json),
         ));
         members.push((
+            "static".into(),
+            self.static_pass.as_ref().map_or(Json::Null, static_json),
+        ));
+        members.push((
             "events".into(),
             self.events.as_ref().map_or(Json::Null, events_json),
         ));
@@ -361,6 +375,10 @@ impl RunReport {
             cache: match doc.get("cache") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(cache_from(v)?),
+            },
+            static_pass: match doc.get("static") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(static_from(v)?),
             },
             events: match doc.get("events") {
                 None | Some(Json::Null) => None,
@@ -525,6 +543,10 @@ fn farm_json(s: &FarmStats) -> Json {
             dur_json(s.slice_parallel_wall_saved),
         ),
         (
+            "static".into(),
+            s.static_pass.as_ref().map_or(Json::Null, static_json),
+        ),
+        (
             "per_worker".into(),
             Json::Arr(
                 s.per_worker
@@ -557,6 +579,14 @@ fn cache_json(c: &CacheSnapshot) -> Json {
         ("warm_hits".into(), Json::from(c.warm_hits)),
         ("warm_validations".into(), Json::from(c.warm_validations)),
         ("warm_mismatches".into(), Json::from(c.warm_mismatches)),
+    ])
+}
+
+fn static_json(s: &StaticStats) -> Json {
+    Json::Obj(vec![
+        ("candidates".into(), Json::from(s.candidates)),
+        ("pruned".into(), Json::from(s.pruned)),
+        ("corroborated".into(), Json::from(s.corroborated)),
     ])
 }
 
@@ -722,6 +752,10 @@ fn farm_from(v: &Json) -> Result<FarmStats, ReportError> {
         fork_slices_reused: req_u64(v, "fork_slices_reused")?,
         slices_offloaded: req_u64(v, "slices_offloaded")?,
         slice_parallel_wall_saved: dur_from(v, "slice_parallel_wall_saved_ns")?,
+        static_pass: match v.get("static") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(static_from(s)?),
+        },
     })
 }
 
@@ -739,6 +773,14 @@ fn cache_from(v: &Json) -> Result<CacheSnapshot, ReportError> {
         warm_hits: req_u64(v, "warm_hits")?,
         warm_validations: req_u64(v, "warm_validations")?,
         warm_mismatches: req_u64(v, "warm_mismatches")?,
+    })
+}
+
+fn static_from(v: &Json) -> Result<StaticStats, ReportError> {
+    Ok(StaticStats {
+        candidates: req_u64(v, "candidates")?,
+        pruned: req_u64(v, "pruned")?,
+        corroborated: req_u64(v, "corroborated")?,
     })
 }
 
@@ -848,6 +890,11 @@ mod tests {
                 warm_hits: 25,
                 warm_validations: 3,
                 warm_mismatches: 0,
+            }),
+            static_pass: Some(StaticStats {
+                candidates: 14,
+                pruned: 6,
+                corroborated: 2,
             }),
             events: Some(EventSummary {
                 total: 60,

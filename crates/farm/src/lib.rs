@@ -49,7 +49,7 @@ mod stats;
 mod stream;
 
 pub use config::FarmConfig;
-pub use job::{cluster_priority, JobSpec};
+pub use job::{cluster_priority, static_adjusted_priority, JobSpec, StaticHint};
 pub use pool::Farm;
 pub use slice_pool::{SliceHelpers, SlicePool};
 pub use stats::{FarmStats, WorkerStats};

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use portend_sa::StaticStats;
 use portend_symex::CacheSnapshot;
 
 /// What one worker thread did during a run.
@@ -57,6 +58,10 @@ pub struct FarmStats {
     /// submitting solvers: offloaded execution time minus the time they
     /// spent waiting for offloaded results.
     pub slice_parallel_wall_saved: Duration,
+    /// Counters from the static lockset/MHP pre-analysis, when the
+    /// pipeline ran it ahead of this farm run (`None` when the pass is
+    /// disabled or the run was not fed by the pipeline).
+    pub static_pass: Option<StaticStats>,
 }
 
 impl FarmStats {
@@ -144,8 +149,15 @@ impl FarmStats {
         } else {
             String::new()
         };
+        let sa = match &self.static_pass {
+            Some(s) => format!(
+                ", static {} candidates / {} pruned / {} corroborated",
+                s.candidates, s.pruned, s.corroborated
+            ),
+            None => String::new(),
+        };
         format!(
-            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache}{forks}{sliced})",
+            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache}{forks}{sliced}{sa})",
             self.jobs,
             self.per_worker.len(),
             self.wall.as_secs_f64(),
@@ -253,5 +265,26 @@ mod tests {
         };
         assert!(!cold.summary().contains("warm"));
         assert_eq!(FarmStats::default().warm_hits(), None);
+    }
+
+    /// The static pre-analysis clause appears only when the pass ran.
+    #[test]
+    fn static_pass_surfaces_in_summary() {
+        let with_pass = FarmStats {
+            static_pass: Some(StaticStats {
+                candidates: 12,
+                pruned: 30,
+                corroborated: 3,
+            }),
+            ..Default::default()
+        };
+        assert!(
+            with_pass
+                .summary()
+                .contains("static 12 candidates / 30 pruned / 3 corroborated"),
+            "{}",
+            with_pass.summary()
+        );
+        assert!(!FarmStats::default().summary().contains("static"));
     }
 }

@@ -105,6 +105,7 @@ impl<R> FarmRun<R> {
             fork_slices_reused: 0,
             slices_offloaded: 0,
             slice_parallel_wall_saved: Duration::ZERO,
+            static_pass: None,
         };
         (remaining, stats)
     }

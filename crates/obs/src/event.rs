@@ -21,6 +21,8 @@
 /// | [`Fork`] | vm | no | bytes copied | bytes shared |
 /// | [`WarmLoad`] | warm store | yes | entries loaded | 1 if load succeeded |
 /// | [`WarmSave`] | warm store | yes | entries written | bytes written |
+/// | [`StaticPass`] | static pre-analysis | yes | candidate pairs | pruned pairs |
+/// | [`StaticPrune`] | static pre-analysis | no | cluster index | 1 lock-protected / 2 not-parallel |
 ///
 /// [`Phase`]: EventKind::Phase
 /// [`Job`]: EventKind::Job
@@ -34,6 +36,8 @@
 /// [`Fork`]: EventKind::Fork
 /// [`WarmLoad`]: EventKind::WarmLoad
 /// [`WarmSave`]: EventKind::WarmSave
+/// [`StaticPass`]: EventKind::StaticPass
+/// [`StaticPrune`]: EventKind::StaticPrune
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// A named pipeline phase (record, classify, join, …); the `name`
@@ -62,11 +66,16 @@ pub enum EventKind {
     WarmLoad,
     /// Persisting the solver cache's hot entries back to the store.
     WarmSave,
+    /// The static lockset/MHP pre-analysis running over the program.
+    StaticPass,
+    /// One race cluster demoted because the static pre-analysis proved
+    /// its representative pair ordered.
+    StaticPrune,
 }
 
 impl EventKind {
     /// Every kind, in rendering order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Phase,
         EventKind::Job,
         EventKind::Steal,
@@ -79,6 +88,8 @@ impl EventKind {
         EventKind::Fork,
         EventKind::WarmLoad,
         EventKind::WarmSave,
+        EventKind::StaticPass,
+        EventKind::StaticPrune,
     ];
 
     /// The kind's stable label (used by the exporters and the report's
@@ -97,6 +108,8 @@ impl EventKind {
             EventKind::Fork => "fork",
             EventKind::WarmLoad => "warm_load",
             EventKind::WarmSave => "warm_save",
+            EventKind::StaticPass => "static_pass",
+            EventKind::StaticPrune => "static_prune",
         }
     }
 
@@ -110,6 +123,7 @@ impl EventKind {
             EventKind::CacheProbe => "cache",
             EventKind::Fork => "vm",
             EventKind::WarmLoad | EventKind::WarmSave => "warm",
+            EventKind::StaticPass | EventKind::StaticPrune => "static",
         }
     }
 
@@ -118,7 +132,11 @@ impl EventKind {
     pub fn is_span(self) -> bool {
         !matches!(
             self,
-            EventKind::Steal | EventKind::SliceOffload | EventKind::CacheProbe | EventKind::Fork
+            EventKind::Steal
+                | EventKind::SliceOffload
+                | EventKind::CacheProbe
+                | EventKind::Fork
+                | EventKind::StaticPrune
         )
     }
 }
@@ -178,5 +196,8 @@ mod tests {
         assert!(!EventKind::CacheProbe.is_span());
         assert_eq!(EventKind::Fork.category(), "vm");
         assert_eq!(EventKind::Job.category(), "farm");
+        assert!(EventKind::StaticPass.is_span());
+        assert!(!EventKind::StaticPrune.is_span());
+        assert_eq!(EventKind::StaticPrune.category(), "static");
     }
 }

@@ -82,6 +82,18 @@ impl RaceReport {
             pc_hi: b,
         }
     }
+
+    /// The unordered `(lower, higher)` program-counter pair of the two
+    /// accesses — the key a static candidate pair is matched on
+    /// (`portend_sa::StaticAnalysis::covers` ignores the offset: static
+    /// analysis does not model indices).
+    pub fn pc_pair(&self) -> (Pc, Pc) {
+        if self.first.pc <= self.second.pc {
+            (self.first.pc, self.second.pc)
+        } else {
+            (self.second.pc, self.first.pc)
+        }
+    }
 }
 
 impl fmt::Display for RaceReport {

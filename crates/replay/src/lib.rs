@@ -14,7 +14,7 @@
 //! ThreadSanitizer-plugin trace (§3.1) provides to the original Portend.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod recorder;
 mod trace;

@@ -1,0 +1,247 @@
+//! Control-flow and call-graph skeleton the dataflow analyses walk.
+//!
+//! Everything here is purely syntactic: block successors from the
+//! terminator of each basic block, direct call edges from `Call`
+//! instructions, spawn sites from `Spawn` instructions. The IR has no
+//! indirect calls or function pointers, so the call graph is exact —
+//! the one property every soundness argument in this crate leans on.
+
+use portend_vm::{BlockId, FuncId, Pc, Program, Reg};
+
+/// Per-function control-flow facts.
+#[derive(Debug)]
+pub struct FuncCfg {
+    /// Successor blocks of each block (from its terminator).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Whether each block can be executed more than once in one call
+    /// (it lies on a CFG cycle).
+    pub in_cycle: Vec<bool>,
+    /// The straight-line execution order of blocks starting at block 0,
+    /// when the function is *linear*: no branches, no cycles. `None`
+    /// for any function with real control flow. Linear bodies are the
+    /// only shape the barrier-phase analysis assigns epochs to.
+    pub linear_order: Option<Vec<BlockId>>,
+}
+
+impl FuncCfg {
+    fn build(f: &portend_vm::Function) -> FuncCfg {
+        let n = f.blocks.len();
+        let succs: Vec<Vec<BlockId>> = f
+            .blocks
+            .iter()
+            .map(|b| {
+                b.insts
+                    .last()
+                    .map(|i| i.terminator_targets())
+                    .unwrap_or_default()
+            })
+            .collect();
+
+        // A block is on a cycle iff it can reach itself.
+        let mut in_cycle = vec![false; n];
+        for (b, cyc) in in_cycle.iter_mut().enumerate() {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = succs[b].iter().map(|s| s.0 as usize).collect();
+            while let Some(x) = stack.pop() {
+                if x == b {
+                    *cyc = true;
+                    break;
+                }
+                if !seen[x] {
+                    seen[x] = true;
+                    stack.extend(succs[x].iter().map(|s| s.0 as usize));
+                }
+            }
+        }
+
+        // Linear: walking single successors from block 0 never branches
+        // and never revisits a block.
+        let mut linear_order = Some(Vec::new());
+        let mut visited = vec![false; n];
+        let mut cur = 0usize;
+        loop {
+            if visited[cur] {
+                linear_order = None;
+                break;
+            }
+            visited[cur] = true;
+            if let Some(order) = linear_order.as_mut() {
+                order.push(BlockId(cur as u32));
+            }
+            match succs[cur].as_slice() {
+                [] => break,
+                [one] => cur = one.0 as usize,
+                _ => {
+                    linear_order = None;
+                    break;
+                }
+            }
+        }
+
+        FuncCfg {
+            succs,
+            in_cycle,
+            linear_order,
+        }
+    }
+}
+
+/// One `Spawn` instruction in the program.
+#[derive(Debug, Clone, Copy)]
+pub struct SpawnSite {
+    /// Where the spawn instruction sits.
+    pub at: Pc,
+    /// The spawned thread's entry function.
+    pub target: FuncId,
+    /// The register receiving the child thread id.
+    pub dst: Reg,
+}
+
+/// Whole-program structure: per-function CFGs plus the (exact) call
+/// graph, spawn sites, and reachability closures.
+#[derive(Debug)]
+pub struct ProgramCfg {
+    /// Per-function control flow, indexed by `FuncId`.
+    pub funcs: Vec<FuncCfg>,
+    /// Direct call targets of each function (deduplicated).
+    pub callees: Vec<Vec<FuncId>>,
+    /// Call sites targeting each function: `call_sites[g]` lists the
+    /// `Pc`s of every `Call` whose callee is `g`.
+    pub call_sites: Vec<Vec<Pc>>,
+    /// Every spawn instruction in the program.
+    pub spawn_sites: Vec<SpawnSite>,
+    /// `call_reach[f][g]`: `g` is reachable from `f` following call
+    /// edges only (reflexive). This is "code that may run in a thread
+    /// whose entry function is `f`".
+    pub call_reach: Vec<Vec<bool>>,
+}
+
+impl ProgramCfg {
+    /// Builds the CFG/call-graph skeleton for `program`.
+    pub fn build(program: &Program) -> ProgramCfg {
+        let n = program.funcs.len();
+        let funcs: Vec<FuncCfg> = program.funcs.iter().map(FuncCfg::build).collect();
+
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut call_sites: Vec<Vec<Pc>> = vec![Vec::new(); n];
+        let mut spawn_sites = Vec::new();
+        for (fi, f) in program.funcs.iter().enumerate() {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for (ii, inst) in b.insts.iter().enumerate() {
+                    let at = Pc {
+                        func: FuncId(fi as u32),
+                        block: BlockId(bi as u32),
+                        idx: ii as u32,
+                    };
+                    if let Some(g) = inst.callee() {
+                        if !callees[fi].contains(&g) {
+                            callees[fi].push(g);
+                        }
+                        call_sites[g.0 as usize].push(at);
+                    }
+                    if let Some(target) = inst.spawn_target() {
+                        if let portend_vm::Inst::Spawn { dst, .. } = inst {
+                            spawn_sites.push(SpawnSite {
+                                at,
+                                target,
+                                dst: *dst,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reflexive-transitive closure over call edges.
+        let mut call_reach = vec![vec![false; n]; n];
+        for (f, row) in call_reach.iter_mut().enumerate() {
+            row[f] = true;
+            let mut stack = vec![f];
+            while let Some(x) = stack.pop() {
+                for g in &callees[x] {
+                    let gi = g.0 as usize;
+                    if !row[gi] {
+                        row[gi] = true;
+                        stack.push(gi);
+                    }
+                }
+            }
+        }
+
+        ProgramCfg {
+            funcs,
+            callees,
+            call_sites,
+            spawn_sites,
+            call_reach,
+        }
+    }
+
+    /// Whether `g` may execute (via calls) in a thread rooted at `f`.
+    pub fn reaches(&self, f: FuncId, g: FuncId) -> bool {
+        self.call_reach[f.0 as usize][g.0 as usize]
+    }
+
+    /// Whether `f` is the target of any `Call` instruction.
+    pub fn is_call_target(&self, f: FuncId) -> bool {
+        !self.call_sites[f.0 as usize].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portend_vm::ProgramBuilder;
+
+    #[test]
+    fn linear_and_branchy_functions() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let helper = pb.func("helper", |f| {
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let c = f.input();
+            f.call_void(helper, &[]);
+            f.if_then(c, |f| {
+                f.call_void(helper, &[]);
+            });
+            f.ret(None);
+        });
+        let p = pb.build(main).unwrap();
+        let cfg = ProgramCfg::build(&p);
+
+        assert!(
+            cfg.funcs[main.0 as usize].linear_order.is_none(),
+            "main branches"
+        );
+        assert!(cfg.funcs[helper.0 as usize].linear_order.is_some());
+        assert!(cfg.is_call_target(helper));
+        assert!(!cfg.is_call_target(main));
+        assert!(cfg.reaches(main, helper));
+        assert!(!cfg.reaches(helper, main));
+        assert!(cfg.spawn_sites.is_empty());
+    }
+
+    #[test]
+    fn loops_mark_blocks_cyclic_and_spawns_are_collected() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let worker = pb.func("worker", |f| {
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            f.for_range(3.into(), |f, _i| {
+                f.spawn(worker, 0.into());
+            });
+            f.ret(None);
+        });
+        let p = pb.build(main).unwrap();
+        let cfg = ProgramCfg::build(&p);
+        assert_eq!(cfg.spawn_sites.len(), 1);
+        assert_eq!(cfg.spawn_sites[0].target, worker);
+        let site = cfg.spawn_sites[0].at;
+        assert!(
+            cfg.funcs[site.func.0 as usize].in_cycle[site.block.0 as usize],
+            "spawn in a loop body must be flagged repeatable"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Interprocedural must-hold lockset analysis.
+//!
+//! For every instruction we compute an **under-approximation** of the
+//! set of mutexes the executing thread is guaranteed to hold when the
+//! instruction runs. The direction matters: a mutex only enters the
+//! set when it is held on *every* path, so "both accesses share a
+//! must-held lock" really implies "both critical sections are ordered
+//! by that lock's release→acquire happens-before edge" — which is why
+//! the candidate enumerator may prune such pairs without ever losing a
+//! race the dynamic detector could report.
+//!
+//! Locksets are `u64` bitmasks over `SyncId`s. Programs with more than
+//! 64 mutexes degrade to empty must-sets everywhere (fewer prunes,
+//! still sound).
+//!
+//! The analysis is built from three interprocedural summaries:
+//!
+//! * `may_rel(f)` — mutexes `f` may release, transitively through call
+//!   edges (an **over**-approximation; used as the kill set at call
+//!   sites). Spawned functions are excluded on purpose: the VM rejects
+//!   unlocking a mutex the thread does not own, so a child thread can
+//!   never release its parent's locks.
+//! * `must_acq_exit(f)` — mutexes `f` is guaranteed to have acquired
+//!   and still hold when it returns, starting from nothing (an
+//!   **under**-approximation; used as the gen set at call sites).
+//! * `entry_must(f)` — mutexes held at every call site of `f`
+//!   (under-approximation; pinned to ∅ for thread roots).
+//!
+//! `must_acq_exit` and `entry_must` are computed by monotone upward
+//! iteration from ⊥; every intermediate iterate is already a valid
+//! under-approximation, so the (bounded) iteration is sound even if it
+//! were cut short.
+
+use portend_vm::{FuncId, Inst, Pc, Program, SyncId};
+
+use crate::cfg::ProgramCfg;
+
+/// A set of mutexes as a bitmask over `SyncId(0..64)`.
+pub type LockMask = u64;
+
+fn bit(m: SyncId) -> LockMask {
+    1u64 << (m.0 as u64 % 64)
+}
+
+/// The result of the must-hold lockset analysis.
+#[derive(Debug)]
+pub struct LockAnalysis {
+    /// Mask with one bit per declared mutex (the lattice ⊤).
+    pub top: LockMask,
+    /// True when the program has more than 64 mutexes and every
+    /// must-set was degraded to ∅.
+    pub degraded: bool,
+    /// `must[f][b][i]`: locks definitely held when instruction
+    /// `f:b:i` executes.
+    must: Vec<Vec<Vec<LockMask>>>,
+}
+
+impl LockAnalysis {
+    /// Locks definitely held by the executing thread when the
+    /// instruction at `pc` runs.
+    pub fn must_hold(&self, pc: Pc) -> LockMask {
+        self.must[pc.func.0 as usize][pc.block.0 as usize][pc.idx as usize]
+    }
+
+    /// Runs the analysis over `program`.
+    pub fn analyze(program: &Program, cfg: &ProgramCfg) -> LockAnalysis {
+        let nf = program.funcs.len();
+        let empty_must: Vec<Vec<Vec<LockMask>>> = program
+            .funcs
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| vec![0; b.insts.len()]).collect())
+            .collect();
+        if program.mutexes.len() > 64 {
+            return LockAnalysis {
+                top: 0,
+                degraded: true,
+                must: empty_must,
+            };
+        }
+        let top: LockMask = if program.mutexes.is_empty() {
+            0
+        } else {
+            (u64::MAX) >> (64 - program.mutexes.len())
+        };
+
+        // may_rel: saturate direct releases over the call-reach closure.
+        // CondWait's transient release is included defensively; its
+        // re-acquire resurfaces through must_acq_exit.
+        let mut direct_rel = vec![0u64; nf];
+        for (fi, f) in program.funcs.iter().enumerate() {
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Some(m) = inst.releases_mutex() {
+                        direct_rel[fi] |= bit(m);
+                    }
+                    if let Inst::CondWait { mutex, .. } = inst {
+                        direct_rel[fi] |= bit(*mutex);
+                    }
+                }
+            }
+        }
+        let may_rel: Vec<LockMask> = (0..nf)
+            .map(|fi| {
+                (0..nf)
+                    .filter(|&g| cfg.call_reach[fi][g])
+                    .fold(0, |acc, g| acc | direct_rel[g])
+            })
+            .collect();
+
+        // must_acq_exit: upward fixpoint from ⊥ (each iterate is a
+        // valid under-approximation).
+        let mut must_acq_exit = vec![0u64; nf];
+        for _ in 0..(64 * nf + 2) {
+            let mut changed = false;
+            for fi in 0..nf {
+                let flow = intra(
+                    program,
+                    cfg,
+                    FuncId(fi as u32),
+                    0,
+                    top,
+                    &may_rel,
+                    &must_acq_exit,
+                );
+                let v = flow.exit;
+                if v != must_acq_exit[fi] {
+                    must_acq_exit[fi] = v;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // entry_must: ∅ at thread roots, meet over call sites elsewhere;
+        // upward fixpoint from ⊥.
+        let mut is_root = vec![false; nf];
+        is_root[program.entry.0 as usize] = true;
+        for s in &cfg.spawn_sites {
+            is_root[s.target.0 as usize] = true;
+        }
+        let mut entry_must = vec![0u64; nf];
+        for _ in 0..(64 * nf + 2) {
+            let mut changed = false;
+            let site_locks: Vec<Vec<Vec<LockMask>>> = (0..nf)
+                .map(|fi| {
+                    intra(
+                        program,
+                        cfg,
+                        FuncId(fi as u32),
+                        entry_must[fi],
+                        top,
+                        &may_rel,
+                        &must_acq_exit,
+                    )
+                    .must
+                })
+                .collect();
+            for (gi, g_entry) in entry_must.iter_mut().enumerate() {
+                if is_root[gi] {
+                    continue;
+                }
+                let sites = &cfg.call_sites[gi];
+                if sites.is_empty() {
+                    // Never called and not a root: the code never runs,
+                    // so any claim about it is vacuous.
+                    continue;
+                }
+                let v = sites.iter().fold(top, |acc, pc| {
+                    acc & site_locks[pc.func.0 as usize][pc.block.0 as usize][pc.idx as usize]
+                });
+                if v != *g_entry {
+                    *g_entry = v;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Final per-statement locksets with the converged entry states.
+        let must: Vec<Vec<Vec<LockMask>>> = (0..nf)
+            .map(|fi| {
+                intra(
+                    program,
+                    cfg,
+                    FuncId(fi as u32),
+                    entry_must[fi],
+                    top,
+                    &may_rel,
+                    &must_acq_exit,
+                )
+                .must
+            })
+            .collect();
+
+        LockAnalysis {
+            top,
+            degraded: false,
+            must,
+        }
+    }
+}
+
+struct IntraFlow {
+    /// Lockset before each instruction.
+    must: Vec<Vec<LockMask>>,
+    /// Meet of the locksets at every `Ret` (⊤ when no return is
+    /// reachable — the caller's continuation then never runs).
+    exit: LockMask,
+}
+
+/// Forward must-dataflow over one function: intersection meet, blocks
+/// initialized to ⊤, iterated to its (descending) fixpoint.
+fn intra(
+    program: &Program,
+    cfg: &ProgramCfg,
+    func: FuncId,
+    entry: LockMask,
+    top: LockMask,
+    may_rel: &[LockMask],
+    must_acq_exit: &[LockMask],
+) -> IntraFlow {
+    let f = program.func(func);
+    let fcfg = &cfg.funcs[func.0 as usize];
+    let nb = f.blocks.len();
+    let mut in_mask = vec![top; nb];
+    in_mask[0] = entry;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let mut l = in_mask[b];
+            for inst in &f.blocks[b].insts {
+                l = transfer(l, inst, may_rel, must_acq_exit);
+            }
+            for s in &fcfg.succs[b] {
+                let si = s.0 as usize;
+                let merged = in_mask[si] & l;
+                if merged != in_mask[si] {
+                    in_mask[si] = merged;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mut must: Vec<Vec<LockMask>> = Vec::with_capacity(nb);
+    let mut exit = top;
+    for (b, &mask) in in_mask.iter().enumerate().take(nb) {
+        let mut l = mask;
+        let mut row = Vec::with_capacity(f.blocks[b].insts.len());
+        for inst in &f.blocks[b].insts {
+            row.push(l);
+            if matches!(inst, Inst::Ret { .. }) {
+                exit &= l;
+            }
+            l = transfer(l, inst, may_rel, must_acq_exit);
+        }
+        must.push(row);
+    }
+    IntraFlow { must, exit }
+}
+
+fn transfer(
+    l: LockMask,
+    inst: &Inst,
+    may_rel: &[LockMask],
+    must_acq_exit: &[LockMask],
+) -> LockMask {
+    if let Some(m) = inst.acquires_mutex() {
+        return l | bit(m);
+    }
+    if let Some(m) = inst.releases_mutex() {
+        return l & !bit(m);
+    }
+    if let Some(g) = inst.callee() {
+        let gi = g.0 as usize;
+        return (l & !may_rel[gi]) | must_acq_exit[gi];
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portend_vm::{BlockId, ProgramBuilder};
+
+    fn pc(f: FuncId, b: u32, i: u32) -> Pc {
+        Pc {
+            func: f,
+            block: BlockId(b),
+            idx: i,
+        }
+    }
+
+    #[test]
+    fn straight_line_lock_unlock() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("x", 0);
+        let m = pb.mutex("m");
+        let main = pb.func("main", |f| {
+            f.store(g, 0.into(), 1.into()); // idx 0: unlocked
+            f.lock(m); // idx 1
+            f.store(g, 0.into(), 2.into()); // idx 2: locked
+            f.unlock(m); // idx 3
+            f.store(g, 0.into(), 3.into()); // idx 4: unlocked
+            f.ret(None);
+        });
+        let p = pb.build(main).unwrap();
+        let cfg = ProgramCfg::build(&p);
+        let la = LockAnalysis::analyze(&p, &cfg);
+        assert_eq!(la.must_hold(pc(main, 0, 0)), 0);
+        assert_eq!(la.must_hold(pc(main, 0, 2)), 1);
+        assert_eq!(la.must_hold(pc(main, 0, 4)), 0);
+    }
+
+    #[test]
+    fn branch_join_is_intersection() {
+        // Lock acquired on one branch only: after the join the lock is
+        // not must-held.
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("x", 0);
+        let m = pb.mutex("m");
+        let main = pb.func("main", |f| {
+            let c = f.input();
+            f.if_then(c, |f| {
+                f.lock(m);
+            });
+            f.store(g, 0.into(), 1.into());
+            f.ret(None);
+        });
+        let p = pb.build(main).unwrap();
+        let cfg = ProgramCfg::build(&p);
+        let la = LockAnalysis::analyze(&p, &cfg);
+        // Find the store: it is the only write to g.
+        let store_pc = find_store(&p, g);
+        assert_eq!(la.must_hold(store_pc), 0);
+    }
+
+    #[test]
+    fn callee_acquires_and_releases_across_functions() {
+        // acquire() locks m and returns holding it; release() unlocks
+        // it. The caller's access between the two calls is protected.
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("x", 0);
+        let m = pb.mutex("m");
+        let acquire = pb.func("acquire", |f| {
+            f.lock(m);
+            f.ret(None);
+        });
+        let release = pb.func("release", |f| {
+            f.unlock(m);
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            f.call_void(acquire, &[]);
+            f.store(g, 0.into(), 1.into());
+            f.call_void(release, &[]);
+            f.store(g, 0.into(), 2.into());
+            f.ret(None);
+        });
+        let p = pb.build(main).unwrap();
+        let cfg = ProgramCfg::build(&p);
+        let la = LockAnalysis::analyze(&p, &cfg);
+        // call acquire = idx 0; store = idx 1; call release = idx 2;
+        // store = idx 3.
+        assert_eq!(la.must_hold(pc(main, 0, 1)), 1, "held after acquire()");
+        assert_eq!(la.must_hold(pc(main, 0, 3)), 0, "released by release()");
+    }
+
+    #[test]
+    fn entry_must_flows_into_callees() {
+        // Caller holds m around every call to touch(): touch()'s access
+        // is must-protected.
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("x", 0);
+        let m = pb.mutex("m");
+        let touch = pb.func("touch", |f| {
+            f.store(g, 0.into(), 7.into());
+            f.ret(None);
+        });
+        let main = pb.func("main", |f| {
+            f.lock(m);
+            f.call_void(touch, &[]);
+            f.unlock(m);
+            f.ret(None);
+        });
+        let p = pb.build(main).unwrap();
+        let cfg = ProgramCfg::build(&p);
+        let la = LockAnalysis::analyze(&p, &cfg);
+        assert_eq!(la.must_hold(pc(touch, 0, 0)), 1);
+    }
+
+    fn find_store(p: &Program, alloc: portend_vm::AllocId) -> Pc {
+        for (fi, f) in p.funcs.iter().enumerate() {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for (ii, inst) in b.insts.iter().enumerate() {
+                    if let Some((a, _, true)) = inst.memory_access() {
+                        if a == alloc {
+                            return Pc {
+                                func: FuncId(fi as u32),
+                                block: BlockId(bi as u32),
+                                idx: ii as u32,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        panic!("no store found");
+    }
+}

@@ -1,0 +1,606 @@
+//! May-happen-in-parallel analysis from spawn/join/barrier structure.
+//!
+//! The default answer is **may** (true): two statements are only
+//! declared non-parallel when one of a small set of proofs applies.
+//! Every proof establishes a happens-before ordering that the dynamic
+//! detector also tracks unconditionally (spawn, join, and barrier
+//! edges are never config-gated, unlike mutex edges), so a pruned pair
+//! can never surface as a dynamic `RaceReport`:
+//!
+//! 1. **Same single thread** — both statements only ever execute in
+//!    the same single-instance thread; program order serializes them.
+//! 2. **Spawn-before** — the statement in the spawning thread executes
+//!    before any instance of the other thread can have been created
+//!    (a forward "may already be spawned" dataflow says so).
+//! 3. **Joined-after** — the statement in the spawning thread executes
+//!    after the unique instance of the other thread was joined (a
+//!    forward must-join dataflow that tracks the spawn's thread-id
+//!    register says so).
+//! 4. **Lockstep barrier phases** — both statements sit in linear
+//!    bodies of single-instance worker threads that all wait on one
+//!    barrier whose party count equals the number of workers; waits
+//!    then release in global lockstep rounds, so statements in
+//!    different rounds (epochs) are ordered through the barrier.
+//!
+//! *Thread roots* are the program entry plus every spawn target; a
+//! statement "belongs to" root `r` when its function is call-reachable
+//! from `r`. Belonging is itself an over-approximation — a shared
+//! helper belongs to every root that can call it, and the analysis
+//! must prove non-overlap for every root pair before answering false.
+
+use portend_vm::{FuncId, Inst, Operand, Pc, Program, Reg, SyncId};
+
+use crate::cfg::ProgramCfg;
+
+/// Bitmask over thread roots (indices into [`MhpAnalysis::roots`]).
+type RootMask = u64;
+
+/// The result of the may-happen-in-parallel analysis.
+#[derive(Debug)]
+pub struct MhpAnalysis {
+    /// Thread roots: entry function first, then spawn targets in
+    /// discovery order.
+    pub roots: Vec<FuncId>,
+    /// True when the program exceeded the analysis' size limits and
+    /// every query answers "may happen in parallel".
+    pub degraded: bool,
+    /// Per root: whether at most one instance of it can ever run.
+    single: Vec<bool>,
+    /// Per function: bitmask of roots it belongs to.
+    func_roots: Vec<RootMask>,
+    /// Roots whose every spawn site sits in entry-thread-only code.
+    entry_spawned_only: RootMask,
+    /// `may_spawned[f][b][i]`: roots that may already have been
+    /// spawned (by anyone) when `f:b:i` executes.
+    may_spawned: Vec<Vec<Vec<RootMask>>>,
+    /// Per statement of the entry function: roots whose unique thread
+    /// has definitely been joined.
+    joined: Vec<Vec<RootMask>>,
+    /// Qualifying lockstep barriers.
+    lockstep: Vec<Lockstep>,
+}
+
+/// One barrier whose waits provably release in global lockstep rounds.
+#[derive(Debug)]
+struct Lockstep {
+    /// The participating worker-root functions and, for each
+    /// statement of their (linear) bodies, the statement's epoch: the
+    /// number of waits on this barrier that precede it.
+    epochs: Vec<(FuncId, Vec<Vec<u32>>)>,
+}
+
+impl MhpAnalysis {
+    /// Runs the analysis over `program`.
+    pub fn analyze(program: &Program, cfg: &ProgramCfg) -> MhpAnalysis {
+        let nf = program.funcs.len();
+        let entry = program.entry;
+
+        let mut roots: Vec<FuncId> = vec![entry];
+        for s in &cfg.spawn_sites {
+            if !roots.contains(&s.target) {
+                roots.push(s.target);
+            }
+        }
+        if roots.len() > 64 {
+            return MhpAnalysis::degraded_for(roots);
+        }
+
+        let func_roots: Vec<RootMask> = (0..nf)
+            .map(|fi| {
+                roots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| cfg.reaches(**r, FuncId(fi as u32)))
+                    .fold(0u64, |acc, (i, _)| acc | (1 << i))
+            })
+            .collect();
+
+        // Instance counting. The entry root is single unless the entry
+        // function can re-run via a call or a spawn; a spawn root is
+        // single when its one program-wide spawn site sits in the
+        // (single) entry function outside any loop.
+        let entry_single =
+            !cfg.is_call_target(entry) && cfg.spawn_sites.iter().all(|s| s.target != entry);
+        let single: Vec<bool> = roots
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if i == 0 {
+                    return entry_single;
+                }
+                let sites: Vec<_> = cfg.spawn_sites.iter().filter(|s| s.target == *r).collect();
+                if sites.len() != 1 || !entry_single {
+                    return false;
+                }
+                let site = sites[0].at;
+                site.func == entry && !cfg.funcs[entry.0 as usize].in_cycle[site.block.0 as usize]
+            })
+            .collect();
+
+        // Roots only ever spawned from code belonging exclusively to
+        // the entry root: for those, program order in the entry thread
+        // decides when instances can begin to exist.
+        let entry_only = |f: FuncId| func_roots[f.0 as usize] == 1;
+        let entry_spawned_only: RootMask = roots
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, r)| {
+                cfg.spawn_sites
+                    .iter()
+                    .filter(|s| s.target == **r)
+                    .all(|s| entry_only(s.at.func))
+            })
+            .fold(0u64, |acc, (i, _)| acc | (1 << i));
+
+        let may_spawned = may_spawned_flow(program, cfg, &roots);
+        let joined = joined_flow(program, cfg, &roots, &single, entry);
+        let lockstep = find_lockstep(program, cfg, &roots, &single);
+
+        MhpAnalysis {
+            roots,
+            degraded: false,
+            single,
+            func_roots,
+            entry_spawned_only,
+            may_spawned,
+            joined,
+            lockstep,
+        }
+    }
+
+    fn degraded_for(roots: Vec<FuncId>) -> MhpAnalysis {
+        MhpAnalysis {
+            roots,
+            degraded: true,
+            single: Vec::new(),
+            func_roots: Vec::new(),
+            entry_spawned_only: 0,
+            may_spawned: Vec::new(),
+            joined: Vec::new(),
+            lockstep: Vec::new(),
+        }
+    }
+
+    /// May the statements at `a` and `b` execute concurrently in two
+    /// different threads? `true` is always a safe answer; `false`
+    /// carries a happens-before proof.
+    pub fn mhp(&self, a: Pc, b: Pc) -> bool {
+        if self.degraded {
+            return true;
+        }
+        let ra = self.func_roots[a.func.0 as usize];
+        let rb = self.func_roots[b.func.0 as usize];
+        if ra == 0 || rb == 0 {
+            // Dead code never executes; nothing to run in parallel.
+            return false;
+        }
+        for i in 0..self.roots.len() {
+            if ra & (1 << i) == 0 {
+                continue;
+            }
+            for j in 0..self.roots.len() {
+                if rb & (1 << j) == 0 {
+                    continue;
+                }
+                if self.instances_may_overlap(i, a, j, b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether an instance of root `i` executing `a` can overlap an
+    /// instance of root `j` executing `b`.
+    fn instances_may_overlap(&self, i: usize, a: Pc, j: usize, b: Pc) -> bool {
+        if i == j {
+            // Same root: a single instance is one thread, and a thread
+            // never overlaps itself.
+            return !self.single[i];
+        }
+        // Spawn-before / joined-after, in both orientations: the
+        // statement in the entry thread vs. the spawned root.
+        if i == 0 && self.entry_ordered_against(a, j) {
+            return false;
+        }
+        if j == 0 && self.entry_ordered_against(b, i) {
+            return false;
+        }
+        // Lockstep barrier rounds.
+        for ls in &self.lockstep {
+            let ea = ls.epoch_of(self.roots[i], a);
+            let eb = ls.epoch_of(self.roots[j], b);
+            if let (Some(ea), Some(eb)) = (ea, eb) {
+                if ea != eb {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the entry-thread statement `a` is ordered against every
+    /// instance of spawn root `j`: either it runs before any instance
+    /// can have been spawned, or after the unique instance was joined.
+    fn entry_ordered_against(&self, a: Pc, j: usize) -> bool {
+        let jbit = 1u64 << j;
+        if self.entry_spawned_only & jbit != 0
+            && self.may_spawned[a.func.0 as usize][a.block.0 as usize][a.idx as usize] & jbit == 0
+        {
+            return true;
+        }
+        if a.func == self.roots[0] && self.joined[a.block.0 as usize][a.idx as usize] & jbit != 0 {
+            return true;
+        }
+        false
+    }
+}
+
+/// Which registers an instruction writes (used to invalidate tracked
+/// thread-id registers).
+fn written_regs(inst: &Inst) -> Vec<Reg> {
+    match inst {
+        Inst::Const { dst, .. }
+        | Inst::Copy { dst, .. }
+        | Inst::Bin { dst, .. }
+        | Inst::Cmp { dst, .. }
+        | Inst::Not { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Spawn { dst, .. }
+        | Inst::Input { dst } => vec![*dst],
+        Inst::Call { dst: Some(d), .. } => vec![*d],
+        _ => Vec::new(),
+    }
+}
+
+/// Forward may-analysis: which roots may already have been spawned
+/// when each statement executes. Union meet, least fixpoint from ⊥ —
+/// the classic sound over-approximation once converged.
+fn may_spawned_flow(
+    program: &Program,
+    cfg: &ProgramCfg,
+    roots: &[FuncId],
+) -> Vec<Vec<Vec<RootMask>>> {
+    let nf = program.funcs.len();
+    let root_idx = |f: FuncId| roots.iter().position(|r| *r == f);
+
+    // reach_all: closure over call AND spawn edges, used to summarize
+    // "calling g may (eventually) bring which roots to life".
+    let mut reach_all = vec![vec![false; nf]; nf];
+    for (fi, row) in reach_all.iter_mut().enumerate() {
+        row[fi] = true;
+        let mut stack = vec![fi];
+        while let Some(x) = stack.pop() {
+            let mut next: Vec<usize> = cfg.callees[x].iter().map(|g| g.0 as usize).collect();
+            next.extend(
+                cfg.spawn_sites
+                    .iter()
+                    .filter(|s| s.at.func.0 as usize == x)
+                    .map(|s| s.target.0 as usize),
+            );
+            for g in next {
+                if !row[g] {
+                    row[g] = true;
+                    stack.push(g);
+                }
+            }
+        }
+    }
+    let may_spawn_star: Vec<RootMask> = (0..nf)
+        .map(|fi| {
+            cfg.spawn_sites
+                .iter()
+                .filter(|s| reach_all[fi][s.at.func.0 as usize])
+                .filter_map(|s| root_idx(s.target))
+                .fold(0u64, |acc, i| acc | (1 << i))
+        })
+        .collect();
+
+    // Entry flags per function; spawned-root bodies start with
+    // "anything may already run" (their statements are never used by
+    // the spawn-before rule, so precision there is irrelevant).
+    let mut entry_flag = vec![0u64; nf];
+    for (i, r) in roots.iter().enumerate() {
+        if i > 0 {
+            entry_flag[r.0 as usize] = u64::MAX;
+        }
+    }
+
+    let transfer = |flag: RootMask, inst: &Inst| -> RootMask {
+        if let Some(t) = inst.spawn_target() {
+            let direct = root_idx(t).map(|i| 1u64 << i).unwrap_or(0);
+            return flag | direct | may_spawn_star[t.0 as usize];
+        }
+        if let Some(g) = inst.callee() {
+            return flag | may_spawn_star[g.0 as usize];
+        }
+        flag
+    };
+
+    loop {
+        let mut changed = false;
+        for (fi, f) in program.funcs.iter().enumerate() {
+            // Intra fixpoint with the current entry flag.
+            let out = intra_may(f, &cfg.funcs[fi], entry_flag[fi], &transfer);
+            // Push flags at call sites into callee entries.
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for (ii, inst) in b.insts.iter().enumerate() {
+                    if let Some(g) = inst.callee() {
+                        let gi = g.0 as usize;
+                        let v = entry_flag[gi] | out[bi][ii];
+                        if v != entry_flag[gi] {
+                            entry_flag[gi] = v;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    program
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| intra_may(f, &cfg.funcs[fi], entry_flag[fi], &transfer))
+        .collect()
+}
+
+/// Intra-procedural forward may-flow (union meet) returning the flag
+/// *before* each instruction.
+fn intra_may(
+    f: &portend_vm::Function,
+    fcfg: &crate::cfg::FuncCfg,
+    entry: RootMask,
+    transfer: &dyn Fn(RootMask, &Inst) -> RootMask,
+) -> Vec<Vec<RootMask>> {
+    let nb = f.blocks.len();
+    let mut in_flag = vec![0u64; nb];
+    in_flag[0] = entry;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let mut v = in_flag[b];
+            for inst in &f.blocks[b].insts {
+                v = transfer(v, inst);
+            }
+            for s in &fcfg.succs[b] {
+                let si = s.0 as usize;
+                if in_flag[si] | v != in_flag[si] {
+                    in_flag[si] |= v;
+                    changed = true;
+                }
+            }
+        }
+    }
+    (0..nb)
+        .map(|b| {
+            let mut v = in_flag[b];
+            f.blocks[b]
+                .insts
+                .iter()
+                .map(|inst| {
+                    let before = v;
+                    v = transfer(v, inst);
+                    before
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Forward must-analysis over the entry function only: which roots
+/// have definitely been joined before each statement. Tracks the
+/// thread-id register of each root's unique spawn site; a `Join` on a
+/// register known to hold that id proves the thread has terminated.
+fn joined_flow(
+    program: &Program,
+    cfg: &ProgramCfg,
+    roots: &[FuncId],
+    single: &[bool],
+    entry: FuncId,
+) -> Vec<Vec<RootMask>> {
+    let f = program.func(entry);
+    let fcfg = &cfg.funcs[entry.0 as usize];
+    let nb = f.blocks.len();
+
+    // Roots eligible for join tracking: single instance via a unique
+    // spawn site located in the entry function.
+    let trackable = |target: FuncId| -> Option<usize> {
+        let i = roots.iter().position(|r| *r == target)?;
+        if i == 0 || !single[i] {
+            return None;
+        }
+        let mut sites = cfg.spawn_sites.iter().filter(|s| s.target == target);
+        let site = sites.next()?;
+        if sites.next().is_some() || site.at.func != entry {
+            return None;
+        }
+        Some(i)
+    };
+
+    #[derive(Clone, PartialEq)]
+    struct State {
+        joined: RootMask,
+        /// reg → root index whose unique thread id it holds.
+        tids: Vec<(Reg, usize)>,
+    }
+    let meet = |a: &State, b: &State| State {
+        joined: a.joined & b.joined,
+        tids: a
+            .tids
+            .iter()
+            .filter(|e| b.tids.contains(e))
+            .cloned()
+            .collect(),
+    };
+    let transfer = |st: &mut State, inst: &Inst| {
+        let writes = written_regs(inst);
+        if let Inst::Join {
+            tid: Operand::Reg(r),
+        } = inst
+        {
+            if let Some(&(_, root)) = st.tids.iter().find(|(reg, _)| reg == r) {
+                st.joined |= 1 << root;
+            }
+        }
+        st.tids.retain(|(reg, _)| !writes.contains(reg));
+        if let Inst::Spawn { dst, func, .. } = inst {
+            if let Some(i) = trackable(*func) {
+                st.tids.push((*dst, i));
+            }
+        }
+    };
+
+    let mut in_state: Vec<Option<State>> = vec![None; nb];
+    in_state[0] = Some(State {
+        joined: 0,
+        tids: Vec::new(),
+    });
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let Some(mut st) = in_state[b].clone() else {
+                continue;
+            };
+            for inst in &f.blocks[b].insts {
+                transfer(&mut st, inst);
+            }
+            for s in &fcfg.succs[b] {
+                let si = s.0 as usize;
+                let merged = match &in_state[si] {
+                    None => st.clone(),
+                    Some(old) => meet(old, &st),
+                };
+                if in_state[si].as_ref() != Some(&merged) {
+                    in_state[si] = Some(merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    (0..nb)
+        .map(|b| {
+            let mut st = in_state[b].clone().unwrap_or(State {
+                joined: 0,
+                tids: Vec::new(),
+            });
+            f.blocks[b]
+                .insts
+                .iter()
+                .map(|inst| {
+                    let before = st.joined;
+                    transfer(&mut st, inst);
+                    before
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Finds barriers whose waits provably release in lockstep rounds.
+///
+/// Requirements (all syntactic, all conservative): every wait on the
+/// barrier sits directly in the linear body of a single-instance
+/// spawn-root that is never `Call`ed, functions those bodies call are
+/// transitively free of *any* barrier wait, and the barrier's party
+/// count equals the number of waiting roots. Then the k-th release
+/// orders every statement before a body's (k+1)-th wait ahead of every
+/// statement after another body's (k+1)-th wait — different epochs
+/// cannot overlap.
+fn find_lockstep(
+    program: &Program,
+    cfg: &ProgramCfg,
+    roots: &[FuncId],
+    single: &[bool],
+) -> Vec<Lockstep> {
+    let nf = program.funcs.len();
+    // Per function: barriers waited on directly.
+    let mut waits_in: Vec<Vec<SyncId>> = vec![Vec::new(); nf];
+    for (fi, f) in program.funcs.iter().enumerate() {
+        for b in &f.blocks {
+            for inst in &b.insts {
+                if let Some(bar) = inst.barrier() {
+                    waits_in[fi].push(bar);
+                }
+            }
+        }
+    }
+    let has_wait_transitively = |f: FuncId| -> bool {
+        (0..nf).any(|g| cfg.call_reach[f.0 as usize][g] && !waits_in[g].is_empty())
+    };
+
+    let mut out = Vec::new();
+    for (bar_i, spec) in program.barriers.iter().enumerate() {
+        let bar = SyncId(bar_i as u32);
+        let users: Vec<FuncId> = (0..nf)
+            .filter(|fi| waits_in[*fi].contains(&bar))
+            .map(|fi| FuncId(fi as u32))
+            .collect();
+        if users.is_empty() || users.len() != spec.party as usize {
+            continue;
+        }
+        let ok = users.iter().all(|u| {
+            let ui = u.0 as usize;
+            let is_single_root = roots
+                .iter()
+                .position(|r| r == u)
+                .map(|i| i > 0 && single[i])
+                .unwrap_or(false);
+            is_single_root
+                && !cfg.is_call_target(*u)
+                && cfg.funcs[ui].linear_order.is_some()
+                && cfg.callees[ui].iter().all(|g| !has_wait_transitively(*g))
+        });
+        if !ok {
+            continue;
+        }
+
+        // Epochs along each linear body: number of waits on `bar`
+        // before each statement, in execution order.
+        let epochs = users
+            .iter()
+            .map(|u| {
+                let f = program.func(*u);
+                let order = cfg.funcs[u.0 as usize].linear_order.as_ref().unwrap();
+                let mut per_block: Vec<Vec<u32>> =
+                    f.blocks.iter().map(|b| vec![0; b.insts.len()]).collect();
+                let mut epoch = 0u32;
+                for blk in order {
+                    let bi = blk.0 as usize;
+                    for (ii, inst) in f.blocks[bi].insts.iter().enumerate() {
+                        per_block[bi][ii] = epoch;
+                        if inst.barrier() == Some(bar) {
+                            epoch += 1;
+                        }
+                    }
+                }
+                (*u, per_block)
+            })
+            .collect();
+        out.push(Lockstep { epochs });
+    }
+    out
+}
+
+impl Lockstep {
+    /// The epoch of `pc` when it sits directly in participating root
+    /// `root`'s body.
+    fn epoch_of(&self, root: FuncId, pc: Pc) -> Option<u32> {
+        if pc.func != root {
+            return None;
+        }
+        let (_, per_block) = self.epochs.iter().find(|(u, _)| *u == root)?;
+        per_block
+            .get(pc.block.0 as usize)
+            .and_then(|row| row.get(pc.idx as usize))
+            .copied()
+    }
+}

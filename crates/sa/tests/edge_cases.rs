@@ -1,0 +1,310 @@
+//! Edge cases for the lockset dataflow and the MHP analysis, each
+//! hand-built to pin one soundness or precision property.
+
+use portend_sa::analyze;
+use portend_vm::{AllocId, FuncId, Pc, Program, ProgramBuilder};
+
+/// All write sites to `alloc`, in program order.
+fn stores(p: &Program, alloc: AllocId) -> Vec<Pc> {
+    let mut out = Vec::new();
+    for (fi, f) in p.funcs.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                if let Some((a, _, true)) = inst.memory_access() {
+                    if a == alloc {
+                        out.push(Pc {
+                            func: FuncId(fi as u32),
+                            block: portend_vm::BlockId(bi as u32),
+                            idx: ii as u32,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The store inside function `f` (panics unless exactly one).
+fn store_in(p: &Program, alloc: AllocId, f: FuncId) -> Pc {
+    let all: Vec<Pc> = stores(p, alloc)
+        .into_iter()
+        .filter(|pc| pc.func == f)
+        .collect();
+    assert_eq!(all.len(), 1, "expected one store to the alloc in the func");
+    all[0]
+}
+
+#[test]
+fn conditional_lock_on_one_branch_does_not_protect() {
+    // Worker A takes the lock only on one branch before writing; worker
+    // B always locks. The pair must NOT be treated as lock-protected.
+    let mut pb = ProgramBuilder::new("cond-branch", "t.c");
+    let g = pb.global("x", 0);
+    let m = pb.mutex("m");
+    let a = pb.func("a", |f| {
+        let c = f.param();
+        f.if_then(c, |f| {
+            f.lock(m);
+        });
+        f.store(g, 0.into(), 1.into());
+        f.ret(None);
+    });
+    let b = pb.func("b", |f| {
+        f.lock(m);
+        f.store(g, 0.into(), 2.into());
+        f.unlock(m);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(a, 1.into());
+        let t2 = f.spawn(b, 0.into());
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+
+    let pa = store_in(&p, g, a);
+    let pb_ = store_in(&p, g, b);
+    let c = sa.lookup(g, pa, pb_).expect("conflicting pair enumerated");
+    assert!(
+        c.common_locks.is_empty(),
+        "one-branch lock is not must-held"
+    );
+    assert!(c.mhp, "both workers are live between the spawns and joins");
+    assert!(sa.covers(g, pa, pb_, true));
+}
+
+#[test]
+fn lock_released_in_a_different_function_than_acquired() {
+    // acquire()/release() split across functions: the write between
+    // the calls is protected, the write after release() is not.
+    let mut pb = ProgramBuilder::new("split-lock", "t.c");
+    let g = pb.global("x", 0);
+    let m = pb.mutex("m");
+    let acquire = pb.func("acquire", |f| {
+        f.lock(m);
+        f.ret(None);
+    });
+    let release = pb.func("release", |f| {
+        f.unlock(m);
+        f.ret(None);
+    });
+    let worker = pb.func("worker", |f| {
+        f.call_void(acquire, &[]);
+        f.store(g, 0.into(), 1.into()); // protected
+        f.call_void(release, &[]);
+        f.ret(None);
+    });
+    let other = pb.func("other", |f| {
+        f.call_void(acquire, &[]);
+        f.store(g, 0.into(), 2.into());
+        f.call_void(release, &[]);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(worker, 0.into());
+        let t2 = f.spawn(other, 0.into());
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+
+    let pw = store_in(&p, g, worker);
+    let po = store_in(&p, g, other);
+    let c = sa.lookup(g, pw, po).expect("pair enumerated");
+    assert_eq!(
+        c.common_locks.len(),
+        1,
+        "cross-function acquire/release still yields a must-held lock"
+    );
+    assert!(!sa.covers(g, pw, po, true), "lock-protected: pruned");
+    assert!(
+        sa.covers(g, pw, po, false),
+        "with mutexes ignored by the detector the pair must stay covered"
+    );
+}
+
+#[test]
+fn barrier_separated_phases_are_ordered() {
+    // Two workers write the same cell in different barrier phases:
+    // statically provable non-parallel. Writes in the *same* phase
+    // stay candidates.
+    let mut pb = ProgramBuilder::new("phases", "t.c");
+    let g = pb.global("x", 0);
+    let bar = pb.barrier("bar", 2);
+    let w1 = pb.func("w1", |f| {
+        f.store(g, 0.into(), 1.into()); // phase 0
+        f.barrier_wait(bar);
+        f.ret(None);
+    });
+    let w2 = pb.func("w2", |f| {
+        f.barrier_wait(bar);
+        f.store(g, 0.into(), 2.into()); // phase 1
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(w1, 0.into());
+        let t2 = f.spawn(w2, 0.into());
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+
+    let p1 = store_in(&p, g, w1);
+    let p2 = store_in(&p, g, w2);
+    let c = sa.lookup(g, p1, p2).expect("pair enumerated");
+    assert!(!c.mhp, "phase 0 vs phase 1: ordered through the barrier");
+    assert!(!sa.covers(g, p1, p2, true));
+    assert!(
+        !sa.covers(g, p1, p2, false),
+        "barrier edges are never config-gated"
+    );
+}
+
+#[test]
+fn same_phase_barrier_writes_stay_candidates() {
+    let mut pb = ProgramBuilder::new("same-phase", "t.c");
+    let g = pb.global("x", 0);
+    let bar = pb.barrier("bar", 2);
+    let w1 = pb.func("w1", |f| {
+        f.store(g, 0.into(), 1.into());
+        f.barrier_wait(bar);
+        f.ret(None);
+    });
+    let w2 = pb.func("w2", |f| {
+        f.store(g, 0.into(), 2.into());
+        f.barrier_wait(bar);
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(w1, 0.into());
+        let t2 = f.spawn(w2, 0.into());
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+    let c = sa
+        .lookup(g, store_in(&p, g, w1), store_in(&p, g, w2))
+        .unwrap();
+    assert!(c.mhp, "same epoch: still parallel");
+}
+
+#[test]
+fn spawn_before_and_join_after_order_main_against_worker() {
+    // main writes, spawns the worker, joins it, writes again: both
+    // main writes are ordered against the worker's write.
+    let mut pb = ProgramBuilder::new("spawn-join", "t.c");
+    let g = pb.global("x", 0);
+    let worker = pb.func("worker", |f| {
+        f.store(g, 0.into(), 1.into());
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        f.store(g, 0.into(), 2.into()); // before spawn
+        let t = f.spawn(worker, 0.into());
+        f.join(t);
+        f.store(g, 0.into(), 3.into()); // after join
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+
+    let pw = store_in(&p, g, worker);
+    let main_stores: Vec<Pc> = stores(&p, g)
+        .into_iter()
+        .filter(|pc| pc.func == main)
+        .collect();
+    assert_eq!(main_stores.len(), 2);
+    assert!(!sa.covers(g, main_stores[0], pw, true), "spawn-before");
+    assert!(!sa.covers(g, main_stores[1], pw, true), "joined-after");
+    // The worker racing itself needs two instances; there is one.
+    assert!(
+        !sa.covers(g, pw, pw, true),
+        "single instance cannot self-race"
+    );
+}
+
+#[test]
+fn unjoined_worker_keeps_racing_with_main_tail() {
+    let mut pb = ProgramBuilder::new("no-join", "t.c");
+    let g = pb.global("x", 0);
+    let worker = pb.func("worker", |f| {
+        f.store(g, 0.into(), 1.into());
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        f.spawn(worker, 0.into());
+        f.store(g, 0.into(), 2.into());
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+    let pw = store_in(&p, g, worker);
+    let pm = store_in(&p, g, main);
+    assert!(sa.covers(g, pm, pw, true), "no join: still parallel");
+}
+
+#[test]
+fn self_join_proves_nothing() {
+    // The worker joins its own thread id (a deadlock at runtime); the
+    // analysis must not mistake it for ordering against main's tail
+    // write.
+    let mut pb = ProgramBuilder::new("self-join", "t.c");
+    let g = pb.global("x", 0);
+    let worker = pb.func("worker", |f| {
+        let me = f.param();
+        f.join(me);
+        f.store(g, 0.into(), 1.into());
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, 0.into());
+        // Pass the child its own tid through a second spawn arg isn't
+        // possible; joining the operand `t` *in the worker* is — the
+        // worker's r0 is main's spawn arg 0, i.e. the main thread id
+        // on this VM, so this is a cross-join of main. Either way no
+        // prune may result.
+        let _ = t;
+        f.store(g, 0.into(), 2.into());
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+    let pw = store_in(&p, g, worker);
+    let pm = store_in(&p, g, main);
+    assert!(
+        sa.covers(g, pm, pw, true),
+        "a join not tied to a tracked spawn register must not prune"
+    );
+}
+
+#[test]
+fn spawn_in_loop_is_multi_instance() {
+    // A worker spawned in a loop can race against itself on its single
+    // write instruction.
+    let mut pb = ProgramBuilder::new("loop-spawn", "t.c");
+    let g = pb.global("x", 0);
+    let worker = pb.func("worker", |f| {
+        f.store(g, 0.into(), 1.into());
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        f.for_range(3.into(), |f, _i| {
+            f.spawn(worker, 0.into());
+        });
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+    let pw = store_in(&p, g, worker);
+    assert!(sa.covers(g, pw, pw, true), "multi-instance self-pair races");
+}

@@ -246,6 +246,71 @@ impl Inst {
         }
     }
 
+    /// The blocks control can transfer to when this instruction ends a
+    /// basic block: both arms of a branch, the target of a jump, and
+    /// nothing for a return. Non-terminators yield an empty list (control
+    /// falls through to the next instruction in the block).
+    pub fn terminator_targets(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Jump { target } => vec![*target],
+            Inst::Branch { then_b, else_b, .. } => vec![*then_b, *else_b],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The function this instruction calls, if it is a [`Inst::Call`].
+    /// Spawns are *not* call edges — the spawned function runs in a new
+    /// thread (see [`Inst::spawn_target`]).
+    pub fn callee(&self) -> Option<FuncId> {
+        match self {
+            Inst::Call { func, .. } => Some(*func),
+            _ => None,
+        }
+    }
+
+    /// The entry function of the thread this instruction spawns, if it
+    /// is a [`Inst::Spawn`].
+    pub fn spawn_target(&self) -> Option<FuncId> {
+        match self {
+            Inst::Spawn { func, .. } => Some(*func),
+            _ => None,
+        }
+    }
+
+    /// The mutex this instruction acquires when it completes: the lock
+    /// of a [`Inst::MutexLock`], and the re-acquired mutex of a
+    /// [`Inst::CondWait`] (POSIX `cond_wait` returns with the mutex
+    /// held again).
+    pub fn acquires_mutex(&self) -> Option<SyncId> {
+        match self {
+            Inst::MutexLock { mutex } => Some(*mutex),
+            Inst::CondWait { mutex, .. } => Some(*mutex),
+            _ => None,
+        }
+    }
+
+    /// The mutex this instruction releases: the lock of a
+    /// [`Inst::MutexUnlock`]. A [`Inst::CondWait`] releases its mutex
+    /// too, but only *during* the wait — it holds the mutex again by the
+    /// time the next instruction runs, so for a statement-level
+    /// held-locks analysis it is not a release (see
+    /// [`Inst::acquires_mutex`]).
+    pub fn releases_mutex(&self) -> Option<SyncId> {
+        match self {
+            Inst::MutexUnlock { mutex } => Some(*mutex),
+            _ => None,
+        }
+    }
+
+    /// The barrier this instruction waits at, if it is a
+    /// [`Inst::BarrierWait`].
+    pub fn barrier(&self) -> Option<SyncId> {
+        match self {
+            Inst::BarrierWait { barrier } => Some(*barrier),
+            _ => None,
+        }
+    }
+
     /// A short mnemonic for listings and reports.
     pub fn mnemonic(&self) -> &'static str {
         match self {
@@ -361,6 +426,51 @@ mod tests {
             Some((AllocId(3), Operand::Reg(1), true))
         );
         assert_eq!(Inst::Yield.memory_access(), None);
+    }
+
+    #[test]
+    fn inspection_helpers() {
+        let jump = Inst::Jump { target: BlockId(4) };
+        assert_eq!(jump.terminator_targets(), vec![BlockId(4)]);
+        let br = Inst::Branch {
+            cond: Operand::Reg(0),
+            then_b: BlockId(1),
+            else_b: BlockId(2),
+        };
+        assert_eq!(br.terminator_targets(), vec![BlockId(1), BlockId(2)]);
+        assert!(Inst::Ret { value: None }.terminator_targets().is_empty());
+        assert!(Inst::Yield.terminator_targets().is_empty());
+
+        let call = Inst::Call {
+            dst: None,
+            func: FuncId(7),
+            args: vec![],
+        };
+        assert_eq!(call.callee(), Some(FuncId(7)));
+        assert_eq!(call.spawn_target(), None);
+        let spawn = Inst::Spawn {
+            dst: 0,
+            func: FuncId(8),
+            arg: Operand::Imm(0),
+        };
+        assert_eq!(spawn.spawn_target(), Some(FuncId(8)));
+        assert_eq!(spawn.callee(), None);
+
+        let lock = Inst::MutexLock { mutex: SyncId(3) };
+        assert_eq!(lock.acquires_mutex(), Some(SyncId(3)));
+        assert_eq!(lock.releases_mutex(), None);
+        let unlock = Inst::MutexUnlock { mutex: SyncId(3) };
+        assert_eq!(unlock.releases_mutex(), Some(SyncId(3)));
+        assert_eq!(unlock.acquires_mutex(), None);
+        let wait = Inst::CondWait {
+            cond: SyncId(0),
+            mutex: SyncId(5),
+        };
+        assert_eq!(wait.acquires_mutex(), Some(SyncId(5)));
+        assert_eq!(wait.releases_mutex(), None);
+        let bar = Inst::BarrierWait { barrier: SyncId(2) };
+        assert_eq!(bar.barrier(), Some(SyncId(2)));
+        assert_eq!(lock.barrier(), None);
     }
 
     #[test]

@@ -195,6 +195,13 @@ impl Program {
         if self.entry.0 as usize >= self.funcs.len() {
             return Err(format!("entry {} out of range", self.entry));
         }
+        for (bi, bar) in self.barriers.iter().enumerate() {
+            // A zero-party barrier could never release anyone; every
+            // wait on it would deadlock, so reject it up front.
+            if bar.party == 0 {
+                return Err(format!("barrier {} ({}) has zero parties", bi, bar.name));
+            }
+        }
         for (fi, f) in self.funcs.iter().enumerate() {
             if f.blocks.is_empty() {
                 return Err(format!("function {} has no blocks", f.name));
@@ -395,6 +402,18 @@ mod tests {
         ];
         p.funcs[0].blocks[0].lines = vec![1, 1];
         assert!(p.validate().unwrap_err().contains("register"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_party_barrier() {
+        let mut p = tiny();
+        p.barriers.push(BarrierSpec {
+            name: "b".into(),
+            party: 0,
+        });
+        assert!(p.validate().unwrap_err().contains("zero parties"));
+        p.barriers[0].party = 2;
+        assert_eq!(p.validate(), Ok(()));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! manual race classification.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bbuf;
 mod common;

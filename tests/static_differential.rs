@@ -1,0 +1,293 @@
+//! Differential cross-check between the static lockset/MHP pre-analysis
+//! (`portend-sa`) and the dynamic happens-before detector.
+//!
+//! The static pass over-approximates: its candidate set must contain
+//! every pair the dynamic detector can ever report (same allocation,
+//! same unordered pc pair, may-happen-in-parallel, and — while the
+//! detector tracks mutex edges — no common must-held lock). The suite
+//! checks that inclusion on the whole workloads corpus and on
+//! randomized builder programs, checks the `respect_locks` mirror
+//! against the §5.2 imperfect-detector configuration, and pins the
+//! integration contract: the pass is scheduling and reporting only, so
+//! verdicts with `static_pass` on are identical to off.
+
+use std::sync::Arc;
+
+use portend_repro::portend::{PipelineResult, PortendConfig};
+use portend_repro::portend_race::DetectorConfig;
+use portend_repro::portend_replay::{record, RecordConfig};
+use portend_repro::portend_sa::{analyze, StaticAnalysis};
+use portend_repro::portend_vm::{Operand, Program, ProgramBuilder, Scheduler, SmallRng};
+use portend_repro::portend_workloads::{all, Workload};
+
+/// Asserts that every dynamic race the detector produced is inside the
+/// static candidate set, with lock pruning matching the detector's
+/// mutex-edge configuration.
+fn assert_all_covered(
+    name: &str,
+    sa: &StaticAnalysis,
+    races: &[portend_repro::portend_race::RaceReport],
+    respect_locks: bool,
+) {
+    for race in races {
+        let (lo, hi) = race.pc_pair();
+        assert!(
+            sa.covers(race.alloc, lo, hi, respect_locks),
+            "{name}: dynamic race escaped the static candidate set: {race} \
+             (pair {lo} / {hi}, candidate: {:?})",
+            sa.lookup(race.alloc, lo, hi)
+        );
+    }
+}
+
+/// Records a workload exactly the way its pipeline does.
+fn record_workload(w: &Workload) -> portend_repro::portend_replay::RecordedRun {
+    record(
+        &w.program,
+        w.inputs.clone(),
+        RecordConfig {
+            scheduler: w.record_scheduler.clone(),
+            vm: w.vm,
+            ..Default::default()
+        },
+    )
+}
+
+/// The headline inclusion property over the whole Table 1 corpus: the
+/// static candidate set is a superset of everything the detector finds.
+#[test]
+fn static_candidates_cover_every_corpus_race() {
+    for w in all() {
+        let run = record_workload(&w);
+        assert!(
+            !run.races.is_empty(),
+            "{}: corpus workload must detect races",
+            w.name
+        );
+        let sa = analyze(&w.program);
+        assert!(
+            !sa.degraded,
+            "{}: corpus programs fit the analysis domains",
+            w.name
+        );
+        // The default detector tracks mutex edges, so lock pruning is in
+        // effect — and must still cover every reported race.
+        assert_all_covered(w.name, &sa, &run.races, true);
+        assert!(
+            sa.stats().candidates >= run.clusters.len() as u64,
+            "{}: fewer candidates than distinct dynamic races",
+            w.name
+        );
+    }
+}
+
+/// The same inclusion property on randomized programs: random worker
+/// counts, loop trip counts, optional locking, optional joins, optional
+/// main-thread accesses, random schedules.
+#[test]
+fn static_candidates_cover_randomized_programs() {
+    let mut r = SmallRng::seed_from_u64(0x5A71C);
+    for case in 0..48 {
+        let n_workers = 1 + r.gen_index(3);
+        let iters = 1 + r.gen_index(4) as i64;
+        let locked = r.gen_index(3) == 0;
+        let join_all = r.gen_index(2) == 0;
+        let main_writes = r.gen_index(2) == 0;
+        let seed = r.next_u64() % 500;
+
+        let mut pb = ProgramBuilder::new("rand", "rand.c");
+        let g = pb.global("g", 0);
+        let m = pb.mutex("m");
+        let worker = pb.func("worker", move |f| {
+            let _ = f.param();
+            f.for_range(Operand::Imm(iters), move |f, _| {
+                if locked {
+                    f.lock(m);
+                }
+                let v = f.load(g, Operand::Imm(0));
+                f.yield_();
+                let v1 = f.add(v, Operand::Imm(1));
+                f.store(g, Operand::Imm(0), v1);
+                if locked {
+                    f.unlock(m);
+                }
+            });
+            f.ret(None);
+        });
+        let main = pb.func("main", move |f| {
+            let tids: Vec<Operand> = (0..n_workers)
+                .map(|i| f.spawn(worker, Operand::Imm(i as i64)))
+                .collect();
+            if main_writes {
+                f.store(g, Operand::Imm(0), Operand::Imm(7));
+            }
+            if join_all {
+                for t in tids {
+                    f.join(t);
+                }
+            }
+            let v = f.load(g, Operand::Imm(0));
+            f.output(1, v);
+            f.ret(None);
+        });
+        let program = Arc::new(pb.build(main).unwrap());
+
+        let run = record(
+            &program,
+            vec![],
+            RecordConfig {
+                scheduler: Scheduler::random(seed),
+                ..Default::default()
+            },
+        );
+        let sa = analyze(&program);
+        let name = format!(
+            "case {case} (workers {n_workers}, iters {iters}, locked {locked}, \
+             join {join_all}, main_writes {main_writes}, seed {seed})"
+        );
+        assert_all_covered(&name, &sa, &run.races, true);
+        // Main's tail read takes no lock, so only the fully locked AND
+        // fully joined shape is dynamically race-free.
+        if locked && join_all && !main_writes {
+            assert!(
+                run.races.is_empty(),
+                "{name}: locked and joined program must be race-free dynamically"
+            );
+        }
+    }
+}
+
+/// The `respect_locks` mirror: against the §5.2 imperfect detector
+/// (mutex edges ignored) a lock-protected pair *is* reported, and the
+/// candidate set must cover it once lock pruning is switched off too.
+#[test]
+fn imperfect_detector_races_covered_without_lock_pruning() {
+    let mut pb = ProgramBuilder::new("locked", "locked.c");
+    let g = pb.global("g", 0);
+    let m = pb.mutex("m");
+    let worker = pb.func("worker", move |f| {
+        let _ = f.param();
+        f.lock(m);
+        let v = f.load(g, Operand::Imm(0));
+        f.yield_();
+        let v1 = f.add(v, Operand::Imm(1));
+        f.store(g, Operand::Imm(0), v1);
+        f.unlock(m);
+        f.ret(None);
+    });
+    let main = pb.func("main", move |f| {
+        let t1 = f.spawn(worker, Operand::Imm(0));
+        let t2 = f.spawn(worker, Operand::Imm(1));
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    let program: Arc<Program> = Arc::new(pb.build(main).unwrap());
+
+    let run = record(
+        &program,
+        vec![],
+        RecordConfig {
+            detector: DetectorConfig {
+                ignore_mutexes: true,
+                ..Default::default()
+            },
+            scheduler: Scheduler::RoundRobin,
+            ..Default::default()
+        },
+    );
+    assert!(
+        !run.races.is_empty(),
+        "mutex-blind detector must report the protected accesses"
+    );
+    let sa = analyze(&program);
+    assert_all_covered("imperfect detector", &sa, &run.races, false);
+    // With lock pruning on, the same pairs are (correctly) pruned — the
+    // pipeline only applies that pruning when the detector tracks mutex
+    // edges, which is exactly why these reports stay covered above.
+    for race in &run.races {
+        let (lo, hi) = race.pc_pair();
+        assert!(
+            !sa.covers(race.alloc, lo, hi, true),
+            "lock-protected pair must be pruned when locks are respected: {race}"
+        );
+    }
+}
+
+/// Asserts full per-cluster equality of two pipeline results.
+fn assert_equivalent(name: &str, a: &PipelineResult, b: &PipelineResult) {
+    assert_eq!(
+        a.analyzed.len(),
+        b.analyzed.len(),
+        "{name}: distinct race counts differ"
+    );
+    for (i, (x, y)) in a.analyzed.iter().zip(&b.analyzed).enumerate() {
+        assert_eq!(x.cluster, y.cluster, "{name}: cluster #{i} differs");
+        assert_eq!(
+            x.verdict, y.verdict,
+            "{name}: verdict for cluster #{i} ({}) differs",
+            x.cluster.representative
+        );
+    }
+}
+
+/// The integration contract: the static pass only reorders the farm's
+/// queue and fills counters — verdicts are identical with the pass on
+/// (the default) or off, serially and on the farm.
+#[test]
+fn verdicts_identical_with_static_pass_on_and_off() {
+    let on = PortendConfig::default();
+    assert!(on.static_pass, "the pass is on by default");
+    let off = PortendConfig {
+        static_pass: false,
+        ..Default::default()
+    };
+    for w in all() {
+        let serial_on = w.analyze(on.clone());
+        let serial_off = w.analyze(off.clone());
+        assert_equivalent(w.name, &serial_on, &serial_off);
+        assert!(
+            serial_on.static_stats.is_some(),
+            "{}: pass on fills the counters",
+            w.name
+        );
+        assert!(
+            serial_off.static_stats.is_none(),
+            "{}: pass off leaves them empty",
+            w.name
+        );
+        let parallel_on = w.analyze_parallel(on.clone(), 4);
+        assert_equivalent(w.name, &serial_off, &parallel_on);
+    }
+}
+
+/// The corroboration counter is the inclusion property restated as a
+/// run statistic: with the default (mutex-tracking) detector, every
+/// cluster's representative must be a live static candidate, so
+/// `corroborated` equals the cluster count — and the counters surface
+/// through `FarmStats`.
+#[test]
+fn every_cluster_is_statically_corroborated() {
+    let w = all().into_iter().next().expect("corpus is non-empty");
+    let (result, stats) = w.analyze_parallel_with_stats(PortendConfig::default(), 2);
+    let sp = stats
+        .static_pass
+        .expect("farm stats carry the pass counters");
+    assert_eq!(
+        sp.corroborated,
+        result.analyzed.len() as u64,
+        "{}: a dynamic cluster escaped the static candidate set",
+        w.name
+    );
+    assert_eq!(
+        result.static_stats,
+        Some(sp),
+        "pipeline result and farm stats report the same counters"
+    );
+    assert!(sp.candidates >= sp.corroborated);
+    assert!(
+        stats.summary().contains("candidates"),
+        "the one-line farm summary mentions the pass: {}",
+        stats.summary()
+    );
+}
