@@ -182,8 +182,33 @@ pub struct FarmKnobs {
     /// Minimum *cold* slices (local-memo / shared-cache / domain-hint
     /// misses) one query must have before its slices are dispatched;
     /// below the threshold the query solves sequentially. Floored at 2
-    /// (there is nothing to fan out below that).
+    /// at the read site (`ParallelSlices::cold_threshold` — there is
+    /// nothing to fan out below that).
     pub parallel_min_cold_slices: usize,
+    /// Single-flight dedup on the shared cache's slice-key namespace:
+    /// when two workers miss the cache on the *same* cold slice
+    /// concurrently (identical canonical key, typically the shared
+    /// pre-race prefix of two clusters), the second blocks on the
+    /// first's publication instead of solving it again. Answer-
+    /// preserving — a deduped requester observes exactly what its own
+    /// cache hit would have returned — so verdicts cannot move.
+    /// Ignored when `solver_cache` is off (there is no shared key
+    /// namespace to dedup on).
+    pub single_flight: bool,
+    /// Offer each check's dispatchable cold slices to the slice pool
+    /// as *one* batch (one queue lock + one wakeup sweep) instead of
+    /// per-job handoffs. Which slices run where is unchanged — pure
+    /// handoff-overhead amortization. Ignored when `parallel_slices`
+    /// is off.
+    pub batch_dispatch: bool,
+    /// Let the slice pool tune the cold-slice dispatch threshold from
+    /// observed saved-per-offload (windowed estimator fed by
+    /// `slice_parallel_wall_saved`): the bar rises when dispatch
+    /// overhead dominates and falls back when the cold tail is long.
+    /// [`FarmKnobs::parallel_min_cold_slices`] stays the floor the
+    /// threshold can never drop below. Ignored when `parallel_slices`
+    /// is off.
+    pub adaptive_dispatch: bool,
 }
 
 impl Default for FarmKnobs {
@@ -198,6 +223,9 @@ impl Default for FarmKnobs {
             cache_save_policy: WarmPolicy::default(),
             parallel_slices: true,
             parallel_min_cold_slices: 2,
+            single_flight: true,
+            batch_dispatch: true,
+            adaptive_dispatch: true,
         }
     }
 }
@@ -278,6 +306,9 @@ mod tests {
         let knobs = FarmKnobs::default();
         assert!(knobs.parallel_slices);
         assert_eq!(knobs.parallel_min_cold_slices, 2);
+        assert!(knobs.single_flight);
+        assert!(knobs.batch_dispatch);
+        assert!(knobs.adaptive_dispatch);
     }
 
     #[test]

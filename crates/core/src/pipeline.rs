@@ -30,6 +30,10 @@ fn knobs_cache(knobs: &FarmKnobs) -> Option<Arc<SolverCache>> {
     let cache = knobs
         .solver_cache
         .then(|| Arc::new(SolverCache::new(knobs.cache_shards)))?;
+    // Single-flight is a property of the shared key namespace, so it
+    // lives on the cache; the serial path shares the setting (with one
+    // thread, every claim trivially leads, so behavior is unchanged).
+    cache.set_single_flight(knobs.single_flight);
     if let Some(path) = &knobs.cache_path {
         let _ = cache.warm_from(path);
     }
@@ -295,8 +299,13 @@ impl Pipeline {
         // The slice-lending pool: idle farm workers pick up slice-sized
         // solver sub-jobs from busy peers (see `FarmKnobs::parallel_slices`).
         // Pointless without the slice solver — whole queries don't split.
-        let slice_pool = (knobs.parallel_slices && self.portend.slice_solver)
-            .then(|| Arc::new(SlicePool::new()));
+        let slice_pool = (knobs.parallel_slices && self.portend.slice_solver).then(|| {
+            Arc::new(if knobs.adaptive_dispatch {
+                SlicePool::with_adaptive_threshold(knobs.parallel_min_cold_slices)
+            } else {
+                SlicePool::new()
+            })
+        });
         // Static pre-analysis: compute per-cluster scheduling hints and
         // the pass's counters. Hints only nudge queue priorities —
         // whether a cluster is classified, and what the verdict is, is
@@ -334,7 +343,8 @@ impl Pipeline {
                 };
                 if let Some(pool) = &job_pool {
                     let par = ParallelSlices::new(Arc::clone(pool) as Arc<dyn SliceExecutor>)
-                        .with_min_cold_slices(cfg.farm.parallel_min_cold_slices);
+                        .with_min_cold_slices(cfg.farm.parallel_min_cold_slices)
+                        .with_batch_dispatch(cfg.farm.batch_dispatch);
                     portend = portend.with_slice_pool(par);
                 }
                 let verdict = portend.classify(&job_case, &cluster.representative);
@@ -376,7 +386,9 @@ impl Pipeline {
         if let Some(pool) = &slice_pool {
             stats.slices_offloaded = pool.executed();
             stats.slice_parallel_wall_saved = pool.wall_saved();
+            stats.dispatch = Some(pool.dispatch_snapshot());
         }
+        stats.single_flight = cache.as_ref().and_then(|c| c.single_flight_snapshot());
         stats.static_pass = static_stats;
         persist_cache(knobs, cache.as_ref());
         let case = Arc::try_unwrap(case).unwrap_or_else(|arc| arc.as_ref().clone());

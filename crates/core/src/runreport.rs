@@ -13,7 +13,7 @@
 //! ```text
 //! {
 //!   "format":  "portend-run-report",   readers reject anything else
-//!   "version": 2,                      readers reject unknown versions
+//!   "version": 3,                      readers reject unknown versions
 //!   "label":   "...",                  free-form run label
 //!   "record_time_ns": …,
 //!   "races":   [ { race + verdict/error + counters } … ],
@@ -44,11 +44,11 @@ use std::fmt;
 use std::path::Path;
 use std::time::Duration;
 
-use portend_farm::{FarmStats, WorkerStats};
+use portend_farm::{DispatchSnapshot, FarmStats, WorkerStats};
 use portend_obs::json::{self, Json};
 use portend_obs::{EventKind, Trace};
 use portend_sa::StaticStats;
-use portend_symex::CacheSnapshot;
+use portend_symex::{CacheSnapshot, SingleFlightStats};
 
 use crate::pipeline::PipelineResult;
 use crate::taxonomy::{ClassifyStats, OutputDiffEvidence, Verdict, VerdictDetail};
@@ -62,7 +62,10 @@ pub const REPORT_FORMAT_NAME: &str = "portend-run-report";
 /// * v2 — added the `"static"` section ([`portend_sa::StaticStats`]:
 ///   static candidate pairs, statically pruned pairs, dynamically
 ///   corroborated clusters).
-pub const REPORT_FORMAT_VERSION: u32 = 2;
+/// * v3 — added the nullable `"single_flight"` (claims, deduped
+///   slices, waits) and `"dispatch"` (batches, batched jobs, current
+///   adaptive threshold) objects inside `"farm"`.
+pub const REPORT_FORMAT_VERSION: u32 = 3;
 
 /// Why a report document could not be read.
 #[derive(Debug)]
@@ -543,6 +546,35 @@ fn farm_json(s: &FarmStats) -> Json {
             dur_json(s.slice_parallel_wall_saved),
         ),
         (
+            "single_flight".into(),
+            s.single_flight.as_ref().map_or(Json::Null, |sf| {
+                Json::Obj(vec![
+                    ("claims".into(), Json::from(sf.claims)),
+                    ("slices_deduped".into(), Json::from(sf.slices_deduped)),
+                    (
+                        "single_flight_waits".into(),
+                        Json::from(sf.single_flight_waits),
+                    ),
+                ])
+            }),
+        ),
+        (
+            "dispatch".into(),
+            s.dispatch.as_ref().map_or(Json::Null, |d| {
+                Json::Obj(vec![
+                    (
+                        "batches_dispatched".into(),
+                        Json::from(d.batches_dispatched),
+                    ),
+                    ("batched_jobs".into(), Json::from(d.batched_jobs)),
+                    (
+                        "threshold_now".into(),
+                        d.threshold_now.map_or(Json::Null, Json::from),
+                    ),
+                ])
+            }),
+        ),
+        (
             "static".into(),
             s.static_pass.as_ref().map_or(Json::Null, static_json),
         ),
@@ -752,6 +784,25 @@ fn farm_from(v: &Json) -> Result<FarmStats, ReportError> {
         fork_slices_reused: req_u64(v, "fork_slices_reused")?,
         slices_offloaded: req_u64(v, "slices_offloaded")?,
         slice_parallel_wall_saved: dur_from(v, "slice_parallel_wall_saved_ns")?,
+        single_flight: match v.get("single_flight") {
+            None | Some(Json::Null) => None,
+            Some(sf) => Some(SingleFlightStats {
+                claims: req_u64(sf, "claims")?,
+                slices_deduped: req_u64(sf, "slices_deduped")?,
+                single_flight_waits: req_u64(sf, "single_flight_waits")?,
+            }),
+        },
+        dispatch: match v.get("dispatch") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(DispatchSnapshot {
+                batches_dispatched: req_u64(d, "batches_dispatched")?,
+                batched_jobs: req_u64(d, "batched_jobs")?,
+                threshold_now: match d.get("threshold_now") {
+                    None | Some(Json::Null) => None,
+                    Some(t) => Some(t.as_u64().ok_or(ReportError::Malformed("threshold_now"))?),
+                },
+            }),
+        },
         static_pass: match v.get("static") {
             None | Some(Json::Null) => None,
             Some(s) => Some(static_from(s)?),
@@ -875,6 +926,16 @@ mod tests {
                     ..Default::default()
                 }),
                 fork_bytes_copied: u64::MAX,
+                single_flight: Some(SingleFlightStats {
+                    claims: 9,
+                    slices_deduped: 4,
+                    single_flight_waits: 5,
+                }),
+                dispatch: Some(DispatchSnapshot {
+                    batches_dispatched: 3,
+                    batched_jobs: 11,
+                    threshold_now: Some(4),
+                }),
                 ..Default::default()
             }),
             cache: Some(CacheSnapshot {

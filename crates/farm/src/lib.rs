@@ -51,6 +51,6 @@ mod stream;
 pub use config::FarmConfig;
 pub use job::{cluster_priority, static_adjusted_priority, JobSpec, StaticHint};
 pub use pool::Farm;
-pub use slice_pool::{SliceHelpers, SlicePool};
+pub use slice_pool::{DispatchSnapshot, SliceHelpers, SlicePool};
 pub use stats::{FarmStats, WorkerStats};
 pub use stream::{FarmRun, JobOutput};

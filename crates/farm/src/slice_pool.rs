@@ -34,6 +34,76 @@ struct PoolState {
     closed: bool,
 }
 
+/// Estimated fixed cost of dispatching one sub-job through the pool
+/// (queue lock + wakeup + channel send of the result), the yardstick
+/// the adaptive threshold judges offload profitability against.
+const DISPATCH_OVERHEAD_NS: u64 = 30_000;
+
+/// Samples kept before the estimator may adjust the threshold.
+const ESTIMATOR_MIN_SAMPLES: usize = 4;
+
+/// Upper bound the adaptive threshold can climb to — past this,
+/// dispatch is effectively off until the estimator sees long tails
+/// again (queries with more cold slices than this are vanishingly
+/// rare, so 64 is "stop offloading" in practice).
+const THRESHOLD_CEILING: usize = 64;
+
+/// The windowed saved-per-offload estimator behind
+/// [`SlicePool::with_adaptive_threshold`]. Each
+/// [`SliceExecutor::record_offload_outcome`] sample carries how many
+/// jobs one parallel check offloaded and how much wall time the
+/// submitter measured as saved; once [`ESTIMATOR_MIN_SAMPLES`] have
+/// accumulated, the average saved-per-job is compared against the
+/// dispatch overhead: when overhead dominates (saved below one
+/// overhead unit) the threshold doubles — demanding a longer cold
+/// tail before the next fan-out — and when savings are comfortable
+/// (above four overhead units) it halves back toward the static
+/// floor. The window is cleared after each adjustment so every move
+/// is backed by fresh evidence.
+#[derive(Debug)]
+struct ThresholdEstimator {
+    /// The static `parallel_min_cold_slices` the threshold can never
+    /// drop below (itself floored at 2 by the solver's read site).
+    floor: usize,
+    current: usize,
+    /// Accumulated (jobs, saved nanos) since the last adjustment.
+    window: Vec<(u64, u64)>,
+}
+
+impl ThresholdEstimator {
+    fn record(&mut self, jobs: u64, saved_nanos: u64) {
+        self.window.push((jobs, saved_nanos));
+        if self.window.len() < ESTIMATOR_MIN_SAMPLES {
+            return;
+        }
+        let total_jobs: u64 = self.window.iter().map(|&(j, _)| j).sum();
+        let total_saved: u64 = self.window.iter().map(|&(_, s)| s).sum();
+        let per_job = total_saved / total_jobs.max(1);
+        if per_job < DISPATCH_OVERHEAD_NS {
+            self.current = (self.current * 2).min(THRESHOLD_CEILING);
+        } else if per_job > 4 * DISPATCH_OVERHEAD_NS {
+            self.current = (self.current / 2).max(self.floor);
+        }
+        self.window.clear();
+    }
+}
+
+/// A point-in-time copy of one [`SlicePool`]'s dispatch-shape counters
+/// (batching and the adaptive threshold), surfaced through
+/// `FarmStats` into the run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchSnapshot {
+    /// Multi-job dispatch units accepted by
+    /// [`SliceExecutor::try_execute_batch`].
+    pub batches_dispatched: u64,
+    /// Sub-jobs that travelled inside those units (so the mean batch
+    /// size is `batched_jobs / batches_dispatched`).
+    pub batched_jobs: u64,
+    /// The adaptive dispatch threshold's current value; `None` when
+    /// the pool runs with the static threshold.
+    pub threshold_now: Option<u64>,
+}
+
 /// A shared pool of slice-sized sub-jobs executed by borrowed idle
 /// workers.
 ///
@@ -51,6 +121,9 @@ pub struct SlicePool {
     executed: AtomicU64,
     busy_nanos: AtomicU64,
     wall_saved_nanos: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    estimator: Option<Mutex<ThresholdEstimator>>,
 }
 
 impl std::fmt::Debug for SlicePool {
@@ -72,7 +145,8 @@ impl Default for SlicePool {
 }
 
 impl SlicePool {
-    /// An empty, open pool with no helpers yet.
+    /// An empty, open pool with no helpers yet, running with the
+    /// solver's static cold-slice threshold.
     pub fn new() -> Self {
         SlicePool {
             state: Mutex::new(PoolState::default()),
@@ -80,6 +154,25 @@ impl SlicePool {
             executed: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             wall_saved_nanos: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            estimator: None,
+        }
+    }
+
+    /// An empty, open pool whose dispatch threshold self-tunes from
+    /// the observed saved-per-offload window, starting at — and never
+    /// dropping below — `floor` (the static `parallel_min_cold_slices`,
+    /// floored at 2 like the solver's own read site).
+    pub fn with_adaptive_threshold(floor: usize) -> Self {
+        let floor = floor.max(2);
+        SlicePool {
+            estimator: Some(Mutex::new(ThresholdEstimator {
+                floor,
+                current: floor,
+                window: Vec::new(),
+            })),
+            ..Self::new()
         }
     }
 
@@ -149,6 +242,23 @@ impl SlicePool {
     pub fn wall_saved(&self) -> Duration {
         Duration::from_nanos(self.wall_saved_nanos.load(Ordering::Relaxed))
     }
+
+    /// The adaptive threshold's current value; `None` when this pool
+    /// was built with [`SlicePool::new`] (static threshold).
+    pub fn threshold_now(&self) -> Option<usize> {
+        self.estimator
+            .as_ref()
+            .map(|e| e.lock().expect("estimator poisoned").current)
+    }
+
+    /// A point-in-time copy of the dispatch-shape counters.
+    pub fn dispatch_snapshot(&self) -> DispatchSnapshot {
+        DispatchSnapshot {
+            batches_dispatched: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            threshold_now: self.threshold_now().map(|t| t as u64),
+        }
+    }
 }
 
 impl SliceExecutor for SlicePool {
@@ -162,9 +272,40 @@ impl SliceExecutor for SlicePool {
         None
     }
 
+    fn try_execute_batch(&self, jobs: Vec<SliceJob>) -> Option<Vec<SliceJob>> {
+        let n = jobs.len() as u64;
+        {
+            let mut s = self.state.lock().expect("slice pool poisoned");
+            if s.closed || s.helpers == 0 {
+                return Some(jobs); // order untouched: the batch contract
+            }
+            s.jobs.extend(jobs);
+            // One wakeup sweep for the whole unit instead of one
+            // notify per job — the overhead the batch amortizes.
+            self.available.notify_all();
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(n, Ordering::Relaxed);
+        portend_obs::instant(portend_obs::EventKind::BatchDispatch, n, 0);
+        None
+    }
+
+    fn dispatch_threshold(&self) -> Option<usize> {
+        self.threshold_now()
+    }
+
     fn record_wall_saved(&self, saved: Duration) {
         self.wall_saved_nanos
             .fetch_add(saved.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn record_offload_outcome(&self, jobs: u64, saved: Duration) {
+        self.record_wall_saved(saved);
+        if let Some(est) = &self.estimator {
+            est.lock()
+                .expect("estimator poisoned")
+                .record(jobs, saved.as_nanos() as u64);
+        }
     }
 }
 
@@ -270,5 +411,106 @@ mod tests {
         pool.record_wall_saved(Duration::from_millis(3));
         pool.record_wall_saved(Duration::from_millis(4));
         assert_eq!(pool.wall_saved(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn batch_refused_without_helpers_and_returned_in_order() {
+        let pool = SlicePool::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<SliceJob> = (0..3u64)
+            .map(|i| {
+                let o = Arc::clone(&order);
+                let job: SliceJob = Box::new(move || {
+                    o.lock().unwrap().push(i);
+                });
+                job
+            })
+            .collect();
+        let returned = pool
+            .try_execute_batch(jobs)
+            .expect("no helper registered: the whole batch comes back");
+        assert_eq!(returned.len(), 3);
+        for job in returned {
+            job(); // submission order, per the batch contract
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+        assert_eq!(pool.dispatch_snapshot(), DispatchSnapshot::default());
+    }
+
+    #[test]
+    fn accepted_batch_runs_every_job_exactly_once() {
+        let helpers = SliceHelpers::new(2);
+        let runs = Arc::new(Mutex::new(vec![0u32; 24]));
+        for round in 0..3 {
+            let jobs: Vec<SliceJob> = (0..8)
+                .map(|i| {
+                    let r = Arc::clone(&runs);
+                    let job: SliceJob = Box::new(move || {
+                        r.lock().unwrap()[round * 8 + i] += 1;
+                    });
+                    job
+                })
+                .collect();
+            assert!(helpers.pool().try_execute_batch(jobs).is_none());
+        }
+        let snap = helpers.pool().dispatch_snapshot();
+        assert_eq!((snap.batches_dispatched, snap.batched_jobs), (3, 24));
+        assert_eq!(snap.threshold_now, None, "static pool");
+        let pool = Arc::clone(helpers.pool());
+        drop(helpers); // close + join: every accepted job must have run
+        assert_eq!(*runs.lock().unwrap(), vec![1u32; 24], "exactly once each");
+        assert_eq!(pool.executed(), 24);
+    }
+
+    #[test]
+    fn closed_pool_refuses_batches() {
+        let helpers = SliceHelpers::new(1);
+        helpers.pool().close();
+        let jobs: Vec<SliceJob> = vec![Box::new(|| {}), Box::new(|| {})];
+        assert!(helpers.pool().try_execute_batch(jobs).is_some());
+    }
+
+    #[test]
+    fn adaptive_threshold_raises_on_overhead_and_recovers_toward_floor() {
+        let pool = SlicePool::with_adaptive_threshold(2);
+        assert_eq!(pool.dispatch_threshold(), Some(2));
+        // Four checks whose offloads saved essentially nothing:
+        // dispatch overhead dominates, the bar doubles.
+        for _ in 0..ESTIMATOR_MIN_SAMPLES {
+            pool.record_offload_outcome(4, Duration::from_nanos(1_000));
+        }
+        assert_eq!(pool.dispatch_threshold(), Some(4));
+        // Still unprofitable: doubles again (fresh window each time).
+        for _ in 0..ESTIMATOR_MIN_SAMPLES {
+            pool.record_offload_outcome(4, Duration::from_nanos(1_000));
+        }
+        assert_eq!(pool.dispatch_threshold(), Some(8));
+        // Long cold tails with comfortable savings: halves back, and
+        // never below the floor.
+        for _ in 0..4 {
+            for _ in 0..ESTIMATOR_MIN_SAMPLES {
+                pool.record_offload_outcome(4, Duration::from_millis(10));
+            }
+        }
+        assert_eq!(pool.dispatch_threshold(), Some(2), "floored");
+        let snap = pool.dispatch_snapshot();
+        assert_eq!(snap.threshold_now, Some(2));
+    }
+
+    #[test]
+    fn adaptive_threshold_is_capped_and_floor_is_clamped() {
+        let pool = SlicePool::with_adaptive_threshold(0);
+        assert_eq!(pool.dispatch_threshold(), Some(2), "floor clamps to 2");
+        for _ in 0..64 {
+            for _ in 0..ESTIMATOR_MIN_SAMPLES {
+                pool.record_offload_outcome(1, Duration::ZERO);
+            }
+        }
+        assert_eq!(pool.dispatch_threshold(), Some(THRESHOLD_CEILING));
+        // Ambiguous middle ground (between 1× and 4× overhead): holds.
+        for _ in 0..ESTIMATOR_MIN_SAMPLES {
+            pool.record_offload_outcome(1, Duration::from_nanos(2 * DISPATCH_OVERHEAD_NS));
+        }
+        assert_eq!(pool.dispatch_threshold(), Some(THRESHOLD_CEILING));
     }
 }

@@ -3,7 +3,9 @@
 use std::time::Duration;
 
 use portend_sa::StaticStats;
-use portend_symex::CacheSnapshot;
+use portend_symex::{CacheSnapshot, SingleFlightStats};
+
+use crate::slice_pool::DispatchSnapshot;
 
 /// What one worker thread did during a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +64,15 @@ pub struct FarmStats {
     /// pipeline ran it ahead of this farm run (`None` when the pass is
     /// disabled or the run was not fed by the pipeline).
     pub static_pass: Option<StaticStats>,
+    /// Single-flight registry counters from the attached cache —
+    /// concurrent identical cold slices answered by one in-flight
+    /// solve instead of duplicating it. `None` when no cache was
+    /// attached or single-flight was disabled for the run.
+    pub single_flight: Option<SingleFlightStats>,
+    /// Dispatch-shape counters from the slice pool (batched dispatch
+    /// units and the adaptive threshold's position), when a pool was
+    /// wired through the run.
+    pub dispatch: Option<DispatchSnapshot>,
 }
 
 impl FarmStats {
@@ -149,6 +160,30 @@ impl FarmStats {
         } else {
             String::new()
         };
+        // PR 4 discipline: render single-flight only when the registry
+        // was actually exercised — a disabled (or never-contended)
+        // registry must not read as a measured "0 deduped".
+        let dedup = match &self.single_flight {
+            Some(sf) if sf.claims + sf.single_flight_waits > 0 => format!(
+                ", {} slices deduped ({} waits)",
+                sf.slices_deduped, sf.single_flight_waits
+            ),
+            _ => String::new(),
+        };
+        let batches = match &self.dispatch {
+            Some(d) if d.batches_dispatched > 0 => {
+                let threshold = match d.threshold_now {
+                    Some(t) => format!(", threshold {t}"),
+                    None => String::new(),
+                };
+                format!(
+                    ", {} batches of {:.1} slices{threshold}",
+                    d.batches_dispatched,
+                    d.batched_jobs as f64 / d.batches_dispatched as f64
+                )
+            }
+            _ => String::new(),
+        };
         let sa = match &self.static_pass {
             Some(s) => format!(
                 ", static {} candidates / {} pruned / {} corroborated",
@@ -157,7 +192,7 @@ impl FarmStats {
             None => String::new(),
         };
         format!(
-            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache}{forks}{sliced}{sa})",
+            "{} jobs on {} workers in {:.3}s (util {:.0}%, {} steals, {} overruns{cache}{forks}{sliced}{dedup}{batches}{sa})",
             self.jobs,
             self.per_worker.len(),
             self.wall.as_secs_f64(),
@@ -265,6 +300,64 @@ mod tests {
         };
         assert!(!cold.summary().contains("warm"));
         assert_eq!(FarmStats::default().warm_hits(), None);
+    }
+
+    /// Regression alongside `unconsulted_cache_renders_na_not_zero_percent`:
+    /// the dedup/batch clauses follow the same "n/a when never
+    /// consulted" discipline — a run with single-flight disabled (or a
+    /// registry that saw no contention) must not render "0 slices
+    /// deduped", and a pool that never batched must not render "0
+    /// batches".
+    #[test]
+    fn unexercised_dedup_and_batch_counters_are_omitted_not_zero() {
+        // Disabled single-flight / no pool wired: no clauses at all.
+        let off = FarmStats::default();
+        let s = off.summary();
+        assert!(!s.contains("deduped"), "{s}");
+        assert!(!s.contains("batches"), "{s}");
+        // Enabled but never exercised (snapshot present, all zeros):
+        // still omitted.
+        let idle = FarmStats {
+            single_flight: Some(SingleFlightStats::default()),
+            dispatch: Some(DispatchSnapshot {
+                threshold_now: Some(2),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let s = idle.summary();
+        assert!(!s.contains("deduped"), "{s}");
+        assert!(!s.contains("batches"), "{s}");
+        // Exercised: both clauses render, including a genuine zero
+        // dedup count when there were waits but no publications.
+        let busy = FarmStats {
+            single_flight: Some(SingleFlightStats {
+                claims: 9,
+                slices_deduped: 3,
+                single_flight_waits: 4,
+            }),
+            dispatch: Some(DispatchSnapshot {
+                batches_dispatched: 2,
+                batched_jobs: 7,
+                threshold_now: Some(4),
+            }),
+            ..Default::default()
+        };
+        let s = busy.summary();
+        assert!(s.contains("3 slices deduped (4 waits)"), "{s}");
+        assert!(s.contains("2 batches of 3.5 slices, threshold 4"), "{s}");
+        // A static-threshold pool renders without the threshold tail.
+        let static_pool = FarmStats {
+            dispatch: Some(DispatchSnapshot {
+                batches_dispatched: 2,
+                batched_jobs: 4,
+                threshold_now: None,
+            }),
+            ..Default::default()
+        };
+        let s = static_pool.summary();
+        assert!(s.contains("2 batches of 2.0 slices"), "{s}");
+        assert!(!s.contains("threshold"), "{s}");
     }
 
     /// The static pre-analysis clause appears only when the pass ran.

@@ -106,6 +106,8 @@ impl<R> FarmRun<R> {
             slices_offloaded: 0,
             slice_parallel_wall_saved: Duration::ZERO,
             static_pass: None,
+            single_flight: self.cache.as_ref().and_then(|c| c.single_flight_snapshot()),
+            dispatch: None,
         };
         (remaining, stats)
     }

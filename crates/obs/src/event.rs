@@ -17,6 +17,8 @@
 /// | [`SolverCheck`] | solver | yes | slices examined | nodes visited |
 /// | [`SliceSolve`] | solver | yes | slice position | nodes visited |
 /// | [`SliceOffload`] | solver | no | slice position | — |
+/// | [`SliceDedup`] | solver | no | slice position | — |
+/// | [`BatchDispatch`] | slice pool | no | batch size | — |
 /// | [`CacheProbe`] | solver cache | no | 0 whole / 1 slice | 0 miss / 1 hit / 2 probation |
 /// | [`Fork`] | vm | no | bytes copied | bytes shared |
 /// | [`WarmLoad`] | warm store | yes | entries loaded | 1 if load succeeded |
@@ -32,6 +34,8 @@
 /// [`SolverCheck`]: EventKind::SolverCheck
 /// [`SliceSolve`]: EventKind::SliceSolve
 /// [`SliceOffload`]: EventKind::SliceOffload
+/// [`SliceDedup`]: EventKind::SliceDedup
+/// [`BatchDispatch`]: EventKind::BatchDispatch
 /// [`CacheProbe`]: EventKind::CacheProbe
 /// [`Fork`]: EventKind::Fork
 /// [`WarmLoad`]: EventKind::WarmLoad
@@ -58,6 +62,12 @@ pub enum EventKind {
     SliceSolve,
     /// A cold slice accepted for execution on a lent idle worker.
     SliceOffload,
+    /// A cold slice answered by another solver's concurrent in-flight
+    /// solve of the same canonical key (single-flight dedup).
+    SliceDedup,
+    /// A group of cold slices accepted by the slice pool in one
+    /// dispatch unit.
+    BatchDispatch,
     /// One solver-cache lookup.
     CacheProbe,
     /// One copy-on-write state fork.
@@ -75,7 +85,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in rendering order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Phase,
         EventKind::Job,
         EventKind::Steal,
@@ -84,6 +94,8 @@ impl EventKind {
         EventKind::SolverCheck,
         EventKind::SliceSolve,
         EventKind::SliceOffload,
+        EventKind::SliceDedup,
+        EventKind::BatchDispatch,
         EventKind::CacheProbe,
         EventKind::Fork,
         EventKind::WarmLoad,
@@ -104,6 +116,8 @@ impl EventKind {
             EventKind::SolverCheck => "solver_check",
             EventKind::SliceSolve => "slice_solve",
             EventKind::SliceOffload => "slice_offload",
+            EventKind::SliceDedup => "slice_dedup",
+            EventKind::BatchDispatch => "batch_dispatch",
             EventKind::CacheProbe => "cache_probe",
             EventKind::Fork => "fork",
             EventKind::WarmLoad => "warm_load",
@@ -118,8 +132,15 @@ impl EventKind {
     pub fn category(self) -> &'static str {
         match self {
             EventKind::Phase => "pipeline",
-            EventKind::Job | EventKind::Steal | EventKind::Lend | EventKind::SliceJob => "farm",
-            EventKind::SolverCheck | EventKind::SliceSolve | EventKind::SliceOffload => "solver",
+            EventKind::Job
+            | EventKind::Steal
+            | EventKind::Lend
+            | EventKind::SliceJob
+            | EventKind::BatchDispatch => "farm",
+            EventKind::SolverCheck
+            | EventKind::SliceSolve
+            | EventKind::SliceOffload
+            | EventKind::SliceDedup => "solver",
             EventKind::CacheProbe => "cache",
             EventKind::Fork => "vm",
             EventKind::WarmLoad | EventKind::WarmSave => "warm",
@@ -134,6 +155,8 @@ impl EventKind {
             self,
             EventKind::Steal
                 | EventKind::SliceOffload
+                | EventKind::SliceDedup
+                | EventKind::BatchDispatch
                 | EventKind::CacheProbe
                 | EventKind::Fork
                 | EventKind::StaticPrune
@@ -199,5 +222,9 @@ mod tests {
         assert!(EventKind::StaticPass.is_span());
         assert!(!EventKind::StaticPrune.is_span());
         assert_eq!(EventKind::StaticPrune.category(), "static");
+        assert!(!EventKind::SliceDedup.is_span());
+        assert!(!EventKind::BatchDispatch.is_span());
+        assert_eq!(EventKind::SliceDedup.category(), "solver");
+        assert_eq!(EventKind::BatchDispatch.category(), "farm");
     }
 }

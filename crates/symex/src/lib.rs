@@ -57,7 +57,9 @@ pub mod slice;
 mod solver;
 pub mod warm;
 
-pub use cache::{CacheSnapshot, SolverCache, DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS};
+pub use cache::{
+    CacheSnapshot, SingleFlightStats, SolverCache, DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS,
+};
 pub use domain::{Interval, VarId, VarInfo, VarTable};
 pub use expr::{EvalError, Expr, Node};
 pub use model::Model;

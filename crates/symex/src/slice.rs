@@ -69,7 +69,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use crate::cache::{config_prefix, push_domains, render_constraint, CacheAnswer};
+use crate::cache::{config_prefix, push_domains, render_constraint, CacheAnswer, SliceFlight};
 use crate::domain::{Interval, VarId, VarTable};
 use crate::expr::Expr;
 use crate::model::Model;
@@ -353,7 +353,9 @@ pub(crate) fn solve_slices(
         let mut from_cache = false;
         let mut from_hint = false;
         let mut from_probation = false;
+        let mut from_dedup = false;
         let mut captured: Option<Vec<(VarId, Interval)>> = None;
+        let mut flight_guard = None;
         let result = 'resolve: {
             if let (Some(memo), Some(key)) = (memo.as_deref(), q.key.as_deref()) {
                 if let Some(r) = memo.get(key) {
@@ -402,6 +404,30 @@ pub(crate) fn solve_slices(
                     break 'resolve SatResult::Unsat;
                 }
             }
+            // Genuinely cold. Claim the key's single-flight: when a
+            // concurrent solver (another farm worker, typically on a
+            // different race cluster) is already solving this exact
+            // key, wait for its publication instead of duplicating the
+            // solve. Slices of *one* query are variable-disjoint —
+            // their keys always differ — so dedup only ever fires
+            // across concurrent queries.
+            if let (Some(cache), Some(key)) = (solver.query_cache(), q.key.as_deref()) {
+                match cache.claim_flight(key) {
+                    SliceFlight::Solo => {}
+                    SliceFlight::Leader(g) => flight_guard = Some(g),
+                    SliceFlight::Waiter(f) => {
+                        stats.single_flight_waits += 1;
+                        if let Some((r, doms)) = cache.wait_flight(&f) {
+                            portend_obs::instant(portend_obs::EventKind::SliceDedup, pos as u64, 0);
+                            stats.slices_deduped += 1;
+                            captured = doms.map(|d| d.to_vec());
+                            from_dedup = true;
+                            break 'resolve r;
+                        }
+                        // The leader abandoned: solve solo below.
+                    }
+                }
+            }
             let mut ev = portend_obs::span(portend_obs::EventKind::SliceSolve);
             let (r, s, doms) = solver.solve_capture(&q.exprs, vars, capture);
             ev.args(pos as u64, s.nodes);
@@ -414,10 +440,16 @@ pub(crate) fn solve_slices(
             r
         };
         if let Some(key) = &q.key {
-            if !from_cache && !from_memo && !from_hint && !from_probation {
+            if !from_cache && !from_memo && !from_hint && !from_probation && !from_dedup {
                 if let Some(cache) = solver.query_cache() {
                     cache.insert_with_domain(key.clone(), result.clone(), captured.clone());
                 }
+            }
+            if let Some(g) = flight_guard.take() {
+                // Publish *after* the cache insert above, so a waiter
+                // released here and immediately re-probing the key
+                // finds the entry present.
+                g.publish(&result, captured.as_deref());
             }
             if let (Some(dm), Some(doms)) = (domains.as_deref_mut(), captured) {
                 dm.insert(key.clone(), doms);
@@ -480,11 +512,41 @@ pub trait SliceExecutor: fmt::Debug + Send + Sync {
     /// back when no worker is idle.
     fn try_execute(&self, job: SliceJob) -> Option<SliceJob>;
 
+    /// Offers a whole group of cold slices as *one* dispatch unit,
+    /// amortizing per-job queue/handoff overhead. All-or-nothing: a
+    /// `None` return accepted every job (each will run exactly once, as
+    /// if accepted by [`SliceExecutor::try_execute`] individually); a
+    /// `Some` return gives every job back *in submission order* so the
+    /// submitter can fall back to per-job dispatch. The default refuses,
+    /// which makes batching purely opt-in for executors.
+    fn try_execute_batch(&self, jobs: Vec<SliceJob>) -> Option<Vec<SliceJob>> {
+        Some(jobs)
+    }
+
+    /// The executor's current cold-slice dispatch threshold, when it
+    /// maintains an adaptive one (see `portend_farm::SlicePool`);
+    /// `None` leaves the solver's static
+    /// [`ParallelSlices::min_cold_slices`] in charge. Consulted through
+    /// [`ParallelSlices::cold_threshold`], which floors the answer at
+    /// the static value.
+    fn dispatch_threshold(&self) -> Option<usize> {
+        None
+    }
+
     /// Reports submitter-measured wall time saved by one parallel check
     /// (offloaded execution time minus the time spent waiting for it).
     /// Purely statistical; the default implementation discards it.
     fn record_wall_saved(&self, saved: Duration) {
         let _ = saved;
+    }
+
+    /// Like [`SliceExecutor::record_wall_saved`], additionally carrying
+    /// how many jobs the check offloaded — the sample an adaptive
+    /// threshold estimator needs to judge saved-per-offload. The
+    /// default forwards to `record_wall_saved`.
+    fn record_offload_outcome(&self, jobs: u64, saved: Duration) {
+        let _ = jobs;
+        self.record_wall_saved(saved);
     }
 }
 
@@ -497,38 +559,67 @@ pub struct ParallelSlices {
     /// domain-hint misses) in one query before sub-jobs are dispatched;
     /// below it the check solves sequentially. Cold slices are what the
     /// dispatch parallelizes — a query of mostly-hot slices has nothing
-    /// to fan out.
+    /// to fan out. Read through [`ParallelSlices::cold_threshold`],
+    /// which floors at 2 (1 would "parallelize" a single solve) and
+    /// lets an adaptive executor raise the bar.
     pub min_cold_slices: usize,
+    /// Whether the dispatchable cold slices of one check are offered to
+    /// the executor as one [`SliceExecutor::try_execute_batch`] unit
+    /// first (falling back to per-job dispatch when the executor
+    /// refuses the batch). Defaults to on; purely a handoff-overhead
+    /// optimization — which jobs run where is unchanged.
+    pub batch_dispatch: bool,
 }
 
 impl fmt::Debug for ParallelSlices {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ParallelSlices")
             .field("min_cold_slices", &self.min_cold_slices)
+            .field("batch_dispatch", &self.batch_dispatch)
             .finish_non_exhaustive()
     }
 }
 
 impl ParallelSlices {
     /// A configuration borrowing from `pool` with the default threshold
-    /// of 2 cold slices (1 would "parallelize" a single solve).
+    /// of 2 cold slices and batched dispatch.
     pub fn new(pool: Arc<dyn SliceExecutor>) -> Self {
         ParallelSlices {
             pool,
             min_cold_slices: 2,
+            batch_dispatch: true,
         }
     }
 
     /// The same configuration with an explicit cold-slice threshold
-    /// (floored at 2 — see [`ParallelSlices::min_cold_slices`]).
+    /// (applied through the [`ParallelSlices::cold_threshold`] floor).
     pub fn with_min_cold_slices(mut self, min: usize) -> Self {
-        self.min_cold_slices = min.max(2);
+        self.min_cold_slices = min;
+        self
+    }
+
+    /// The same configuration with batched dispatch switched on or off.
+    pub fn with_batch_dispatch(mut self, on: bool) -> Self {
+        self.batch_dispatch = on;
         self
     }
 
     /// The executor sub-jobs are offered to.
     pub fn pool(&self) -> &Arc<dyn SliceExecutor> {
         &self.pool
+    }
+
+    /// The effective cold-slice dispatch threshold: the executor's
+    /// adaptive value when it maintains one
+    /// ([`SliceExecutor::dispatch_threshold`]), floored at the static
+    /// [`ParallelSlices::min_cold_slices`], itself floored at 2. This
+    /// is the *single* read site of the floor — direct construction
+    /// with `min_cold_slices: 0` cannot bypass it.
+    pub fn cold_threshold(&self) -> usize {
+        let floor = self.min_cold_slices.max(2);
+        self.pool
+            .dispatch_threshold()
+            .map_or(floor, |t| t.max(floor))
     }
 }
 
@@ -555,6 +646,12 @@ struct ColdSolve {
     budget_exhausted: bool,
     domains: Option<Vec<(VarId, Interval)>>,
     exec: Duration,
+    /// Answered by another solver's concurrent in-flight solve of the
+    /// same key (single-flight dedup) — no search performed here.
+    deduped: bool,
+    /// Blocked on a single-flight leader at all (a dedup when the
+    /// leader published, a wasted wait when it abandoned).
+    waited: bool,
 }
 
 /// Solves one cold slice under the cancellation protocol: a slice
@@ -574,8 +671,54 @@ fn solve_cold(
     pos: usize,
     min_unsat: &AtomicUsize,
 ) -> Option<ColdSolve> {
+    // Claim the key's single-flight *before* the cancellation check:
+    // a leader cancelled below drops its guard, which abandons the
+    // flight and wakes every waiter — so cancellation can never strand
+    // a concurrent requester on the condvar. Probation solves bypass
+    // single-flight entirely (their contract is to re-solve and
+    // confirm, not to reuse anyone's answer).
+    let flight = match (solver.query_cache(), q.key.as_deref()) {
+        (Some(cache), Some(key)) if probation.is_none() => cache.claim_flight(key),
+        _ => SliceFlight::Solo,
+    };
+    let (guard, waited) = match flight {
+        SliceFlight::Solo => (None, false),
+        SliceFlight::Leader(g) => (Some(g), false),
+        SliceFlight::Waiter(f) => {
+            if pos > min_unsat.load(Ordering::SeqCst) {
+                return None; // cancelled before waiting
+            }
+            let t0 = Instant::now();
+            let cache = solver.query_cache().expect("a waiter implies a cache");
+            match cache.wait_flight(&f) {
+                Some((result, doms)) => {
+                    portend_obs::instant(portend_obs::EventKind::SliceDedup, pos as u64, 0);
+                    if result == SatResult::Unsat {
+                        min_unsat.fetch_min(pos, Ordering::SeqCst);
+                    }
+                    return Some(ColdSolve {
+                        result,
+                        nodes: 0,
+                        prune_passes: 0,
+                        budget_exhausted: false,
+                        domains: doms.map(|d| d.to_vec()),
+                        exec: t0.elapsed(),
+                        deduped: true,
+                        waited: true,
+                    });
+                }
+                // The leader abandoned (cancelled or panicked): solve
+                // for ourselves, without re-claiming — chaining a fresh
+                // flight here would serialize requesters behind each
+                // other's cancellations for no benefit.
+                None => (None, true),
+            }
+        }
+    };
     if pos > min_unsat.load(Ordering::SeqCst) {
-        return None; // cancelled: an earlier slice already decided UNSAT
+        // Cancelled: an earlier slice already decided UNSAT. A held
+        // leadership guard drops here, abandoning the flight.
+        return None;
     }
     let t0 = Instant::now();
     let mut ev = portend_obs::span(portend_obs::EventKind::SliceSolve);
@@ -588,6 +731,11 @@ fn solve_cold(
             None => cache.insert_with_domain(key.to_string(), result.clone(), doms.clone()),
         }
     }
+    if let Some(g) = guard {
+        // Publish *after* the cache insert: a waiter released here and
+        // immediately re-probing the key finds the entry present.
+        g.publish(&result, doms.as_deref());
+    }
     if result == SatResult::Unsat {
         min_unsat.fetch_min(pos, Ordering::SeqCst);
     }
@@ -598,6 +746,8 @@ fn solve_cold(
         budget_exhausted: s.budget_exhausted,
         domains: doms,
         exec: t0.elapsed(),
+        deduped: false,
+        waited,
     })
 }
 
@@ -696,7 +846,7 @@ pub(crate) fn solve_slices_parallel(
     let min_unsat = Arc::new(AtomicUsize::new(usize::MAX));
     let dispatchable = solver
         .parallel_slices()
-        .filter(|p| cold.len() >= p.min_cold_slices.max(2));
+        .filter(|p| cold.len() >= p.cold_threshold());
     let mut results: HashMap<usize, Option<ColdSolve>> = HashMap::with_capacity(cold.len());
     let mut offloaded = 0u64;
     let (tx, rx) = mpsc::channel::<(usize, Option<ColdSolve>)>();
@@ -707,6 +857,7 @@ pub(crate) fn solve_slices_parallel(
             // read it, and cloning per job would put k full-table
             // copies on the submitter's critical path.
             let shared_vars = Arc::new(vars.clone());
+            let mut jobs: Vec<(usize, SliceJob)> = Vec::with_capacity(cold.len() - 1);
             for (k, &pos) in cold.iter().enumerate() {
                 if k == 0 {
                     // The submitter always keeps work for itself.
@@ -742,6 +893,30 @@ pub(crate) fn solve_slices_parallel(
                     // (panic unwinding) and there is nobody to notify.
                     let _ = job_tx.send((pos, solved));
                 });
+                jobs.push((pos, job));
+            }
+            // Offer the whole group as one dispatch unit first (one
+            // queue lock + one wakeup for the lot); an executor that
+            // refuses the batch gets each job offered individually —
+            // the pre-batching path, which may partially accept.
+            if par.batch_dispatch && jobs.len() > 1 {
+                let (positions, boxed): (Vec<usize>, Vec<SliceJob>) = jobs.drain(..).unzip();
+                match par.pool().try_execute_batch(boxed) {
+                    None => {
+                        offloaded += positions.len() as u64;
+                        for &pos in &positions {
+                            portend_obs::instant(
+                                portend_obs::EventKind::SliceOffload,
+                                pos as u64,
+                                0,
+                            );
+                        }
+                    }
+                    // Returned in submission order (the batch contract).
+                    Some(returned) => jobs = positions.into_iter().zip(returned).collect(),
+                }
+            }
+            for (pos, job) in jobs {
                 match par.pool().try_execute(job) {
                     None => {
                         offloaded += 1;
@@ -788,7 +963,7 @@ pub(crate) fn solve_slices_parallel(
         stats.slices_offloaded += offloaded;
         stats.slice_parallel_wall_saved += saved;
         if let Some(par) = solver.parallel_slices() {
-            par.pool().record_wall_saved(saved);
+            par.pool().record_offload_outcome(offloaded, saved);
         }
     }
 
@@ -847,7 +1022,14 @@ pub(crate) fn solve_slices_parallel(
                     .remove(&pos)
                     .flatten()
                     .expect("every examined cold slice has a result");
-                solved += 1;
+                stats.single_flight_waits += cs.waited as u64;
+                if cs.deduped {
+                    // Served by another solver's concurrent flight: no
+                    // search happened here, like a shared-cache hit.
+                    stats.slices_deduped += 1;
+                } else {
+                    solved += 1;
+                }
                 stats.nodes += cs.nodes;
                 stats.prune_passes += cs.prune_passes;
                 stats.budget_exhausted |= cs.budget_exhausted;
@@ -1047,6 +1229,15 @@ pub struct ScopedStats {
     /// execution time minus the time this solver spent waiting for
     /// their results, summed over checks.
     pub slice_parallel_wall_saved: Duration,
+    /// Cold slices answered by another solver's concurrent in-flight
+    /// solve of the same canonical key (single-flight dedup) instead
+    /// of solving here.
+    pub slices_deduped: u64,
+    /// Times a cold slice blocked on a concurrent leader's flight at
+    /// all — a dedup when the leader published, a wasted wait when it
+    /// was cancelled or panicked (so `single_flight_waits >=
+    /// slices_deduped`).
+    pub single_flight_waits: u64,
 }
 
 /// The slice a frame belonged to at the last check: its canonical key
@@ -1330,7 +1521,7 @@ impl ScopedSolver {
         let parallel = self
             .solver
             .parallel_slices()
-            .is_some_and(|p| queries.len() >= p.min_cold_slices.max(2));
+            .is_some_and(|p| queries.len() >= p.cold_threshold());
         let outcome = if parallel {
             solve_slices_parallel(
                 &self.solver,
@@ -1357,6 +1548,8 @@ impl ScopedSolver {
         self.stats.solved += outcome.solved;
         self.stats.slices_offloaded += stats.slices_offloaded;
         self.stats.slice_parallel_wall_saved += stats.slice_parallel_wall_saved;
+        self.stats.slices_deduped += stats.slices_deduped;
+        self.stats.single_flight_waits += stats.single_flight_waits;
         ev.args(stats.slices, stats.nodes);
         (outcome.result, stats)
     }
@@ -1689,6 +1882,47 @@ mod tests {
         }
     }
 
+    /// A batch-capable [`SpawnExecutor`]: whole batches are accepted
+    /// and each member spawned, counting dispatch units.
+    #[derive(Debug, Default)]
+    struct BatchSpawnExecutor {
+        batches: std::sync::atomic::AtomicU64,
+        batched_jobs: std::sync::atomic::AtomicU64,
+        singles: std::sync::atomic::AtomicU64,
+    }
+
+    impl SliceExecutor for BatchSpawnExecutor {
+        fn try_execute(&self, job: SliceJob) -> Option<SliceJob> {
+            self.singles.fetch_add(1, Ordering::Relaxed);
+            std::thread::spawn(job);
+            None
+        }
+
+        fn try_execute_batch(&self, jobs: Vec<SliceJob>) -> Option<Vec<SliceJob>> {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batched_jobs
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            for job in jobs {
+                std::thread::spawn(job);
+            }
+            None
+        }
+    }
+
+    /// An executor advertising an adaptive dispatch threshold.
+    #[derive(Debug)]
+    struct ThresholdExecutor(usize);
+
+    impl SliceExecutor for ThresholdExecutor {
+        fn try_execute(&self, job: SliceJob) -> Option<SliceJob> {
+            Some(job)
+        }
+
+        fn dispatch_threshold(&self) -> Option<usize> {
+            Some(self.0)
+        }
+    }
+
     fn par_solver(pool: Arc<dyn SliceExecutor>) -> Solver {
         Solver::new().parallel(ParallelSlices::new(pool))
     }
@@ -1727,6 +1961,90 @@ mod tests {
             pool.accepted.load(Ordering::Relaxed) > 0,
             "the many-cold-slice case must dispatch"
         );
+    }
+
+    /// Regression for the floor-bypass bug: `with_min_cold_slices`
+    /// used to clamp at the write site, so direct struct construction
+    /// (the field is public) bypassed the floor and every read site
+    /// re-applied `.max(2)` by hand. The floor now lives in the single
+    /// read-site accessor [`ParallelSlices::cold_threshold`].
+    #[test]
+    fn cold_threshold_floors_at_two_even_under_direct_construction() {
+        let direct = ParallelSlices {
+            pool: Arc::new(BusyExecutor),
+            min_cold_slices: 0,
+            batch_dispatch: true,
+        };
+        assert_eq!(direct.cold_threshold(), 2);
+        let built = ParallelSlices::new(Arc::new(BusyExecutor)).with_min_cold_slices(0);
+        assert_eq!(built.cold_threshold(), 2);
+        let raised = ParallelSlices::new(Arc::new(BusyExecutor)).with_min_cold_slices(5);
+        assert_eq!(raised.cold_threshold(), 5);
+        // An adaptive executor can only *raise* the bar past the
+        // static floor, never lower it below.
+        let adaptive = ParallelSlices::new(Arc::new(ThresholdExecutor(7)));
+        assert_eq!(adaptive.cold_threshold(), 7);
+        let clamped = ParallelSlices::new(Arc::new(ThresholdExecutor(1))).with_min_cold_slices(3);
+        assert_eq!(clamped.cold_threshold(), 3);
+    }
+
+    /// A leader cancelled by the UNSAT protocol must abandon its
+    /// flight (waking any waiters) and leave the key re-claimable —
+    /// the guard's Drop path, driven through `solve_cold` itself.
+    #[test]
+    fn cancelled_cold_solve_abandons_its_flight() {
+        let vars = vt(&[(0, 9)]);
+        let cache = Arc::new(crate::cache::SolverCache::new(2));
+        let solver = Solver::new().cached(Arc::clone(&cache));
+        let q = SliceQuery {
+            exprs: vec![x(0).cmp(CmpOp::Ge, Expr::konst(3))],
+            key: Some("cancelled-slice".to_string()),
+            hint: None,
+        };
+        // Position 1 behind an UNSAT already published at position 0:
+        // the solve is cancelled after claiming leadership.
+        let min_unsat = AtomicUsize::new(0);
+        assert!(solve_cold(&solver, &vars, &q, None, false, 1, &min_unsat).is_none());
+        // The abandoned flight was retired: a fresh claim leads again
+        // (a stranded Pending flight would make this a Waiter — and a
+        // deadlock for anyone who then waited).
+        assert!(matches!(
+            cache.claim_flight("cancelled-slice"),
+            SliceFlight::Leader(_)
+        ));
+    }
+
+    #[test]
+    fn batched_dispatch_equals_serial_and_counts_one_unit() {
+        let vars = vt(&[(0, 30), (0, 30), (0, 30), (0, 30)]);
+        let serial = Solver::new();
+        let pool = Arc::new(BatchSpawnExecutor::default());
+        let parallel = par_solver(Arc::clone(&pool) as Arc<dyn SliceExecutor>);
+        let cs: Vec<Expr> = (0..4)
+            .map(|i| {
+                x(i).mul(x(i))
+                    .cmp(CmpOp::Eq, Expr::konst(((i + 2) * (i + 2)) as i64))
+            })
+            .collect();
+        let (want, ws) = serial.check_sliced_with_stats(&cs, &vars);
+        let (got, gs) = parallel.check_sliced_parallel_with_stats(&cs, &vars);
+        assert_eq!(got, want);
+        assert_eq!(gs.slices, ws.slices);
+        assert_eq!(gs.nodes, ws.nodes);
+        // All three dispatchable jobs travelled as one unit.
+        assert_eq!(pool.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.batched_jobs.load(Ordering::Relaxed), 3);
+        assert_eq!(pool.singles.load(Ordering::Relaxed), 0);
+        assert_eq!(gs.slices_offloaded, 3);
+
+        // With batching off, the same jobs go one by one.
+        let single = Solver::new().parallel(
+            ParallelSlices::new(Arc::new(BatchSpawnExecutor::default())).with_batch_dispatch(false),
+        );
+        let (got, _) = single.check_sliced_parallel_with_stats(&cs, &vars);
+        assert_eq!(got, want);
+        let p = single.parallel_slices().expect("configured above");
+        assert!(!p.batch_dispatch);
     }
 
     #[test]

@@ -86,6 +86,17 @@ pub struct SolverStats {
     /// Estimated wall time the dispatch saved: offloaded execution
     /// time minus the time spent waiting for the offloaded results.
     pub slice_parallel_wall_saved: Duration,
+    /// Cold slices answered by another solver's concurrent in-flight
+    /// solve of the same canonical key (single-flight dedup) instead
+    /// of solving here. Like `slice_cache_hits`, pure reuse of an
+    /// identical published answer — verdict-transparent by the cache's
+    /// answer-preservation contract.
+    pub slices_deduped: u64,
+    /// Times a cold slice blocked on a concurrent single-flight
+    /// leader at all — a dedup when the leader published, a wasted
+    /// wait when it was cancelled or panicked (so
+    /// `single_flight_waits >= slices_deduped`).
+    pub single_flight_waits: u64,
 }
 
 /// Solver configuration.

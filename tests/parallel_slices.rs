@@ -66,6 +66,8 @@ fn descheduled(
 ) -> portend_repro::portend_symex::SolverStats {
     s.slices_offloaded = 0;
     s.slice_parallel_wall_saved = std::time::Duration::ZERO;
+    s.slices_deduped = 0;
+    s.single_flight_waits = 0;
     s
 }
 
@@ -135,6 +137,166 @@ fn starvation_budget_parallel_matches_serial_exactly() {
         unknowns += matches!(want, SatResult::Unknown) as u64;
     }
     assert!(unknowns > 0, "the regime must exercise Unknown cases");
+}
+
+/// Single-flight dedup: when two threads miss the shared cache on the
+/// *same* cold slice concurrently, the second must block on the first's
+/// publication instead of re-solving — and both must receive the
+/// identical answer. The follower thread enters each round only after
+/// observing (via the claims counter) that the leader already holds the
+/// slice's flight, so the two requests genuinely overlap; the slice is
+/// expensive enough (a forward-only nonlinear root search over a wide
+/// domain) that the leader is still solving when the follower arrives.
+#[test]
+fn concurrent_identical_cold_slices_are_deduplicated() {
+    const ROUNDS: i64 = 8;
+    let cache = Arc::new(SolverCache::new(4));
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let mut handles = Vec::new();
+    for follower in [false, true] {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let solver = Solver::new().cached(Arc::clone(&cache));
+            let mut verdicts = Vec::new();
+            for round in 0..ROUNDS {
+                // A fresh key every round: x*x == root^2 with a large
+                // root, so every round is a cold, multi-millisecond
+                // solve for whoever leads it.
+                let root = 150_000 + round;
+                let vars = vt(1, 0, root + 50_000);
+                let x = Expr::var(portend_repro::portend_symex::VarId(0));
+                let cs = vec![x.clone().mul(x).cmp(CmpOp::Eq, Expr::konst(root * root))];
+                let claims_before = cache
+                    .single_flight_snapshot()
+                    .expect("single-flight is on by default")
+                    .claims;
+                barrier.wait();
+                if follower {
+                    while cache.single_flight_snapshot().unwrap().claims == claims_before {
+                        std::thread::yield_now();
+                    }
+                }
+                verdicts.push(solver.check_sliced(&cs, &vars));
+            }
+            verdicts
+        }));
+    }
+    let a = handles.pop().unwrap().join().unwrap();
+    let b = handles.pop().unwrap().join().unwrap();
+    assert_eq!(a, b, "deduplicated answers must be identical");
+    assert!(
+        a.iter().all(|r| matches!(r, SatResult::Sat(_))),
+        "every round has a satisfying root: {a:?}"
+    );
+    let sf = cache.single_flight_snapshot().expect("snapshot available");
+    assert!(
+        sf.claims >= ROUNDS as u64,
+        "each round claims at least one flight: {sf:?}"
+    );
+    assert!(
+        sf.slices_deduped >= 1,
+        "overlapping rounds must dedup, not re-solve: {sf:?}"
+    );
+    assert!(
+        sf.single_flight_waits >= sf.slices_deduped,
+        "every dedup passed through a wait: {sf:?}"
+    );
+}
+
+/// The three new scheduling knobs (single-flight, batch dispatch, and
+/// the adaptive threshold) are pure scheduling: any on/off combination
+/// leaves every verdict and `ClassifyStats` counter byte-identical to
+/// the serial pipeline.
+#[test]
+fn scheduling_knob_combinations_preserve_verdicts() {
+    for name in ["ctrace", "bbuf"] {
+        let w = by_name(name).expect("workload exists");
+        let serial = w.analyze(PortendConfig::default());
+        let combos = [
+            FarmKnobs {
+                single_flight: false,
+                ..Default::default()
+            },
+            FarmKnobs {
+                batch_dispatch: false,
+                ..Default::default()
+            },
+            FarmKnobs {
+                adaptive_dispatch: false,
+                ..Default::default()
+            },
+            FarmKnobs {
+                single_flight: false,
+                batch_dispatch: false,
+                adaptive_dispatch: false,
+                ..Default::default()
+            },
+        ];
+        for (i, farm) in combos.into_iter().enumerate() {
+            let cfg = PortendConfig {
+                farm,
+                ..Default::default()
+            };
+            let run = w.analyze_parallel(cfg, 4);
+            assert_equivalent(&format!("{name} sched-knobs#{i}"), &serial, &run);
+        }
+    }
+}
+
+/// The new counters surface through `FarmStats`: the single-flight
+/// section exists exactly when the shared cache does, and the dispatch
+/// section exists exactly when slice lending does — with the adaptive
+/// threshold visible (and floored) when adaptive dispatch is on.
+#[test]
+fn farm_stats_surface_single_flight_and_dispatch_sections() {
+    let w = by_name("ctrace").expect("workload exists");
+    let (_, on) = w.analyze_parallel_with_stats(PortendConfig::default(), 4);
+    let sf = on.single_flight.expect("cache on by default");
+    assert!(sf.claims > 0, "cold slices claim flights: {sf:?}");
+    let d = on.dispatch.expect("slice lending on by default");
+    let t = d.threshold_now.expect("adaptive dispatch on by default");
+    assert!(t >= 2, "the dispatch threshold never drops below 2: {t}");
+
+    let no_cache = PortendConfig {
+        farm: FarmKnobs {
+            solver_cache: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (_, off) = w.analyze_parallel_with_stats(no_cache, 4);
+    assert!(
+        off.single_flight.is_none(),
+        "no cache, no single-flight section: {off:?}"
+    );
+
+    let no_lending = PortendConfig {
+        farm: FarmKnobs {
+            parallel_slices: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (_, off) = w.analyze_parallel_with_stats(no_lending, 4);
+    assert!(
+        off.dispatch.is_none(),
+        "no slice pool, no dispatch section: {off:?}"
+    );
+
+    let static_threshold = PortendConfig {
+        farm: FarmKnobs {
+            adaptive_dispatch: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (_, s) = w.analyze_parallel_with_stats(static_threshold, 4);
+    let d = s.dispatch.expect("slice lending still on");
+    assert!(
+        d.threshold_now.is_none(),
+        "static pools advertise no threshold: {d:?}"
+    );
 }
 
 /// Asserts full per-cluster verdict equality (class, evidence, k, and

@@ -120,6 +120,24 @@ fn live_report_round_trips_to_structural_equality() {
         let c = result.cache.as_ref().unwrap();
         c.hits + c.misses
     });
+
+    // v3 sections: the single-flight counters ride along whenever the
+    // shared cache does, and the dispatch section whenever slice
+    // lending does — both must survive the round trip verbatim.
+    let live = report.farm.as_ref().unwrap();
+    assert_eq!(farm.single_flight, live.single_flight);
+    assert_eq!(farm.dispatch, live.dispatch);
+    let sf = farm
+        .single_flight
+        .expect("cache on by default carries single-flight counters");
+    assert!(sf.claims > 0, "cold slices claim flights: {sf:?}");
+    let d = farm
+        .dispatch
+        .expect("slice lending on by default carries dispatch counters");
+    assert!(
+        d.threshold_now.unwrap_or(2) >= 2,
+        "adaptive threshold never reports below the floor: {d:?}"
+    );
 }
 
 #[test]
