@@ -53,15 +53,23 @@ fn big_heap_program(cells: usize) -> Arc<Program> {
         let big = f.cmp(portend_symex::CmpOp::Gt, i, Operand::Imm(5));
         f.if_else(
             big,
-            |f| f.output(1, Operand::Imm(100)),
-            |f| f.output(1, Operand::Imm(200)),
+            |f| {
+                f.output(1, Operand::Imm(100));
+            },
+            |f| {
+                f.output(1, Operand::Imm(200));
+            },
         );
         let j = f.input();
         let odd = f.cmp(portend_symex::CmpOp::Gt, j, Operand::Imm(2));
         f.if_else(
             odd,
-            |f| f.output(1, Operand::Imm(1)),
-            |f| f.output(1, Operand::Imm(2)),
+            |f| {
+                f.output(1, Operand::Imm(1));
+            },
+            |f| {
+                f.output(1, Operand::Imm(2));
+            },
         );
         f.ret(None);
     });

@@ -256,6 +256,40 @@ impl PortendConfig {
         (self.mp * self.ma.max(1)) as u64
     }
 
+    /// The knob matrix the conformance suite sweeps: the full cube over
+    /// `slice_solver` × `static_pass` × `farm.single_flight`, each cell
+    /// labeled `slice=±,static=±,sflight=±`. Every configuration must
+    /// produce verdicts byte-identical to the default — these knobs are
+    /// performance/scheduling dials, never classification dials — so the
+    /// differential table in `tests/conformance.rs` runs each labeled
+    /// idiom under all eight.
+    pub fn knob_grid() -> Vec<(String, PortendConfig)> {
+        let mut grid = Vec::with_capacity(8);
+        for &slice in &[true, false] {
+            for &stat in &[true, false] {
+                for &sflight in &[true, false] {
+                    let label = format!(
+                        "slice={}static={}sflight={}",
+                        if slice { "+," } else { "-," },
+                        if stat { "+," } else { "-," },
+                        if sflight { "+" } else { "-" },
+                    );
+                    let cfg = PortendConfig {
+                        slice_solver: slice,
+                        static_pass: stat,
+                        farm: FarmKnobs {
+                            single_flight: sflight,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    };
+                    grid.push((label, cfg));
+                }
+            }
+        }
+        grid
+    }
+
     /// A configuration targeting a specific `k` by adjusting `Mp` while
     /// keeping `Ma = 2` where possible (used by the Fig. 10 sweep).
     pub fn with_k(k: usize) -> Self {
@@ -293,6 +327,28 @@ mod tests {
         assert_eq!(PortendConfig::with_k(6).k(), 6);
         assert_eq!(PortendConfig::with_k(7).k(), 7);
         assert_eq!(PortendConfig::with_k(10).k(), 10);
+    }
+
+    #[test]
+    fn knob_grid_covers_the_cube() {
+        let grid = PortendConfig::knob_grid();
+        assert_eq!(grid.len(), 8);
+        // Labels are unique and each axis takes both values.
+        let labels: std::collections::BTreeSet<_> = grid.iter().map(|(l, _)| l.clone()).collect();
+        assert_eq!(labels.len(), 8);
+        assert!(grid.iter().any(|(_, c)| c.slice_solver));
+        assert!(grid.iter().any(|(_, c)| !c.slice_solver));
+        assert!(grid.iter().any(|(_, c)| c.static_pass));
+        assert!(grid.iter().any(|(_, c)| !c.static_pass));
+        assert!(grid.iter().any(|(_, c)| c.farm.single_flight));
+        assert!(grid.iter().any(|(_, c)| !c.farm.single_flight));
+        // The all-on cell is the default configuration.
+        let all_on = &grid
+            .iter()
+            .find(|(l, _)| l == "slice=+,static=+,sflight=+")
+            .expect("all-on cell")
+            .1;
+        assert_eq!(*all_on, PortendConfig::default());
     }
 
     #[test]

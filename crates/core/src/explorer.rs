@@ -416,15 +416,23 @@ mod tests {
             let big = f.cmp(portend_symex::CmpOp::Gt, i, Operand::Imm(5));
             f.if_else(
                 big,
-                |f| f.output(1, Operand::Imm(100)),
-                |f| f.output(1, Operand::Imm(200)),
+                |f| {
+                    f.output(1, Operand::Imm(100));
+                },
+                |f| {
+                    f.output(1, Operand::Imm(200));
+                },
             );
             let j = f.input();
             let odd = f.cmp(portend_symex::CmpOp::Gt, j, Operand::Imm(2));
             f.if_else(
                 odd,
-                |f| f.output(1, Operand::Imm(1)),
-                |f| f.output(1, Operand::Imm(2)),
+                |f| {
+                    f.output(1, Operand::Imm(1));
+                },
+                |f| {
+                    f.output(1, Operand::Imm(2));
+                },
             );
             f.output(1, v);
             f.ret(None);

@@ -325,7 +325,15 @@ fn input_dependent_output_difference_needs_multi_path() {
             f.join(t);
             // With opt == 0 (the recorded input) the output hides the racy
             // value; with opt == 1 it exposes it.
-            f.if_else(opt, |f| f.output(1, v), |f| f.output(1, Operand::Imm(99)));
+            f.if_else(
+                opt,
+                |f| {
+                    f.output(1, v);
+                },
+                |f| {
+                    f.output(1, Operand::Imm(99));
+                },
+            );
             f.ret(None);
         });
         Arc::new(pb.build(main).unwrap())

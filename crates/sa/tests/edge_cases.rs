@@ -308,3 +308,52 @@ fn spawn_in_loop_is_multi_instance() {
     let pw = store_in(&p, g, worker);
     assert!(sa.covers(g, pw, pw, true), "multi-instance self-pair races");
 }
+
+#[test]
+fn reused_barrier_in_loop_does_not_prune_cross_phase_candidates() {
+    // Each worker loops phase-indexed steps around the SAME barrier
+    // (`loop_phases`). The linear phase counting that orders
+    // write-before-barrier against read-after-barrier is unsound once
+    // the barrier_wait sits in a loop body: a site in "phase 0" of one
+    // iteration is also in "phase 1" of the previous one. The analysis
+    // must notice the loop and keep the store pair a candidate — a
+    // pruned candidate here would hide a real same-phase race from the
+    // farm's scheduling (see the `barrier_reuse` conformance idiom).
+    let mut pb = ProgramBuilder::new("reused-barrier", "t.c");
+    let g = pb.global("x", 0);
+    let bar = pb.barrier("bar", 2);
+    let w1 = pb.func("w1", |f| {
+        let _ = f.param();
+        f.loop_phases(bar, 2, |f, i| {
+            f.store(g, 0.into(), i);
+        });
+        f.ret(None);
+    });
+    let w2 = pb.func("w2", |f| {
+        let _ = f.param();
+        f.loop_phases(bar, 2, |f, i| {
+            f.store(g, 0.into(), i);
+        });
+        f.ret(None);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(w1, 0.into());
+        let t2 = f.spawn(w2, 0.into());
+        f.join(t1).join(t2);
+        f.ret(None);
+    });
+    let p = pb.build(main).unwrap();
+    let sa = analyze(&p);
+
+    let p1 = store_in(&p, g, w1);
+    let p2 = store_in(&p, g, w2);
+    let c = sa.lookup(g, p1, p2).expect("looped stores stay enumerated");
+    assert!(
+        c.mhp,
+        "a barrier reused across loop iterations must not order the sites"
+    );
+    assert!(
+        sa.covers(g, p1, p2, true),
+        "the cross-phase candidate survives lock pruning too"
+    );
+}

@@ -3,8 +3,42 @@
 //! The builder is the public authoring API the workload models use; it
 //! plays the role a C compiler plays for the original Portend. Besides raw
 //! instruction emission it offers structured control flow (`if_else`,
-//! `while_loop`, `for_range`) and concurrency idioms (racy increments,
-//! busy-wait loops) so workloads read close to the C snippets in the paper.
+//! `while_loop`, `for_range`), scoped concurrency combinators
+//! (`with_lock`, `phase`, `loop_phases`, `spawn_n`/`join_all`), and
+//! concurrency idioms (racy increments, busy-wait loops) so workloads —
+//! and the scenario conformance corpus in `portend-workloads` — read
+//! close to the C snippets in the paper: a new labeled idiom is ~20
+//! lines of chained builder calls.
+//!
+//! Statement emitters return `&mut Self`, so straight-line racy code
+//! chains:
+//!
+//! ```
+//! use portend_vm::{Operand, ProgramBuilder};
+//! let mut pb = ProgramBuilder::new("chain", "chain.c");
+//! let data = pb.global("data", 0);
+//! let flag = pb.global("flag", 0);
+//! let mu = pb.mutex("m");
+//! let producer = pb.worker("producer", |f, _arg| {
+//!     f.store(data, Operand::Imm(0), Operand::Imm(33))
+//!         .store(flag, Operand::Imm(0), Operand::Imm(1))
+//!         .with_lock(mu, |f| {
+//!             f.yield_();
+//!         });
+//! });
+//! let main = pb.func("main", |f| {
+//!     let tids = f.spawn_n(producer, 2);
+//!     f.join_all(&tids).output(1, Operand::Imm(0));
+//! });
+//! pb.build(main).expect("valid program");
+//! ```
+//!
+//! Validation happens at build time and is *exhaustive*:
+//! [`ProgramBuilder::build`] reports **every** authoring error
+//! (undefined functions, unterminated blocks, zero-party barriers,
+//! out-of-range references) in one [`BuildError`], not just the first.
+
+use std::fmt;
 
 use crate::inst::{Inst, Operand, Reg};
 use crate::program::AllocId;
@@ -12,6 +46,49 @@ use crate::program::{
     AllocSpec, BarrierSpec, BasicBlock, BlockId, FuncId, Function, Program, SyncId,
 };
 use portend_symex::{BinOp, CmpOp};
+
+/// Every validation failure [`ProgramBuilder::build`] found, in one
+/// pass: undefined functions first, then [`Program::validate_all`]'s
+/// structural errors in program order. DSL authoring mistakes surface
+/// together instead of one `build` round-trip per mistake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// The individual error descriptions (at least one).
+    pub errors: Vec<String>,
+}
+
+impl BuildError {
+    /// Whether any of the collected errors mentions `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.errors.iter().any(|e| e.contains(needle))
+    }
+
+    /// Number of distinct errors collected.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// A `BuildError` always carries at least one error.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program failed validation ({} error(s)):",
+            self.errors.len()
+        )?;
+        for e in &self.errors {
+            writeln!(f, "  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Builds a [`Program`]: declares globals, sync objects, and functions.
 ///
@@ -137,22 +214,52 @@ impl ProgramBuilder {
         id
     }
 
+    /// Declares and defines a parameterized worker: the function's
+    /// single spawn argument is declared for you and handed to the body
+    /// as an operand. The standard shape for `spawn`/[`FuncBuilder::spawn_n`]
+    /// targets.
+    pub fn worker(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut FuncBuilder, Operand),
+    ) -> FuncId {
+        self.func(name, |f| {
+            let arg = f.param();
+            body(f, arg);
+        })
+    }
+
     /// Finalizes and validates the program.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first undefined function or validation
-    /// failure.
-    pub fn build(self, entry: FuncId) -> Result<Program, String> {
+    /// Returns **all** authoring errors found in one pass — every
+    /// undefined function, unterminated block, zero-party barrier, and
+    /// out-of-range reference — as a [`BuildError`], so a DSL author
+    /// fixes a batch per round-trip instead of one error at a time.
+    pub fn build(self, entry: FuncId) -> Result<Program, BuildError> {
+        let mut errors = Vec::new();
         let mut funcs = Vec::with_capacity(self.funcs.len());
         for (i, f) in self.funcs.into_iter().enumerate() {
             match f {
                 Some(f) => funcs.push(f),
                 None => {
-                    return Err(format!(
+                    errors.push(format!(
                         "function `{}` declared but not defined",
                         self.func_names[i]
-                    ))
+                    ));
+                    // A trivially valid placeholder keeps `FuncId`s
+                    // aligned so the rest of the program still validates
+                    // (and calls to the undefined function don't cascade
+                    // into spurious out-of-range errors).
+                    funcs.push(Function {
+                        name: self.func_names[i].clone(),
+                        blocks: vec![BasicBlock {
+                            insts: vec![Inst::Ret { value: None }],
+                            lines: vec![0],
+                        }],
+                        num_regs: 0,
+                    });
                 }
             }
         }
@@ -166,8 +273,12 @@ impl ProgramBuilder {
             barriers: self.barriers,
             entry,
         };
-        program.validate()?;
-        Ok(program)
+        errors.extend(program.validate_all());
+        if errors.is_empty() {
+            Ok(program)
+        } else {
+            Err(BuildError { errors })
+        }
     }
 }
 
@@ -250,10 +361,11 @@ impl FuncBuilder {
     }
 
     /// Emits a raw instruction into the current block.
-    pub fn emit(&mut self, inst: Inst) {
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
         let b = &mut self.blocks[self.cur.0 as usize];
         b.insts.push(inst);
         b.lines.push(self.cur_line);
+        self
     }
 
     // ---- value-producing emitters ------------------------------------
@@ -266,8 +378,8 @@ impl FuncBuilder {
     }
 
     /// Stores `src` into `base[index]`.
-    pub fn store(&mut self, base: AllocId, index: Operand, src: Operand) {
-        self.emit(Inst::Store { base, index, src });
+    pub fn store(&mut self, base: AllocId, index: Operand, src: Operand) -> &mut Self {
+        self.emit(Inst::Store { base, index, src })
     }
 
     /// Emits `lhs op rhs` into a fresh register.
@@ -326,12 +438,12 @@ impl FuncBuilder {
     }
 
     /// Calls `func(args...)` discarding any result.
-    pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
+    pub fn call_void(&mut self, func: FuncId, args: &[Operand]) -> &mut Self {
         self.emit(Inst::Call {
             dst: None,
             func,
             args: args.to_vec(),
-        });
+        })
     }
 
     /// Spawns a thread running `func(arg)` and returns its thread id.
@@ -351,61 +463,61 @@ impl FuncBuilder {
     // ---- statement emitters -------------------------------------------
 
     /// Joins a thread.
-    pub fn join(&mut self, tid: Operand) {
-        self.emit(Inst::Join { tid });
+    pub fn join(&mut self, tid: Operand) -> &mut Self {
+        self.emit(Inst::Join { tid })
     }
 
     /// Acquires a mutex.
-    pub fn lock(&mut self, mutex: SyncId) {
-        self.emit(Inst::MutexLock { mutex });
+    pub fn lock(&mut self, mutex: SyncId) -> &mut Self {
+        self.emit(Inst::MutexLock { mutex })
     }
 
     /// Releases a mutex.
-    pub fn unlock(&mut self, mutex: SyncId) {
-        self.emit(Inst::MutexUnlock { mutex });
+    pub fn unlock(&mut self, mutex: SyncId) -> &mut Self {
+        self.emit(Inst::MutexUnlock { mutex })
     }
 
     /// Waits on a condition variable (releasing and re-acquiring `mutex`).
-    pub fn cond_wait(&mut self, cond: SyncId, mutex: SyncId) {
-        self.emit(Inst::CondWait { cond, mutex });
+    pub fn cond_wait(&mut self, cond: SyncId, mutex: SyncId) -> &mut Self {
+        self.emit(Inst::CondWait { cond, mutex })
     }
 
     /// Signals one waiter.
-    pub fn cond_signal(&mut self, cond: SyncId) {
-        self.emit(Inst::CondSignal { cond });
+    pub fn cond_signal(&mut self, cond: SyncId) -> &mut Self {
+        self.emit(Inst::CondSignal { cond })
     }
 
     /// Wakes all waiters.
-    pub fn cond_broadcast(&mut self, cond: SyncId) {
-        self.emit(Inst::CondBroadcast { cond });
+    pub fn cond_broadcast(&mut self, cond: SyncId) -> &mut Self {
+        self.emit(Inst::CondBroadcast { cond })
     }
 
     /// Waits at a barrier.
-    pub fn barrier_wait(&mut self, barrier: SyncId) {
-        self.emit(Inst::BarrierWait { barrier });
+    pub fn barrier_wait(&mut self, barrier: SyncId) -> &mut Self {
+        self.emit(Inst::BarrierWait { barrier })
     }
 
     /// Emits `value` on output channel `fd`.
-    pub fn output(&mut self, fd: i64, value: Operand) {
-        self.emit(Inst::Output { fd, value });
+    pub fn output(&mut self, fd: i64, value: Operand) -> &mut Self {
+        self.emit(Inst::Output { fd, value })
     }
 
     /// Asserts that `cond` is non-zero.
-    pub fn assert_true(&mut self, cond: Operand, msg: impl Into<String>) {
+    pub fn assert_true(&mut self, cond: Operand, msg: impl Into<String>) -> &mut Self {
         self.emit(Inst::Assert {
             cond,
             msg: msg.into(),
-        });
+        })
     }
 
     /// Emits a scheduling point (`sched_yield`/`usleep`).
-    pub fn yield_(&mut self) {
-        self.emit(Inst::Yield);
+    pub fn yield_(&mut self) -> &mut Self {
+        self.emit(Inst::Yield)
     }
 
     /// Frees an allocation (later accesses crash).
-    pub fn free(&mut self, base: AllocId) {
-        self.emit(Inst::Free { base });
+    pub fn free(&mut self, base: AllocId) -> &mut Self {
+        self.emit(Inst::Free { base })
     }
 
     /// Returns from the function.
@@ -436,7 +548,7 @@ impl FuncBuilder {
         cond: Operand,
         then_f: impl FnOnce(&mut Self),
         else_f: impl FnOnce(&mut Self),
-    ) {
+    ) -> &mut Self {
         let tb = self.new_block();
         let eb = self.new_block();
         let mb = self.new_block();
@@ -452,11 +564,12 @@ impl FuncBuilder {
             self.jump(mb);
         }
         self.switch_to(mb);
+        self
     }
 
     /// `if (cond) { then_f() }`; emission continues in the merge block.
-    pub fn if_then(&mut self, cond: Operand, then_f: impl FnOnce(&mut Self)) {
-        self.if_else(cond, then_f, |_| {});
+    pub fn if_then(&mut self, cond: Operand, then_f: impl FnOnce(&mut Self)) -> &mut Self {
+        self.if_else(cond, then_f, |_| {})
     }
 
     /// `while (cond_f()) { body() }`; `cond_f` is re-evaluated each
@@ -465,7 +578,7 @@ impl FuncBuilder {
         &mut self,
         cond_f: impl FnOnce(&mut Self) -> Operand,
         body: impl FnOnce(&mut Self),
-    ) {
+    ) -> &mut Self {
         let head = self.new_block();
         let body_b = self.new_block();
         let exit = self.new_block();
@@ -479,10 +592,11 @@ impl FuncBuilder {
             self.jump(head);
         }
         self.switch_to(exit);
+        self
     }
 
     /// `for (i = 0; i < n; i++) { body(i) }` over a fresh counter register.
-    pub fn for_range(&mut self, n: Operand, body: impl FnOnce(&mut Self, Operand)) {
+    pub fn for_range(&mut self, n: Operand, body: impl FnOnce(&mut Self, Operand)) -> &mut Self {
         let i = self.fresh_reg();
         self.emit(Inst::Const { dst: i, value: 0 });
         let iv = Operand::Reg(i);
@@ -494,28 +608,77 @@ impl FuncBuilder {
                 let next = f.add(iv, Operand::Imm(1));
                 f.emit(Inst::Copy { dst: i, src: next });
             },
-        );
+        )
+    }
+
+    // ---- concurrency combinators ----------------------------------------
+
+    /// Scoped critical section: acquires `mutex`, runs `body`, releases.
+    pub fn with_lock(&mut self, mutex: SyncId, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.lock(mutex);
+        body(self);
+        self.unlock(mutex)
+    }
+
+    /// One phase of a barrier-synchronized computation: runs `body`,
+    /// then waits at `barrier`.
+    pub fn phase(&mut self, barrier: SyncId, body: impl FnOnce(&mut Self)) -> &mut Self {
+        body(self);
+        self.barrier_wait(barrier)
+    }
+
+    /// `n` barrier-delimited phases in a loop: each iteration runs
+    /// `body(phase_index)` and then waits at `barrier`, reusing the
+    /// *same* barrier across iterations (the classic barrier-reuse
+    /// idiom).
+    pub fn loop_phases(
+        &mut self,
+        barrier: SyncId,
+        n: i64,
+        body: impl FnOnce(&mut Self, Operand),
+    ) -> &mut Self {
+        let mut body = Some(body);
+        self.for_range(Operand::Imm(n), |f, i| {
+            (body.take().expect("phase body built once"))(f, i);
+            f.barrier_wait(barrier);
+        })
+    }
+
+    /// Spawns `n` threads running `func(i)` for `i` in `0..n` and
+    /// returns their thread ids, ready for [`FuncBuilder::join_all`].
+    pub fn spawn_n(&mut self, func: FuncId, n: i64) -> Vec<Operand> {
+        (0..n).map(|i| self.spawn(func, Operand::Imm(i))).collect()
+    }
+
+    /// Joins every thread in `tids`, in order.
+    pub fn join_all(&mut self, tids: &[Operand]) -> &mut Self {
+        for &tid in tids {
+            self.join(tid);
+        }
+        self
     }
 
     // ---- concurrency idioms ---------------------------------------------
 
     /// The racy `x++` pattern: load, add one, store, with no locking.
-    pub fn racy_inc(&mut self, alloc: AllocId, index: Operand) {
+    pub fn racy_inc(&mut self, alloc: AllocId, index: Operand) -> &mut Self {
         let v = self.load(alloc, index);
         let v1 = self.add(v, Operand::Imm(1));
-        self.store(alloc, index, v1);
+        self.store(alloc, index, v1)
     }
 
     /// Busy-wait (ad-hoc synchronization, paper §2.3 "single ordering"):
     /// `while (alloc[index] == val) usleep();`
-    pub fn spin_while_eq(&mut self, alloc: AllocId, index: Operand, val: i64) {
+    pub fn spin_while_eq(&mut self, alloc: AllocId, index: Operand, val: i64) -> &mut Self {
         self.while_loop(
             |f| {
                 let v = f.load(alloc, index);
                 f.cmp(CmpOp::Eq, v, Operand::Imm(val))
             },
-            |f| f.yield_(),
-        );
+            |f| {
+                f.yield_();
+            },
+        )
     }
 }
 
@@ -566,8 +729,12 @@ mod tests {
             let c = f.load(g, Operand::Imm(0));
             f.if_else(
                 c,
-                |f| f.output(1, Operand::Imm(1)),
-                |f| f.output(1, Operand::Imm(2)),
+                |f| {
+                    f.output(1, Operand::Imm(1));
+                },
+                |f| {
+                    f.output(1, Operand::Imm(2));
+                },
             );
             f.ret(None);
         });
@@ -587,6 +754,87 @@ mod tests {
             f.ret(None);
         });
         pb.build(main).expect("valid");
+    }
+
+    #[test]
+    fn build_reports_all_errors_in_one_pass() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let ghost = pb.declare_func("ghost");
+        let bar = pb.barrier("b0", 0);
+        let main = pb.func("main", |f| {
+            let entry = f.current_block();
+            let dangling = f.new_block();
+            f.call_void(ghost, &[]).barrier_wait(bar).jump(dangling);
+            f.switch_to(dangling);
+            f.yield_();
+            // Leave `dangling` unterminated: switch back so `finish`
+            // doesn't append its implicit ret there.
+            f.switch_to(entry);
+        });
+        let err = pb.build(main).unwrap_err();
+        assert_eq!(err.len(), 3, "{err}");
+        assert!(!err.is_empty());
+        assert!(err.contains("`ghost` declared but not defined"), "{err}");
+        assert!(err.contains("zero parties"), "{err}");
+        assert!(err.contains("does not end in jump/branch/ret"), "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("3 error(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn combinators_chain_and_validate() {
+        let mut pb = ProgramBuilder::new("t", "t.c");
+        let g = pb.global("g", 0);
+        let mu = pb.mutex("m");
+        let bar = pb.barrier("b", 2);
+        let w = pb.worker("w", |f, arg| {
+            f.with_lock(mu, |f| {
+                f.store(g, Operand::Imm(0), arg);
+            })
+            .loop_phases(bar, 2, |f, i| {
+                f.output(1, i);
+            })
+            .ret(None);
+        });
+        let main = pb.func("main", |f| {
+            let tids = f.spawn_n(w, 2);
+            f.join_all(&tids).output(1, Operand::Imm(0));
+        });
+        let p = pb.build(main).expect("valid");
+        assert_eq!(p.funcs.len(), 2);
+        // with_lock wraps the store in a lock/unlock pair.
+        let w_insts: Vec<_> = p.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .collect();
+        assert!(w_insts.iter().any(|i| matches!(i, Inst::MutexLock { .. })));
+        assert!(w_insts
+            .iter()
+            .any(|i| matches!(i, Inst::MutexUnlock { .. })));
+        assert!(w_insts
+            .iter()
+            .any(|i| matches!(i, Inst::BarrierWait { .. })));
+        // spawn_n/join_all spawn and join two workers.
+        let m_insts: Vec<_> = p.funcs[1]
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .collect();
+        assert_eq!(
+            m_insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Spawn { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(
+            m_insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Join { .. }))
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -491,7 +491,9 @@ mod tests {
                     let v = f.load(g, Operand::Imm(0));
                     f.cmp(portend_symex::CmpOp::Eq, v, Operand::Imm(0))
                 },
-                |f| f.cond_wait(cv, mu),
+                |f| {
+                    f.cond_wait(cv, mu);
+                },
             );
             f.unlock(mu);
             f.join(t);

@@ -73,7 +73,7 @@ mod sync;
 mod thread;
 mod value;
 
-pub use builder::{FuncBuilder, ProgramBuilder};
+pub use builder::{BuildError, FuncBuilder, ProgramBuilder};
 pub use config::VmConfig;
 pub use error::{DeadlockInfo, VmError};
 pub use exec::{drive, run_to_completion, DriveCfg, DriveStop, Watch, WatchHit};

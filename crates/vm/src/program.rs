@@ -190,29 +190,44 @@ impl Program {
 
     /// Validates cross-references (block targets, register ranges,
     /// allocation and sync ids). Returns a description of the first
-    /// problem found.
+    /// problem found; use [`Program::validate_all`] for the full list.
     pub fn validate(&self) -> Result<(), String> {
+        match self.validate_all().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Exhaustive validation: collects **every** structural problem —
+    /// out-of-range entry, zero-party barriers, empty functions, line
+    /// table mismatches, per-instruction reference errors, and blocks
+    /// missing a terminator — in program order, instead of stopping at
+    /// the first. Empty means valid.
+    pub fn validate_all(&self) -> Vec<String> {
+        let mut errors = Vec::new();
         if self.entry.0 as usize >= self.funcs.len() {
-            return Err(format!("entry {} out of range", self.entry));
+            errors.push(format!("entry {} out of range", self.entry));
         }
         for (bi, bar) in self.barriers.iter().enumerate() {
             // A zero-party barrier could never release anyone; every
             // wait on it would deadlock, so reject it up front.
             if bar.party == 0 {
-                return Err(format!("barrier {} ({}) has zero parties", bi, bar.name));
+                errors.push(format!("barrier {} ({}) has zero parties", bi, bar.name));
             }
         }
         for (fi, f) in self.funcs.iter().enumerate() {
             if f.blocks.is_empty() {
-                return Err(format!("function {} has no blocks", f.name));
+                errors.push(format!("function {} has no blocks", f.name));
             }
             for (bi, b) in f.blocks.iter().enumerate() {
                 if b.insts.len() != b.lines.len() {
-                    return Err(format!("line table mismatch in {}:{bi}", f.name));
+                    errors.push(format!("line table mismatch in {}:{bi}", f.name));
                 }
                 for (ii, inst) in b.insts.iter().enumerate() {
                     let at = || format!("{}:{bi}:{ii} `{inst}`", f.name);
-                    self.validate_inst(inst, f, fi, &at)?;
+                    if let Err(e) = self.validate_inst(inst, f, fi, &at) {
+                        errors.push(e);
+                    }
                 }
                 // Every block must end in a terminator to avoid running
                 // off the end.
@@ -220,16 +235,14 @@ impl Program {
                     Some(Inst::Jump { .. })
                     | Some(Inst::Branch { .. })
                     | Some(Inst::Ret { .. }) => {}
-                    _ => {
-                        return Err(format!(
-                            "block {}:{bi} does not end in jump/branch/ret",
-                            f.name
-                        ))
-                    }
+                    _ => errors.push(format!(
+                        "block {}:{bi} does not end in jump/branch/ret",
+                        f.name
+                    )),
                 }
             }
         }
-        Ok(())
+        errors
     }
 
     fn validate_inst(
@@ -414,6 +427,30 @@ mod tests {
         assert!(p.validate().unwrap_err().contains("zero parties"));
         p.barriers[0].party = 2;
         assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_all_collects_every_error() {
+        let mut p = tiny();
+        p.barriers.push(BarrierSpec {
+            name: "b".into(),
+            party: 0,
+        });
+        p.funcs[0].blocks[0].insts = vec![
+            Inst::Copy {
+                dst: 5,
+                src: Operand::Imm(0),
+            },
+            Inst::Nop,
+        ];
+        p.funcs[0].blocks[0].lines = vec![1, 1];
+        let errors = p.validate_all();
+        assert_eq!(errors.len(), 3, "errors: {errors:?}");
+        assert!(errors.iter().any(|e| e.contains("zero parties")));
+        assert!(errors.iter().any(|e| e.contains("register")));
+        assert!(errors.iter().any(|e| e.contains("does not end")));
+        // `validate` reports the first of the same list.
+        assert_eq!(p.validate().unwrap_err(), errors[0]);
     }
 
     #[test]

@@ -55,7 +55,9 @@ fn cond_broadcast_wakes_all_waiters() {
                 let v = f.load(g, Operand::Imm(0));
                 f.cmp(CmpOp::Eq, v, Operand::Imm(0))
             },
-            |f| f.cond_wait(cv, mu),
+            |f| {
+                f.cond_wait(cv, mu);
+            },
         );
         f.racy_inc(woken, Operand::Imm(0));
         f.unlock(mu);
@@ -116,7 +118,9 @@ fn lost_signal_then_flag_prevents_deadlock() {
                 let v = f.load(g, Operand::Imm(0));
                 f.cmp(CmpOp::Eq, v, Operand::Imm(0))
             },
-            |f| f.cond_wait(cv, mu),
+            |f| {
+                f.cond_wait(cv, mu);
+            },
         );
         f.unlock(mu);
         f.join(t);
@@ -377,8 +381,12 @@ fn sym_branch_event_reaches_caller_in_symbolic_mode() {
         let x = f.input();
         f.if_else(
             x,
-            |f| f.output(1, Operand::Imm(1)),
-            |f| f.output(1, Operand::Imm(0)),
+            |f| {
+                f.output(1, Operand::Imm(1));
+            },
+            |f| {
+                f.output(1, Operand::Imm(0));
+            },
         );
         f.ret(None);
     });

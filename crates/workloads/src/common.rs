@@ -63,6 +63,7 @@ pub fn stage_truths(stage: &AdhocStage, note: &'static str) -> Vec<GroundTruth> 
         .map(|n| GroundTruth {
             alloc: n.clone(),
             expected: RaceClass::SingleOrdering,
+            predicted: None,
             needs: Needs::AdHoc,
             states_differ: false,
             note,
@@ -78,6 +79,7 @@ pub fn kw_differ_truth(name: &str, note: &'static str) -> GroundTruth {
     GroundTruth {
         alloc: name.to_string(),
         expected: RaceClass::KWitnessHarmless,
+        predicted: None,
         needs: Needs::SinglePath,
         states_differ: true,
         note,
@@ -90,6 +92,7 @@ pub fn outdiff_truth(name: &str, needs: Needs, note: &'static str) -> GroundTrut
     GroundTruth {
         alloc: name.to_string(),
         expected: RaceClass::OutputDiffers,
+        predicted: None,
         needs,
         states_differ: true,
         note,

@@ -1,0 +1,417 @@
+//! The positive conformance idioms: concurrency patterns that *do* race,
+//! each labeled with the class Portend must produce per allocation.
+//!
+//! Every idiom is a few lines of the fluent builder DSL — scoped locks
+//! (`with_lock`), barrier phases (`loop_phases`), parameterized workers
+//! (`worker`), fleet spawns (`spawn_n`/`join_all`) — mirroring how the
+//! pattern reads in C.
+
+use std::sync::Arc;
+
+use portend::RaceClass;
+use portend_symex::CmpOp;
+use portend_vm::{InputSpec, Operand, Program, ProgramBuilder, Scheduler, VmConfig};
+
+use super::{ExpectedVerdict, Idiom};
+
+fn idiom(
+    name: &'static str,
+    summary: &'static str,
+    program: Program,
+    expected: Vec<(&'static str, ExpectedVerdict)>,
+) -> Idiom {
+    Idiom {
+        name,
+        summary,
+        negative: false,
+        program: Arc::new(program),
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        expected,
+    }
+}
+
+fn class(c: RaceClass) -> ExpectedVerdict {
+    ExpectedVerdict::Class(c)
+}
+
+/// Lock-free SPSC ring handoff: the producer fills slots then advances
+/// the tail index; the consumer spins on the tail and drains. No locks,
+/// yet only one ordering is observable — everything is ad-hoc sync.
+pub fn spsc_ring() -> Idiom {
+    let mut pb = ProgramBuilder::new("spsc_ring", "spsc_ring.c");
+    let ring = pb.array_init("ring", vec![0, 0]);
+    let tail = pb.global("ring_tail", 0);
+    let producer = pb.worker("producer", |f, _| {
+        f.store(ring, Operand::Imm(0), Operand::Imm(41))
+            .store(ring, Operand::Imm(1), Operand::Imm(42))
+            .store(tail, Operand::Imm(0), Operand::Imm(2));
+    });
+    let consumer = pb.worker("consumer", |f, _| {
+        f.spin_while_eq(tail, Operand::Imm(0), 0);
+        let n = f.load(tail, Operand::Imm(0));
+        f.for_range(n, |f, i| {
+            let v = f.load(ring, i);
+            f.output(1, v);
+        });
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(producer, Operand::Imm(0));
+        let t2 = f.spawn(consumer, Operand::Imm(1));
+        f.join(t1).join(t2);
+    });
+    idiom(
+        "spsc_ring",
+        "lock-free SPSC ring: slots + tail index handed off by busy-wait",
+        pb.build(main).expect("valid spsc_ring"),
+        // Two clusters per allocation: each slot write vs the drain
+        // read, and the tail publish vs both the spin and the re-read.
+        vec![
+            ("ring", class(RaceClass::SingleOrdering)),
+            ("ring", class(RaceClass::SingleOrdering)),
+            ("ring_tail", class(RaceClass::SingleOrdering)),
+            ("ring_tail", class(RaceClass::SingleOrdering)),
+        ],
+    )
+}
+
+/// Seqlock with an idempotent update: the reader takes an optimistic
+/// snapshot between two version reads and falls back to the known value
+/// on a torn read — every interleaving produces the same output.
+pub fn seqlock() -> Idiom {
+    let mut pb = ProgramBuilder::new("seqlock", "seqlock.c");
+    let seq = pb.global("seq", 0);
+    let data = pb.global("seq_data", 5);
+    let writer = pb.worker("writer", |f, _| {
+        f.store(seq, Operand::Imm(0), Operand::Imm(1))
+            .store(data, Operand::Imm(0), Operand::Imm(5))
+            .store(seq, Operand::Imm(0), Operand::Imm(2));
+    });
+    let reader = pb.worker("reader", |f, _| {
+        let s1 = f.load(seq, Operand::Imm(0));
+        let d = f.load(data, Operand::Imm(0));
+        let s2 = f.load(seq, Operand::Imm(0));
+        let consistent = f.cmp(CmpOp::Eq, s1, s2);
+        f.if_else(
+            consistent,
+            |f| {
+                f.output(1, d);
+            },
+            |f| {
+                // Torn snapshot: fall back to the stable value.
+                f.output(1, Operand::Imm(5));
+            },
+        );
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(writer, Operand::Imm(0));
+        let t2 = f.spawn(reader, Operand::Imm(1));
+        f.join(t1).join(t2);
+    });
+    idiom(
+        "seqlock",
+        "seqlock snapshot: version reads bracket an idempotent data write",
+        pb.build(main).expect("valid seqlock"),
+        // The version word clusters twice (once per bracketing read).
+        vec![
+            ("seq", class(RaceClass::KWitnessHarmless)),
+            ("seq", class(RaceClass::KWitnessHarmless)),
+            ("seq_data", class(RaceClass::KWitnessHarmless)),
+        ],
+    )
+}
+
+/// RCU-style publication: the updater fills a fresh slot then flips the
+/// version index; readers dereference whichever slot they observe. The
+/// published slot can only be read *after* publication (single
+/// ordering), the index itself changes what the reader prints (output
+/// differs), and the old slot is reclaimed only after the grace period
+/// (main's join) — so it must never race at all.
+pub fn rcu() -> Idiom {
+    let mut pb = ProgramBuilder::new("rcu", "rcu.c");
+    let v0 = pb.global("rcu_v0", 7);
+    let v1 = pb.global("rcu_v1", 0);
+    let cur = pb.global("rcu_cur", 0);
+    let updater = pb.worker("updater", |f, _| {
+        f.store(v1, Operand::Imm(0), Operand::Imm(42))
+            .store(cur, Operand::Imm(0), Operand::Imm(1));
+    });
+    let reader = pb.worker("reader", |f, _| {
+        f.yield_();
+        let idx = f.load(cur, Operand::Imm(0));
+        f.if_else(
+            idx,
+            |f| {
+                let v = f.load(v1, Operand::Imm(0));
+                f.output(1, v);
+            },
+            |f| {
+                let v = f.load(v0, Operand::Imm(0));
+                f.output(1, v);
+            },
+        );
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(updater, Operand::Imm(0));
+        let t2 = f.spawn(reader, Operand::Imm(1));
+        // Grace period: reclaim the old slot only after every reader
+        // has been joined, so the write below is ordered, not racy.
+        f.join(t1)
+            .join(t2)
+            .store(v0, Operand::Imm(0), Operand::Imm(0));
+    });
+    idiom(
+        "rcu",
+        "RCU publication: slot write, index flip, join-delimited reclaim",
+        pb.build(main).expect("valid rcu"),
+        vec![
+            ("rcu_cur", class(RaceClass::OutputDiffers)),
+            ("rcu_v1", class(RaceClass::SingleOrdering)),
+            ("rcu_v0", ExpectedVerdict::NoRace),
+        ],
+    )
+}
+
+/// Double-checked locking in the fluent DSL: racy fast-path check, then
+/// a locked re-check before the one-time initialization.
+pub fn double_checked() -> Idiom {
+    let mut pb = ProgramBuilder::new("double_checked", "double_checked.c");
+    let inited = pb.global("dcl_inited", 0);
+    let mu = pb.mutex("dcl_mu");
+    let user = pb.worker("user", |f, _| {
+        let v = f.load(inited, Operand::Imm(0)); // unlocked fast path
+        let need = f.cmp(CmpOp::Eq, v, Operand::Imm(0));
+        f.if_then(need, |f| {
+            f.with_lock(mu, |f| {
+                let w = f.load(inited, Operand::Imm(0));
+                let still = f.cmp(CmpOp::Eq, w, Operand::Imm(0));
+                f.if_then(still, |f| {
+                    f.store(inited, Operand::Imm(0), Operand::Imm(1));
+                });
+            });
+        });
+    });
+    let main = pb.func("main", |f| {
+        let tids = f.spawn_n(user, 3);
+        let v = f.join_all(&tids).load(inited, Operand::Imm(0));
+        f.output(1, v);
+    });
+    idiom(
+        "double_checked",
+        "double-checked locking: racy fast path, locked one-time init",
+        pb.build(main).expect("valid double_checked"),
+        vec![("dcl_inited", class(RaceClass::KWitnessHarmless))],
+    )
+}
+
+/// Barrier reuse: two workers run phase-indexed steps in a loop around
+/// the *same* barrier. Same-phase writes race (but store the same
+/// value); cross-phase accesses are ordered by the barrier.
+pub fn barrier_reuse() -> Idiom {
+    let mut pb = ProgramBuilder::new("barrier_reuse", "barrier_reuse.c");
+    let acc = pb.global("phase_acc", 0);
+    let bar = pb.barrier("phase_bar", 2);
+    let stepper = pb.worker("stepper", |f, _| {
+        f.loop_phases(bar, 2, |f, i| {
+            // Both workers publish the current phase index: a racing,
+            // redundant write in every phase.
+            f.store(acc, Operand::Imm(0), i);
+        });
+    });
+    let main = pb.func("main", |f| {
+        let tids = f.spawn_n(stepper, 2);
+        let v = f.join_all(&tids).load(acc, Operand::Imm(0));
+        f.output(1, v);
+    });
+    idiom(
+        "barrier_reuse",
+        "one barrier reused across loop phases; same-phase redundant writes",
+        pb.build(main).expect("valid barrier_reuse"),
+        vec![("phase_acc", class(RaceClass::KWitnessHarmless))],
+    )
+}
+
+/// A reader starved out of a writer-dominated lock gives up and reads
+/// the counter without it: the unlocked read observes an intermediate
+/// count, so the reader's output depends on the ordering.
+pub fn rwlock_starved() -> Idiom {
+    let mut pb = ProgramBuilder::new("rwlock_starved", "rwlock_starved.c");
+    let counter = pb.global("rw_counter", 0);
+    let mu = pb.mutex("rw_writer_mu");
+    let writer = pb.worker("writer", |f, _| {
+        f.with_lock(mu, |f| {
+            f.racy_inc(counter, Operand::Imm(0));
+        });
+    });
+    let reader = pb.worker("impatient_reader", |f, _| {
+        // Starved of the lock, the reader peeks without it.
+        let v = f.load(counter, Operand::Imm(0));
+        f.output(2, v);
+    });
+    let main = pb.func("main", |f| {
+        let w1 = f.spawn(writer, Operand::Imm(0));
+        let w2 = f.spawn(writer, Operand::Imm(1));
+        let r = f.spawn(reader, Operand::Imm(2));
+        let v = f.join(w1).join(w2).join(r).load(counter, Operand::Imm(0));
+        f.output(1, v);
+    });
+    idiom(
+        "rwlock_starved",
+        "writer-held lock, starved reader peeks unlocked mid-update",
+        pb.build(main).expect("valid rwlock_starved"),
+        vec![("rw_counter", class(RaceClass::OutputDiffers))],
+    )
+}
+
+/// Racy lazy initialization without the double check: both threads can
+/// pass the guard and initialize with *different* values, so both the
+/// guard flag and the object end up order-dependent.
+pub fn racy_lazy_init() -> Idiom {
+    let mut pb = ProgramBuilder::new("racy_lazy_init", "racy_lazy_init.c");
+    let init = pb.global("lazy_init", 0);
+    let obj = pb.global("lazy_obj", 0);
+    let initializer = pb.worker("initializer", |f, arg| {
+        let v = f.load(init, Operand::Imm(0));
+        // A scheduling point between check and claim: in the recorded
+        // round-robin run both threads read 0 and both initialize.
+        f.yield_();
+        let need = f.cmp(CmpOp::Eq, v, Operand::Imm(0));
+        f.if_then(need, |f| {
+            // "Construction" takes time (a scheduling point), so the
+            // loser's guard check overlaps the winner's initialization.
+            f.yield_();
+            // Publication order: construct the object, then claim the
+            // flag — both writes race their twin with distinct values.
+            let val = f.add(arg, Operand::Imm(10));
+            f.store(obj, Operand::Imm(0), val);
+            let tag = f.add(arg, Operand::Imm(1));
+            f.store(init, Operand::Imm(0), tag); // 1 or 2: who won
+        });
+    });
+    let main = pb.func("main", |f| {
+        let tids = f.spawn_n(initializer, 2);
+        f.join_all(&tids);
+        let i = f.load(init, Operand::Imm(0));
+        let o = f.load(obj, Operand::Imm(0));
+        f.output(1, i).output(1, o);
+    });
+    idiom(
+        "racy_lazy_init",
+        "unlocked lazy init: both threads can win, distinct values",
+        pb.build(main).expect("valid racy_lazy_init"),
+        // Two clusters on the guard (check-vs-claim and claim-vs-claim)
+        // plus the construction write-write race — all order-dependent.
+        vec![
+            ("lazy_init", class(RaceClass::OutputDiffers)),
+            ("lazy_init", class(RaceClass::OutputDiffers)),
+            ("lazy_obj", class(RaceClass::OutputDiffers)),
+        ],
+    )
+}
+
+/// Ad-hoc flag synchronization (paper Fig. 8(d)): producer writes data
+/// then raises a flag; consumer busy-waits on the flag then reads.
+pub fn adhoc_flag() -> Idiom {
+    let mut pb = ProgramBuilder::new("adhoc_flag", "adhoc_flag.c");
+    let data = pb.global("handoff_data", 0);
+    let flag = pb.global("handoff_flag", 0);
+    let producer = pb.worker("producer", |f, _| {
+        f.store(data, Operand::Imm(0), Operand::Imm(33)).store(
+            flag,
+            Operand::Imm(0),
+            Operand::Imm(1),
+        );
+    });
+    let consumer = pb.worker("consumer", |f, _| {
+        f.spin_while_eq(flag, Operand::Imm(0), 0);
+        let v = f.load(data, Operand::Imm(0));
+        f.output(1, v);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(producer, Operand::Imm(0));
+        let t2 = f.spawn(consumer, Operand::Imm(1));
+        f.join(t1).join(t2);
+    });
+    idiom(
+        "adhoc_flag",
+        "flag handoff via busy-wait: data and flag race, one ordering",
+        pb.build(main).expect("valid adhoc_flag"),
+        vec![
+            ("handoff_data", class(RaceClass::SingleOrdering)),
+            ("handoff_flag", class(RaceClass::SingleOrdering)),
+        ],
+    )
+}
+
+/// A check racing a late write: the recorded ordering passes the
+/// assertion, the alternate ordering fires it — definitely harmful.
+pub fn torn_assert() -> Idiom {
+    let mut pb = ProgramBuilder::new("torn_assert", "torn_assert.c");
+    let g = pb.global("guard_cell", 0);
+    let late_writer = pb.worker("late_writer", |f, _| {
+        f.yield_()
+            .yield_()
+            .store(g, Operand::Imm(0), Operand::Imm(1));
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(late_writer, Operand::Imm(0));
+        let v = f.load(g, Operand::Imm(0));
+        let ok = f.cmp(CmpOp::Eq, v, Operand::Imm(0));
+        f.assert_true(ok, "checked before the handoff was published")
+            .join(t)
+            .output(1, Operand::Imm(0));
+    });
+    idiom(
+        "torn_assert",
+        "assert races a late write: alternate ordering crashes",
+        pb.build(main).expect("valid torn_assert"),
+        vec![("guard_cell", class(RaceClass::SpecViolated))],
+    )
+}
+
+/// The double-read pattern from the corpus helpers: the racing cell is
+/// read twice around a scheduling point and the second value printed;
+/// only an alternate post-race schedule exposes the pre-write value.
+pub fn double_read() -> Idiom {
+    let mut pb = ProgramBuilder::new("double_read", "double_read.c");
+    let cell = pb.global("relay_cell", 0);
+    let producer = pb.worker("producer", |f, _| {
+        f.store(cell, Operand::Imm(0), Operand::Imm(9));
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(producer, Operand::Imm(0));
+        let _first = f.load(cell, Operand::Imm(0));
+        f.yield_();
+        let second = f.load(cell, Operand::Imm(0));
+        f.output(1, second).join(t);
+    });
+    idiom(
+        "double_read",
+        "dead read + printed re-read: needs multi-schedule to classify",
+        pb.build(main).expect("valid double_read"),
+        // Two clusters on the same cell with *different* classes: the
+        // dead first read is harmless, the printed re-read is not.
+        vec![
+            ("relay_cell", class(RaceClass::KWitnessHarmless)),
+            ("relay_cell", class(RaceClass::OutputDiffers)),
+        ],
+    )
+}
+
+/// All positive idioms, in a stable order.
+pub fn positive_idioms() -> Vec<Idiom> {
+    vec![
+        spsc_ring(),
+        seqlock(),
+        rcu(),
+        double_checked(),
+        barrier_reuse(),
+        rwlock_starved(),
+        racy_lazy_init(),
+        adhoc_flag(),
+        torn_assert(),
+        double_read(),
+    ]
+}

@@ -1,0 +1,162 @@
+//! Negative conformance programs: correctly synchronized code that must
+//! produce **zero** race reports. These pin the detector's precision —
+//! a regression that starts flagging ordered accesses fails the corpus
+//! just as loudly as one that misclassifies a real race.
+
+use std::sync::Arc;
+
+use portend_symex::CmpOp;
+use portend_vm::{InputSpec, Operand, Program, ProgramBuilder, Scheduler, VmConfig};
+
+use super::{ExpectedVerdict, Idiom};
+
+fn negative(
+    name: &'static str,
+    summary: &'static str,
+    program: Program,
+    allocs: &[&'static str],
+) -> Idiom {
+    Idiom {
+        name,
+        summary,
+        negative: true,
+        program: Arc::new(program),
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        expected: allocs
+            .iter()
+            .map(|a| (*a, ExpectedVerdict::NoRace))
+            .collect(),
+    }
+}
+
+/// Mutex-protected counter: the textbook fix for the racy increment.
+/// Every access (including main's final read, ordered by the joins) is
+/// provably ordered.
+pub fn neg_locked_counter() -> Idiom {
+    let mut pb = ProgramBuilder::new("neg_locked_counter", "neg_locked_counter.c");
+    let counter = pb.global("locked_counter", 0);
+    let mu = pb.mutex("counter_mu");
+    let worker = pb.worker("incrementer", |f, _| {
+        f.with_lock(mu, |f| {
+            f.racy_inc(counter, Operand::Imm(0));
+        });
+    });
+    let main = pb.func("main", |f| {
+        let tids = f.spawn_n(worker, 2);
+        let v = f.join_all(&tids).load(counter, Operand::Imm(0));
+        f.output(1, v);
+    });
+    negative(
+        "neg_locked_counter",
+        "mutex-protected increment: the fixed version of the racy counter",
+        pb.build(main).expect("valid neg_locked_counter"),
+        &["locked_counter"],
+    )
+}
+
+/// Barrier-ordered pipeline: the producer writes strictly before the
+/// barrier, the consumer reads strictly after it — a real happens-before
+/// edge, unlike the ad-hoc flag handoff.
+pub fn neg_barrier_pipeline() -> Idiom {
+    let mut pb = ProgramBuilder::new("neg_barrier_pipeline", "neg_barrier_pipeline.c");
+    let cell = pb.global("pipeline_cell", 0);
+    let bar = pb.barrier("pipeline_bar", 2);
+    let producer = pb.worker("producer", |f, _| {
+        f.phase(bar, |f| {
+            f.store(cell, Operand::Imm(0), Operand::Imm(5));
+        });
+    });
+    let consumer = pb.worker("consumer", |f, _| {
+        f.phase(bar, |_| {});
+        let v = f.load(cell, Operand::Imm(0));
+        f.output(1, v);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(producer, Operand::Imm(0));
+        let t2 = f.spawn(consumer, Operand::Imm(1));
+        f.join(t1).join(t2);
+    });
+    negative(
+        "neg_barrier_pipeline",
+        "write-before-barrier / read-after-barrier handoff",
+        pb.build(main).expect("valid neg_barrier_pipeline"),
+        &["pipeline_cell"],
+    )
+}
+
+/// Join-delimited handoff: the worker's write is ordered before main's
+/// read by the join edge alone.
+pub fn neg_join_handoff() -> Idiom {
+    let mut pb = ProgramBuilder::new("neg_join_handoff", "neg_join_handoff.c");
+    let cell = pb.global("join_cell", 0);
+    let worker = pb.worker("producer", |f, _| {
+        f.store(cell, Operand::Imm(0), Operand::Imm(3));
+    });
+    let main = pb.func("main", |f| {
+        let t = f.spawn(worker, Operand::Imm(0));
+        let v = f.join(t).load(cell, Operand::Imm(0));
+        f.output(1, v);
+    });
+    negative(
+        "neg_join_handoff",
+        "spawn/join ordered handoff: the minimal race-free program",
+        pb.build(main).expect("valid neg_join_handoff"),
+        &["join_cell"],
+    )
+}
+
+/// Condition-variable handoff done right: the ready flag and the data
+/// are only ever touched under the mutex, and the consumer re-checks the
+/// predicate in a wait loop (no lost wakeup, no racy peek).
+pub fn neg_condvar_handoff() -> Idiom {
+    let mut pb = ProgramBuilder::new("neg_condvar_handoff", "neg_condvar_handoff.c");
+    let data = pb.global("cv_data", 0);
+    let ready = pb.global("cv_ready", 0);
+    let mu = pb.mutex("cv_mu");
+    let cv = pb.condvar("cv_cond");
+    let producer = pb.worker("producer", |f, _| {
+        f.with_lock(mu, |f| {
+            f.store(data, Operand::Imm(0), Operand::Imm(5))
+                .store(ready, Operand::Imm(0), Operand::Imm(1))
+                .cond_signal(cv);
+        });
+    });
+    let consumer = pb.worker("consumer", |f, _| {
+        f.lock(mu);
+        f.while_loop(
+            |f| {
+                let r = f.load(ready, Operand::Imm(0));
+                f.cmp(CmpOp::Eq, r, Operand::Imm(0))
+            },
+            |f| {
+                f.cond_wait(cv, mu);
+            },
+        );
+        let v = f.load(data, Operand::Imm(0));
+        f.unlock(mu).output(1, v);
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(producer, Operand::Imm(0));
+        let t2 = f.spawn(consumer, Operand::Imm(1));
+        f.join(t1).join(t2);
+    });
+    negative(
+        "neg_condvar_handoff",
+        "mutex + condvar + predicate loop: the canonical race-free handoff",
+        pb.build(main).expect("valid neg_condvar_handoff"),
+        &["cv_data", "cv_ready"],
+    )
+}
+
+/// All negative programs, in a stable order.
+pub fn negative_idioms() -> Vec<Idiom> {
+    vec![
+        neg_locked_counter(),
+        neg_barrier_pipeline(),
+        neg_join_handoff(),
+        neg_condvar_handoff(),
+    ]
+}

@@ -179,6 +179,7 @@ pub fn ctrace() -> Workload {
     let mut ground_truth = vec![GroundTruth {
         alloc: "id".to_string(),
         expected: RaceClass::SpecViolated,
+        predicted: None,
         needs: Needs::MultiPath,
         states_differ: true,
         note: "Fig. 4: stats_array overflow for --no-hash-table when the \

@@ -16,6 +16,7 @@
 
 mod bbuf;
 mod common;
+pub mod conformance;
 mod ctrace;
 mod fmm;
 mod memcached;

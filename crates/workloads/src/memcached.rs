@@ -164,6 +164,7 @@ fn build(weakened: bool) -> Workload {
         ground_truth.push(GroundTruth {
             alloc: "conn_idx".to_string(),
             expected: RaceClass::SpecViolated,
+            predicted: None,
             needs: Needs::SinglePath,
             states_differ: true,
             note: "what-if: sync removed; stale sweep sentinel indexes out of bounds",

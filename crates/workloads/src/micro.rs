@@ -16,6 +16,7 @@ fn kw_same(alloc: &str, note: &'static str) -> GroundTruth {
     GroundTruth {
         alloc: alloc.to_string(),
         expected: RaceClass::KWitnessHarmless,
+        predicted: None,
         needs: Needs::SinglePath,
         states_differ: false,
         note,

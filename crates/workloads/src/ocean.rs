@@ -8,11 +8,12 @@
 
 use std::sync::Arc;
 
+use portend::RaceClass;
 use portend_symex::CmpOp;
 use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, SymDomain, VmConfig};
 
 use crate::common::{declare_adhoc_stage, emit_consume, emit_produce, outdiff_truth, stage_truths};
-use crate::spec::{ClassCounts, Needs, Workload};
+use crate::spec::{ClassCounts, GroundTruth, Needs, Workload};
 
 /// Builds the workload.
 pub fn ocean() -> Workload {
@@ -121,12 +122,15 @@ pub fn ocean() -> Workload {
     let mut ground_truth = stage_truths(&stage, "grid handoff via busy-wait flag");
     // Truly output-differs; Portend is *expected* to misclassify this as
     // k-witness harmless (states differ) — the paper's single error.
-    ground_truth.push(outdiff_truth(
-        "residual",
-        Needs::MultiPath,
-        "printed only for x=60,y=51 behind six nested guards; \
-         expected to be missed (the paper's one misclassification)",
-    ));
+    ground_truth.push(GroundTruth {
+        predicted: Some(RaceClass::KWitnessHarmless),
+        ..outdiff_truth(
+            "residual",
+            Needs::MultiPath,
+            "printed only for x=60,y=51 behind six nested guards; \
+             expected to be missed (the paper's one misclassification)",
+        )
+    });
 
     Workload {
         name: "ocean",

@@ -125,6 +125,7 @@ pub fn pbzip2() -> Workload {
         ground_truth.push(GroundTruth {
             alloc: format!("next_block{i}"),
             expected: RaceClass::SpecViolated,
+            predicted: None,
             needs: Needs::SinglePath,
             states_differ: true,
             note: "alternate ordering reads the end-of-stream sentinel and indexes out of bounds",

@@ -31,6 +31,11 @@ pub struct GroundTruth {
     pub alloc: String,
     /// The manually-derived correct class.
     pub expected: RaceClass,
+    /// The class Portend is expected to *produce*, when it differs from
+    /// the manually-derived truth (the paper's known residual
+    /// misclassifications — ocean's k-bounded "output differs" race).
+    /// `None` means Portend gets it right: produced == [`GroundTruth::expected`].
+    pub predicted: Option<RaceClass>,
     /// Which technique is needed to get it right.
     pub needs: Needs,
     /// Whether the post-race memory states differ between the orderings
@@ -39,6 +44,15 @@ pub struct GroundTruth {
     pub states_differ: bool,
     /// Short human note.
     pub note: &'static str,
+}
+
+impl GroundTruth {
+    /// The classification Portend is expected to produce for this race:
+    /// [`GroundTruth::predicted`] when the paper documents a residual
+    /// misclassification, otherwise the manual truth itself.
+    pub fn produced_class(&self) -> RaceClass {
+        self.predicted.unwrap_or(self.expected)
+    }
 }
 
 /// Expected per-class distinct-race counts (a Table 3 row).
@@ -111,6 +125,16 @@ impl Workload {
         self.ground_truth
             .iter()
             .find(|g| g.alloc == race.alloc_name)
+    }
+
+    /// The class Portend is expected to produce for the race on `alloc`
+    /// (see [`GroundTruth::produced_class`]); `None` for an unknown
+    /// allocation.
+    pub fn expected_verdict(&self, alloc: &str) -> Option<RaceClass> {
+        self.ground_truth
+            .iter()
+            .find(|g| g.alloc == alloc)
+            .map(GroundTruth::produced_class)
     }
 
     /// Runs the full detect + classify pipeline with the given Portend

@@ -75,6 +75,7 @@ pub fn sqlite() -> Workload {
         ground_truth: vec![GroundTruth {
             alloc: "initialized".to_string(),
             expected: RaceClass::SpecViolated,
+            predicted: None,
             needs: Needs::SinglePath,
             states_differ: true,
             note: "alternate ordering takes the lazy-init path and deadlocks",

@@ -318,3 +318,39 @@ fn cluster_representative_prefers_write_first() {
     );
     assert!(clusters[0].instances >= 2, "spin reads race repeatedly");
 }
+
+/// Every workload's per-allocation ground truth predicts the produced
+/// classification exactly: for each analyzed cluster, the verdict class
+/// equals `Workload::expected_verdict` for that allocation
+/// (`GroundTruth::produced_class`, which accounts for the paper's one
+/// documented residual misclassification — ocean's `residual`).
+#[test]
+fn produced_classes_match_per_alloc_ground_truth() {
+    for w in portend_repro::portend_workloads::all() {
+        let result = w.analyze(PortendConfig::default());
+        assert!(
+            !result.analyzed.is_empty(),
+            "{}: corpus workload must classify races",
+            w.name
+        );
+        for a in &result.analyzed {
+            let alloc = &a.cluster.representative.alloc_name;
+            let expected = w
+                .expected_verdict(alloc)
+                .unwrap_or_else(|| panic!("{}: no ground truth for allocation `{alloc}`", w.name));
+            let got = a
+                .verdict
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {alloc}: classification failed: {e:?}", w.name))
+                .class;
+            assert_eq!(
+                got,
+                expected,
+                "{}: allocation `{alloc}` classified {} but ground truth predicts {}",
+                w.name,
+                got.label(),
+                expected.label()
+            );
+        }
+    }
+}

@@ -75,8 +75,12 @@ fn random_racy_program(r: &mut SmallRng) -> (Arc<Program>, Vec<i64>) {
         let big = f.cmp(CmpOp::Gt, i, Operand::Imm(4));
         f.if_else(
             big,
-            |f| f.output(1, Operand::Imm(10)),
-            |f| f.output(2, Operand::Imm(20)),
+            |f| {
+                f.output(1, Operand::Imm(10));
+            },
+            |f| {
+                f.output(2, Operand::Imm(20));
+            },
         );
         f.free(freed);
         f.ret(None);

@@ -18,6 +18,7 @@ use portend_repro::portend_race::DetectorConfig;
 use portend_repro::portend_replay::{record, RecordConfig};
 use portend_repro::portend_sa::{analyze, StaticAnalysis};
 use portend_repro::portend_vm::{Operand, Program, ProgramBuilder, Scheduler, SmallRng};
+use portend_repro::portend_workloads::conformance::random_program;
 use portend_repro::portend_workloads::{all, Workload};
 
 /// Asserts that every dynamic race the detector produced is inside the
@@ -81,74 +82,29 @@ fn static_candidates_cover_every_corpus_race() {
     }
 }
 
-/// The same inclusion property on randomized programs: random worker
-/// counts, loop trip counts, optional locking, optional joins, optional
-/// main-thread accesses, random schedules.
+/// The same inclusion property on randomized programs (the shared
+/// `conformance::random_program` generator): random worker counts, loop
+/// trip counts, optional locking, optional joins, optional main-thread
+/// accesses, random schedules.
 #[test]
 fn static_candidates_cover_randomized_programs() {
     let mut r = SmallRng::seed_from_u64(0x5A71C);
     for case in 0..48 {
-        let n_workers = 1 + r.gen_index(3);
-        let iters = 1 + r.gen_index(4) as i64;
-        let locked = r.gen_index(3) == 0;
-        let join_all = r.gen_index(2) == 0;
-        let main_writes = r.gen_index(2) == 0;
-        let seed = r.next_u64() % 500;
-
-        let mut pb = ProgramBuilder::new("rand", "rand.c");
-        let g = pb.global("g", 0);
-        let m = pb.mutex("m");
-        let worker = pb.func("worker", move |f| {
-            let _ = f.param();
-            f.for_range(Operand::Imm(iters), move |f, _| {
-                if locked {
-                    f.lock(m);
-                }
-                let v = f.load(g, Operand::Imm(0));
-                f.yield_();
-                let v1 = f.add(v, Operand::Imm(1));
-                f.store(g, Operand::Imm(0), v1);
-                if locked {
-                    f.unlock(m);
-                }
-            });
-            f.ret(None);
-        });
-        let main = pb.func("main", move |f| {
-            let tids: Vec<Operand> = (0..n_workers)
-                .map(|i| f.spawn(worker, Operand::Imm(i as i64)))
-                .collect();
-            if main_writes {
-                f.store(g, Operand::Imm(0), Operand::Imm(7));
-            }
-            if join_all {
-                for t in tids {
-                    f.join(t);
-                }
-            }
-            let v = f.load(g, Operand::Imm(0));
-            f.output(1, v);
-            f.ret(None);
-        });
-        let program = Arc::new(pb.build(main).unwrap());
-
+        let (program, shape) = random_program(r.next_u64());
         let run = record(
             &program,
             vec![],
             RecordConfig {
-                scheduler: Scheduler::random(seed),
+                scheduler: Scheduler::random(shape.schedule_seed),
                 ..Default::default()
             },
         );
         let sa = analyze(&program);
-        let name = format!(
-            "case {case} (workers {n_workers}, iters {iters}, locked {locked}, \
-             join {join_all}, main_writes {main_writes}, seed {seed})"
-        );
+        let name = format!("case {case} ({shape:?})");
         assert_all_covered(&name, &sa, &run.races, true);
         // Main's tail read takes no lock, so only the fully locked AND
         // fully joined shape is dynamically race-free.
-        if locked && join_all && !main_writes {
+        if shape.race_free() {
             assert!(
                 run.races.is_empty(),
                 "{name}: locked and joined program must be race-free dynamically"
