@@ -1,0 +1,14 @@
+//! The `portend` binary: a thin wrapper over `portend_cli::run`.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = portend_cli::run(&args, &mut out) {
+        let _ = out.flush();
+        eprintln!("portend: {e}");
+        std::process::exit(1);
+    }
+}

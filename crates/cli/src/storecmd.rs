@@ -1,0 +1,63 @@
+//! Warm-store housekeeping: the `portend store ls|gc|rm` code paths.
+
+use std::io::Write;
+use std::path::Path;
+
+use portend_symex::{StoreBudget, StoreManager};
+
+use crate::CliError;
+
+/// Lists the managed stores under `dir`, hottest first, one line per
+/// store: fingerprint, entries, bytes, format/semantics versions.
+pub fn ls(dir: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+    let manager = StoreManager::new(dir)?;
+    let entries = manager.list()?;
+    writeln!(
+        out,
+        "{:<16}  {:>8}  {:>10}  {:>6}  {:>9}",
+        "fingerprint", "entries", "bytes", "format", "semantics"
+    )?;
+    for e in &entries {
+        writeln!(
+            out,
+            "{:016x}  {:>8}  {:>10}  {:>6}  {:>9}",
+            e.fingerprint,
+            e.meta.entries,
+            e.meta.bytes,
+            e.meta.format_version,
+            e.meta.semantics_version
+        )?;
+    }
+    writeln!(
+        out,
+        "{} store(s), {} bytes",
+        entries.len(),
+        entries.iter().map(|e| e.meta.bytes).sum::<u64>()
+    )?;
+    Ok(())
+}
+
+/// Evicts stores until `dir` fits the budget (`portend store gc`),
+/// reporting what was reclaimed.
+pub fn gc(dir: &Path, budget: StoreBudget, out: &mut dyn Write) -> Result<(), CliError> {
+    let manager = StoreManager::with_budget(dir, budget)?;
+    let evicted = manager.gc()?;
+    for fp in &evicted {
+        writeln!(out, "evicted {fp:016x}")?;
+    }
+    writeln!(out, "{} store(s) evicted", evicted.len())?;
+    Ok(())
+}
+
+/// Removes one store by fingerprint (`portend store rm <fp>`).
+pub fn rm(dir: &Path, fingerprint: u64, out: &mut dyn Write) -> Result<(), CliError> {
+    let manager = StoreManager::new(dir)?;
+    if manager.remove(fingerprint)? {
+        writeln!(out, "removed {fingerprint:016x}")?;
+        Ok(())
+    } else {
+        Err(CliError::new(format!(
+            "no store for fingerprint {fingerprint:016x}"
+        )))
+    }
+}

@@ -1,0 +1,72 @@
+//! Daemon client: the `portend submit` code path.
+//!
+//! Connects to a running `portend serve --socket` daemon over its Unix
+//! domain socket, writes one request line, and relays every response
+//! frame to `out` until the request's terminating frame arrives
+//! (`done`, `pong`, `bye`, or `error`).
+
+use std::io::Write;
+
+use portend_serve::{Frame, Request};
+
+use crate::CliError;
+
+/// Sends `request` to the daemon at `socket` and streams response
+/// frames to `out`. Returns the number of frames relayed.
+#[cfg(unix)]
+pub fn submit(
+    socket: &std::path::Path,
+    request: &Request,
+    out: &mut dyn Write,
+) -> Result<usize, CliError> {
+    use std::io::BufRead;
+
+    let stream = std::os::unix::net::UnixStream::connect(socket).map_err(|e| {
+        CliError::new(format!(
+            "cannot reach daemon at {}: {e} (is `portend serve --socket` running?)",
+            socket.display()
+        ))
+    })?;
+    let mut writer = stream.try_clone().map_err(CliError::from)?;
+    writeln!(writer, "{}", request.render())?;
+    writer.flush()?;
+    // Half-close our sending side so a daemon reading to EOF (stdio
+    // semantics) still terminates the session after this request.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+
+    let reader = std::io::BufReader::new(stream);
+    let mut relayed = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(out, "{line}")?;
+        relayed += 1;
+        // Stop at the request's terminating frame; anything after it
+        // belongs to no request of ours.
+        match Frame::parse(&line) {
+            Ok(Frame::Verdict { .. }) => {}
+            Ok(_) => break,
+            Err(_) => break,
+        }
+    }
+    if relayed == 0 {
+        return Err(CliError::new(
+            "daemon closed the connection without responding".to_string(),
+        ));
+    }
+    Ok(relayed)
+}
+
+/// Unix-socket transport is not available on this platform.
+#[cfg(not(unix))]
+pub fn submit(
+    _socket: &std::path::Path,
+    _request: &Request,
+    _out: &mut dyn Write,
+) -> Result<usize, CliError> {
+    Err(CliError::new(
+        "`portend submit` needs Unix domain sockets".to_string(),
+    ))
+}

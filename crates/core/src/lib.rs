@@ -47,6 +47,7 @@ mod single;
 mod supervise;
 mod taxonomy;
 mod triage;
+mod warm;
 
 pub use case::{AnalysisCase, Predicate};
 pub use classify::{ClassifyError, Portend};
@@ -66,3 +67,4 @@ pub use taxonomy::{
     VerdictDetail,
 };
 pub use triage::{triage_reports, TriageOutcome};
+pub use warm::WarmSource;

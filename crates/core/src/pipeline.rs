@@ -13,42 +13,15 @@ use portend_obs::{EventKind, Recorder, Trace, TraceConfig};
 use portend_race::{DetectorConfig, RaceCluster};
 use portend_replay::{record, RecordConfig, RecordedRun};
 use portend_sa::StaticStats;
-use portend_symex::{CacheSnapshot, ParallelSlices, SliceExecutor, SolverCache};
+use portend_symex::{CacheSnapshot, ParallelSlices, SliceExecutor};
 use portend_vm::{InputSpec, Program, Scheduler, VmConfig};
 
 use crate::case::{AnalysisCase, Predicate};
 use crate::classify::{ClassifyError, Portend};
-use crate::config::{FarmKnobs, PortendConfig};
+use crate::config::PortendConfig;
 use crate::runreport::RunReport;
 use crate::taxonomy::Verdict;
-
-/// Builds the run's shared solver cache per the farm knobs, warming it
-/// from the persistent store when one is configured. A missing, stale,
-/// or corrupt store is a clean cold start — classification must never
-/// fail because last run's cache file didn't survive.
-fn knobs_cache(knobs: &FarmKnobs) -> Option<Arc<SolverCache>> {
-    let cache = knobs
-        .solver_cache
-        .then(|| Arc::new(SolverCache::new(knobs.cache_shards)))?;
-    // Single-flight is a property of the shared key namespace, so it
-    // lives on the cache; the serial path shares the setting (with one
-    // thread, every claim trivially leads, so behavior is unchanged).
-    cache.set_single_flight(knobs.single_flight);
-    if let Some(path) = &knobs.cache_path {
-        let _ = cache.warm_from(path);
-    }
-    Some(cache)
-}
-
-/// Persists the run's cache back to the warm store when one is
-/// configured. Serialization failures (full disk, unwritable path) are
-/// deliberately swallowed: the store is an optimization, the verdicts
-/// are already computed.
-fn persist_cache(knobs: &FarmKnobs, cache: Option<&Arc<SolverCache>>) {
-    if let (Some(cache), Some(path)) = (cache, &knobs.cache_path) {
-        let _ = cache.save_to(path, &knobs.cache_save_policy);
-    }
-}
+use crate::warm::WarmSource;
 
 /// Exports the finished trace per the [`TraceConfig`] — Chrome trace
 /// JSON and/or the versioned [`RunReport`] — and attaches the merged
@@ -193,6 +166,29 @@ impl Pipeline {
         predicates: Vec<Predicate>,
         vm: VmConfig,
     ) -> PipelineResult {
+        self.run_with_warm(
+            program,
+            inputs,
+            input_spec,
+            predicates,
+            vm,
+            &WarmSource::Knobs,
+        )
+    }
+
+    /// [`Pipeline::run`] with an explicit [`WarmSource`] governing where
+    /// the solver cache is warmed from and persisted to. `run` itself is
+    /// this with [`WarmSource::Knobs`] — the knob path is one lifecycle
+    /// among equals, not a special case.
+    pub fn run_with_warm(
+        &self,
+        program: &Arc<Program>,
+        inputs: Vec<i64>,
+        input_spec: InputSpec,
+        predicates: Vec<Predicate>,
+        vm: VmConfig,
+        warm: &WarmSource,
+    ) -> PipelineResult {
         let recorder = self.portend.trace.as_ref().map(|_| Recorder::new());
         let main_lane = recorder.as_ref().map(|r| r.attach("main", 0));
         let (run, record_time, case) = {
@@ -206,7 +202,7 @@ impl Pipeline {
             .static_pass
             .then(|| static_phase(program, &run.clusters, &self.record.detector).1);
         let knobs = &self.portend.farm;
-        let cache = knobs_cache(knobs);
+        let cache = warm.acquire(knobs);
         let portend = match &cache {
             Some(c) => Portend::with_cache(self.portend.clone(), Arc::clone(c)),
             None => Portend::new(self.portend.clone()),
@@ -224,7 +220,7 @@ impl Pipeline {
                 });
             }
         }
-        persist_cache(knobs, cache.as_ref());
+        warm.release(knobs, cache.as_ref());
         let mut result = PipelineResult {
             record: run,
             analyzed,
@@ -283,6 +279,43 @@ impl Pipeline {
         vm: VmConfig,
         workers: usize,
     ) -> (PipelineResult, FarmStats) {
+        self.run_parallel_streamed(
+            program,
+            inputs,
+            input_spec,
+            predicates,
+            vm,
+            workers,
+            &WarmSource::Knobs,
+            &mut |_, _, _| {},
+        )
+    }
+
+    /// The full-control parallel entry point: an explicit [`WarmSource`]
+    /// plus a streaming `sink` invoked once per classified cluster *in
+    /// completion order*, the moment the farm yields it —
+    /// suspected-harmful races therefore reach the sink first, long
+    /// before the run's tail finishes. `sink(seq, index, race)` gets the
+    /// 0-based completion sequence, the cluster's detection-order index
+    /// (its position in the final `PipelineResult::analyzed`), and the
+    /// classified race.
+    ///
+    /// The returned result is byte-identical to
+    /// [`Pipeline::run_parallel_with_stats`] (which is this with a no-op
+    /// sink): streaming only observes outputs that were already flowing,
+    /// and `analyzed` is restored to detection order either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_parallel_streamed(
+        &self,
+        program: &Arc<Program>,
+        inputs: Vec<i64>,
+        input_spec: InputSpec,
+        predicates: Vec<Predicate>,
+        vm: VmConfig,
+        workers: usize,
+        warm: &WarmSource,
+        sink: &mut dyn FnMut(u64, usize, &AnalyzedRace),
+    ) -> (PipelineResult, FarmStats) {
         let recorder = self.portend.trace.as_ref().map(|_| Recorder::new());
         let main_lane = recorder.as_ref().map(|r| r.attach("main", 0));
         let (run, record_time, case) = {
@@ -291,7 +324,7 @@ impl Pipeline {
         };
         let case = Arc::new(case);
         let knobs = &self.portend.farm;
-        let cache = knobs_cache(knobs);
+        let cache = warm.acquire(knobs);
         let mut farm = Farm::new(knobs.farm_config(workers));
         if let Some(r) = &recorder {
             farm = farm.with_recorder(r.clone());
@@ -355,21 +388,29 @@ impl Pipeline {
         if let Some(c) = &cache {
             frun.attach_cache(Arc::clone(c));
         }
-        let (outputs, mut stats) = frun.join();
+        // Drain the run as an iterator — each output reaches the sink
+        // the moment its worker finishes it — then join for the
+        // aggregate stats (every output was consumed here, so join's
+        // "remaining" set is empty by construction).
+        let mut indexed: Vec<(usize, AnalyzedRace)> = Vec::with_capacity(run.clusters.len());
+        for (seq, out) in (&mut frun).enumerate() {
+            let (cluster, verdict) = out.result;
+            let race = AnalyzedRace {
+                cluster,
+                verdict,
+                time: out.time,
+            };
+            sink(seq as u64, out.index, &race);
+            indexed.push((out.index, race));
+        }
+        let (leftover, mut stats) = frun.join();
+        debug_assert!(leftover.is_empty(), "iteration consumed every output");
         drop(classify_phase);
 
-        // `join` sorts by job index, restoring detection order.
-        let analyzed: Vec<AnalyzedRace> = outputs
-            .into_iter()
-            .map(|o| {
-                let (cluster, verdict) = o.result;
-                AnalyzedRace {
-                    cluster,
-                    verdict,
-                    time: o.time,
-                }
-            })
-            .collect();
+        // Restore detection order for the result (the sink saw
+        // completion order).
+        indexed.sort_by_key(|(i, _)| *i);
+        let analyzed: Vec<AnalyzedRace> = indexed.into_iter().map(|(_, r)| r).collect();
         // Roll the per-classification fork-cost counters up into the
         // farm aggregate (the generic pool cannot see inside verdicts).
         for a in &analyzed {
@@ -390,7 +431,7 @@ impl Pipeline {
         }
         stats.single_flight = cache.as_ref().and_then(|c| c.single_flight_snapshot());
         stats.static_pass = static_stats;
-        persist_cache(knobs, cache.as_ref());
+        warm.release(knobs, cache.as_ref());
         let case = Arc::try_unwrap(case).unwrap_or_else(|arc| arc.as_ref().clone());
         let mut result = PipelineResult {
             record: run,

@@ -50,7 +50,7 @@ use portend_obs::{EventKind, Trace};
 use portend_sa::StaticStats;
 use portend_symex::{CacheSnapshot, SingleFlightStats};
 
-use crate::pipeline::PipelineResult;
+use crate::pipeline::{AnalyzedRace, PipelineResult};
 use crate::taxonomy::{ClassifyStats, OutputDiffEvidence, Verdict, VerdictDetail};
 
 /// The `"format"` discriminator every report carries.
@@ -65,7 +65,10 @@ pub const REPORT_FORMAT_NAME: &str = "portend-run-report";
 /// * v3 — added the nullable `"single_flight"` (claims, deduped
 ///   slices, waits) and `"dispatch"` (batches, batched jobs, current
 ///   adaptive threshold) objects inside `"farm"`.
-pub const REPORT_FORMAT_VERSION: u32 = 3;
+/// * v4 — the `"cache"` object gained `"warm_rejected_fingerprint"`
+///   (warm stores rejected at load because their header fingerprint
+///   named a different program).
+pub const REPORT_FORMAT_VERSION: u32 = 4;
 
 /// Why a report document could not be read.
 #[derive(Debug)]
@@ -128,6 +131,39 @@ pub struct RaceOutcome {
     pub time: Duration,
     /// The verdict, or the infrastructure failure that prevented one.
     pub verdict: Result<VerdictReport, String>,
+}
+
+impl RaceOutcome {
+    /// Flattens one classified race for interchange — the exact mapping
+    /// [`RunReport::from_result`] applies per race, exposed so streaming
+    /// front ends produce outcomes identical to the batch report's.
+    pub fn from_analyzed(a: &AnalyzedRace) -> Self {
+        RaceOutcome {
+            alloc_name: a.cluster.representative.alloc_name.clone(),
+            offset: a.cluster.representative.offset,
+            instances: a.cluster.instances,
+            display: a.cluster.representative.to_string(),
+            time: a.time,
+            verdict: match &a.verdict {
+                Ok(v) => Ok(VerdictReport::from_verdict(v)),
+                Err(e) => Err(e.0.clone()),
+            },
+        }
+    }
+
+    /// The outcome's canonical JSON value — the exact object
+    /// [`RunReport::to_json`] embeds in `"races"`, exposed so wire
+    /// protocols (the serve daemon's per-cluster verdict frames) render
+    /// through the same code path and stay byte-identical to library
+    /// reports.
+    pub fn to_json_value(&self) -> Json {
+        race_json(self)
+    }
+
+    /// Inverse of [`RaceOutcome::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<RaceOutcome, ReportError> {
+        race_from(v)
+    }
 }
 
 /// One verdict, flattened for interchange: the class label, the `k`
@@ -273,17 +309,7 @@ impl RunReport {
         let races = result
             .analyzed
             .iter()
-            .map(|a| RaceOutcome {
-                alloc_name: a.cluster.representative.alloc_name.clone(),
-                offset: a.cluster.representative.offset,
-                instances: a.cluster.instances,
-                display: a.cluster.representative.to_string(),
-                time: a.time,
-                verdict: match &a.verdict {
-                    Ok(v) => Ok(VerdictReport::from_verdict(v)),
-                    Err(e) => Err(e.0.clone()),
-                },
-            })
+            .map(RaceOutcome::from_analyzed)
             .collect();
         RunReport {
             label: label.into(),
@@ -318,6 +344,15 @@ impl RunReport {
 
     /// Renders the report as its canonical compact JSON document.
     pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The report as a [`Json`] value — the exact document
+    /// [`RunReport::to_json`] renders, exposed so wire protocols (the
+    /// serve daemon's terminating `done` frame) can embed a report
+    /// inside a larger frame while staying byte-identical to the
+    /// library's own rendering.
+    pub fn to_json_value(&self) -> Json {
         let mut members = vec![
             ("format".into(), REPORT_FORMAT_NAME.into()),
             ("version".into(), Json::from(REPORT_FORMAT_VERSION)),
@@ -344,13 +379,19 @@ impl RunReport {
             "events".into(),
             self.events.as_ref().map_or(Json::Null, events_json),
         ));
-        Json::Obj(members).render()
+        Json::Obj(members)
     }
 
     /// Parses a report document, rejecting wrong formats and versions
     /// (see the module docs' versioning rules).
     pub fn from_json(input: &str) -> Result<RunReport, ReportError> {
-        let doc = json::parse(input)?;
+        Self::from_json_value(&json::parse(input)?)
+    }
+
+    /// Inverse of [`RunReport::to_json_value`]: parses a report embedded
+    /// as a [`Json`] value (e.g. inside a protocol frame), with the same
+    /// format/version rejection rules as [`RunReport::from_json`].
+    pub fn from_json_value(doc: &Json) -> Result<RunReport, ReportError> {
         if doc.get("format").and_then(Json::as_str) != Some(REPORT_FORMAT_NAME) {
             return Err(ReportError::BadFormat);
         }
@@ -362,8 +403,8 @@ impl RunReport {
             return Err(ReportError::UnsupportedVersion(version as u32));
         }
         Ok(RunReport {
-            label: req_str(&doc, "label")?.to_string(),
-            record_time: dur_from(&doc, "record_time_ns")?,
+            label: req_str(doc, "label")?.to_string(),
+            record_time: dur_from(doc, "record_time_ns")?,
             races: doc
                 .get("races")
                 .and_then(Json::as_arr)
@@ -611,6 +652,10 @@ fn cache_json(c: &CacheSnapshot) -> Json {
         ("warm_hits".into(), Json::from(c.warm_hits)),
         ("warm_validations".into(), Json::from(c.warm_validations)),
         ("warm_mismatches".into(), Json::from(c.warm_mismatches)),
+        (
+            "warm_rejected_fingerprint".into(),
+            Json::from(c.warm_rejected_fingerprint),
+        ),
     ])
 }
 
@@ -824,6 +869,7 @@ fn cache_from(v: &Json) -> Result<CacheSnapshot, ReportError> {
         warm_hits: req_u64(v, "warm_hits")?,
         warm_validations: req_u64(v, "warm_validations")?,
         warm_mismatches: req_u64(v, "warm_mismatches")?,
+        warm_rejected_fingerprint: req_u64(v, "warm_rejected_fingerprint")?,
     })
 }
 
@@ -951,6 +997,7 @@ mod tests {
                 warm_hits: 25,
                 warm_validations: 3,
                 warm_mismatches: 0,
+                warm_rejected_fingerprint: 1,
             }),
             static_pass: Some(StaticStats {
                 candidates: 14,

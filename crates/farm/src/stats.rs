@@ -139,7 +139,19 @@ impl FarmStats {
                 } else {
                     String::new()
                 };
-                format!(", cache {whole} ({} entries{slices}{warm})", c.entries)
+                // Same n/a discipline as the hit rates: a run that
+                // never met a foreign store renders nothing, while a
+                // real rejection ("store is from another program") is
+                // always visible.
+                let rejected = if c.warm_rejected_fingerprint > 0 {
+                    format!(", {} foreign store rejected", c.warm_rejected_fingerprint)
+                } else {
+                    String::new()
+                };
+                format!(
+                    ", cache {whole} ({} entries{slices}{warm}{rejected})",
+                    c.entries
+                )
             }
             None => String::new(),
         };
@@ -300,6 +312,35 @@ mod tests {
         };
         assert!(!cold.summary().contains("warm"));
         assert_eq!(FarmStats::default().warm_hits(), None);
+    }
+
+    /// A foreign-fingerprint store rejection ("store is from another
+    /// program") renders in the summary; the clause follows the n/a
+    /// discipline — absent on every run that never met a foreign store.
+    #[test]
+    fn rejected_fingerprint_surfaces_in_summary_only_when_nonzero() {
+        let rejected = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot {
+                warm_rejected_fingerprint: 1,
+                misses: 4,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert!(
+            rejected.summary().contains("1 foreign store rejected"),
+            "{}",
+            rejected.summary()
+        );
+        let clean = FarmStats {
+            cache: Some(portend_symex::CacheSnapshot {
+                warmed: 5,
+                warm_hits: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert!(!clean.summary().contains("foreign"), "{}", clean.summary());
     }
 
     /// Regression alongside `unconsulted_cache_renders_na_not_zero_percent`:

@@ -25,6 +25,8 @@
 /// | [`WarmSave`] | warm store | yes | entries written | bytes written |
 /// | [`StaticPass`] | static pre-analysis | yes | candidate pairs | pruned pairs |
 /// | [`StaticPrune`] | static pre-analysis | no | cluster index | 1 lock-protected / 2 not-parallel |
+/// | [`RequestStart`] | serve front end | no | request id | program fingerprint |
+/// | [`StoreEvict`] | store manager | no | evicted fingerprint | bytes reclaimed |
 ///
 /// [`Phase`]: EventKind::Phase
 /// [`Job`]: EventKind::Job
@@ -42,6 +44,8 @@
 /// [`WarmSave`]: EventKind::WarmSave
 /// [`StaticPass`]: EventKind::StaticPass
 /// [`StaticPrune`]: EventKind::StaticPrune
+/// [`RequestStart`]: EventKind::RequestStart
+/// [`StoreEvict`]: EventKind::StoreEvict
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// A named pipeline phase (record, classify, join, …); the `name`
@@ -81,11 +85,17 @@ pub enum EventKind {
     /// One race cluster demoted because the static pre-analysis proved
     /// its representative pair ordered.
     StaticPrune,
+    /// An analysis request accepted by a front end (the CLI's one-shot
+    /// `analyze` or the daemon's protocol loop).
+    RequestStart,
+    /// The store manager evicted a per-program store to stay within its
+    /// directory budget.
+    StoreEvict,
 }
 
 impl EventKind {
     /// Every kind, in rendering order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Phase,
         EventKind::Job,
         EventKind::Steal,
@@ -102,6 +112,8 @@ impl EventKind {
         EventKind::WarmSave,
         EventKind::StaticPass,
         EventKind::StaticPrune,
+        EventKind::RequestStart,
+        EventKind::StoreEvict,
     ];
 
     /// The kind's stable label (used by the exporters and the report's
@@ -124,6 +136,8 @@ impl EventKind {
             EventKind::WarmSave => "warm_save",
             EventKind::StaticPass => "static_pass",
             EventKind::StaticPrune => "static_prune",
+            EventKind::RequestStart => "request_start",
+            EventKind::StoreEvict => "store_evict",
         }
     }
 
@@ -143,8 +157,9 @@ impl EventKind {
             | EventKind::SliceDedup => "solver",
             EventKind::CacheProbe => "cache",
             EventKind::Fork => "vm",
-            EventKind::WarmLoad | EventKind::WarmSave => "warm",
+            EventKind::WarmLoad | EventKind::WarmSave | EventKind::StoreEvict => "warm",
             EventKind::StaticPass | EventKind::StaticPrune => "static",
+            EventKind::RequestStart => "serve",
         }
     }
 
@@ -160,6 +175,8 @@ impl EventKind {
                 | EventKind::CacheProbe
                 | EventKind::Fork
                 | EventKind::StaticPrune
+                | EventKind::RequestStart
+                | EventKind::StoreEvict
         )
     }
 }
@@ -226,5 +243,9 @@ mod tests {
         assert!(!EventKind::BatchDispatch.is_span());
         assert_eq!(EventKind::SliceDedup.category(), "solver");
         assert_eq!(EventKind::BatchDispatch.category(), "farm");
+        assert!(!EventKind::RequestStart.is_span());
+        assert!(!EventKind::StoreEvict.is_span());
+        assert_eq!(EventKind::RequestStart.category(), "serve");
+        assert_eq!(EventKind::StoreEvict.category(), "warm");
     }
 }

@@ -1,0 +1,253 @@
+//! The resident daemon: request dispatch, per-program cache residency,
+//! managed warm-store lifecycle, and the stdio / Unix-socket loops.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use portend::{PortendConfig, RaceOutcome, RunReport, WarmSource};
+use portend_obs::EventKind;
+use portend_symex::{SolverCache, StoreBudget, StoreManager, WarmStoreError};
+
+use crate::protocol::{Frame, Request};
+
+/// How a [`Server`] is assembled.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Managed store directory for per-program warm stores; `None`
+    /// keeps warm capital in-memory only (still shared across requests
+    /// for the daemon's lifetime, lost on exit).
+    pub store_dir: Option<PathBuf>,
+    /// Disk budget for the store directory (ignored without one).
+    pub budget: Option<StoreBudget>,
+    /// The analysis configuration applied to every request.
+    pub analysis: PortendConfig,
+    /// Default farm width for requests that don't name one (`0` = one
+    /// worker per CPU).
+    pub workers: usize,
+}
+
+/// The resident analysis service.
+///
+/// One `Server` owns one [`StoreManager`] (when a store directory is
+/// configured) and one resident [`SolverCache`] *per program
+/// fingerprint*, shared across every request for that program — warm
+/// capital compounds both in-memory (within the daemon's lifetime) and
+/// on disk (across daemon restarts, via the managed stores).
+///
+/// The server is transport-agnostic: [`Server::handle_line`] maps one
+/// request line to a sequence of frame lines, and
+/// [`Server::serve_stdio`] / [`Server::serve_unix`] are thin loops over
+/// it. Frames stream — the `out` callback fires per classified cluster,
+/// not per request.
+pub struct Server {
+    manager: Option<Arc<StoreManager>>,
+    caches: Mutex<HashMap<u64, Arc<SolverCache>>>,
+    analysis: PortendConfig,
+    workers: usize,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Builds a server, creating the store directory when configured.
+    pub fn new(config: ServerConfig) -> Result<Server, WarmStoreError> {
+        let manager = match &config.store_dir {
+            Some(dir) => Some(Arc::new(match config.budget {
+                Some(b) => StoreManager::with_budget(dir, b)?,
+                None => StoreManager::new(dir)?,
+            })),
+            None => None,
+        };
+        Ok(Server {
+            manager,
+            caches: Mutex::new(HashMap::new()),
+            analysis: config.analysis,
+            workers: config.workers,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The managed store directory's manager, when one is configured
+    /// (`portend store ls` against a running daemon's directory uses
+    /// the same manager type).
+    pub fn manager(&self) -> Option<&Arc<StoreManager>> {
+        self.manager.as_ref()
+    }
+
+    /// Whether a shutdown request has been handled.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Handles one request line, emitting zero or more frames through
+    /// `out`. Returns `false` when the session should end (a shutdown
+    /// was acknowledged).
+    pub fn handle_line(&self, line: &str, out: &mut dyn FnMut(Frame)) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        match Request::parse(line) {
+            Ok(req) => self.handle(&req, out),
+            Err(message) => {
+                out(Frame::Error {
+                    request: 0,
+                    message,
+                });
+                true
+            }
+        }
+    }
+
+    /// Handles one parsed request. Returns `false` on shutdown.
+    pub fn handle(&self, req: &Request, out: &mut dyn FnMut(Frame)) -> bool {
+        match req {
+            Request::Ping { id } => {
+                out(Frame::Pong { request: *id });
+                true
+            }
+            Request::Shutdown { id } => {
+                self.shutdown.store(true, Ordering::Relaxed);
+                out(Frame::Bye { request: *id });
+                false
+            }
+            Request::Analyze {
+                id,
+                workload,
+                workers,
+            } => {
+                self.analyze(*id, workload, *workers, out);
+                true
+            }
+        }
+    }
+
+    /// Runs one analysis request, streaming a verdict frame per
+    /// classified cluster and terminating with the full run report.
+    fn analyze(&self, id: u64, workload: &str, workers: usize, out: &mut dyn FnMut(Frame)) {
+        let Some(w) = portend_workloads::by_name(workload) else {
+            out(Frame::Error {
+                request: id,
+                message: format!("unknown workload {workload:?}"),
+            });
+            return;
+        };
+        let fingerprint = w.fingerprint();
+        portend_obs::instant(EventKind::RequestStart, id, fingerprint);
+        let cache = self.resident_cache(fingerprint);
+        // The manager path warms from (and saves back to) the
+        // per-program store every request — touch-on-load keeps the
+        // LRU honest; resident entries are never overwritten. Without
+        // a store directory the borrowed cache alone carries warmth.
+        let warm = match &self.manager {
+            Some(manager) => WarmSource::Manager {
+                manager: Arc::clone(manager),
+                fingerprint,
+                cache: Some(cache),
+            },
+            None => WarmSource::Borrowed(cache),
+        };
+        let workers = if workers > 0 { workers } else { self.workers };
+        let (result, stats) = w.analyze_streamed(
+            self.analysis.clone(),
+            workers,
+            &warm,
+            &mut |seq, index, race| {
+                out(Frame::Verdict {
+                    request: id,
+                    seq,
+                    index: index as u64,
+                    race: RaceOutcome::from_analyzed(race).to_json_value(),
+                });
+            },
+        );
+        let report = RunReport::from_result(w.name, &result).with_farm(stats);
+        out(Frame::Done {
+            request: id,
+            report: report.to_json_value(),
+        });
+    }
+
+    /// The daemon's resident cache for `fingerprint`, created on first
+    /// use per the analysis configuration's farm knobs.
+    fn resident_cache(&self, fingerprint: u64) -> Arc<SolverCache> {
+        let mut caches = self.caches.lock().expect("cache registry poisoned");
+        Arc::clone(caches.entry(fingerprint).or_insert_with(|| {
+            let knobs = &self.analysis.farm;
+            let cache = Arc::new(SolverCache::new(knobs.cache_shards));
+            cache.set_single_flight(knobs.single_flight);
+            cache
+        }))
+    }
+
+    /// Serves line-delimited requests from `input` to `output` until
+    /// EOF or shutdown. [`Server::serve_stdio`] is this over the
+    /// process's stdio; tests drive it with in-memory buffers.
+    pub fn serve_io(&self, input: &mut dyn BufRead, output: &mut dyn Write) -> std::io::Result<()> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if input.read_line(&mut line)? == 0 {
+                return Ok(()); // EOF
+            }
+            let mut io_err = None;
+            let keep_going = self.handle_line(&line, &mut |frame| {
+                if io_err.is_none() {
+                    io_err = writeln!(output, "{}", frame.render())
+                        .and_then(|()| output.flush())
+                        .err();
+                }
+            });
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            if !keep_going {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves requests on stdin/stdout until EOF or shutdown — the
+    /// `portend serve` default transport (one client, e.g. a build
+    /// system holding the daemon as a coprocess).
+    pub fn serve_stdio(&self) -> std::io::Result<()> {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        self.serve_io(&mut stdin.lock(), &mut stdout.lock())
+    }
+
+    /// Serves requests on a Unix domain socket at `path` (replacing any
+    /// stale socket file), one connection at a time, until a client
+    /// sends `shutdown`. Connections are independent sessions over the
+    /// *same* server state — warm capital compounds across them.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        for conn in listener.incoming() {
+            let stream = conn?;
+            let mut reader = std::io::BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            // A per-connection I/O failure (client hung up mid-stream)
+            // ends that session, not the daemon.
+            let _ = self.serve_io(&mut reader, &mut writer);
+            if self.shutting_down() {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("store_dir", &self.manager.as_ref().map(|m| m.dir()))
+            .field("workers", &self.workers)
+            .field("shutting_down", &self.shutting_down())
+            .finish_non_exhaustive()
+    }
+}

@@ -297,6 +297,7 @@ pub struct SolverCache {
     warm_probes_left: AtomicU64,
     warm_validations: AtomicU64,
     warm_mismatches: AtomicU64,
+    warm_rejected_fingerprint: AtomicU64,
     single_flight: SingleFlight,
 }
 
@@ -344,8 +345,19 @@ impl SolverCache {
             warm_probes_left: AtomicU64::new(0),
             warm_validations: AtomicU64::new(0),
             warm_mismatches: AtomicU64::new(0),
+            warm_rejected_fingerprint: AtomicU64::new(0),
             single_flight: SingleFlight::new(),
         }
+    }
+
+    /// Counts a warm store rejected because its header fingerprint named
+    /// a different program ([`crate::WarmStoreError::ForeignFingerprint`]).
+    /// Called by the keyed load path so the rejection surfaces in this
+    /// cache's [`CacheSnapshot`] even when a lifecycle layer continues
+    /// cold after catching the error.
+    pub fn note_rejected_fingerprint(&self) {
+        self.warm_rejected_fingerprint
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Enables or disables the single-flight registry (on by default).
@@ -689,6 +701,7 @@ impl SolverCache {
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             warm_validations: self.warm_validations.load(Ordering::Relaxed),
             warm_mismatches: self.warm_mismatches.load(Ordering::Relaxed),
+            warm_rejected_fingerprint: self.warm_rejected_fingerprint.load(Ordering::Relaxed),
         }
     }
 }
@@ -730,6 +743,11 @@ pub struct CacheSnapshot {
     /// (determinism); non-zero flags a stale store, whose entries are
     /// corrected in place as they are caught.
     pub warm_mismatches: u64,
+    /// Warm stores rejected at load because their header fingerprint
+    /// named a different program ("store is from another program").
+    /// Always a *distinct* signal — a foreign store never silently
+    /// degrades to a cold start without bumping this counter.
+    pub warm_rejected_fingerprint: u64,
 }
 
 impl CacheSnapshot {

@@ -20,9 +20,13 @@
 //!   dispatches cold slices onto borrowed idle workers;
 //! * [`mod@warm`] — cross-run persistence of the solver cache (the
 //!   "warm store"): a versioned, checksummed on-disk format with an
-//!   eviction-aware export policy ([`WarmPolicy`]) and
+//!   eviction-aware export policy ([`WarmPolicy`]), a program
+//!   fingerprint + solver-semantics version in the header, and
 //!   answer-preservation validation sampling on load, so a long-lived
-//!   service warm-starts instead of re-solving every recurring slice.
+//!   service warm-starts instead of re-solving every recurring slice;
+//! * [`mod@store`] — [`StoreManager`], a capped LRU directory of
+//!   per-program warm stores keyed by program fingerprint, for front
+//!   ends that outlive any single program.
 //!
 //! ## Example
 //!
@@ -55,6 +59,7 @@ mod model;
 mod op;
 pub mod slice;
 mod solver;
+pub mod store;
 pub mod warm;
 
 pub use cache::{
@@ -68,4 +73,8 @@ pub use slice::{
     partition_slices, ParallelSlices, ScopedSolver, ScopedStats, SliceExecutor, SliceJob,
 };
 pub use solver::{SatResult, Solver, SolverConfig, SolverStats};
-pub use warm::{WarmLoadReport, WarmPolicy, WarmSaveReport, WarmStoreError};
+pub use store::{StoreBudget, StoreEntry, StoreManager};
+pub use warm::{
+    peek_meta, WarmLoadReport, WarmPolicy, WarmSaveReport, WarmStoreError, WarmStoreMeta,
+    SOLVER_SEMANTICS_VERSION, WARM_FORMAT_VERSION,
+};

@@ -20,10 +20,28 @@
 //! offset  size  field
 //! 0       8     magic  b"PTNDWARM"
 //! 8       4     format version (u32; readers reject unknown versions)
-//! 12      4     record count (u32)
+//! 12      8     program fingerprint (u64; 0 = unkeyed/wildcard)
+//! 20      4     solver-semantics version (u32; readers reject drift)
+//! 24      4     record count (u32)
 //!               records…                       (see below)
 //! end−8   8     FNV-1a-64 checksum of every preceding byte
 //! ```
+//!
+//! The *program fingerprint* (format v2) keys a store to the program
+//! whose analysis produced it: a keyed load
+//! ([`SolverCache::warm_from_keyed`]) presented with a store whose
+//! fingerprint names a different program fails with the distinct
+//! [`WarmStoreError::ForeignFingerprint`] — "this store is from another
+//! program" — instead of silently warm-starting from answers that
+//! happen to share canonical keys. Fingerprint `0` is the unkeyed
+//! wildcard written by [`SolverCache::save_to`] and accepted by any
+//! expectation (the pre-v2 behavior for hand-pointed store paths).
+//!
+//! The *solver-semantics version* ([`SOLVER_SEMANTICS_VERSION`]) is the
+//! cross-build invalidation hint: it is echoed into every store and
+//! checked on load, so a solver build whose search order, pruning, or
+//! model selection changed can invalidate every older store by bumping
+//! one constant without burning a whole format version.
 //!
 //! Each record is length-prefixed so a reader can skip or bound-check it
 //! without understanding its interior:
@@ -91,7 +109,20 @@ pub const WARM_MAGIC: [u8; 8] = *b"PTNDWARM";
 
 /// Current on-disk format version. See the module docs for the rules on
 /// when this must be bumped.
-pub const WARM_FORMAT_VERSION: u32 = 1;
+///
+/// * v2 — the header grew a program fingerprint (next to the magic) and
+///   the solver-semantics version echo; v1 stores are rejected cleanly
+///   as [`WarmStoreError::UnsupportedVersion`].
+pub const WARM_FORMAT_VERSION: u32 = 2;
+
+/// The solver-semantics generation this build writes into (and requires
+/// of) every warm store. Bump it whenever the solver's search order,
+/// pruning, or model selection changes *without* a record-layout change:
+/// identical canonical keys could then map to different (equally
+/// correct) answers, and every store written by the previous generation
+/// must stop warming caches. A mismatch on load is the distinct
+/// [`WarmStoreError::SemanticsMismatch`] — a clean cold start.
+pub const SOLVER_SEMANTICS_VERSION: u32 = 1;
 
 /// Which cache entries a [`SolverCache::save_to`] persists, and how much
 /// disk it may use.
@@ -166,6 +197,13 @@ pub struct WarmLoadReport {
     /// Valid records skipped because their shard was already at
     /// capacity (or their key already resident).
     pub skipped: u64,
+    /// Stores rejected because their fingerprint named a different
+    /// program ([`WarmStoreError::ForeignFingerprint`]). A direct keyed
+    /// load reports the rejection as the error itself; lifecycle layers
+    /// that continue cold ([`crate::StoreManager::load_into`]) fold the
+    /// rejection into this counter so it is never silent. `0` on every
+    /// successful or unkeyed load.
+    pub rejected_fingerprint: u64,
 }
 
 /// Why a warm store could not be read. Every variant is a *clean cold
@@ -179,6 +217,20 @@ pub enum WarmStoreError {
     BadMagic,
     /// The file's format version is not [`WARM_FORMAT_VERSION`].
     UnsupportedVersion(u32),
+    /// The store is keyed to a different program: its header fingerprint
+    /// names another program's IR. Reported distinctly (never folded
+    /// into a silent cold start) so a store directory mix-up is
+    /// diagnosable from the run's accounting.
+    ForeignFingerprint {
+        /// The fingerprint stored in the file's header.
+        stored: u64,
+        /// The fingerprint of the program being analyzed.
+        expected: u64,
+    },
+    /// The store was written by a solver build with different search
+    /// semantics ([`SOLVER_SEMANTICS_VERSION`] mismatch); its answers
+    /// may no longer match what this build would compute.
+    SemanticsMismatch(u32),
     /// The trailing FNV-1a checksum does not match the contents
     /// (truncation or corruption).
     ChecksumMismatch,
@@ -198,6 +250,16 @@ impl fmt::Display for WarmStoreError {
                     "warm store format version {v} (this build reads {WARM_FORMAT_VERSION})"
                 )
             }
+            WarmStoreError::ForeignFingerprint { stored, expected } => write!(
+                f,
+                "warm store is from another program (store fingerprint {stored:016x}, \
+                 this program is {expected:016x})"
+            ),
+            WarmStoreError::SemanticsMismatch(v) => write!(
+                f,
+                "warm store solver-semantics version {v} \
+                 (this build is {SOLVER_SEMANTICS_VERSION})"
+            ),
             WarmStoreError::ChecksumMismatch => write!(f, "warm store checksum mismatch"),
             WarmStoreError::Corrupt(what) => write!(f, "warm store corrupt: {what}"),
         }
@@ -235,11 +297,23 @@ impl SolverCache {
         path: impl AsRef<Path>,
         policy: &WarmPolicy,
     ) -> Result<WarmSaveReport, WarmStoreError> {
+        self.save_keyed(path, 0, policy)
+    }
+
+    /// [`SolverCache::save_to`], writing `fingerprint` into the store
+    /// header so the store is keyed to one program. `0` writes an
+    /// unkeyed (wildcard) store that any keyed load accepts.
+    pub fn save_keyed(
+        &self,
+        path: impl AsRef<Path>,
+        fingerprint: u64,
+        policy: &WarmPolicy,
+    ) -> Result<WarmSaveReport, WarmStoreError> {
         static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let mut ev = portend_obs::span(portend_obs::EventKind::WarmSave);
         let path = path.as_ref();
         let records = self.export_entries(policy);
-        let (bytes, report) = serialize(&records, policy);
+        let (bytes, report) = serialize(&records, policy, fingerprint);
         let tmp = path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),
@@ -261,10 +335,31 @@ impl SolverCache {
     ///
     /// On any error the cache is untouched — the run proceeds cold.
     pub fn warm_from(&self, path: impl AsRef<Path>) -> Result<WarmLoadReport, WarmStoreError> {
+        self.warm_from_keyed(path, 0)
+    }
+
+    /// [`SolverCache::warm_from`], additionally requiring the store's
+    /// header fingerprint to match `expected` (the current program's
+    /// content hash — `portend_vm::Program::fingerprint`). A store keyed
+    /// to a *different* program fails with the distinct
+    /// [`WarmStoreError::ForeignFingerprint`] — and is counted on this
+    /// cache's [`crate::CacheSnapshot::warm_rejected_fingerprint`] — so
+    /// a foreign store is never silently treated as a cold start.
+    /// `expected == 0` accepts any store; an *unkeyed* store (header
+    /// fingerprint `0`) satisfies any expectation.
+    pub fn warm_from_keyed(
+        &self,
+        path: impl AsRef<Path>,
+        expected: u64,
+    ) -> Result<WarmLoadReport, WarmStoreError> {
         let mut ev = portend_obs::span(portend_obs::EventKind::WarmLoad);
         let mut bytes = Vec::new();
         std::fs::File::open(path.as_ref())?.read_to_end(&mut bytes)?;
-        let records = parse(&bytes)?;
+        let (stored, records) = parse(&bytes)?;
+        if expected != 0 && stored != 0 && stored != expected {
+            self.note_rejected_fingerprint();
+            return Err(WarmStoreError::ForeignFingerprint { stored, expected });
+        }
         let total = records.len() as u64;
         let kept = self.absorb_warm(records);
         ev.args(kept, 1);
@@ -272,6 +367,7 @@ impl SolverCache {
             entries: kept,
             bytes: bytes.len() as u64,
             skipped: total - kept,
+            rejected_fingerprint: 0,
         })
     }
 
@@ -326,8 +422,13 @@ fn record_body(rec: &WarmRecord) -> Vec<u8> {
 
 /// Assembles the full store image: header, records (hottest-first, up to
 /// the byte budget), checksum footer.
-fn serialize(records: &[WarmRecord], policy: &WarmPolicy) -> (Vec<u8>, WarmSaveReport) {
-    const FIXED_OVERHEAD: u64 = 8 + 4 + 4 + 8; // magic + version + count + checksum
+fn serialize(
+    records: &[WarmRecord],
+    policy: &WarmPolicy,
+    fingerprint: u64,
+) -> (Vec<u8>, WarmSaveReport) {
+    // magic + version + fingerprint + semantics + count + checksum
+    const FIXED_OVERHEAD: u64 = 8 + 4 + 8 + 4 + 4 + 8;
     let mut bodies = Vec::new();
     let mut size = FIXED_OVERHEAD;
     let mut dropped = 0u64;
@@ -348,6 +449,8 @@ fn serialize(records: &[WarmRecord], policy: &WarmPolicy) -> (Vec<u8>, WarmSaveR
     let mut out = Vec::with_capacity(size as usize);
     out.extend_from_slice(&WARM_MAGIC);
     push_u32(&mut out, WARM_FORMAT_VERSION);
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    push_u32(&mut out, SOLVER_SEMANTICS_VERSION);
     push_u32(&mut out, bodies.len() as u32);
     for body in &bodies {
         push_u32(&mut out, body.len() as u32);
@@ -391,6 +494,12 @@ impl<'a> Reader<'a> {
         ))
     }
 
+    fn u64(&mut self) -> Result<u64, WarmStoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
     fn i64(&mut self) -> Result<i64, WarmStoreError> {
         Ok(i64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
@@ -398,11 +507,12 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Parses and validates a full store image. All-or-nothing: any
+/// Parses and validates a full store image, returning the header's
+/// program fingerprint alongside the records. All-or-nothing: any
 /// violation rejects the whole file before a single record is returned.
-fn parse(bytes: &[u8]) -> Result<Vec<WarmRecord>, WarmStoreError> {
+fn parse(bytes: &[u8]) -> Result<(u64, Vec<WarmRecord>), WarmStoreError> {
     const FOOTER: usize = 8;
-    if bytes.len() < 8 + 4 + 4 + FOOTER {
+    if bytes.len() < 8 + 4 + 8 + 4 + 4 + FOOTER {
         return Err(WarmStoreError::Corrupt("file shorter than header"));
     }
     if bytes[..8] != WARM_MAGIC {
@@ -420,6 +530,11 @@ fn parse(bytes: &[u8]) -> Result<Vec<WarmRecord>, WarmStoreError> {
     let version = r.u32()?;
     if version != WARM_FORMAT_VERSION {
         return Err(WarmStoreError::UnsupportedVersion(version));
+    }
+    let fingerprint = r.u64()?;
+    let semantics = r.u32()?;
+    if semantics != SOLVER_SEMANTICS_VERSION {
+        return Err(WarmStoreError::SemanticsMismatch(semantics));
     }
     let count = r.u32()? as usize;
     let mut records = Vec::with_capacity(count.min(1 << 16));
@@ -480,7 +595,52 @@ fn parse(bytes: &[u8]) -> Result<Vec<WarmRecord>, WarmStoreError> {
     if r.pos != body.len() {
         return Err(WarmStoreError::Corrupt("trailing bytes after records"));
     }
-    Ok(records)
+    Ok((fingerprint, records))
+}
+
+/// Header metadata of a warm store, read without materializing records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStoreMeta {
+    /// The store's format version.
+    pub format_version: u32,
+    /// The program fingerprint the store is keyed to (`0` = unkeyed).
+    pub fingerprint: u64,
+    /// The solver-semantics generation the store was written under.
+    pub semantics_version: u32,
+    /// Record count claimed by the header.
+    pub entries: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Reads only the header of the warm store at `path` — enough for a
+/// store-directory listing (`portend store ls`) without paying for a
+/// full parse + checksum of every record. Magic and minimum length are
+/// still validated; the version is *reported*, not rejected, so a
+/// listing can show stale-format stores instead of erroring on them.
+pub fn peek_meta(path: impl AsRef<Path>) -> Result<WarmStoreMeta, WarmStoreError> {
+    let bytes = std::fs::read(path.as_ref())?;
+    if bytes.len() < 8 + 4 + 8 + 4 + 4 + 8 {
+        return Err(WarmStoreError::Corrupt("file shorter than header"));
+    }
+    if bytes[..8] != WARM_MAGIC {
+        return Err(WarmStoreError::BadMagic);
+    }
+    let mut r = Reader {
+        bytes: &bytes,
+        pos: 8,
+    };
+    let format_version = r.u32()?;
+    let fingerprint = r.u64()?;
+    let semantics_version = r.u32()?;
+    let entries = u64::from(r.u32()?);
+    Ok(WarmStoreMeta {
+        format_version,
+        fingerprint,
+        semantics_version,
+        entries,
+        bytes: bytes.len() as u64,
+    })
 }
 
 /// FNV-1a over bytes (the store's integrity checksum; also used by the
@@ -525,11 +685,12 @@ mod tests {
     #[test]
     fn serialize_parse_round_trip_is_identity() {
         let records = sample_records();
-        let (bytes, report) = serialize(&records, &WarmPolicy::default());
+        let (bytes, report) = serialize(&records, &WarmPolicy::default(), 0xfeed_beef);
         assert_eq!(report.entries, 3);
         assert_eq!(report.bytes, bytes.len() as u64);
         assert_eq!(report.dropped_by_budget, 0);
-        let mut parsed = parse(&bytes).expect("round trip");
+        let (fp, mut parsed) = parse(&bytes).expect("round trip");
+        assert_eq!(fp, 0xfeed_beef, "header fingerprint round-trips");
         // `hits` is export-ordering metadata, zeroed on load.
         for p in &mut parsed {
             p.hits = 0;
@@ -545,12 +706,12 @@ mod tests {
     fn byte_budget_drops_coldest_records() {
         let records = sample_records();
         // Budget sized to fit the header plus roughly one record.
-        let (one, _) = serialize(&records[..1], &WarmPolicy::default());
+        let (one, _) = serialize(&records[..1], &WarmPolicy::default(), 0);
         let policy = WarmPolicy {
             min_hits: 0,
             byte_budget: one.len() as u64 + 8,
         };
-        let (bytes, report) = serialize(&records, &policy);
+        let (bytes, report) = serialize(&records, &policy, 0);
         assert!(report.entries < 3, "{report:?}");
         assert!(report.dropped_by_budget > 0, "{report:?}");
         assert_eq!(
@@ -559,7 +720,7 @@ mod tests {
             "cut is a clean prefix/suffix split: {report:?}"
         );
         assert!(bytes.len() as u64 <= policy.byte_budget);
-        let kept = parse(&bytes).expect("budget-truncated store still valid");
+        let (_, kept) = parse(&bytes).expect("budget-truncated store still valid");
         // The cut is a *prefix* of the input order (export order is
         // hottest-first): a later record must never displace an earlier
         // one that failed to fit.
@@ -570,7 +731,7 @@ mod tests {
 
     #[test]
     fn corrupted_stores_are_rejected() {
-        let (bytes, _) = serialize(&sample_records(), &WarmPolicy::default());
+        let (bytes, _) = serialize(&sample_records(), &WarmPolicy::default(), 0);
 
         // Flipping any single byte must fail the checksum (or, for the
         // footer itself, the comparison).
@@ -605,6 +766,79 @@ mod tests {
         let sum = fnv1a64(&wrong);
         wrong.extend_from_slice(&sum.to_le_bytes());
         assert!(matches!(parse(&wrong), Err(WarmStoreError::BadMagic)));
+
+        // A solver-semantics bump (valid checksum, current format) is
+        // the distinct SemanticsMismatch, not a silent load.
+        let mut drifted = bytes[..bytes.len() - 8].to_vec();
+        drifted[20..24].copy_from_slice(&(SOLVER_SEMANTICS_VERSION + 1).to_le_bytes());
+        let sum = fnv1a64(&drifted);
+        drifted.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            parse(&drifted),
+            Err(WarmStoreError::SemanticsMismatch(v)) if v == SOLVER_SEMANTICS_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn keyed_stores_reject_foreign_programs_distinctly() {
+        let dir = std::env::temp_dir().join(format!("portend-warm-keyed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("keyed.warm");
+
+        let cache = SolverCache::new(4);
+        cache.insert("k".into(), SatResult::Unsat);
+        cache
+            .save_keyed(&path, 0xaaaa_bbbb, &WarmPolicy::keep_everything())
+            .unwrap();
+
+        // Matching fingerprint loads.
+        let warmed = SolverCache::new(4);
+        let report = warmed.warm_from_keyed(&path, 0xaaaa_bbbb).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.rejected_fingerprint, 0);
+
+        // A different program's fingerprint is the distinct rejection,
+        // counted on the cache, with no entry absorbed.
+        let cold = SolverCache::new(4);
+        let err = cold.warm_from_keyed(&path, 0xdead_beef).unwrap_err();
+        assert!(matches!(
+            err,
+            WarmStoreError::ForeignFingerprint {
+                stored: 0xaaaa_bbbb,
+                expected: 0xdead_beef,
+            }
+        ));
+        let snap = cold.snapshot();
+        assert_eq!(snap.warm_rejected_fingerprint, 1);
+        assert_eq!((snap.entries, snap.warmed), (0, 0));
+        assert!(
+            err.to_string().contains("another program"),
+            "rejection names the cause: {err}"
+        );
+
+        // An unkeyed (wildcard) store satisfies any expectation, and an
+        // unkeyed load accepts any store.
+        cache
+            .save_to(&path, &WarmPolicy::keep_everything())
+            .unwrap();
+        assert_eq!(
+            SolverCache::new(4)
+                .warm_from_keyed(&path, 0xdead_beef)
+                .unwrap()
+                .entries,
+            1
+        );
+        cache
+            .save_keyed(&path, 0xaaaa_bbbb, &WarmPolicy::keep_everything())
+            .unwrap();
+        assert_eq!(SolverCache::new(4).warm_from(&path).unwrap().entries, 1);
+
+        let meta = peek_meta(&path).unwrap();
+        assert_eq!(meta.format_version, WARM_FORMAT_VERSION);
+        assert_eq!(meta.fingerprint, 0xaaaa_bbbb);
+        assert_eq!(meta.semantics_version, SOLVER_SEMANTICS_VERSION);
+        assert_eq!(meta.entries, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -188,6 +188,31 @@ impl Program {
         self.funcs.iter().map(Function::inst_count).sum()
     }
 
+    /// A stable content fingerprint over the whole IR: FNV-1a-64 of the
+    /// program's deterministic `Debug` rendering (every function, block,
+    /// instruction, allocation, and sync declaration participates).
+    ///
+    /// Two builds of the same program hash identically; any semantic
+    /// edit — an instruction, an initial value, a barrier party size —
+    /// moves the hash. The warm-store manager keys per-program solver
+    /// stores on this value, so a store written for one program is
+    /// rejected distinctly (never silently reused) when presented for
+    /// another. `0` is reserved as the "unkeyed" wildcard, so the hash
+    /// is nudged off zero in the (astronomically unlikely) collision.
+    pub fn fingerprint(&self) -> u64 {
+        let rendered = format!("{self:?}");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in rendered.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+
     /// Validates cross-references (block targets, register ranges,
     /// allocation and sync ids). Returns a description of the first
     /// problem found; use [`Program::validate_all`] for the full list.
@@ -451,6 +476,26 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("does not end")));
         // `validate` reports the first of the same list.
         assert_eq!(p.validate().unwrap_err(), errors[0]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let p = tiny();
+        assert_eq!(p.fingerprint(), tiny().fingerprint(), "deterministic");
+        assert_ne!(p.fingerprint(), 0, "zero is the unkeyed wildcard");
+        // Any semantic edit moves the hash: an instruction, a name, an
+        // allocation's initial value.
+        let mut edited = tiny();
+        edited.funcs[0].blocks[0].insts = vec![Inst::Nop, Inst::Ret { value: None }];
+        edited.funcs[0].blocks[0].lines = vec![1, 1];
+        assert_ne!(edited.fingerprint(), p.fingerprint());
+        let mut renamed = tiny();
+        renamed.allocs.push(AllocSpec {
+            name: "g".into(),
+            len: 1,
+            init: vec![7],
+        });
+        assert_ne!(renamed.fingerprint(), p.fingerprint());
     }
 
     #[test]

@@ -400,6 +400,120 @@ pub fn double_read() -> Idiom {
     )
 }
 
+/// Treiber-stack ABA: a popper is preempted between reading the head
+/// and its "CAS"; meanwhile another thread pops two nodes and pushes
+/// the first back. The head compares equal, the stale next pointer is
+/// installed, and a popped node is resurrected — the classic reason a
+/// bare compare-and-swap stack needs tagged pointers or hazard
+/// pointers.
+pub fn treiber_aba() -> Idiom {
+    let mut pb = ProgramBuilder::new("treiber_aba", "treiber_aba.c");
+    // The stack is head -> node1 -> node2 -> null; slot i of ts_next
+    // is node i's next pointer, 0 is null (slot 0 is unused).
+    let head = pb.global("ts_head", 1);
+    let next = pb.array_init("ts_next", vec![0, 2, 0]);
+    let slow_popper = pb.worker("slow_popper", |f, _| {
+        let h = f.load(head, Operand::Imm(0));
+        let n = f.load(next, h);
+        // Preempted mid-pop: the snapshot (h, n) goes stale here.
+        f.yield_();
+        let cur = f.load(head, Operand::Imm(0));
+        let same = f.cmp(CmpOp::Eq, cur, h);
+        f.if_else(
+            same,
+            |f| {
+                // The "CAS" succeeds on the recycled head value and
+                // installs the stale next — resurrecting a popped
+                // node. Report the pop.
+                f.store(head, Operand::Imm(0), n);
+                f.output(1, h);
+            },
+            |f| {
+                // CAS failed mid-recycle: a real implementation would
+                // retry; report the abandoned pop.
+                f.output(1, Operand::Imm(-1));
+            },
+        );
+    });
+    let recycler = pb.worker("recycler", |f, _| {
+        // Pop node1, pop node2, push node1 back: head holds the same
+        // *value* as before, but the structure behind it changed.
+        let n1 = f.load(next, Operand::Imm(1));
+        f.store(head, Operand::Imm(0), n1); // pop node1: head = 2
+        f.store(head, Operand::Imm(0), Operand::Imm(0)); // pop node2: empty
+        f.store(next, Operand::Imm(1), Operand::Imm(0)); // node1.next = null
+        f.store(head, Operand::Imm(0), Operand::Imm(1)); // re-push node1 (ABA)
+    });
+    let main = pb.func("main", |f| {
+        let t1 = f.spawn(slow_popper, Operand::Imm(0));
+        let t2 = f.spawn(recycler, Operand::Imm(1));
+        f.join(t1).join(t2);
+        // Print the surviving structure: which node is on top, and
+        // what it points at — the ABA orderings disagree on both.
+        let h = f.load(head, Operand::Imm(0));
+        let n = f.load(next, h);
+        f.output(1, h).output(1, n);
+    });
+    idiom(
+        "treiber_aba",
+        "Treiber-stack pop: preempted CAS vs pop-pop-push recycle (ABA)",
+        pb.build(main).expect("valid treiber_aba"),
+        // The harm of ABA lives in the *next* pointer: the popper's
+        // stale snapshot resurrects a popped node, and the printed
+        // structure diverges (output differs). The head cell's own
+        // write-write cluster is harmless in isolation — whichever of
+        // the two stores lands first is overwritten by the recycler's
+        // final push, so its k witnesses agree.
+        vec![
+            ("ts_head", class(RaceClass::KWitnessHarmless)),
+            ("ts_next", class(RaceClass::OutputDiffers)),
+        ],
+    )
+}
+
+/// Sharded counters with a torn aggregate read: each worker owns one
+/// shard (no worker-vs-worker race), but the aggregator sums the
+/// shards unsynchronized mid-update, so its total depends on the
+/// ordering. The post-join total in `main` is ordered and must not
+/// race at all.
+pub fn sharded_counter() -> Idiom {
+    let mut pb = ProgramBuilder::new("sharded_counter", "sharded_counter.c");
+    let shards = pb.array_init("shard_counts", vec![0, 0]);
+    let incrementer = pb.worker("incrementer", |f, arg| {
+        // Two bumps of this worker's own shard, with a scheduling
+        // point between them for the aggregator to land in.
+        f.racy_inc(shards, arg);
+        f.yield_();
+        f.racy_inc(shards, arg);
+    });
+    let aggregator = pb.worker("aggregator", |f, _| {
+        // The torn read: sums both shards while they move.
+        let a = f.load(shards, Operand::Imm(0));
+        let b = f.load(shards, Operand::Imm(1));
+        let sum = f.add(a, b);
+        f.output(2, sum);
+    });
+    let main = pb.func("main", |f| {
+        let workers = f.spawn_n(incrementer, 2);
+        let agg = f.spawn(aggregator, Operand::Imm(2));
+        f.join_all(&workers).join(agg);
+        // Ordered by the joins: the settled total, never racy.
+        let a = f.load(shards, Operand::Imm(0));
+        let b = f.load(shards, Operand::Imm(1));
+        let total = f.add(a, b);
+        f.output(1, total);
+    });
+    idiom(
+        "sharded_counter",
+        "per-thread shards, unsynchronized aggregate sum mid-update",
+        pb.build(main).expect("valid sharded_counter"),
+        vec![
+            ("shard_counts", class(RaceClass::OutputDiffers)),
+            ("shard_counts", class(RaceClass::OutputDiffers)),
+        ],
+    )
+}
+
 /// All positive idioms, in a stable order.
 pub fn positive_idioms() -> Vec<Idiom> {
     vec![
@@ -413,5 +527,7 @@ pub fn positive_idioms() -> Vec<Idiom> {
         adhoc_flag(),
         torn_assert(),
         double_read(),
+        treiber_aba(),
+        sharded_counter(),
     ]
 }

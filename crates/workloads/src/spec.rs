@@ -196,6 +196,37 @@ impl Workload {
         )
     }
 
+    /// [`Workload::analyze_parallel_with_stats`] with an explicit warm
+    /// lifecycle and a per-cluster streaming sink — the front-end entry
+    /// point (see `Pipeline::run_parallel_streamed`): `sink` observes
+    /// every classified race in completion order while the result stays
+    /// byte-identical to the batch call.
+    pub fn analyze_streamed(
+        &self,
+        config: PortendConfig,
+        workers: usize,
+        warm: &portend::WarmSource,
+        sink: &mut dyn FnMut(u64, usize, &portend::AnalyzedRace),
+    ) -> (PipelineResult, portend::FarmStats) {
+        self.pipeline(config).run_parallel_streamed(
+            &self.program,
+            self.inputs.clone(),
+            self.input_spec.clone(),
+            self.predicates.clone(),
+            self.vm,
+            workers,
+            warm,
+            sink,
+        )
+    }
+
+    /// The model's stable content fingerprint
+    /// (`portend_vm::Program::fingerprint`) — the key its managed warm
+    /// store lives under.
+    pub fn fingerprint(&self) -> u64 {
+        self.program.fingerprint()
+    }
+
     /// The pipeline this workload is analyzed with.
     fn pipeline(&self, config: PortendConfig) -> Pipeline {
         Pipeline {

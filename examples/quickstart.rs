@@ -1,14 +1,16 @@
-//! Quickstart: build a small racy program with the IR builder, run the
-//! Portend pipeline on it, and print the classification with its Fig. 6
+//! Quickstart: build a small racy program with the IR builder, run it
+//! through the `portend-cli` analysis front end (the same code path as
+//! `portend analyze`), and print the classification with its Fig. 6
 //! style debugging-aid report.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use std::sync::Arc;
 
-use portend::{render_report, Pipeline, PortendConfig};
-use portend_replay::RecordConfig;
+use portend::render_report;
+use portend_cli::{analyze_workload, AnalyzeOptions};
 use portend_vm::{InputSpec, Operand, ProgramBuilder, Scheduler, VmConfig};
+use portend_workloads::{ClassCounts, Workload};
 
 fn main() {
     // A tiny "server": a worker publishes a result; the main thread reads
@@ -31,24 +33,39 @@ fn main() {
     });
     let program = Arc::new(pb.build(main_fn).expect("valid program"));
 
-    // Detect and classify.
-    let pipeline = Pipeline {
-        record: RecordConfig {
-            scheduler: Scheduler::RoundRobin,
-            ..Default::default()
-        },
-        portend: PortendConfig::default(),
+    // Wrap the program as a workload — the unit every front end
+    // (portend analyze, portend serve, this example) operates on.
+    let workload = Workload {
+        name: "quickstart",
+        language: "C",
+        original_loc: 0,
+        forked_threads: 1,
+        program,
+        inputs: vec![],
+        input_spec: InputSpec::concrete(vec![]),
+        predicates: vec![],
+        optional_predicates: vec![],
+        record_scheduler: Scheduler::RoundRobin,
+        vm: VmConfig::default(),
+        ground_truth: vec![],
+        expected: ClassCounts::default(),
     };
-    let result = pipeline.run(
-        &program,
-        vec![],
-        InputSpec::concrete(vec![]),
-        vec![],
-        VmConfig::default(),
-    );
 
-    println!("recorded run output:\n{}", result.record.output);
-    println!("{} distinct race(s) detected\n", result.analyzed.len());
+    // Detect and classify through the CLI code path: one verdict frame
+    // per classified cluster streams to stdout as the farm yields it,
+    // then the terminating report frame.
+    let stdout = std::io::stdout();
+    let (result, report) = analyze_workload(
+        &workload,
+        1,
+        None,
+        &AnalyzeOptions::default(),
+        &mut stdout.lock(),
+    )
+    .expect("quickstart analysis");
+
+    println!("\nrecorded run output:\n{}", result.record.output);
+    println!("{} distinct race(s) detected\n", report.races.len());
     for analyzed in &result.analyzed {
         let race = &analyzed.cluster.representative;
         match &analyzed.verdict {

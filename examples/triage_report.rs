@@ -1,15 +1,23 @@
 //! Full triage run: detect and classify the races of every modeled
-//! workload, print a prioritized bug-triage list (harmful races first —
-//! the paper's §1 motivation: "developers are better informed and can
-//! fix the critical bugs first"), score accuracy against ground truth,
-//! and emit one machine-readable `RunReport` JSON per workload.
+//! workload through the `portend-cli` front end (the same code path as
+//! `portend analyze`), print a prioritized bug-triage list (harmful
+//! races first — the paper's §1 motivation: "developers are better
+//! informed and can fix the critical bugs first"), score accuracy
+//! against ground truth, and emit one machine-readable `RunReport`
+//! JSON per workload.
 //!
 //! Run with: `cargo run --example triage_report [output-dir]`
-//! (reports default to `target/triage-reports/<workload>.json`).
+//! (reports default to `target/triage-reports/<workload>.json`; the
+//! warm-store directory sits next to them, so a second run of this
+//! example warm-starts every workload from its fingerprint-keyed
+//! store).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use portend::{PortendConfig, RaceClass, RunReport, TraceConfig};
+use portend::{RaceClass, RunReport};
+use portend_cli::{analyze_workload, AnalyzeOptions};
+use portend_symex::StoreManager;
 use portend_workloads::{all, ScoreCard};
 
 fn main() {
@@ -19,25 +27,29 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("target/triage-reports"));
     std::fs::create_dir_all(&out_dir).expect("create report directory");
 
+    // The CLI analysis options: quiet (this example prints a human
+    // triage list, not the frame stream), reports written per workload,
+    // warmth persisted per program fingerprint.
+    let opts = AnalyzeOptions {
+        report_dir: Some(out_dir.clone()),
+        store_dir: Some(out_dir.join("warm-store")),
+        quiet: true,
+        ..Default::default()
+    };
+    let manager = Arc::new(
+        StoreManager::new(opts.store_dir.as_ref().unwrap()).expect("create warm-store directory"),
+    );
+
     let mut triage: Vec<(String, String, RaceClass, String)> = Vec::new();
     let mut report_paths: Vec<PathBuf> = Vec::new();
     let mut correct = 0usize;
     let mut total = 0usize;
+    let mut sink = std::io::sink();
 
-    for w in all() {
-        // Tracing on: the pipeline records phase/solver/cache events and
-        // writes the versioned RunReport itself at the end of the run.
-        let report_path = out_dir.join(format!("{}.json", w.name));
-        let cfg = PortendConfig {
-            trace: Some(
-                TraceConfig::new()
-                    .with_label(w.name)
-                    .with_report(&report_path),
-            ),
-            ..Default::default()
-        };
-        let result = w.analyze(cfg);
-        let card = ScoreCard::new(&w, &result);
+    for (at, w) in all().iter().enumerate() {
+        let (result, _) = analyze_workload(w, at as u64 + 1, Some(&manager), &opts, &mut sink)
+            .expect("workload analysis");
+        let card = ScoreCard::new(w, &result);
         correct += card.correct();
         total += card.total();
         for a in &result.analyzed {
@@ -50,7 +62,7 @@ fn main() {
                 ));
             }
         }
-        report_paths.push(report_path);
+        report_paths.push(out_dir.join(format!("{}.json", w.name)));
     }
 
     // Harmful first, then output-differs, then the harmless classes.
@@ -75,18 +87,18 @@ fn main() {
 
     // The reports are this run's machine-readable record: parse every
     // one back (the format is versioned and rejects anything it does
-    // not understand) and print the per-workload roll-up.
+    // not understand) and print the per-workload roll-up — on a second
+    // run of this example the farm summaries show the warm-store loads.
     println!("\n=== run reports ({}) ===", out_dir.display());
     for path in &report_paths {
         let report = RunReport::read_from(path).expect("report round-trips");
-        let events = report.events.as_ref().expect("tracing was on");
+        let farm = report.farm.as_ref().expect("parallel run records stats");
         println!(
-            "{:<12} {} races | {} harmful | {} solver checks | {} events -> {}",
+            "{:<12} {} races | {} harmful | {} -> {}",
             report.label,
             report.races.len(),
             report.harmful(),
-            events.solver_checks,
-            events.total,
+            farm.summary(),
             path.display(),
         );
     }

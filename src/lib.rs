@@ -7,11 +7,13 @@
 #![forbid(unsafe_code)]
 
 pub use portend;
+pub use portend_cli;
 pub use portend_farm;
 pub use portend_obs;
 pub use portend_race;
 pub use portend_replay;
 pub use portend_sa;
+pub use portend_serve;
 pub use portend_symex;
 pub use portend_vm;
 pub use portend_workloads;
